@@ -1,0 +1,157 @@
+//! The [`Agent`] trait and execution context.
+//!
+//! "DB-GPT's framework offers flexibility which allows users to
+//! custom-define agents tailored to their specific data interaction tasks"
+//! (§2.3). An agent is anything that can handle one plan step; the
+//! orchestrator matches plan steps to agents by *role*.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use dbgpt_llm::skills::planner::PlanStep;
+
+use crate::client::LlmClient;
+use crate::error::AgentError;
+use crate::memory::HistoryArchive;
+
+/// One unit of work handed to an agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRequest {
+    /// The conversation this task belongs to.
+    pub conversation: String,
+    /// The user's original goal.
+    pub goal: String,
+    /// The plan step being executed.
+    pub step: PlanStep,
+    /// Results of previously completed steps (in step order).
+    pub prior_results: Vec<Value>,
+}
+
+/// What an agent returns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentReply {
+    /// Machine-readable result payload.
+    pub content: Value,
+    /// Short human-readable summary of what was done.
+    pub summary: String,
+}
+
+impl AgentReply {
+    /// A plain-text reply.
+    pub fn text(s: impl Into<String>) -> Self {
+        let s = s.into();
+        AgentReply {
+            content: Value::String(s.clone()),
+            summary: s,
+        }
+    }
+
+    /// A structured reply with a summary line.
+    pub fn structured(content: Value, summary: impl Into<String>) -> Self {
+        AgentReply {
+            content,
+            summary: summary.into(),
+        }
+    }
+}
+
+/// Shared state an agent may use while handling a task.
+pub struct AgentContext {
+    /// Model access.
+    pub llm: LlmClient,
+    /// The communication archive (agents may consult history).
+    pub archive: Arc<HistoryArchive>,
+    /// Seed for any sampled behaviour.
+    pub seed: u64,
+}
+
+/// A participant in the multi-agent framework.
+pub trait Agent: Send + Sync {
+    /// Unique agent name (e.g. `chart_generator#1`).
+    fn name(&self) -> &str;
+
+    /// The role this agent fulfils; plan steps carry a role and the
+    /// orchestrator dispatches on it (e.g. `planner`, `chart_generator`,
+    /// `aggregator`, `worker`).
+    fn role(&self) -> &str;
+
+    /// Execute one task.
+    fn handle(&self, task: &TaskRequest, ctx: &AgentContext) -> Result<AgentReply, AgentError>;
+}
+
+/// Shared agent handle.
+pub type SharedAgent = Arc<dyn Agent>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgpt_llm::catalog::builtin_model;
+
+    struct Echo;
+    impl Agent for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn role(&self) -> &str {
+            "worker"
+        }
+        fn handle(&self, task: &TaskRequest, _ctx: &AgentContext) -> Result<AgentReply, AgentError> {
+            Ok(AgentReply::text(format!("did: {}", task.step.description)))
+        }
+    }
+
+    fn ctx() -> AgentContext {
+        AgentContext {
+            llm: LlmClient::direct(builtin_model("sim-qwen").unwrap()),
+            archive: Arc::new(HistoryArchive::in_memory()),
+            seed: 0,
+        }
+    }
+
+    fn step() -> PlanStep {
+        PlanStep {
+            id: 1,
+            description: "collect logs".into(),
+            agent: "worker".into(),
+            chart: None,
+            dimension: None,
+        }
+    }
+
+    #[test]
+    fn custom_agent_handles_task() {
+        let a = Echo;
+        let task = TaskRequest {
+            conversation: "c".into(),
+            goal: "g".into(),
+            step: step(),
+            prior_results: vec![],
+        };
+        let r = a.handle(&task, &ctx()).unwrap();
+        assert_eq!(r.summary, "did: collect logs");
+        assert_eq!(a.role(), "worker");
+    }
+
+    #[test]
+    fn reply_constructors() {
+        let t = AgentReply::text("hi");
+        assert_eq!(t.content, Value::String("hi".into()));
+        let s = AgentReply::structured(serde_json::json!({"k": 1}), "made k");
+        assert_eq!(s.summary, "made k");
+        assert_eq!(s.content["k"], 1);
+    }
+
+    #[test]
+    fn task_request_serde() {
+        let task = TaskRequest {
+            conversation: "c".into(),
+            goal: "g".into(),
+            step: step(),
+            prior_results: vec![serde_json::json!(1)],
+        };
+        let json = serde_json::to_string(&task).unwrap();
+        assert_eq!(serde_json::from_str::<TaskRequest>(&json).unwrap(), task);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the agent framework.
+
+use std::fmt;
+
+use dbgpt_llm::LlmError;
+use dbgpt_smmf::SmmfError;
+
+/// Errors from planning, dispatch and agent execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentError {
+    /// The planner's output could not be parsed into a plan.
+    PlanParse(String),
+    /// No agent is registered for a required role.
+    NoAgentForRole(String),
+    /// An agent failed while executing a step.
+    StepFailed {
+        /// 1-based plan step id.
+        step: usize,
+        /// Role of the failing agent.
+        role: String,
+        /// Cause description.
+        cause: String,
+    },
+    /// The model backend failed.
+    Llm(String),
+    /// Archiving to local storage failed.
+    Archive(String),
+    /// An agent name was registered twice.
+    DuplicateAgent(String),
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::PlanParse(m) => write!(f, "cannot parse plan: {m}"),
+            AgentError::NoAgentForRole(r) => write!(f, "no agent registered for role `{r}`"),
+            AgentError::StepFailed { step, role, cause } => {
+                write!(f, "step {step} ({role}) failed: {cause}")
+            }
+            AgentError::Llm(m) => write!(f, "model error: {m}"),
+            AgentError::Archive(m) => write!(f, "archive error: {m}"),
+            AgentError::DuplicateAgent(a) => write!(f, "duplicate agent `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+impl From<LlmError> for AgentError {
+    fn from(e: LlmError) -> Self {
+        AgentError::Llm(e.to_string())
+    }
+}
+
+impl From<SmmfError> for AgentError {
+    fn from(e: SmmfError) -> Self {
+        AgentError::Llm(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(AgentError::NoAgentForRole("chart".into()).to_string().contains("chart"));
+        assert!(AgentError::StepFailed {
+            step: 2,
+            role: "w".into(),
+            cause: "x".into()
+        }
+        .to_string()
+        .contains("step 2"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: AgentError = LlmError::EmptyPrompt.into();
+        assert!(matches!(e, AgentError::Llm(_)));
+        let e: AgentError = SmmfError::UnknownModel("m".into()).into();
+        assert!(matches!(e, AgentError::Llm(_)));
+    }
+}

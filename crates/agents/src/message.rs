@@ -1,0 +1,97 @@
+//! Typed inter-agent messages.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// What a message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// A user goal entering the system.
+    Goal,
+    /// A plan produced by the planner.
+    Plan,
+    /// A task assignment to a specialist agent.
+    Task,
+    /// A specialist's result.
+    Result,
+    /// The aggregated final report.
+    Report,
+    /// An error surfaced during execution.
+    Error,
+}
+
+/// One archived communication between agents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentMessage {
+    /// Monotonic sequence number within a conversation.
+    pub seq: u64,
+    /// Conversation (one `execute_goal` call) this belongs to.
+    pub conversation: String,
+    /// Sending agent (or "user" / "system").
+    pub from: String,
+    /// Receiving agent.
+    pub to: String,
+    /// Payload kind.
+    pub kind: MessageKind,
+    /// Payload.
+    pub content: Value,
+}
+
+impl AgentMessage {
+    /// Render as one JSONL line (the archive format).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("message serializes")
+    }
+
+    /// Parse one JSONL line.
+    pub fn from_jsonl(line: &str) -> Option<AgentMessage> {
+        serde_json::from_str(line).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn msg() -> AgentMessage {
+        AgentMessage {
+            seq: 3,
+            conversation: "conv-1".into(),
+            from: "planner".into(),
+            to: "chart_generator".into(),
+            kind: MessageKind::Task,
+            content: json!({"chart": "donut"}),
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let m = msg();
+        let line = m.to_jsonl();
+        assert!(!line.contains('\n'));
+        assert_eq!(AgentMessage::from_jsonl(&line).unwrap(), m);
+    }
+
+    #[test]
+    fn bad_jsonl_is_none() {
+        assert!(AgentMessage::from_jsonl("{not json").is_none());
+        assert!(AgentMessage::from_jsonl("{}").is_none());
+    }
+
+    #[test]
+    fn kinds_serialize_distinctly() {
+        let kinds = [
+            MessageKind::Goal,
+            MessageKind::Plan,
+            MessageKind::Task,
+            MessageKind::Result,
+            MessageKind::Report,
+            MessageKind::Error,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(serde_json::to_string(&k).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Built-in agent roles: planner, worker, aggregator.
+//!
+//! These three ship with the framework because every workflow needs them
+//! (Fig. 3: planner → specialists → aggregator). Domain specialists —
+//! chart generators, SQL agents — are *custom* agents defined by the
+//! application layer and registered alongside these.
+
+use dbgpt_llm::skills::planner::PlanStep;
+use dbgpt_llm::GenerationParams;
+use serde_json::{json, Value};
+
+use crate::agent::{Agent, AgentContext, AgentReply, TaskRequest};
+use crate::error::AgentError;
+
+/// The planning agent: turns a goal into a [`PlanStep`] list via the
+/// model's planning skill.
+#[derive(Debug, Default)]
+pub struct PlannerAgent;
+
+impl PlannerAgent {
+    /// Create the agent.
+    pub fn new() -> Self {
+        PlannerAgent
+    }
+
+    /// Ask the model for a plan for `goal`.
+    pub fn plan(&self, goal: &str, ctx: &AgentContext) -> Result<Vec<PlanStep>, AgentError> {
+        let prompt = format!("### Task: plan\n### Input:\n{goal}");
+        let params = GenerationParams::default().with_seed(ctx.seed);
+        let completion = ctx.llm.complete(&prompt, &params)?;
+        let steps: Vec<PlanStep> = serde_json::from_str(completion.text.trim())
+            .map_err(|e| AgentError::PlanParse(format!("{e}: {}", completion.text)))?;
+        if steps.is_empty() {
+            return Err(AgentError::PlanParse("empty plan".into()));
+        }
+        Ok(steps)
+    }
+}
+
+impl Agent for PlannerAgent {
+    fn name(&self) -> &str {
+        "planner"
+    }
+
+    fn role(&self) -> &str {
+        "planner"
+    }
+
+    fn handle(&self, task: &TaskRequest, ctx: &AgentContext) -> Result<AgentReply, AgentError> {
+        let steps = self.plan(&task.goal, ctx)?;
+        let summary = format!("planned {} step(s)", steps.len());
+        Ok(AgentReply::structured(
+            serde_json::to_value(steps).expect("plan serializes"),
+            summary,
+        ))
+    }
+}
+
+/// The generic worker: executes a step by asking the model about it,
+/// carrying the goal as framing.
+#[derive(Debug, Default)]
+pub struct WorkerAgent;
+
+impl WorkerAgent {
+    /// Create the agent.
+    pub fn new() -> Self {
+        WorkerAgent
+    }
+}
+
+impl Agent for WorkerAgent {
+    fn name(&self) -> &str {
+        "worker"
+    }
+
+    fn role(&self) -> &str {
+        "worker"
+    }
+
+    fn handle(&self, task: &TaskRequest, ctx: &AgentContext) -> Result<AgentReply, AgentError> {
+        let prompt = format!(
+            "### Context:\nOverall goal: {}\n### Input:\n{}",
+            task.goal, task.step.description
+        );
+        let params = GenerationParams::default().with_seed(ctx.seed);
+        let completion = ctx.llm.complete(&prompt, &params)?;
+        Ok(AgentReply::structured(
+            json!({"step": task.step.id, "output": completion.text}),
+            format!("executed step {}: {}", task.step.id, task.step.description),
+        ))
+    }
+}
+
+/// The aggregator: collects prior step results into the final report,
+/// with a model-written narrative summary.
+#[derive(Debug, Default)]
+pub struct AggregatorAgent;
+
+impl AggregatorAgent {
+    /// Create the agent.
+    pub fn new() -> Self {
+        AggregatorAgent
+    }
+}
+
+impl Agent for AggregatorAgent {
+    fn name(&self) -> &str {
+        "aggregator"
+    }
+
+    fn role(&self) -> &str {
+        "aggregator"
+    }
+
+    fn handle(&self, task: &TaskRequest, ctx: &AgentContext) -> Result<AgentReply, AgentError> {
+        // Build a narrative over the collected results.
+        let mut lines = String::new();
+        for (i, r) in task.prior_results.iter().enumerate() {
+            let line = match r {
+                Value::Object(o) => o
+                    .get("summary")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| r.to_string()),
+                Value::String(s) => s.clone(),
+                other => other.to_string(),
+            };
+            lines.push_str(&format!("Step {}: {line}\n", i + 1));
+        }
+        let prompt = format!("### Task: summarize\n### Context:\n{lines}\n### Input:\n{}", task.goal);
+        let params = GenerationParams::default().with_seed(ctx.seed);
+        let narrative = ctx
+            .llm
+            .complete(&prompt, &params)
+            .map(|c| c.text)
+            .unwrap_or_else(|_| lines.clone());
+        Ok(AgentReply::structured(
+            json!({
+                "results": task.prior_results,
+                "narrative": narrative,
+            }),
+            format!("aggregated {} result(s)", task.prior_results.len()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LlmClient;
+    use crate::memory::HistoryArchive;
+    use dbgpt_llm::catalog::builtin_model;
+    use std::sync::Arc;
+
+    fn ctx() -> AgentContext {
+        AgentContext {
+            llm: LlmClient::direct(builtin_model("sim-qwen").unwrap()),
+            archive: Arc::new(HistoryArchive::in_memory()),
+            seed: 7,
+        }
+    }
+
+    fn task(desc: &str, prior: Vec<Value>) -> TaskRequest {
+        TaskRequest {
+            conversation: "c".into(),
+            goal: "Build sales reports and analyze user orders from three distinct dimensions"
+                .into(),
+            step: PlanStep {
+                id: 1,
+                description: desc.into(),
+                agent: "worker".into(),
+                chart: None,
+                dimension: None,
+            },
+            prior_results: prior,
+        }
+    }
+
+    #[test]
+    fn planner_produces_demo_plan() {
+        let p = PlannerAgent::new();
+        let steps = p
+            .plan(
+                "Build sales reports and analyze user orders from at least three distinct dimensions",
+                &ctx(),
+            )
+            .unwrap();
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps.last().unwrap().agent, "aggregator");
+    }
+
+    #[test]
+    fn planner_as_agent_returns_plan_json() {
+        let p = PlannerAgent::new();
+        let r = p.handle(&task("anything", vec![]), &ctx()).unwrap();
+        let steps: Vec<PlanStep> = serde_json::from_value(r.content).unwrap();
+        assert!(!steps.is_empty());
+        assert!(r.summary.contains("planned"));
+    }
+
+    #[test]
+    fn worker_executes_step() {
+        let w = WorkerAgent::new();
+        let r = w.handle(&task("inspect the database schema", vec![]), &ctx()).unwrap();
+        assert_eq!(r.content["step"], 1);
+        assert!(r.content["output"].as_str().unwrap().len() > 5);
+    }
+
+    #[test]
+    fn aggregator_collects_and_narrates() {
+        let a = AggregatorAgent::new();
+        let prior = vec![
+            json!({"summary": "made donut chart"}),
+            json!({"summary": "made bar chart"}),
+            json!("raw string result"),
+        ];
+        let r = a.handle(&task("aggregate", prior.clone()), &ctx()).unwrap();
+        assert_eq!(r.content["results"], json!(prior));
+        assert!(r.content["narrative"].as_str().unwrap().len() > 3);
+        assert!(r.summary.contains('3'));
+    }
+
+    #[test]
+    fn roles_are_stable() {
+        assert_eq!(PlannerAgent::new().role(), "planner");
+        assert_eq!(WorkerAgent::new().role(), "worker");
+        assert_eq!(AggregatorAgent::new().role(), "aggregator");
+    }
+}

@@ -1,0 +1,628 @@
+//! Automatic data preparation — the paper's §4 future-work direction on
+//! "automatic data preparation" (the CleanAgent line of work the authors
+//! cite). Real-world sheets arrive dirty; this module standardises a table
+//! in place and reports every operation it performed:
+//!
+//! 1. **Text standardisation** — trim and collapse whitespace, and unify
+//!    casing variants of the same categorical value to the variant's most
+//!    frequent spelling (`" Tech"`, `"tech "` and `"TECH"` become one).
+//! 2. **Numeric recovery** — a TEXT column whose non-null values all parse
+//!    as numbers (tolerating `$`, `,` and whitespace) is converted to a
+//!    numeric column, schema change included.
+//! 3. **Null imputation** *(opt-in)* — numeric nulls become the column
+//!    mean; text nulls become the column mode.
+//! 4. **Deduplication** *(opt-in)* — exact duplicate rows are dropped.
+
+use serde::{Deserialize, Serialize};
+
+use dbgpt_sqlengine::{Column, DataType, Schema, Value};
+
+use crate::context::AppContext;
+use crate::error::AppError;
+
+/// What the cleaner is allowed to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleanOptions {
+    /// Trim/collapse whitespace and unify categorical casing.
+    pub standardize_text: bool,
+    /// Convert numeric-looking TEXT columns to numbers.
+    pub recover_numerics: bool,
+    /// Fill nulls (mean for numeric, mode for text).
+    pub impute_nulls: bool,
+    /// Drop exact duplicate rows.
+    pub dedupe: bool,
+}
+
+impl Default for CleanOptions {
+    /// The safe set: standardise + recover. Imputation and dedupe change
+    /// row semantics, so they are opt-in.
+    fn default() -> Self {
+        CleanOptions {
+            standardize_text: true,
+            recover_numerics: true,
+            impute_nulls: false,
+            dedupe: false,
+        }
+    }
+}
+
+impl CleanOptions {
+    /// Everything on.
+    pub fn aggressive() -> Self {
+        CleanOptions {
+            standardize_text: true,
+            recover_numerics: true,
+            impute_nulls: true,
+            dedupe: true,
+        }
+    }
+}
+
+/// One operation the cleaner performed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanOp {
+    /// Operation kind (`standardize-text`, `recover-numeric`,
+    /// `impute-null`, `dedupe`).
+    pub kind: String,
+    /// The column involved (empty for row-level ops).
+    pub column: String,
+    /// Cells/rows affected.
+    pub affected: usize,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// The cleaning report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanReport {
+    /// Cleaned table.
+    pub table: String,
+    /// Operations performed, in order.
+    pub operations: Vec<CleanOp>,
+    /// Rows in the table after cleaning.
+    pub rows: usize,
+}
+
+impl CleanReport {
+    /// Summarise as prose (the agent's reply).
+    pub fn narrative(&self) -> String {
+        if self.operations.is_empty() {
+            return format!("Table `{}` was already clean ({} rows).", self.table, self.rows);
+        }
+        let steps: Vec<String> = self
+            .operations
+            .iter()
+            .map(|o| format!("{} ({} affected)", o.description, o.affected))
+            .collect();
+        format!(
+            "Standardized table `{}` in {} step(s): {}. {} row(s) remain.",
+            self.table,
+            self.operations.len(),
+            steps.join("; "),
+            self.rows
+        )
+    }
+}
+
+/// The data-preparation app.
+#[derive(Debug, Clone)]
+pub struct DataCleaner {
+    pub(crate) ctx: AppContext,
+    options: CleanOptions,
+}
+
+/// Parse a number out of a messy cell ("$1,200.50" → 1200.5).
+fn parse_messy_number(s: &str) -> Option<f64> {
+    let cleaned: String = s
+        .trim()
+        .chars()
+        .filter(|c| !matches!(c, '$' | ',' | ' ' | '€' | '£'))
+        .collect();
+    if cleaned.is_empty() {
+        return None;
+    }
+    cleaned.parse::<f64>().ok()
+}
+
+/// Normalise whitespace: trim + collapse runs.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+impl DataCleaner {
+    /// Cleaner with the safe default options.
+    pub fn new(ctx: AppContext) -> Self {
+        DataCleaner {
+            ctx,
+            options: CleanOptions::default(),
+        }
+    }
+
+    /// Override options, builder style.
+    pub fn with_options(mut self, options: CleanOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Clean one table in place.
+    pub fn clean_table(&self, table: &str) -> Result<CleanReport, AppError> {
+        let mut engine = self.ctx.engine.write();
+        let t = engine.database().table(table)?;
+        let old_schema = t.schema.clone();
+        let mut rows: Vec<Vec<Value>> = t.rows.iter().map(|r| r.values().to_vec()).collect();
+        let mut operations = Vec::new();
+
+        // 1. Text standardisation.
+        if self.options.standardize_text {
+            for (ci, col) in old_schema.columns().iter().enumerate() {
+                if col.data_type != DataType::Text {
+                    continue;
+                }
+                let mut affected = 0usize;
+                // Pass 1: whitespace.
+                for row in rows.iter_mut() {
+                    if let Value::Text(s) = &row[ci] {
+                        let fixed = normalize_ws(s);
+                        if &fixed != s {
+                            row[ci] = Value::Text(fixed);
+                            affected += 1;
+                        }
+                    }
+                }
+                // Pass 2: unify casing variants to the most frequent form.
+                use std::collections::HashMap;
+                let mut freq: HashMap<String, HashMap<&str, usize>> = HashMap::new();
+                for row in rows.iter() {
+                    if let Value::Text(s) = &row[ci] {
+                        *freq.entry(s.to_lowercase()).or_default().entry(s).or_insert(0) += 1;
+                    }
+                }
+                let canonical: HashMap<String, String> = freq
+                    .iter()
+                    .filter(|(_, variants)| variants.len() > 1)
+                    .map(|(lower, variants)| {
+                        let best = variants
+                            .iter()
+                            .max_by_key(|(form, n)| (**n, std::cmp::Reverse(form.to_string())))
+                            .map(|(form, _)| form.to_string())
+                            .expect("non-empty variants");
+                        (lower.clone(), best)
+                    })
+                    .collect();
+                if !canonical.is_empty() {
+                    for row in rows.iter_mut() {
+                        if let Value::Text(s) = &row[ci] {
+                            if let Some(best) = canonical.get(&s.to_lowercase()) {
+                                if best != s {
+                                    row[ci] = Value::Text(best.clone());
+                                    affected += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                if affected > 0 {
+                    operations.push(CleanOp {
+                        kind: "standardize-text".into(),
+                        column: col.name.clone(),
+                        affected,
+                        description: format!("standardized text in `{}`", col.name),
+                    });
+                }
+            }
+        }
+
+        // 2. Numeric recovery: TEXT column → FLOAT/INT when every non-null
+        //    cell parses.
+        let mut new_types: Vec<DataType> =
+            old_schema.columns().iter().map(|c| c.data_type).collect();
+        if self.options.recover_numerics {
+            for (ci, col) in old_schema.columns().iter().enumerate() {
+                if col.data_type != DataType::Text {
+                    continue;
+                }
+                let mut parsed: Vec<Option<f64>> = Vec::with_capacity(rows.len());
+                let mut any = false;
+                let mut all_parse = true;
+                for row in rows.iter() {
+                    match &row[ci] {
+                        Value::Null => parsed.push(None),
+                        Value::Text(s) => match parse_messy_number(s) {
+                            Some(n) => {
+                                any = true;
+                                parsed.push(Some(n));
+                            }
+                            None => {
+                                all_parse = false;
+                                break;
+                            }
+                        },
+                        _ => parsed.push(None),
+                    }
+                }
+                if !any || !all_parse {
+                    continue;
+                }
+                let all_int = parsed
+                    .iter()
+                    .flatten()
+                    .all(|n| n.fract() == 0.0 && n.abs() < 9e15);
+                let ty = if all_int { DataType::Int } else { DataType::Float };
+                let mut affected = 0usize;
+                for (row, p) in rows.iter_mut().zip(&parsed) {
+                    match p {
+                        Some(n) => {
+                            row[ci] = if all_int {
+                                Value::Int(*n as i64)
+                            } else {
+                                Value::Float(*n)
+                            };
+                            affected += 1;
+                        }
+                        None => row[ci] = Value::Null,
+                    }
+                }
+                new_types[ci] = ty;
+                operations.push(CleanOp {
+                    kind: "recover-numeric".into(),
+                    column: col.name.clone(),
+                    affected,
+                    description: format!(
+                        "converted `{}` from TEXT to {}",
+                        col.name,
+                        ty.name()
+                    ),
+                });
+            }
+        }
+
+        // 3. Null imputation.
+        if self.options.impute_nulls {
+            for (ci, col) in old_schema.columns().iter().enumerate() {
+                let nulls = rows.iter().filter(|r| r[ci].is_null()).count();
+                if nulls == 0 || nulls == rows.len() {
+                    continue;
+                }
+                let fill = match new_types[ci] {
+                    DataType::Int | DataType::Float => {
+                        let vals: Vec<f64> =
+                            rows.iter().filter_map(|r| r[ci].as_f64()).collect();
+                        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                        if new_types[ci] == DataType::Int {
+                            Value::Int(mean.round() as i64)
+                        } else {
+                            Value::Float(mean)
+                        }
+                    }
+                    DataType::Text => {
+                        use std::collections::HashMap;
+                        let mut freq: HashMap<&str, usize> = HashMap::new();
+                        for r in rows.iter() {
+                            if let Value::Text(s) = &r[ci] {
+                                *freq.entry(s).or_insert(0) += 1;
+                            }
+                        }
+                        match freq
+                            .into_iter()
+                            .max_by_key(|(s, n)| (*n, std::cmp::Reverse(s.to_string())))
+                        {
+                            Some((mode, _)) => Value::Text(mode.to_string()),
+                            None => continue,
+                        }
+                    }
+                    DataType::Bool => continue,
+                };
+                for row in rows.iter_mut() {
+                    if row[ci].is_null() {
+                        row[ci] = fill.clone();
+                    }
+                }
+                operations.push(CleanOp {
+                    kind: "impute-null".into(),
+                    column: col.name.clone(),
+                    affected: nulls,
+                    description: format!("imputed nulls in `{}`", col.name),
+                });
+            }
+        }
+
+        // 4. Dedupe.
+        if self.options.dedupe {
+            use std::collections::HashSet;
+            let before = rows.len();
+            let mut seen = HashSet::new();
+            rows.retain(|r| {
+                let key: Vec<_> = r.iter().map(Value::group_key).collect();
+                seen.insert(key)
+            });
+            let removed = before - rows.len();
+            if removed > 0 {
+                operations.push(CleanOp {
+                    kind: "dedupe".into(),
+                    column: String::new(),
+                    affected: removed,
+                    description: format!("removed {removed} duplicate row(s)"),
+                });
+            }
+        }
+
+        // Rebuild the table (schema may have changed).
+        let new_schema = Schema::new(
+            old_schema
+                .columns()
+                .iter()
+                .zip(&new_types)
+                .map(|(c, ty)| Column::new(c.name.clone(), *ty))
+                .collect(),
+        )
+        .map_err(|e| AppError::Sql(e.to_string()))?;
+        let row_count = rows.len();
+        let db = engine.database_mut();
+        db.drop_table(table, false)?;
+        db.create_table(table, new_schema, false)?;
+        {
+            let t = db.table_mut(table)?;
+            for r in rows {
+                t.insert_row(r)?;
+            }
+        }
+        Ok(CleanReport {
+            table: table.to_lowercase(),
+            operations,
+            rows: row_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with(ddl: &str, insert: &str) -> AppContext {
+        let ctx = AppContext::local_default();
+        ctx.seed_sql(&[ddl, insert]).unwrap();
+        ctx
+    }
+
+    #[test]
+    fn whitespace_and_case_standardisation() {
+        let ctx = ctx_with(
+            "CREATE TABLE t (cat TEXT)",
+            "INSERT INTO t VALUES (' tech'), ('tech  '), ('TECH'), ('tech'), ('books')",
+        );
+        let report = DataCleaner::new(ctx.clone()).clean_table("t").unwrap();
+        assert_eq!(report.operations.len(), 1);
+        assert_eq!(report.operations[0].kind, "standardize-text");
+        let r = ctx.engine.write().execute("SELECT COUNT(*) FROM t WHERE cat = 'tech'").unwrap();
+        assert_eq!(r.rows[0][0].as_i64(), Some(4));
+    }
+
+    #[test]
+    fn numeric_recovery_with_currency_symbols() {
+        let ctx = ctx_with(
+            "CREATE TABLE t (price TEXT, label TEXT)",
+            "INSERT INTO t VALUES ('$1,200.50', 'a'), ('15', 'b'), (NULL, 'c')",
+        );
+        let report = DataCleaner::new(ctx.clone()).clean_table("t").unwrap();
+        assert!(report
+            .operations
+            .iter()
+            .any(|o| o.kind == "recover-numeric" && o.column == "price"));
+        // The column is now numeric and aggregable.
+        let r = ctx.engine.write().execute("SELECT SUM(price) FROM t").unwrap();
+        assert_eq!(r.rows[0][0].as_f64(), Some(1215.5));
+        // The label column stayed text.
+        let ddl = ctx.schema_ddl();
+        assert!(ddl.contains("price FLOAT"), "{ddl}");
+        assert!(ddl.contains("label TEXT"), "{ddl}");
+    }
+
+    #[test]
+    fn integer_recovery_chooses_int() {
+        let ctx = ctx_with("CREATE TABLE t (n TEXT)", "INSERT INTO t VALUES ('1'), ('2,000')");
+        DataCleaner::new(ctx.clone()).clean_table("t").unwrap();
+        assert!(ctx.schema_ddl().contains("n INT"));
+    }
+
+    #[test]
+    fn mixed_text_column_left_alone() {
+        let ctx = ctx_with("CREATE TABLE t (x TEXT)", "INSERT INTO t VALUES ('12'), ('apple')");
+        let report = DataCleaner::new(ctx.clone()).clean_table("t").unwrap();
+        assert!(report.operations.iter().all(|o| o.kind != "recover-numeric"));
+        assert!(ctx.schema_ddl().contains("x TEXT"));
+    }
+
+    #[test]
+    fn imputation_fills_mean_and_mode() {
+        let ctx = ctx_with(
+            "CREATE TABLE t (v INT, c TEXT)",
+            "INSERT INTO t VALUES (10, 'a'), (NULL, 'a'), (20, NULL)",
+        );
+        let report = DataCleaner::new(ctx.clone())
+            .with_options(CleanOptions::aggressive())
+            .clean_table("t")
+            .unwrap();
+        assert!(report.operations.iter().any(|o| o.kind == "impute-null" && o.column == "v"));
+        assert!(report.operations.iter().any(|o| o.kind == "impute-null" && o.column == "c"));
+        let r = ctx.engine.write().execute("SELECT v, c FROM t ORDER BY v").unwrap();
+        // Mean of 10,20 = 15; mode of text = 'a'.
+        assert!(r.rows.iter().any(|row| row[0].as_i64() == Some(15)));
+        assert!(r.rows.iter().all(|row| row[1].as_str() == Some("a")));
+    }
+
+    #[test]
+    fn dedupe_removes_exact_duplicates() {
+        let ctx = ctx_with(
+            "CREATE TABLE t (a INT, b TEXT)",
+            "INSERT INTO t VALUES (1, 'x'), (1, 'x'), (1, 'y')",
+        );
+        let report = DataCleaner::new(ctx.clone())
+            .with_options(CleanOptions::aggressive())
+            .clean_table("t")
+            .unwrap();
+        assert_eq!(report.rows, 2);
+        assert!(report.operations.iter().any(|o| o.kind == "dedupe" && o.affected == 1));
+    }
+
+    #[test]
+    fn clean_table_is_idempotent() {
+        let ctx = ctx_with(
+            "CREATE TABLE t (cat TEXT, price TEXT)",
+            "INSERT INTO t VALUES (' Tech', '$5'), ('tech', '7')",
+        );
+        let cleaner = DataCleaner::new(ctx.clone()).with_options(CleanOptions::aggressive());
+        cleaner.clean_table("t").unwrap();
+        let second = cleaner.clean_table("t").unwrap();
+        assert!(
+            second.operations.is_empty(),
+            "second pass should be a no-op: {:?}",
+            second.operations
+        );
+        assert!(second.narrative().contains("already clean"));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let ctx = AppContext::local_default();
+        assert!(matches!(
+            DataCleaner::new(ctx).clean_table("ghost"),
+            Err(AppError::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn narrative_lists_operations() {
+        let ctx = ctx_with(
+            "CREATE TABLE t (p TEXT)",
+            "INSERT INTO t VALUES ('$1'), ('2')",
+        );
+        let report = DataCleaner::new(ctx).clean_table("t").unwrap();
+        let n = report.narrative();
+        assert!(n.contains("converted `p`"), "{n}");
+        assert!(n.contains("row(s) remain"), "{n}");
+    }
+
+    #[test]
+    fn messy_number_parser() {
+        assert_eq!(parse_messy_number("$1,200.50"), Some(1200.5));
+        assert_eq!(parse_messy_number(" 42 "), Some(42.0));
+        assert_eq!(parse_messy_number("€ 9"), Some(9.0));
+        assert_eq!(parse_messy_number("abc"), None);
+        assert_eq!(parse_messy_number(""), None);
+        assert_eq!(parse_messy_number("$,"), None);
+    }
+}
+
+/// The data-preparation specialist as a multi-agent citizen: hand it a
+/// step like "standardize the revenue table" and it cleans the named
+/// table, reporting its operations.
+pub struct CleanAgent {
+    cleaner: DataCleaner,
+}
+
+impl CleanAgent {
+    /// Agent over a context (aggressive options — an agent asked to clean
+    /// is expected to actually clean).
+    pub fn new(ctx: AppContext) -> Self {
+        CleanAgent {
+            cleaner: DataCleaner::new(ctx).with_options(CleanOptions::aggressive()),
+        }
+    }
+}
+
+impl dbgpt_agents::Agent for CleanAgent {
+    fn name(&self) -> &str {
+        "data_cleaner"
+    }
+
+    fn role(&self) -> &str {
+        "data_cleaner"
+    }
+
+    fn handle(
+        &self,
+        task: &dbgpt_agents::TaskRequest,
+        _ctx: &dbgpt_agents::AgentContext,
+    ) -> Result<dbgpt_agents::AgentReply, dbgpt_agents::AgentError> {
+        // The table is the last word of the step description that names an
+        // existing table.
+        let table = {
+            let engine = self.cleaner.ctx.engine.read();
+            let db = engine.database();
+            task.step
+                .description
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .rev()
+                .find(|w| db.has_table(w))
+                .map(str::to_string)
+        }
+        .ok_or_else(|| {
+            dbgpt_agents::AgentError::Llm(format!(
+                "no known table named in step: {}",
+                task.step.description
+            ))
+        })?;
+        let report = self
+            .cleaner
+            .clean_table(&table)
+            .map_err(|e| dbgpt_agents::AgentError::Llm(e.to_string()))?;
+        Ok(dbgpt_agents::AgentReply::structured(
+            serde_json::to_value(&report).expect("report serializes"),
+            report.narrative(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod agent_tests {
+    use super::*;
+    use dbgpt_agents::{Agent, AgentContext, HistoryArchive, LlmClient, TaskRequest};
+    use dbgpt_llm::catalog::builtin_model;
+    use std::sync::Arc;
+
+    fn agent_ctx() -> AgentContext {
+        AgentContext {
+            llm: LlmClient::direct(builtin_model("sim-qwen").unwrap()),
+            archive: Arc::new(HistoryArchive::in_memory()),
+            seed: 0,
+        }
+    }
+
+    fn task(desc: &str) -> TaskRequest {
+        TaskRequest {
+            conversation: "c".into(),
+            goal: "g".into(),
+            step: dbgpt_llm::skills::planner::PlanStep {
+                id: 1,
+                description: desc.into(),
+                agent: "data_cleaner".into(),
+                chart: None,
+                dimension: None,
+            },
+            prior_results: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_agent_finds_and_cleans_the_named_table() {
+        let ctx = AppContext::local_default();
+        ctx.seed_sql(&[
+            "CREATE TABLE expenses (cost TEXT)",
+            "INSERT INTO expenses VALUES ('$10'), ('20')",
+        ])
+        .unwrap();
+        let agent = CleanAgent::new(ctx.clone());
+        let reply = agent
+            .handle(&task("please standardize the expenses table"), &agent_ctx())
+            .unwrap();
+        assert!(reply.summary.contains("expenses"));
+        assert!(ctx.schema_ddl().contains("cost INT"));
+    }
+
+    #[test]
+    fn clean_agent_rejects_unknown_tables() {
+        let ctx = AppContext::local_default();
+        let agent = CleanAgent::new(ctx);
+        assert!(agent.handle(&task("clean the ghosts table"), &agent_ctx()).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the application layer.
+
+use std::fmt;
+
+/// Errors surfaced by data-interaction apps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppError {
+    /// Text-to-SQL could not produce a query.
+    Text2Sql(String),
+    /// The database rejected or failed the query.
+    Sql(String),
+    /// The model backend failed.
+    Llm(String),
+    /// RAG pipeline failure.
+    Rag(String),
+    /// Chart construction failed.
+    Vis(String),
+    /// Multi-agent execution failed.
+    Agent(String),
+    /// Input was empty or unusable.
+    BadInput(String),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Text2Sql(m) => write!(f, "text-to-sql: {m}"),
+            AppError::Sql(m) => write!(f, "sql: {m}"),
+            AppError::Llm(m) => write!(f, "llm: {m}"),
+            AppError::Rag(m) => write!(f, "rag: {m}"),
+            AppError::Vis(m) => write!(f, "vis: {m}"),
+            AppError::Agent(m) => write!(f, "agent: {m}"),
+            AppError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<dbgpt_text2sql::Text2SqlError> for AppError {
+    fn from(e: dbgpt_text2sql::Text2SqlError) -> Self {
+        AppError::Text2Sql(e.to_string())
+    }
+}
+impl From<dbgpt_sqlengine::SqlError> for AppError {
+    fn from(e: dbgpt_sqlengine::SqlError) -> Self {
+        AppError::Sql(e.to_string())
+    }
+}
+impl From<dbgpt_llm::LlmError> for AppError {
+    fn from(e: dbgpt_llm::LlmError) -> Self {
+        AppError::Llm(e.to_string())
+    }
+}
+impl From<dbgpt_rag::RagError> for AppError {
+    fn from(e: dbgpt_rag::RagError) -> Self {
+        AppError::Rag(e.to_string())
+    }
+}
+impl From<dbgpt_vis::VisError> for AppError {
+    fn from(e: dbgpt_vis::VisError) -> Self {
+        AppError::Vis(e.to_string())
+    }
+}
+impl From<dbgpt_agents::AgentError> for AppError {
+    fn from(e: dbgpt_agents::AgentError) -> Self {
+        AppError::Agent(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_label_their_domain() {
+        let e: AppError = dbgpt_sqlengine::SqlError::TableNotFound("t".into()).into();
+        assert!(e.to_string().starts_with("sql:"));
+        let e: AppError = dbgpt_llm::LlmError::EmptyPrompt.into();
+        assert!(e.to_string().starts_with("llm:"));
+        let e: AppError = dbgpt_vis::VisError::EmptyResult.into();
+        assert!(e.to_string().starts_with("vis:"));
+    }
+}

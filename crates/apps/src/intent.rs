@@ -1,0 +1,157 @@
+//! Multilingual intent detection and routing.
+//!
+//! Table 1 claims "Multilingual Interactions"; the demo (area ⑦) lets the
+//! user keep typing free-form commands. This module classifies a raw
+//! utterance (English or Chinese) into the app that should handle it.
+//! Chinese input is first normalised to English through the translation
+//! skill's phrasebook so one classifier serves both languages.
+
+use serde::{Deserialize, Serialize};
+
+use dbgpt_llm::skills::translate::{detect_language, zh_to_en, Language};
+
+use crate::chat2db::looks_like_sql;
+
+/// Which app should handle an utterance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Intent {
+    /// Raw SQL or database administration → Chat2DB.
+    Chat2Db,
+    /// A data question → Chat2Data.
+    Chat2Data,
+    /// A chart request → Chat2Viz.
+    Chat2Viz,
+    /// Multi-dimensional report/analysis → generative data analysis.
+    Analysis,
+    /// A knowledge question → KBQA.
+    Kbqa,
+    /// A prediction request → the forecaster.
+    Forecast,
+}
+
+impl Intent {
+    /// App name as the server layer knows it.
+    pub fn app_name(&self) -> &'static str {
+        match self {
+            Intent::Chat2Db => "chat2db",
+            Intent::Chat2Data => "chat2data",
+            Intent::Chat2Viz => "chat2viz",
+            Intent::Analysis => "analysis",
+            Intent::Kbqa => "kbqa",
+            Intent::Forecast => "forecast",
+        }
+    }
+}
+
+/// Classify an utterance; returns the intent and the (possibly translated)
+/// canonical-English text the target app should receive.
+pub fn detect_intent(input: &str) -> (Intent, String) {
+    let canonical = match detect_language(input) {
+        Language::Chinese => zh_to_en(input),
+        Language::English => input.to_string(),
+    };
+    let lower = canonical.to_lowercase();
+
+    if looks_like_sql(&canonical) {
+        return (Intent::Chat2Db, canonical);
+    }
+    // Prediction requests: forecasting vocabulary.
+    if ["forecast", "predict", "projection", "next month", "next quarter", "预测"]
+        .iter()
+        .any(|k| lower.contains(k))
+    {
+        return (Intent::Forecast, canonical);
+    }
+    // Chart requests: explicit chart vocabulary.
+    if ["chart", "plot", "draw", "pie", "donut", "visualize", "visualise", "graph"]
+        .iter()
+        .any(|k| lower.contains(k))
+    {
+        return (Intent::Chat2Viz, canonical);
+    }
+    // Multi-dimensional analysis: report/analysis vocabulary.
+    if (lower.contains("report") || lower.contains("analyze") || lower.contains("analysis"))
+        && (lower.contains("dimension") || lower.contains("report"))
+    {
+        return (Intent::Analysis, canonical);
+    }
+    // Data questions: counting/aggregation/list vocabulary.
+    if [
+        "how many", "total", "average", "sum", "count", "list ", "top ", "highest", "lowest",
+        "per ",
+    ]
+    .iter()
+    .any(|k| lower.contains(k))
+    {
+        return (Intent::Chat2Data, canonical);
+    }
+    // Everything else: knowledge question.
+    (Intent::Kbqa, canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_goes_to_chat2db() {
+        let (i, _) = detect_intent("SELECT * FROM orders");
+        assert_eq!(i, Intent::Chat2Db);
+    }
+
+    #[test]
+    fn chart_request_goes_to_viz() {
+        let (i, _) = detect_intent("draw a pie chart of sales per category");
+        assert_eq!(i, Intent::Chat2Viz);
+    }
+
+    #[test]
+    fn report_goal_goes_to_analysis() {
+        let (i, _) = detect_intent(
+            "Build sales reports and analyze user orders from at least three distinct dimensions",
+        );
+        assert_eq!(i, Intent::Analysis);
+    }
+
+    #[test]
+    fn data_question_goes_to_chat2data() {
+        let (i, _) = detect_intent("how many orders are there?");
+        assert_eq!(i, Intent::Chat2Data);
+        let (i, _) = detect_intent("what is the total amount per month?");
+        assert_eq!(i, Intent::Chat2Data);
+    }
+
+    #[test]
+    fn knowledge_question_goes_to_kbqa() {
+        let (i, _) = detect_intent("what is the architecture of DB-GPT?");
+        assert_eq!(i, Intent::Kbqa);
+    }
+
+    #[test]
+    fn chinese_report_goal_translates_and_routes() {
+        let (i, canonical) = detect_intent("构建销售报表，从三个维度分析用户订单");
+        assert_eq!(i, Intent::Analysis);
+        assert!(canonical.contains("sales report"), "{canonical}");
+    }
+
+    #[test]
+    fn chinese_data_question_routes() {
+        let (i, canonical) = detect_intent("查询销售总额");
+        assert_eq!(i, Intent::Chat2Data, "{canonical}");
+    }
+
+    #[test]
+    fn forecast_requests_route() {
+        let (i, _) = detect_intent("forecast sales for the next 3 months");
+        assert_eq!(i, Intent::Forecast);
+        let (i, _) = detect_intent("predict what happens next quarter");
+        assert_eq!(i, Intent::Forecast);
+    }
+
+    #[test]
+    fn app_names_are_stable() {
+        assert_eq!(Intent::Chat2Db.app_name(), "chat2db");
+        assert_eq!(Intent::Analysis.app_name(), "analysis");
+        assert_eq!(Intent::Kbqa.app_name(), "kbqa");
+    }
+}

@@ -1,0 +1,424 @@
+//! DAG construction and validation.
+//!
+//! "users can … construct a DAG … interconnecting multiple agents" (§2.4).
+//! [`DagBuilder`] is the mutable construction phase; [`Dag`] is the
+//! validated, immutable artifact — the typestate split means a cycle or a
+//! dangling edge can never reach the scheduler.
+
+use std::collections::HashMap;
+
+use crate::error::AwelError;
+use crate::operator::SharedOperator;
+
+/// A node id (dense index into the DAG's node table).
+pub type NodeId = usize;
+
+/// One edge: source, target, optional routing label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Label for routed outputs (`None` = always deliver).
+    pub label: Option<String>,
+}
+
+/// A validated workflow DAG.
+pub struct Dag {
+    name: String,
+    node_names: Vec<String>,
+    operators: Vec<SharedOperator>,
+    edges: Vec<Edge>,
+    /// Cached topological order.
+    topo: Vec<NodeId>,
+}
+
+impl Dag {
+    /// Workflow name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node name by id.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id]
+    }
+
+    /// Node id by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.node_names.iter().position(|n| n == name)
+    }
+
+    /// The operator at a node.
+    pub fn operator(&self, id: NodeId) -> &SharedOperator {
+        &self.operators[id]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Incoming edges of `id`, in insertion order.
+    pub fn in_edges(&self, id: NodeId) -> Vec<&Edge> {
+        self.edges.iter().filter(|e| e.to == id).collect()
+    }
+
+    /// Outgoing edges of `id`, in insertion order.
+    pub fn out_edges(&self, id: NodeId) -> Vec<&Edge> {
+        self.edges.iter().filter(|e| e.from == id).collect()
+    }
+
+    /// Nodes with no incoming edges.
+    pub fn roots(&self) -> Vec<NodeId> {
+        (0..self.node_count())
+            .filter(|&n| !self.edges.iter().any(|e| e.to == n))
+            .collect()
+    }
+
+    /// Nodes with no outgoing edges.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.node_count())
+            .filter(|&n| !self.edges.iter().any(|e| e.from == n))
+            .collect()
+    }
+
+    /// A topological order of all nodes.
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Topological *levels*: each level's nodes only depend on earlier
+    /// levels, so a level can run in parallel (async mode).
+    pub fn levels(&self) -> Vec<Vec<NodeId>> {
+        let mut level_of = vec![0usize; self.node_count()];
+        for &n in &self.topo {
+            let l = self
+                .in_edges(n)
+                .iter()
+                .map(|e| level_of[e.from] + 1)
+                .max()
+                .unwrap_or(0);
+            level_of[n] = l;
+        }
+        let max_level = level_of.iter().copied().max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); max_level + 1];
+        for &n in &self.topo {
+            levels[level_of[n]].push(n);
+        }
+        levels
+    }
+
+    /// Render `graphviz`-style text (handy for docs and debugging).
+    pub fn to_dot(&self) -> String {
+        let mut out = format!("digraph {} {{\n", self.name.replace(['-', ' '], "_"));
+        for (i, n) in self.node_names.iter().enumerate() {
+            out.push_str(&format!("  n{i} [label=\"{n}\"];\n"));
+        }
+        for e in &self.edges {
+            match &e.label {
+                Some(l) => out.push_str(&format!("  n{} -> n{} [label=\"{l}\"];\n", e.from, e.to)),
+                None => out.push_str(&format!("  n{} -> n{};\n", e.from, e.to)),
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl std::fmt::Debug for Dag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dag")
+            .field("name", &self.name)
+            .field("nodes", &self.node_names)
+            .field("edges", &self.edges.len())
+            .finish()
+    }
+}
+
+/// Accumulates nodes/edges; `build()` validates into a [`Dag`].
+pub struct DagBuilder {
+    name: String,
+    node_names: Vec<String>,
+    operators: Vec<SharedOperator>,
+    /// Edges by name, resolved at build time.
+    pending_edges: Vec<(String, String, Option<String>)>,
+    error: Option<AwelError>,
+}
+
+impl DagBuilder {
+    /// Start building a named workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        DagBuilder {
+            name: name.into(),
+            node_names: Vec::new(),
+            operators: Vec::new(),
+            pending_edges: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Add a named node. Duplicate names surface at `build()`.
+    pub fn node(mut self, name: impl Into<String>, op: SharedOperator) -> Self {
+        let name = name.into();
+        if self.node_names.contains(&name) {
+            self.error.get_or_insert(AwelError::DuplicateNode(name.clone()));
+        }
+        self.node_names.push(name);
+        self.operators.push(op);
+        self
+    }
+
+    /// Add an unlabeled edge.
+    pub fn edge(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.pending_edges.push((from.into(), to.into(), None));
+        self
+    }
+
+    /// Add a labeled (branch) edge.
+    pub fn edge_labeled(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        label: impl Into<String>,
+    ) -> Self {
+        self.pending_edges
+            .push((from.into(), to.into(), Some(label.into())));
+        self
+    }
+
+    /// Chain several nodes with unlabeled edges: `a >> b >> c`.
+    pub fn chain(mut self, names: &[&str]) -> Self {
+        for pair in names.windows(2) {
+            self.pending_edges
+                .push((pair[0].to_string(), pair[1].to_string(), None));
+        }
+        self
+    }
+
+    /// Validate and freeze.
+    pub fn build(self) -> Result<Dag, AwelError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.node_names.is_empty() {
+            return Err(AwelError::EmptyDag);
+        }
+        let index: HashMap<&str, NodeId> = self
+            .node_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let mut edges = Vec::with_capacity(self.pending_edges.len());
+        for (from, to, label) in &self.pending_edges {
+            let f = *index
+                .get(from.as_str())
+                .ok_or_else(|| AwelError::UnknownNode(from.clone()))?;
+            let t = *index
+                .get(to.as_str())
+                .ok_or_else(|| AwelError::UnknownNode(to.clone()))?;
+            edges.push(Edge {
+                from: f,
+                to: t,
+                label: label.clone(),
+            });
+        }
+
+        // Kahn's algorithm: topological sort + cycle detection.
+        let n = self.node_names.len();
+        let mut indegree = vec![0usize; n];
+        for e in &edges {
+            indegree[e.to] += 1;
+        }
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut qi = 0;
+        while qi < queue.len() {
+            let u = queue[qi];
+            qi += 1;
+            topo.push(u);
+            for e in edges.iter().filter(|e| e.from == u) {
+                indegree[e.to] -= 1;
+                if indegree[e.to] == 0 {
+                    queue.push(e.to);
+                }
+            }
+        }
+        if topo.len() != n {
+            let cyclic: Vec<String> = (0..n)
+                .filter(|&i| !topo.contains(&i))
+                .map(|i| self.node_names[i].clone())
+                .collect();
+            return Err(AwelError::CycleDetected(cyclic));
+        }
+
+        Ok(Dag {
+            name: self.name,
+            node_names: self.node_names,
+            operators: self.operators,
+            edges,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::ops;
+    use serde_json::json;
+
+    fn diamond() -> Dag {
+        DagBuilder::new("diamond")
+            .node("a", ops::identity())
+            .node("b", ops::identity())
+            .node("c", ops::identity())
+            .node("d", ops::join())
+            .edge("a", "b")
+            .edge("a", "c")
+            .edge("b", "d")
+            .edge("c", "d")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_diamond() {
+        let d = diamond();
+        assert_eq!(d.node_count(), 4);
+        assert_eq!(d.edge_count(), 4);
+        assert_eq!(d.roots(), vec![d.node_id("a").unwrap()]);
+        assert_eq!(d.leaves(), vec![d.node_id("d").unwrap()]);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let d = diamond();
+        let pos: Vec<usize> = (0..4)
+            .map(|n| d.topo_order().iter().position(|&x| x == n).unwrap())
+            .collect();
+        for e in d.edges() {
+            assert!(pos[e.from] < pos[e.to]);
+        }
+    }
+
+    #[test]
+    fn levels_group_parallel_nodes() {
+        let d = diamond();
+        let levels = d.levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![d.node_id("a").unwrap()]);
+        assert_eq!(levels[1].len(), 2); // b and c in parallel
+        assert_eq!(levels[2], vec![d.node_id("d").unwrap()]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let e = DagBuilder::new("cycle")
+            .node("a", ops::identity())
+            .node("b", ops::identity())
+            .edge("a", "b")
+            .edge("b", "a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, AwelError::CycleDetected(_)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let e = DagBuilder::new("selfie")
+            .node("a", ops::identity())
+            .edge("a", "a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, AwelError::CycleDetected(_)));
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let e = DagBuilder::new("dup")
+            .node("a", ops::identity())
+            .node("a", ops::identity())
+            .build()
+            .unwrap_err();
+        assert_eq!(e, AwelError::DuplicateNode("a".into()));
+    }
+
+    #[test]
+    fn unknown_edge_endpoint_rejected() {
+        let e = DagBuilder::new("ghost")
+            .node("a", ops::identity())
+            .edge("a", "ghost")
+            .build()
+            .unwrap_err();
+        assert_eq!(e, AwelError::UnknownNode("ghost".into()));
+    }
+
+    #[test]
+    fn empty_dag_rejected() {
+        assert_eq!(DagBuilder::new("e").build().unwrap_err(), AwelError::EmptyDag);
+    }
+
+    #[test]
+    fn chain_builds_linear_edges() {
+        let d = DagBuilder::new("chain")
+            .node("x", ops::identity())
+            .node("y", ops::identity())
+            .node("z", ops::identity())
+            .chain(&["x", "y", "z"])
+            .build()
+            .unwrap();
+        assert_eq!(d.edge_count(), 2);
+        assert_eq!(d.roots().len(), 1);
+        assert_eq!(d.leaves().len(), 1);
+    }
+
+    #[test]
+    fn labeled_edges_kept() {
+        let d = DagBuilder::new("l")
+            .node("b", ops::branch(|v| v.as_bool().unwrap_or(false)))
+            .node("t", ops::identity())
+            .node("f", ops::identity())
+            .edge_labeled("b", "t", "true")
+            .edge_labeled("b", "f", "false")
+            .build()
+            .unwrap();
+        let out = d.out_edges(d.node_id("b").unwrap());
+        assert_eq!(out[0].label.as_deref(), Some("true"));
+        assert_eq!(out[1].label.as_deref(), Some("false"));
+        let _ = json!(null);
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let dot = diamond().to_dot();
+        assert!(dot.starts_with("digraph diamond {"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn multiple_roots_allowed() {
+        let d = DagBuilder::new("multi")
+            .node("r1", ops::identity())
+            .node("r2", ops::identity())
+            .node("sink", ops::join())
+            .edge("r1", "sink")
+            .edge("r2", "sink")
+            .build()
+            .unwrap();
+        assert_eq!(d.roots().len(), 2);
+    }
+}

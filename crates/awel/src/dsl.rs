@@ -1,0 +1,342 @@
+//! The declarative AWEL expression language.
+//!
+//! "With AWEL, users can implement their execution plan for multi-agents
+//! with simple expression (i.e. few lines of code)" (§1). DB-GPT's Python
+//! library overloads `>>`; this crate gives the same surface as a small
+//! textual DSL:
+//!
+//! ```text
+//! # the Fig. 3 generative-data-analysis workflow
+//! dag sales_report {
+//!     node chart_category = chart_generator;
+//!     node chart_user     = chart_generator;
+//!     node chart_month    = chart_generator;
+//!
+//!     plan >> [chart_category, chart_user, chart_month] >> aggregate;
+//! }
+//! ```
+//!
+//! Grammar (one statement per `;`):
+//!
+//! - `node <name> = <operator>` — declare a node using a registry operator.
+//!   Undeclared names used in paths are implicitly `node n = n`.
+//! - `a >> b >> c` — chain edges.
+//! - `[a, b] >> c` / `a >> [b, c]` — fan-in / fan-out.
+//! - `a >>|label| b` — a labeled (branch) edge.
+//! - `#` starts a comment.
+
+use crate::dag::{Dag, DagBuilder};
+use crate::error::AwelError;
+use crate::registry::OperatorRegistry;
+
+/// Parse DSL text into a validated [`Dag`], resolving operator names
+/// through `registry`.
+pub fn parse_dsl(text: &str, registry: &OperatorRegistry) -> Result<Dag, AwelError> {
+    let cleaned = strip_comments(text);
+    let (name, body) = split_header(&cleaned)?;
+
+    // Collect statements.
+    let mut declared: Vec<(String, String)> = Vec::new(); // node -> operator
+    let mut edges: Vec<(String, String, Option<String>)> = Vec::new();
+    let mut mentioned: Vec<String> = Vec::new();
+
+    for stmt in body.split(';') {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("node ") {
+            let (node, op) = rest.split_once('=').ok_or_else(|| {
+                AwelError::Parse(format!("node declaration needs `=`: `{stmt}`"))
+            })?;
+            let node = node.trim().to_string();
+            let op = op.trim().to_string();
+            if node.is_empty() || op.is_empty() {
+                return Err(AwelError::Parse(format!("bad node declaration `{stmt}`")));
+            }
+            if declared.iter().any(|(n, _)| *n == node) {
+                return Err(AwelError::DuplicateNode(node));
+            }
+            declared.push((node, op));
+            continue;
+        }
+        parse_path(stmt, &mut edges, &mut mentioned)?;
+    }
+
+    // Implicit declarations: any mentioned node not declared maps to an
+    // operator of the same name.
+    for m in &mentioned {
+        if !declared.iter().any(|(n, _)| n == m) {
+            declared.push((m.clone(), m.clone()));
+        }
+    }
+    if declared.is_empty() {
+        return Err(AwelError::EmptyDag);
+    }
+
+    let mut builder = DagBuilder::new(name);
+    for (node, op_name) in &declared {
+        let op = registry.get(op_name)?;
+        builder = builder.node(node.clone(), op);
+    }
+    for (from, to, label) in edges {
+        builder = match label {
+            Some(l) => builder.edge_labeled(from, to, l),
+            None => builder.edge(from, to),
+        };
+    }
+    builder.build()
+}
+
+/// Remove `#` comments.
+fn strip_comments(text: &str) -> String {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Split `dag <name> { body }`; a bare body (no header) is named "dag".
+fn split_header(text: &str) -> Result<(String, String), AwelError> {
+    let trimmed = text.trim();
+    if let Some(rest) = trimmed.strip_prefix("dag") {
+        let open = rest
+            .find('{')
+            .ok_or_else(|| AwelError::Parse("expected `{` after dag name".into()))?;
+        let name = rest[..open].trim().to_string();
+        if name.is_empty() {
+            return Err(AwelError::Parse("dag needs a name".into()));
+        }
+        let after = &rest[open + 1..];
+        let close = after
+            .rfind('}')
+            .ok_or_else(|| AwelError::Parse("missing closing `}`".into()))?;
+        Ok((name, after[..close].to_string()))
+    } else {
+        Ok(("dag".to_string(), trimmed.to_string()))
+    }
+}
+
+/// Parse one `a >> [b, c] >>|l| d` path statement.
+fn parse_path(
+    stmt: &str,
+    edges: &mut Vec<(String, String, Option<String>)>,
+    mentioned: &mut Vec<String>,
+) -> Result<(), AwelError> {
+    // Tokenize into groups and connectors.
+    #[derive(Debug)]
+    enum Piece {
+        Group(Vec<String>),
+        Arrow(Option<String>),
+    }
+    let mut pieces = Vec::new();
+    let mut rest = stmt.trim();
+    while !rest.is_empty() {
+        if let Some(r) = rest.strip_prefix(">>") {
+            // Optional |label|
+            let r = r.trim_start();
+            if let Some(r2) = r.strip_prefix('|') {
+                let end = r2
+                    .find('|')
+                    .ok_or_else(|| AwelError::Parse(format!("unclosed label in `{stmt}`")))?;
+                let label = r2[..end].trim().to_string();
+                pieces.push(Piece::Arrow(Some(label)));
+                rest = r2[end + 1..].trim_start();
+            } else {
+                pieces.push(Piece::Arrow(None));
+                rest = r;
+            }
+        } else if let Some(r) = rest.strip_prefix('[') {
+            let end = r
+                .find(']')
+                .ok_or_else(|| AwelError::Parse(format!("unclosed `[` in `{stmt}`")))?;
+            let names: Vec<String> = r[..end]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if names.is_empty() {
+                return Err(AwelError::Parse(format!("empty group in `{stmt}`")));
+            }
+            pieces.push(Piece::Group(names));
+            rest = r[end + 1..].trim_start();
+        } else {
+            // Bare identifier up to whitespace or '>'.
+            let end = rest
+                .find(|c: char| c.is_whitespace() || c == '>' || c == '[')
+                .unwrap_or(rest.len());
+            let name = rest[..end].trim().to_string();
+            if name.is_empty() {
+                return Err(AwelError::Parse(format!("cannot parse `{stmt}`")));
+            }
+            pieces.push(Piece::Group(vec![name]));
+            rest = rest[end..].trim_start();
+        }
+    }
+
+    // Validate alternation group (arrow group)* and emit edges.
+    let mut prev: Option<Vec<String>> = None;
+    let mut pending_label: Option<Option<String>> = None;
+    for piece in pieces {
+        match piece {
+            Piece::Group(names) => {
+                for n in &names {
+                    if !mentioned.contains(n) {
+                        mentioned.push(n.clone());
+                    }
+                }
+                match (prev.take(), pending_label.take()) {
+                    (None, None) => prev = Some(names),
+                    (Some(sources), Some(label)) => {
+                        for s in &sources {
+                            for t in &names {
+                                edges.push((s.clone(), t.clone(), label.clone()));
+                            }
+                        }
+                        prev = Some(names);
+                    }
+                    _ => {
+                        return Err(AwelError::Parse(format!(
+                            "two groups without `>>` in `{stmt}`"
+                        )))
+                    }
+                }
+            }
+            Piece::Arrow(label) => {
+                if prev.is_none() || pending_label.is_some() {
+                    return Err(AwelError::Parse(format!("misplaced `>>` in `{stmt}`")));
+                }
+                pending_label = Some(label);
+            }
+        }
+    }
+    if pending_label.is_some() {
+        return Err(AwelError::Parse(format!("dangling `>>` in `{stmt}`")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::ops;
+    use crate::scheduler::Scheduler;
+    use serde_json::json;
+
+    fn registry() -> OperatorRegistry {
+        let mut r = OperatorRegistry::with_builtins();
+        r.register("inc", ops::map(|v| json!(v.as_i64().unwrap() + 1)));
+        r.register("double", ops::map(|v| json!(v.as_i64().unwrap() * 2)));
+        r.register(
+            "sum",
+            ops::map_all(|vs| json!(vs.iter().map(|v| v.as_i64().unwrap()).sum::<i64>())),
+        );
+        r.register("is_big", ops::branch(|v| v.as_i64().unwrap() > 10));
+        r
+    }
+
+    #[test]
+    fn parse_linear_chain() {
+        let dag = parse_dsl("dag p { inc >> double; }", &registry()).unwrap();
+        assert_eq!(dag.name(), "p");
+        assert_eq!(dag.node_count(), 2);
+        let r = Scheduler::new().run_batch(&dag, json!(3)).unwrap();
+        assert_eq!(r.outputs["double"], json!(8));
+    }
+
+    #[test]
+    fn parse_fan_out_fan_in() {
+        let text = "dag f {\n  node a = inc;\n  node b = double;\n  identity >> [a, b] >> sum;\n}";
+        let dag = parse_dsl(text, &registry()).unwrap();
+        let r = Scheduler::new().run_batch(&dag, json!(5)).unwrap();
+        assert_eq!(r.outputs["sum"], json!(16)); // (5+1)+(5*2)
+    }
+
+    #[test]
+    fn parse_labeled_branch() {
+        let text = "dag b {\n node t = identity; node f = identity;\n is_big >>|true| t; is_big >>|false| f;\n}";
+        let dag = parse_dsl(text, &registry()).unwrap();
+        let r = Scheduler::new().run_batch(&dag, json!(50)).unwrap();
+        assert!(r.outputs.contains_key("t"));
+        assert!(r.skipped.contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header comment\ndag c {\n  # inner\n  inc >> double; # trailing\n}";
+        assert!(parse_dsl(text, &registry()).is_ok());
+    }
+
+    #[test]
+    fn bare_body_without_header() {
+        let dag = parse_dsl("inc >> double", &registry()).unwrap();
+        assert_eq!(dag.name(), "dag");
+    }
+
+    #[test]
+    fn node_aliases_let_one_operator_appear_twice() {
+        let text = "dag a { node i1 = inc; node i2 = inc; i1 >> i2; }";
+        let dag = parse_dsl(text, &registry()).unwrap();
+        let r = Scheduler::new().run_batch(&dag, json!(0)).unwrap();
+        assert_eq!(r.outputs["i2"], json!(2));
+    }
+
+    #[test]
+    fn unknown_operator_rejected() {
+        let e = parse_dsl("dag x { mystery >> inc; }", &registry()).unwrap_err();
+        assert_eq!(e, AwelError::UnknownOperator("mystery".into()));
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let e = parse_dsl("dag x { node a = inc; node a = double; a >> a; }", &registry())
+            .unwrap_err();
+        assert!(matches!(e, AwelError::DuplicateNode(_)));
+    }
+
+    #[test]
+    fn cycle_in_dsl_rejected() {
+        let e = parse_dsl("dag x { inc >> double; double >> inc; }", &registry()).unwrap_err();
+        assert!(matches!(e, AwelError::CycleDetected(_)));
+    }
+
+    #[test]
+    fn syntax_errors_are_descriptive() {
+        let r = registry();
+        assert!(matches!(parse_dsl("dag x { inc >> ; }", &r), Err(AwelError::Parse(_))));
+        assert!(matches!(parse_dsl("dag x { [ >> inc; }", &r), Err(AwelError::Parse(_))));
+        assert!(matches!(parse_dsl("dag { inc >> double; }", &r), Err(AwelError::Parse(_))));
+        assert!(matches!(parse_dsl("dag x  inc >> double; }", &r), Err(AwelError::Parse(_))));
+        assert!(matches!(
+            parse_dsl("dag x { inc >>|oops double; }", &r),
+            Err(AwelError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_dsl("dag x { inc double; }", &r),
+            Err(AwelError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_dsl("node a = ", &r),
+            Err(AwelError::Parse(_)) | Err(AwelError::EmptyDag)
+        ));
+    }
+
+    #[test]
+    fn figure3_workflow_parses() {
+        let mut r = registry();
+        r.register("plan", ops::identity());
+        r.register("chart_generator", ops::identity());
+        r.register("aggregate", ops::join());
+        let text = "dag sales_report {\n\
+            node chart_category = chart_generator;\n\
+            node chart_user = chart_generator;\n\
+            node chart_month = chart_generator;\n\
+            plan >> [chart_category, chart_user, chart_month] >> aggregate;\n\
+        }";
+        let dag = parse_dsl(text, &r).unwrap();
+        assert_eq!(dag.node_count(), 5);
+        assert_eq!(dag.edge_count(), 6);
+        let run = Scheduler::new().run_batch(&dag, json!("goal")).unwrap();
+        assert_eq!(run.outputs["aggregate"], json!(["goal", "goal", "goal"]));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for AWEL.
+
+use std::fmt;
+
+/// Errors from DAG construction, DSL parsing, and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AwelError {
+    /// Two nodes share a name.
+    DuplicateNode(String),
+    /// An edge references a node that was never added.
+    UnknownNode(String),
+    /// The graph contains a cycle (names of the nodes involved).
+    CycleDetected(Vec<String>),
+    /// DSL text could not be parsed.
+    Parse(String),
+    /// An operator name has no registry entry.
+    UnknownOperator(String),
+    /// An operator failed at run time.
+    Execution {
+        /// Failing node.
+        node: String,
+        /// Cause.
+        cause: String,
+    },
+    /// The DAG has no nodes.
+    EmptyDag,
+}
+
+impl fmt::Display for AwelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AwelError::DuplicateNode(n) => write!(f, "duplicate node `{n}`"),
+            AwelError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            AwelError::CycleDetected(nodes) => {
+                write!(f, "cycle detected involving: {}", nodes.join(" -> "))
+            }
+            AwelError::Parse(m) => write!(f, "AWEL parse error: {m}"),
+            AwelError::UnknownOperator(n) => write!(f, "unknown operator `{n}`"),
+            AwelError::Execution { node, cause } => {
+                write!(f, "operator `{node}` failed: {cause}")
+            }
+            AwelError::EmptyDag => write!(f, "DAG has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for AwelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(AwelError::DuplicateNode("n".into()).to_string().contains('n'));
+        assert!(AwelError::CycleDetected(vec!["a".into(), "b".into()])
+            .to_string()
+            .contains("a -> b"));
+        assert!(AwelError::Execution {
+            node: "x".into(),
+            cause: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert_eq!(AwelError::EmptyDag.to_string(), "DAG has no nodes");
+    }
+}

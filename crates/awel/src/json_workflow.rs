@@ -1,0 +1,172 @@
+//! JSON workflow definitions — the drag-and-drop contract.
+//!
+//! §1: "to make users more code-free, DB-GPT also provides an interface
+//! for users constructing their Agentic Workflow with only drag and
+//! drop." A visual editor ultimately emits a serialisable graph document;
+//! this module defines that document ([`WorkflowDef`]) and compiles it
+//! into a validated [`Dag`] against an [`OperatorRegistry`] — the exact
+//! same palette the DSL uses, so the textual and visual paths stay
+//! equivalent.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dag::{Dag, DagBuilder};
+use crate::error::AwelError;
+use crate::registry::OperatorRegistry;
+
+/// One node of a visual workflow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeDef {
+    /// Unique node id (the label shown on the canvas).
+    pub id: String,
+    /// Registry operator this node instantiates.
+    pub op: String,
+}
+
+/// One edge of a visual workflow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeDef {
+    /// Source node id.
+    pub from: String,
+    /// Target node id.
+    pub to: String,
+    /// Optional branch label (for routed outputs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+}
+
+/// A complete workflow document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkflowDef {
+    /// Workflow name.
+    pub name: String,
+    /// Nodes on the canvas.
+    pub nodes: Vec<NodeDef>,
+    /// Connections between them.
+    pub edges: Vec<EdgeDef>,
+}
+
+impl WorkflowDef {
+    /// Parse a JSON document.
+    pub fn from_json(json: &str) -> Result<WorkflowDef, AwelError> {
+        serde_json::from_str(json).map_err(|e| AwelError::Parse(e.to_string()))
+    }
+
+    /// Serialise back to JSON (what the editor saves).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("workflow serializes")
+    }
+
+    /// Compile into a validated DAG against the operator palette.
+    pub fn compile(&self, registry: &OperatorRegistry) -> Result<Dag, AwelError> {
+        let mut builder = DagBuilder::new(self.name.clone());
+        for node in &self.nodes {
+            builder = builder.node(node.id.clone(), registry.get(&node.op)?);
+        }
+        for edge in &self.edges {
+            builder = match &edge.label {
+                Some(l) => builder.edge_labeled(edge.from.clone(), edge.to.clone(), l.clone()),
+                None => builder.edge(edge.from.clone(), edge.to.clone()),
+            };
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::ops;
+    use crate::scheduler::Scheduler;
+    use serde_json::json;
+
+    fn registry() -> OperatorRegistry {
+        let mut r = OperatorRegistry::with_builtins();
+        r.register("inc", ops::map(|v| json!(v.as_i64().unwrap() + 1)));
+        r.register("double", ops::map(|v| json!(v.as_i64().unwrap() * 2)));
+        r.register("is_big", ops::branch(|v| v.as_i64().unwrap() > 10));
+        r
+    }
+
+    fn doc() -> &'static str {
+        r#"{
+            "name": "editor_flow",
+            "nodes": [
+                {"id": "start", "op": "inc"},
+                {"id": "grow", "op": "double"},
+                {"id": "decide", "op": "is_big"},
+                {"id": "big_path", "op": "identity"},
+                {"id": "small_path", "op": "identity"}
+            ],
+            "edges": [
+                {"from": "start", "to": "grow"},
+                {"from": "grow", "to": "decide"},
+                {"from": "decide", "to": "big_path", "label": "true"},
+                {"from": "decide", "to": "small_path", "label": "false"}
+            ]
+        }"#
+    }
+
+    #[test]
+    fn json_document_compiles_and_runs() {
+        let def = WorkflowDef::from_json(doc()).unwrap();
+        let dag = def.compile(&registry()).unwrap();
+        assert_eq!(dag.name(), "editor_flow");
+        assert_eq!(dag.node_count(), 5);
+        let run = Scheduler::new().run_batch(&dag, json!(7)).unwrap();
+        // (7+1)*2 = 16 > 10 → the big path runs.
+        assert_eq!(run.outputs["big_path"], json!(16));
+        assert!(run.skipped.contains(&"small_path".to_string()));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let def = WorkflowDef::from_json(doc()).unwrap();
+        let again = WorkflowDef::from_json(&def.to_json()).unwrap();
+        assert_eq!(def, again);
+    }
+
+    #[test]
+    fn unknown_operator_in_document_rejected() {
+        let bad = r#"{"name":"x","nodes":[{"id":"a","op":"mystery"}],"edges":[]}"#;
+        let def = WorkflowDef::from_json(bad).unwrap();
+        assert!(matches!(
+            def.compile(&registry()),
+            Err(AwelError::UnknownOperator(_))
+        ));
+    }
+
+    #[test]
+    fn cyclic_document_rejected() {
+        let cyclic = r#"{
+            "name": "loop",
+            "nodes": [{"id":"a","op":"inc"},{"id":"b","op":"inc"}],
+            "edges": [{"from":"a","to":"b"},{"from":"b","to":"a"}]
+        }"#;
+        let def = WorkflowDef::from_json(cyclic).unwrap();
+        assert!(matches!(def.compile(&registry()), Err(AwelError::CycleDetected(_))));
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        assert!(matches!(
+            WorkflowDef::from_json("{nope"),
+            Err(AwelError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn dsl_and_json_paths_are_equivalent() {
+        // The same topology expressed both ways computes the same result.
+        let r = registry();
+        let dsl = "dag both { node a = inc; node b = double; a >> b; }";
+        let json_doc = r#"{"name":"both","nodes":[{"id":"a","op":"inc"},{"id":"b","op":"double"}],"edges":[{"from":"a","to":"b"}]}"#;
+        let d1 = crate::dsl::parse_dsl(dsl, &r).unwrap();
+        let d2 = WorkflowDef::from_json(json_doc).unwrap().compile(&r).unwrap();
+        let s = Scheduler::new();
+        assert_eq!(
+            s.run_batch(&d1, json!(5)).unwrap().outputs,
+            s.run_batch(&d2, json!(5)).unwrap().outputs
+        );
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! # dbgpt-awel — the Agentic Workflow Expression Language
+//!
+//! AWEL is DB-GPT's protocol layer (paper §2.4): a declarative way to
+//! orchestrate agents as operators in a directed acyclic graph, "adopting
+//! the big data processing concepts of Apache Airflow" (sic). This crate
+//! implements all of it:
+//!
+//! - [`operator`] — the [`Operator`] trait ("each operator represents a
+//!   discrete task") plus built-ins: constant inputs, pure maps, joins,
+//!   branches with labeled routing, and pass-throughs.
+//! - [`dag`] — typestate DAG construction: a [`DagBuilder`] accumulates
+//!   nodes and edges and `build()` validates names, edge endpoints and
+//!   acyclicity before any execution is possible.
+//! - [`scheduler`] — the three execution modes the paper claims: **batch**
+//!   (one topological pass), **stream** (a sequence of events pushed
+//!   through the DAG one by one), and **async** (level-parallel execution
+//!   on threads).
+//! - [`dsl`] — the declarative expression language itself. Workflows are a
+//!   few lines of `a >> b` edges, mirroring DB-GPT's Python `>>` operator
+//!   overloading:
+//!
+//! ```text
+//! dag sales_report {
+//!     input >> plan;
+//!     plan >> chart_category >> aggregate;
+//!     plan >> chart_user >> aggregate;
+//! }
+//! ```
+//!
+//! - [`json_workflow`] — the serialisable graph document a drag-and-drop
+//!   editor would emit, compiled against the same operator palette.
+//! - [`registry`] — maps DSL operator names to implementations.
+//!
+//! Data flowing between operators is `serde_json::Value`, the same shape
+//! DB-GPT's agents exchange.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbgpt_awel::{DagBuilder, Scheduler, ops};
+//! use serde_json::json;
+//!
+//! let dag = DagBuilder::new("double_then_add")
+//!     .node("double", ops::map(|v| json!(v.as_i64().unwrap() * 2)))
+//!     .node("add_one", ops::map(|v| json!(v.as_i64().unwrap() + 1)))
+//!     .edge("double", "add_one")
+//!     .build()
+//!     .unwrap();
+//! let out = Scheduler::new().run_batch(&dag, json!(20)).unwrap();
+//! assert_eq!(out.leaf_outputs()["add_one"], json!(41));
+//! ```
+
+pub mod dag;
+pub mod dsl;
+pub mod error;
+pub mod json_workflow;
+pub mod operator;
+pub mod registry;
+pub mod scheduler;
+
+pub use dag::{Dag, DagBuilder};
+pub use dsl::parse_dsl;
+pub use error::AwelError;
+pub use json_workflow::{EdgeDef, NodeDef, WorkflowDef};
+pub use operator::{ops, OpOutput, Operator, SharedOperator};
+pub use registry::OperatorRegistry;
+pub use scheduler::{ExecutionMode, RunResult, Scheduler};

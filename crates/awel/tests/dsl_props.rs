@@ -1,0 +1,104 @@
+//! Property tests for the AWEL DSL: generated programs parse, validate and
+//! execute to the value a Rust-side interpreter predicts.
+
+use proptest::prelude::*;
+use serde_json::json;
+
+use dbgpt_awel::{ops, parse_dsl, OperatorRegistry, Scheduler};
+
+/// A palette entry: op name and its effect on an i64.
+type PaletteOp = (&'static str, fn(i64) -> i64);
+
+/// The op palette: name → effect on an i64.
+const PALETTE: &[PaletteOp] = &[
+    ("inc", |x| x + 1),
+    ("dec", |x| x - 1),
+    ("double", |x| x * 2),
+    ("negate", |x| -x),
+];
+
+fn registry() -> OperatorRegistry {
+    let mut r = OperatorRegistry::with_builtins();
+    r.register("inc", ops::map(|v| json!(v.as_i64().unwrap() + 1)));
+    r.register("dec", ops::map(|v| json!(v.as_i64().unwrap() - 1)));
+    r.register("double", ops::map(|v| json!(v.as_i64().unwrap() * 2)));
+    r.register("negate", ops::map(|v| json!(-v.as_i64().unwrap())));
+    r.register(
+        "sum",
+        ops::map_all(|vs| json!(vs.iter().map(|v| v.as_i64().unwrap()).sum::<i64>())),
+    );
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A random chain `a >> b >> c …` computes the composed function.
+    #[test]
+    fn random_chains_compute_composition(
+        chain in proptest::collection::vec(0usize..PALETTE.len(), 1..6),
+        trigger in -100i64..100,
+    ) {
+        // Alias each step so repeated ops get unique node names.
+        let mut decls = String::new();
+        let mut path = Vec::new();
+        for (i, &op) in chain.iter().enumerate() {
+            let node = format!("n{i}");
+            decls.push_str(&format!("node {node} = {};\n", PALETTE[op].0));
+            path.push(node);
+        }
+        let dsl = format!("dag p {{\n{decls}{};\n}}", path.join(" >> "));
+        let dag = parse_dsl(&dsl, &registry()).unwrap();
+        let run = Scheduler::new().run_batch(&dag, json!(trigger)).unwrap();
+        let expected = chain.iter().fold(trigger, |acc, &op| (PALETTE[op].1)(acc));
+        prop_assert_eq!(run.sole_output().unwrap(), &json!(expected));
+    }
+
+    /// A random fan-out into `sum` equals the Rust-side sum.
+    #[test]
+    fn random_fanout_sums(
+        branches in proptest::collection::vec(0usize..PALETTE.len(), 1..8),
+        trigger in -50i64..50,
+    ) {
+        let mut decls = String::new();
+        let mut names = Vec::new();
+        for (i, &op) in branches.iter().enumerate() {
+            let node = format!("b{i}");
+            decls.push_str(&format!("node {node} = {};\n", PALETTE[op].0));
+            names.push(node);
+        }
+        let dsl = format!(
+            "dag f {{\n{decls}identity >> [{}] >> sum;\n}}",
+            names.join(", ")
+        );
+        let dag = parse_dsl(&dsl, &registry()).unwrap();
+        let run = Scheduler::new().run_batch(&dag, json!(trigger)).unwrap();
+        let expected: i64 = branches.iter().map(|&op| (PALETTE[op].1)(trigger)).sum();
+        prop_assert_eq!(&run.outputs["sum"], &json!(expected));
+    }
+
+    /// Whitespace and comments never change the parse.
+    #[test]
+    fn formatting_is_irrelevant(extra_ws in "[ \t]{0,5}", comment in "[a-z ]{0,20}") {
+        let terse = "dag x { inc >> double; }";
+        let airy = format!(
+            "dag x {{\n{extra_ws}# {comment}\n{extra_ws}inc{extra_ws} >> {extra_ws}double ;\n}}"
+        );
+        let r = registry();
+        let a = parse_dsl(terse, &r).unwrap();
+        let b = parse_dsl(&airy, &r).unwrap();
+        prop_assert_eq!(a.node_count(), b.node_count());
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+        let s = Scheduler::new();
+        prop_assert_eq!(
+            s.run_batch(&a, json!(3)).unwrap().outputs,
+            s.run_batch(&b, json!(3)).unwrap().outputs
+        );
+    }
+
+    /// The parser is total: arbitrary text parses or errors, never panics.
+    #[test]
+    fn parser_total(text in ".{0,120}") {
+        let _ = parse_dsl(&text, &registry());
+    }
+}

@@ -1,0 +1,147 @@
+//! The ChatDB capability envelope.
+//!
+//! ChatDB (Table 1 column 4) augments an LLM with a database as symbolic
+//! memory: SQL in both directions, chat over tables, multiple model
+//! backends and bilingual operation — but no agent framework, no document
+//! RAG, no workflow language, no fine-tuning, no privacy enforcement, no
+//! generative analysis.
+
+use serde_json::Value;
+
+use dbgpt_llm::catalog::builtin_model;
+use dbgpt_llm::skills::translate::{detect_language, zh_to_en, Language};
+use dbgpt_llm::SharedModel;
+use dbgpt_sqlengine::Engine;
+use dbgpt_text2sql::{sql_to_text, Text2SqlModel};
+
+use crate::framework::Framework;
+
+/// ChatDB-like comparator (see module docs).
+pub struct ChatDbLike {
+    models: Vec<SharedModel>,
+    engine: Engine,
+    t2s: Text2SqlModel,
+}
+
+impl ChatDbLike {
+    /// Build with two backends and the symbolic-memory database.
+    pub fn new() -> Self {
+        let mut engine = Engine::new();
+        engine
+            .execute("CREATE TABLE orders (id INT, amount FLOAT, category TEXT)")
+            .expect("ddl");
+        engine
+            .execute("INSERT INTO orders VALUES (1, 10.0, 'books'), (2, 20.0, 'tech'), (3, 12.5, 'books')")
+            .expect("seed");
+        ChatDbLike {
+            models: vec![
+                builtin_model("sim-glm").expect("builtin"),
+                builtin_model("sim-qwen").expect("builtin"),
+            ],
+            engine,
+            t2s: Text2SqlModel::base(),
+        }
+    }
+}
+
+impl Default for ChatDbLike {
+    fn default() -> Self {
+        ChatDbLike::new()
+    }
+}
+
+impl Framework for ChatDbLike {
+    fn name(&self) -> &str {
+        "ChatDB"
+    }
+
+    fn run_multi_agent_goal(&mut self, _goal: &str) -> Option<usize> {
+        None // single LLM + memory loop; no multi-agent framework
+    }
+
+    fn served_models(&self) -> Vec<String> {
+        self.models.iter().map(|m| m.id().to_string()).collect()
+    }
+
+    fn rag_ingest_and_retrieve(&mut self) -> Vec<&'static str> {
+        vec![] // symbolic memory is the DB; no document RAG
+    }
+
+    fn run_workflow_dsl(&mut self, _dsl: &str) -> Option<Value> {
+        None
+    }
+
+    fn fine_tune_text2sql(&mut self) -> Option<(f64, f64)> {
+        None
+    }
+
+    fn text_to_sql(&mut self, question: &str) -> Option<String> {
+        let ddl = self.engine.database().schema_ddl();
+        self.t2s.generate_sql(&ddl, question).ok()
+    }
+
+    fn sql_to_text(&self, sql: &str) -> Option<String> {
+        sql_to_text(sql).ok()
+    }
+
+    fn chat2x(&mut self) -> Option<(String, String)> {
+        let sql = self.text_to_sql("how many orders are there?")?;
+        let db_answer = self.engine.execute(&sql).ok()?.rows[0][0].to_string();
+        // Sheet ingestion via the symbolic-memory pathway.
+        dbgpt_sqlengine::csv::load_csv(
+            self.engine.database_mut(),
+            "cd_sheet",
+            "region,sales\neast,8\nwest,9\n",
+        )
+        .ok()?;
+        let sheet_sql = self.t2s.generate_sql(
+            &self.engine.database().schema_ddl(),
+            "what is the total sales of cd_sheet?",
+        ).ok()?;
+        let sheet_answer = self.engine.execute(&sheet_sql).ok()?.rows[0][0].to_string();
+        Some((db_answer, sheet_answer))
+    }
+
+    fn privacy_guarantee(&self) -> bool {
+        false
+    }
+
+    fn handle_chinese(&mut self, input: &str) -> Option<String> {
+        // Bilingual path: translate, then answer over the DB.
+        let canonical = match detect_language(input) {
+            Language::Chinese => zh_to_en(input),
+            Language::English => input.to_string(),
+        };
+        let sql = self.text_to_sql(&canonical)?;
+        let result = self.engine.execute(&sql).ok()?;
+        result.rows.first().map(|r| r[0].to_string())
+    }
+
+    fn generative_analysis(&mut self, _goal: &str) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chatdb_envelope() {
+        let mut f = ChatDbLike::new();
+        assert!(f.run_multi_agent_goal("anything").is_none());
+        assert_eq!(f.served_models().len(), 2);
+        assert!(f.rag_ingest_and_retrieve().is_empty());
+        assert!(f.fine_tune_text2sql().is_none());
+        let sql = f.text_to_sql("how many orders are there?").unwrap();
+        assert!(sql.contains("COUNT"));
+        assert!(f.sql_to_text(&sql).is_some());
+        let (db, sheet) = f.chat2x().unwrap();
+        assert_eq!(db, "3");
+        assert_eq!(sheet, "17");
+        assert!(!f.privacy_guarantee());
+        let zh = f.handle_chinese("查询订单总额").unwrap();
+        assert_eq!(zh, "42.5");
+        assert!(f.generative_analysis("report").is_none());
+    }
+}

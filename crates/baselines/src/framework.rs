@@ -1,0 +1,130 @@
+//! The [`Framework`] trait and the ten Table 1 capabilities.
+
+use serde::{Deserialize, Serialize};
+
+/// The ten rows of Table 1, in paper order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capability {
+    /// System: a multi-agent framework that plans and executes.
+    MultiAgents,
+    /// System: serving more than one LLM backend.
+    MultiLlms,
+    /// System: RAG over more than one data-source kind.
+    RagMultiSource,
+    /// System: a declarative agent-workflow expression language.
+    Awel,
+    /// System: a fine-tuned Text-to-SQL model pipeline.
+    FineTunedText2Sql,
+    /// Functionality: Text-to-SQL and SQL-to-Text.
+    Text2SqlBoth,
+    /// Functionality: Chat2DB / Chat2Data / Chat2Excel.
+    Chat2X,
+    /// Functionality: data privacy & security (local-only guarantee).
+    Privacy,
+    /// Functionality: multilingual interactions (en + zh).
+    Multilingual,
+    /// Functionality: generative data analysis (plan → charts → report).
+    GenerativeAnalysis,
+}
+
+impl Capability {
+    /// All capabilities, in Table 1 row order.
+    pub const ALL: &'static [Capability] = &[
+        Capability::MultiAgents,
+        Capability::MultiLlms,
+        Capability::RagMultiSource,
+        Capability::Awel,
+        Capability::FineTunedText2Sql,
+        Capability::Text2SqlBoth,
+        Capability::Chat2X,
+        Capability::Privacy,
+        Capability::Multilingual,
+        Capability::GenerativeAnalysis,
+    ];
+
+    /// Row label as printed in Table 1.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Capability::MultiAgents => "Multi-Agents Framework",
+            Capability::MultiLlms => "Multi-LLMs Support",
+            Capability::RagMultiSource => "RAG from Multiple Data Sources",
+            Capability::Awel => "Agent Workflow Expression Language",
+            Capability::FineTunedText2Sql => "Fine-tuned Text-to-SQL Model",
+            Capability::Text2SqlBoth => "Text-to-SQL / SQL-to-Text",
+            Capability::Chat2X => "Chat2DB / Chat2Data / Chat2Excel",
+            Capability::Privacy => "Data Privacy and Security",
+            Capability::Multilingual => "Multilingual Interactions",
+            Capability::GenerativeAnalysis => "Generative Data Analysis",
+        }
+    }
+}
+
+/// A data-interaction framework under comparison.
+///
+/// Every method is a *probe*: implementations return `None` (or an empty
+/// result) where the real framework lacks the capability, and working
+/// output where it has it. The matrix builder validates outputs — merely
+/// returning `Some` of garbage does not earn a ✓.
+pub trait Framework {
+    /// Framework display name.
+    fn name(&self) -> &str;
+
+    /// Execute a multi-step goal via agents; `Some(steps_executed)`.
+    fn run_multi_agent_goal(&mut self, goal: &str) -> Option<usize>;
+
+    /// Model backends this deployment can serve.
+    fn served_models(&self) -> Vec<String>;
+
+    /// Data-source kinds the RAG pipeline ingests (e.g. text, markdown,
+    /// csv). Multi-source = more than one kind retrievable.
+    fn rag_ingest_and_retrieve(&mut self) -> Vec<&'static str>;
+
+    /// Parse + execute a declarative workflow expression.
+    fn run_workflow_dsl(&mut self, dsl: &str) -> Option<serde_json::Value>;
+
+    /// Fine-tune Text-to-SQL on pairs; `Some((base_acc, tuned_acc))`.
+    fn fine_tune_text2sql(&mut self) -> Option<(f64, f64)>;
+
+    /// Text → SQL.
+    fn text_to_sql(&mut self, question: &str) -> Option<String>;
+
+    /// SQL → text.
+    fn sql_to_text(&self, sql: &str) -> Option<String>;
+
+    /// Answer a data question against a live table (chat2db/chat2data),
+    /// and against an ingested CSV sheet (chat2excel). Returns the two
+    /// answers.
+    fn chat2x(&mut self) -> Option<(String, String)>;
+
+    /// Does the deployment guarantee prompts never leave local
+    /// infrastructure (and enforce it)?
+    fn privacy_guarantee(&self) -> bool;
+
+    /// Handle a Chinese utterance end to end; `Some(answer)`.
+    fn handle_chinese(&mut self, input: &str) -> Option<String>;
+
+    /// Run generative data analysis; `Some(number_of_charts)`.
+    fn generative_analysis(&mut self, goal: &str) -> Option<usize>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_rows_in_order() {
+        assert_eq!(Capability::ALL.len(), 10);
+        assert_eq!(Capability::ALL[0], Capability::MultiAgents);
+        assert_eq!(Capability::ALL[9], Capability::GenerativeAnalysis);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Capability::Awel.label(), "Agent Workflow Expression Language");
+        assert_eq!(Capability::Chat2X.label(), "Chat2DB / Chat2Data / Chat2Excel");
+        let mut seen = std::collections::HashSet::new();
+        for c in Capability::ALL {
+            assert!(seen.insert(c.label()));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The LangChain capability envelope.
+//!
+//! LangChain (Table 1 column 1): chains and agents over multiple LLM
+//! backends with multi-source RAG and SQL chains — but no workflow
+//! expression language, no fine-tuning pipeline, no enforced privacy
+//! posture, no multilingual handling, and no generative data analysis.
+
+use serde_json::Value;
+
+use dbgpt_llm::catalog::builtin_model;
+use dbgpt_llm::{GenerationParams, SharedModel};
+use dbgpt_rag::{Document, KnowledgeBase, RetrievalStrategy};
+use dbgpt_sqlengine::Engine;
+use dbgpt_text2sql::{sql_to_text, Text2SqlModel};
+
+use crate::framework::Framework;
+
+/// LangChain-like comparator (see module docs).
+pub struct LangChainLike {
+    models: Vec<SharedModel>,
+    kb: KnowledgeBase,
+    engine: Engine,
+    t2s: Text2SqlModel,
+}
+
+impl LangChainLike {
+    /// Build with two backends and the sales table.
+    pub fn new() -> Self {
+        let mut engine = Engine::new();
+        engine
+            .execute("CREATE TABLE orders (id INT, amount FLOAT, category TEXT)")
+            .expect("ddl");
+        engine
+            .execute("INSERT INTO orders VALUES (1, 10.0, 'books'), (2, 20.0, 'tech'), (3, 30.0, 'tech')")
+            .expect("seed");
+        LangChainLike {
+            models: vec![
+                builtin_model("sim-qwen").expect("builtin"),
+                builtin_model("sim-vicuna").expect("builtin"),
+            ],
+            kb: KnowledgeBase::with_defaults(),
+            engine,
+            t2s: Text2SqlModel::base(),
+        }
+    }
+}
+
+impl Default for LangChainLike {
+    fn default() -> Self {
+        LangChainLike::new()
+    }
+}
+
+impl Framework for LangChainLike {
+    fn name(&self) -> &str {
+        "LangChain"
+    }
+
+    fn run_multi_agent_goal(&mut self, goal: &str) -> Option<usize> {
+        // A plan-and-execute agent: ask the model for a plan, run each
+        // step with another model call. Agents exist — but there is no
+        // specialist-role dispatch, history archive, or chart agents.
+        let plan = self.models[0]
+            .generate(
+                &format!("### Task: plan\n### Input:\n{goal}"),
+                &GenerationParams::default(),
+            )
+            .ok()?;
+        let steps: Vec<serde_json::Value> = serde_json::from_str(plan.text.trim()).ok()?;
+        let mut executed = 0;
+        for s in &steps {
+            let desc = s.get("description").and_then(Value::as_str)?;
+            if self.models[0].generate(desc, &GenerationParams::default()).is_ok() {
+                executed += 1;
+            }
+        }
+        (executed > 0).then_some(executed)
+    }
+
+    fn served_models(&self) -> Vec<String> {
+        self.models.iter().map(|m| m.id().to_string()).collect()
+    }
+
+    fn rag_ingest_and_retrieve(&mut self) -> Vec<&'static str> {
+        let mut kinds = Vec::new();
+        let probes = [
+            ("text", Document::from_text("lc-text", "zanzibar is a text fact")),
+            ("markdown", Document::from_markdown("lc-md", "# T\nxylophone fact")),
+            ("csv", Document::from_csv("lc-csv", "term\nquixotic\n")),
+        ];
+        for (kind, doc) in probes {
+            if self.kb.add_document(doc).is_err() {
+                continue;
+            }
+            let q = match kind {
+                "text" => "zanzibar",
+                "markdown" => "xylophone",
+                _ => "quixotic",
+            };
+            if !self.kb.retrieve(q, 1, RetrievalStrategy::Vector).is_empty() {
+                kinds.push(kind);
+            }
+        }
+        kinds
+    }
+
+    fn run_workflow_dsl(&mut self, _dsl: &str) -> Option<Value> {
+        None // no declarative workflow language
+    }
+
+    fn fine_tune_text2sql(&mut self) -> Option<(f64, f64)> {
+        None // prompting only; no fine-tuning pipeline
+    }
+
+    fn text_to_sql(&mut self, question: &str) -> Option<String> {
+        let ddl = self.engine.database().schema_ddl();
+        self.t2s.generate_sql(&ddl, question).ok()
+    }
+
+    fn sql_to_text(&self, sql: &str) -> Option<String> {
+        sql_to_text(sql).ok()
+    }
+
+    fn chat2x(&mut self) -> Option<(String, String)> {
+        // SQL chain over the DB…
+        let sql = self.text_to_sql("how many orders are there?")?;
+        let db_answer = self.engine.execute(&sql).ok()?.rows[0][0].to_string();
+        // …and a CSV loader (LangChain document loaders cover sheets).
+        dbgpt_sqlengine::csv::load_csv(
+            self.engine.database_mut(),
+            "lc_sheet",
+            "region,sales\nnorth,10\nsouth,20\n",
+        )
+        .ok()?;
+        let sheet_sql = self.t2s.generate_sql(
+            &self.engine.database().schema_ddl(),
+            "what is the total sales of lc_sheet?",
+        ).ok()?;
+        let sheet_answer = self.engine.execute(&sheet_sql).ok()?.rows[0][0].to_string();
+        Some((db_answer, sheet_answer))
+    }
+
+    fn privacy_guarantee(&self) -> bool {
+        false // backends may be remote; nothing enforces locality
+    }
+
+    fn handle_chinese(&mut self, _input: &str) -> Option<String> {
+        None // no multilingual pipeline
+    }
+
+    fn generative_analysis(&mut self, _goal: &str) -> Option<usize> {
+        None // no planner → chart-agent → aggregator flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn langchain_envelope() {
+        let mut f = LangChainLike::new();
+        assert!(f.run_multi_agent_goal("collect data, summarise it").unwrap() >= 2);
+        assert_eq!(f.served_models().len(), 2);
+        assert_eq!(f.rag_ingest_and_retrieve().len(), 3);
+        assert!(f.run_workflow_dsl("dag x { a >> b; }").is_none());
+        assert!(f.fine_tune_text2sql().is_none());
+        let sql = f.text_to_sql("how many orders are there?").unwrap();
+        assert!(sql.contains("COUNT"));
+        assert!(f.sql_to_text("SELECT 1").is_some());
+        let (db, sheet) = f.chat2x().unwrap();
+        assert_eq!(db, "3");
+        assert_eq!(sheet, "30");
+        assert!(!f.privacy_guarantee());
+        assert!(f.handle_chinese("查询订单总额").is_none());
+        assert!(f.generative_analysis("sales report").is_none());
+    }
+}

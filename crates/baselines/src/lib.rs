@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # dbgpt-baselines — the Table 1 comparator frameworks
+//!
+//! Table 1 of the paper compares DB-GPT against LangChain, LlamaIndex,
+//! PrivateGPT and ChatDB across ten capabilities. Rather than hard-coding
+//! the ✓/✗ cells, this crate re-implements each comparator's *capability
+//! envelope* — what that framework can actually do, built from the same
+//! substrates — behind one [`Framework`] trait, and [`matrix()`](matrix()) regenerates
+//! the table by **probing**: each cell is ✓ only if the corresponding call
+//! succeeds and its output passes a behavioural check (a plan actually
+//! executes, generated SQL actually parses, an analysis actually yields
+//! three charts, …).
+//!
+//! The comparators are deliberately *capability envelopes*, not clones:
+//! e.g. `privategpt` is a single local model answering over a single
+//! document store (its defining shape), so it probes ✓ only on the
+//! privacy row.
+
+pub mod chatdb;
+pub mod dbgpt_impl;
+pub mod framework;
+pub mod langchain;
+pub mod llamaindex;
+pub mod matrix;
+pub mod privategpt;
+
+pub use chatdb::ChatDbLike;
+pub use dbgpt_impl::DbGptFramework;
+pub use framework::{Capability, Framework};
+pub use langchain::LangChainLike;
+pub use llamaindex::LlamaIndexLike;
+pub use matrix::{all_frameworks, matrix, CapabilityMatrix};
+pub use privategpt::PrivateGptLike;

@@ -1,0 +1,187 @@
+//! The LlamaIndex capability envelope.
+//!
+//! LlamaIndex (Table 1 column 2): retrieval-first framework with
+//! query-planning agents, multi-LLM support, multi-source ingestion and —
+//! unlike LangChain — a Text-to-SQL fine-tuning integration. Its agent
+//! behaviours are constrained to retrieval use cases (the paper's §2.3
+//! contrast), so there is no workflow language, privacy enforcement,
+//! multilingual path or generative analysis.
+
+use serde_json::Value;
+
+use dbgpt_llm::catalog::builtin_model;
+use dbgpt_llm::{GenerationParams, SharedModel};
+use dbgpt_rag::{Document, KnowledgeBase, RetrievalStrategy};
+use dbgpt_sqlengine::Engine;
+use dbgpt_text2sql::{dataset, evaluate, sql_to_text, FineTuner, Text2SqlModel};
+
+use crate::framework::Framework;
+
+/// LlamaIndex-like comparator (see module docs).
+pub struct LlamaIndexLike {
+    models: Vec<SharedModel>,
+    kb: KnowledgeBase,
+    engine: Engine,
+    t2s: Text2SqlModel,
+}
+
+impl LlamaIndexLike {
+    /// Build with two backends and the sales table.
+    pub fn new() -> Self {
+        let mut engine = Engine::new();
+        engine
+            .execute("CREATE TABLE orders (id INT, amount FLOAT, category TEXT)")
+            .expect("ddl");
+        engine
+            .execute("INSERT INTO orders VALUES (1, 10.0, 'books'), (2, 20.0, 'tech')")
+            .expect("seed");
+        LlamaIndexLike {
+            models: vec![
+                builtin_model("sim-qwen").expect("builtin"),
+                builtin_model("sim-coder").expect("builtin"),
+            ],
+            kb: KnowledgeBase::with_defaults(),
+            engine,
+            t2s: Text2SqlModel::base(),
+        }
+    }
+}
+
+impl Default for LlamaIndexLike {
+    fn default() -> Self {
+        LlamaIndexLike::new()
+    }
+}
+
+impl Framework for LlamaIndexLike {
+    fn name(&self) -> &str {
+        "LlamaIndex"
+    }
+
+    fn run_multi_agent_goal(&mut self, goal: &str) -> Option<usize> {
+        // Query-planning agent: decompose via the model's planner, answer
+        // each sub-query over the index (retrieval-constrained agents).
+        let plan = self.models[0]
+            .generate(
+                &format!("### Task: plan\n### Input:\n{goal}"),
+                &GenerationParams::default(),
+            )
+            .ok()?;
+        let steps: Vec<serde_json::Value> = serde_json::from_str(plan.text.trim()).ok()?;
+        let mut executed = 0;
+        for s in &steps {
+            let desc = s.get("description").and_then(Value::as_str)?;
+            if self.models[0].generate(desc, &GenerationParams::default()).is_ok() {
+                executed += 1;
+            }
+        }
+        (executed > 0).then_some(executed)
+    }
+
+    fn served_models(&self) -> Vec<String> {
+        self.models.iter().map(|m| m.id().to_string()).collect()
+    }
+
+    fn rag_ingest_and_retrieve(&mut self) -> Vec<&'static str> {
+        let mut kinds = Vec::new();
+        let probes = [
+            ("text", Document::from_text("li-text", "zanzibar is a text fact")),
+            ("markdown", Document::from_markdown("li-md", "# T\nxylophone fact")),
+            ("csv", Document::from_csv("li-csv", "term\nquixotic\n")),
+        ];
+        for (kind, doc) in probes {
+            if self.kb.add_document(doc).is_err() {
+                continue;
+            }
+            let q = match kind {
+                "text" => "zanzibar",
+                "markdown" => "xylophone",
+                _ => "quixotic",
+            };
+            if !self.kb.retrieve(q, 1, RetrievalStrategy::Vector).is_empty() {
+                kinds.push(kind);
+            }
+        }
+        kinds
+    }
+
+    fn run_workflow_dsl(&mut self, _dsl: &str) -> Option<Value> {
+        None // prescribed behaviours; no user-arranged workflow language
+    }
+
+    fn fine_tune_text2sql(&mut self) -> Option<(f64, f64)> {
+        // LlamaIndex ships fine-tuning integrations: same hub workflow.
+        let bench = dataset::spider_like(99);
+        let base = Text2SqlModel::base();
+        let tuned = Text2SqlModel::fine_tuned(
+            "li-tuned",
+            FineTuner::new().fit(&bench.databases, &bench.train),
+        );
+        Some((
+            evaluate(&base, &bench).em_accuracy(),
+            evaluate(&tuned, &bench).em_accuracy(),
+        ))
+    }
+
+    fn text_to_sql(&mut self, question: &str) -> Option<String> {
+        let ddl = self.engine.database().schema_ddl();
+        self.t2s.generate_sql(&ddl, question).ok()
+    }
+
+    fn sql_to_text(&self, sql: &str) -> Option<String> {
+        sql_to_text(sql).ok()
+    }
+
+    fn chat2x(&mut self) -> Option<(String, String)> {
+        let sql = self.text_to_sql("how many orders are there?")?;
+        let db_answer = self.engine.execute(&sql).ok()?.rows[0][0].to_string();
+        dbgpt_sqlengine::csv::load_csv(
+            self.engine.database_mut(),
+            "li_sheet",
+            "region,sales\nnorth,5\nsouth,7\n",
+        )
+        .ok()?;
+        let sheet_sql = self.t2s.generate_sql(
+            &self.engine.database().schema_ddl(),
+            "what is the total sales of li_sheet?",
+        ).ok()?;
+        let sheet_answer = self.engine.execute(&sheet_sql).ok()?.rows[0][0].to_string();
+        Some((db_answer, sheet_answer))
+    }
+
+    fn privacy_guarantee(&self) -> bool {
+        false
+    }
+
+    fn handle_chinese(&mut self, _input: &str) -> Option<String> {
+        None
+    }
+
+    fn generative_analysis(&mut self, _goal: &str) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llamaindex_envelope() {
+        let mut f = LlamaIndexLike::new();
+        assert!(f.run_multi_agent_goal("find facts, compare them").unwrap() >= 2);
+        assert_eq!(f.served_models().len(), 2);
+        assert_eq!(f.rag_ingest_and_retrieve().len(), 3);
+        assert!(f.run_workflow_dsl("dag x { a >> b; }").is_none());
+        let (base, tuned) = f.fine_tune_text2sql().unwrap();
+        assert!(tuned > base, "tuning must help: {base} vs {tuned}");
+        assert!(f.text_to_sql("how many orders are there?").is_some());
+        assert!(f.sql_to_text("SELECT 1").is_some());
+        let (db, sheet) = f.chat2x().unwrap();
+        assert_eq!(db, "2");
+        assert_eq!(sheet, "12");
+        assert!(!f.privacy_guarantee());
+        assert!(f.handle_chinese("查询订单总额").is_none());
+        assert!(f.generative_analysis("report").is_none());
+    }
+}

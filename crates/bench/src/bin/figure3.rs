@@ -1,0 +1,71 @@
+//! Regenerate **Figure 3**: the generative-data-analysis demonstration,
+//! area by area (① new session … ⑦ follow-up turn).
+//!
+//! ```text
+//! cargo run -p dbgpt-bench --bin figure3 --release
+//! ```
+
+use dbgpt::vis::chart::ChartType;
+use dbgpt::DbGpt;
+
+const DEMO_COMMAND: &str =
+    "Build sales reports and analyze user orders from at least three distinct dimensions";
+
+fn main() {
+    println!("Figure 3: Demonstration of DB-GPT");
+    println!("=================================\n");
+
+    let mut db = DbGpt::builder().with_sales_demo().build().expect("system builds");
+
+    // Area ①: a new chat session.
+    let session = db.server().open_session("analysis");
+    println!("① new chat session: {session}");
+
+    // Area ②: the user's command.
+    println!("② user command: {DEMO_COMMAND:?}\n");
+
+    // Areas ③–⑤ run through the multi-agent framework.
+    let out = db.chat(DEMO_COMMAND).expect("analysis succeeds");
+    let report: dbgpt::apps::AnalysisReport =
+        serde_json::from_value(out.payload.clone()).expect("report deserializes");
+
+    println!("③ planner strategy ({} steps):", report.plan.len());
+    for step in &report.plan {
+        match (&step.chart, &step.dimension) {
+            (Some(c), Some(d)) => println!("   {}. [{} chart · {d}] {}", step.id, c, step.description),
+            _ => println!("   {}. [{}] {}", step.id, step.agent, step.description),
+        }
+    }
+
+    println!("\n④ chart agents produced {} charts:", report.charts.len());
+    for (spec, sql) in report.charts.iter().zip(&report.chart_sql) {
+        println!("   • {} [{}]  ⟵  {}", spec.title, spec.chart_type.name(), sql);
+    }
+
+    println!("\n⑤ aggregated report:");
+    println!("{}", report.render_ascii());
+
+    // Area ⑥: the user switches a chart's type.
+    let donut = report
+        .charts
+        .iter()
+        .find(|c| c.chart_type == ChartType::Donut)
+        .expect("demo yields a donut chart");
+    let as_bar = donut.switch_type(ChartType::Bar);
+    println!("⑥ user switches the donut to a bar chart:");
+    println!("{}", dbgpt::vis::ascii::render(&as_bar));
+
+    // Area ⑦: the conversation continues.
+    let followup = "what is the total amount per month of orders?";
+    println!("⑦ follow-up turn: {followup:?}");
+    let out = db.chat(followup).expect("follow-up succeeds");
+    println!("   → {}", out.text);
+
+    // The communication history behind all of it is archived locally.
+    let archive = db.analyzer().orchestrator().archive();
+    println!(
+        "\n(agent archive: {} message(s) across {} conversation(s))",
+        archive.len(),
+        archive.conversations().len()
+    );
+}

@@ -1,0 +1,118 @@
+//! The four-layer architecture map (Figure 1).
+//!
+//! Figure 1 of the paper is the system-design diagram. This module is its
+//! machine-readable form: the layer inventory the `figure1` benchmark
+//! binary prints, kept in one place so documentation, tests and the
+//! benchmark agree about what the system contains.
+
+use serde::Serialize;
+
+/// One layer of the architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LayerInfo {
+    /// Layer name as in Fig. 1.
+    pub name: &'static str,
+    /// Paper section describing it.
+    pub section: &'static str,
+    /// Components within the layer.
+    pub components: Vec<&'static str>,
+    /// The crate(s) implementing it in this repository.
+    pub crates: Vec<&'static str>,
+}
+
+/// The four layers (top-down) plus the cross-cutting layers of §2.5.
+pub fn architecture() -> Vec<LayerInfo> {
+    vec![
+        LayerInfo {
+            name: "Application Layer",
+            section: "§2.1",
+            components: vec![
+                "Text-to-SQL / SQL-to-Text",
+                "Chat2DB",
+                "Chat2Data",
+                "Chat2Excel",
+                "Chat2Visualization",
+                "Generative Data Analysis",
+                "Knowledge-Base QA",
+            ],
+            crates: vec!["dbgpt-apps"],
+        },
+        LayerInfo {
+            name: "Server Layer",
+            section: "§2.2",
+            components: vec!["Request framing", "Session manager", "App router"],
+            crates: vec!["dbgpt-server"],
+        },
+        LayerInfo {
+            name: "Module Layer",
+            section: "§2.3",
+            components: vec![
+                "SMMF (controller, workers, API server, privacy modes)",
+                "RAG (vector + inverted + graph indexes, adaptive ICL)",
+                "Multi-Agents (planner, specialists, history archive)",
+            ],
+            crates: vec!["dbgpt-smmf", "dbgpt-rag", "dbgpt-agents"],
+        },
+        LayerInfo {
+            name: "Protocol Layer",
+            section: "§2.4",
+            components: vec!["AWEL operators", "DAG scheduler (batch/stream/async)", "AWEL DSL"],
+            crates: vec!["dbgpt-awel"],
+        },
+        LayerInfo {
+            name: "Visualization Layer",
+            section: "§2.5",
+            components: vec!["Chart specs", "SVG renderer", "ASCII renderer"],
+            crates: vec!["dbgpt-vis"],
+        },
+        LayerInfo {
+            name: "Text-to-SQL Fine-Tuning (DB-GPT-Hub)",
+            section: "§2.5",
+            components: vec!["Schema linking", "Grammar-guided generation", "Fine-tuner", "Benchmark"],
+            crates: vec!["dbgpt-text2sql"],
+        },
+        LayerInfo {
+            name: "Execution Environments",
+            section: "§2.5",
+            components: vec!["Local", "Simulated distributed (multi-worker)", "Simulated cloud"],
+            crates: vec!["dbgpt-smmf", "dbgpt-llm"],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_primary_layers_in_order() {
+        let layers = architecture();
+        let names: Vec<&str> = layers.iter().take(4).map(|l| l.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Application Layer",
+                "Server Layer",
+                "Module Layer",
+                "Protocol Layer"
+            ]
+        );
+    }
+
+    #[test]
+    fn application_layer_lists_all_paper_functionalities() {
+        let layers = architecture();
+        let app = &layers[0];
+        assert!(app.components.len() >= 6);
+        assert!(app.components.iter().any(|c| c.contains("Chat2Excel")));
+        assert!(app.components.iter().any(|c| c.contains("Generative")));
+    }
+
+    #[test]
+    fn every_layer_names_its_crates() {
+        for l in architecture() {
+            assert!(!l.crates.is_empty(), "{} has no crates", l.name);
+            assert!(l.section.starts_with('§'));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! `dbgpt-repl` — the terminal front door to DB-GPT.
+//!
+//! An interactive session over the full system (area ① of the demo):
+//!
+//! ```text
+//! cargo run -p dbgpt --bin dbgpt-repl -- --demo
+//! ```
+//!
+//! Flags:
+//! - `--demo`            seed the sales demonstration database
+//! - `--model <name>`    chat model (default `sim-qwen`)
+//! - `--fine-tuned`      use the DB-GPT-Hub fine-tuned Text-to-SQL model
+//! - `--once <input>`    answer a single input and exit (scriptable)
+//!
+//! Inside the REPL: `:help`, `:schema`, `:models`, `:quit`.
+
+use std::io::{BufRead, Write};
+
+use dbgpt::DbGpt;
+
+struct Args {
+    demo: bool,
+    model: String,
+    fine_tuned: bool,
+    once: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        demo: false,
+        model: "sim-qwen".into(),
+        fine_tuned: false,
+        once: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--demo" => args.demo = true,
+            "--fine-tuned" => args.fine_tuned = true,
+            "--model" => {
+                if let Some(m) = it.next() {
+                    args.model = m;
+                }
+            }
+            "--once" => args.once = it.next(),
+            other => eprintln!("ignoring unknown flag: {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut builder = DbGpt::builder().chat_model(&args.model);
+    if args.demo {
+        builder = builder.with_sales_demo();
+    }
+    if args.fine_tuned {
+        builder = builder.fine_tuned_t2s();
+    }
+    let mut db = match builder.build() {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to start DB-GPT: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(input) = args.once {
+        match db.chat(&input) {
+            Ok(out) => println!("{}", out.text),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("DB-GPT (Rust reproduction) — model {} — type :help", args.model);
+    let session = db.open_session();
+    let stdin = std::io::stdin();
+    loop {
+        print!("dbgpt> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        match input {
+            ":quit" | ":q" | ":exit" => break,
+            ":help" => {
+                println!(
+                    ":schema    show the database schema\n\
+                     :models    show the SMMF deployment\n\
+                     :quit      exit\n\
+                     anything else is routed by intent (SQL, questions, \n\
+                     chart requests, analysis goals, forecasts — en/zh)"
+                );
+            }
+            ":schema" => {
+                let ddl = db.context().schema_ddl();
+                if ddl.is_empty() {
+                    println!("(no tables; try --demo or CREATE TABLE …)");
+                } else {
+                    println!("{ddl}");
+                }
+            }
+            ":models" => {
+                for (model, worker, health, served, failed) in
+                    db.smmf().controller().snapshot()
+                {
+                    println!("{model} {worker} {health:?} served={served} failed={failed}");
+                }
+            }
+            _ => match db.chat_in_session(&session, input) {
+                Ok(out) => println!("[{:?}]\n{}", out.intent, out.text),
+                Err(e) => println!("error: {e}"),
+            },
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,134 @@
+//! Configuration and the builder.
+
+use std::path::PathBuf;
+
+use dbgpt_smmf::{DeploymentMode, RoutingPolicy};
+
+use crate::facade::DbGpt;
+
+/// Static configuration of a [`DbGpt`] instance.
+#[derive(Debug, Clone)]
+pub struct DbGptConfig {
+    /// Model served for chat/planning/summarisation.
+    pub chat_model: String,
+    /// Replicas of the chat model behind SMMF.
+    pub replicas: usize,
+    /// Privacy posture of the SMMF deployment.
+    pub deployment_mode: DeploymentMode,
+    /// SMMF routing policy.
+    pub routing: RoutingPolicy,
+    /// Use the fine-tuned Text-to-SQL model instead of the base one.
+    pub fine_tuned_t2s: bool,
+    /// Persist the agent communication archive at this path.
+    pub archive_path: Option<PathBuf>,
+    /// Seed the sales demo database at startup.
+    pub sales_demo: bool,
+}
+
+impl Default for DbGptConfig {
+    fn default() -> Self {
+        DbGptConfig {
+            chat_model: "sim-qwen".into(),
+            replicas: 2,
+            deployment_mode: DeploymentMode::Local,
+            routing: RoutingPolicy::RoundRobin,
+            fine_tuned_t2s: false,
+            archive_path: None,
+            sales_demo: false,
+        }
+    }
+}
+
+/// Builder for [`DbGpt`].
+#[derive(Debug, Clone, Default)]
+pub struct DbGptBuilder {
+    config: DbGptConfig,
+}
+
+impl DbGptBuilder {
+    /// Start from defaults.
+    pub fn new() -> Self {
+        DbGptBuilder::default()
+    }
+
+    /// Select the chat model (`sim-qwen`, `sim-glm`, `sim-vicuna`, or
+    /// `proxy-gpt` — the last only deploys in [`DeploymentMode::Cloud`]).
+    pub fn chat_model(mut self, name: impl Into<String>) -> Self {
+        self.config.chat_model = name.into();
+        self
+    }
+
+    /// Number of model replicas.
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.config.replicas = n.max(1);
+        self
+    }
+
+    /// Privacy posture.
+    pub fn deployment_mode(mut self, mode: DeploymentMode) -> Self {
+        self.config.deployment_mode = mode;
+        self
+    }
+
+    /// Routing policy.
+    pub fn routing(mut self, policy: RoutingPolicy) -> Self {
+        self.config.routing = policy;
+        self
+    }
+
+    /// Use the DB-GPT-Hub fine-tuned Text-to-SQL model.
+    pub fn fine_tuned_t2s(mut self) -> Self {
+        self.config.fine_tuned_t2s = true;
+        self
+    }
+
+    /// Persist the agent archive (JSONL) at `path`.
+    pub fn archive_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.archive_path = Some(path.into());
+        self
+    }
+
+    /// Preload the sales demo database (orders/users/products).
+    pub fn with_sales_demo(mut self) -> Self {
+        self.config.sales_demo = true;
+        self
+    }
+
+    /// Build the system.
+    pub fn build(self) -> Result<DbGpt, crate::facade::BuildError> {
+        DbGpt::from_config(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_private_and_local() {
+        let c = DbGptConfig::default();
+        assert_eq!(c.deployment_mode, DeploymentMode::Local);
+        assert!(c.deployment_mode.is_private());
+        assert_eq!(c.chat_model, "sim-qwen");
+        assert!(!c.fine_tuned_t2s);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let b = DbGptBuilder::new()
+            .chat_model("sim-glm")
+            .replicas(3)
+            .routing(RoutingPolicy::LeastLatency)
+            .fine_tuned_t2s()
+            .with_sales_demo();
+        assert_eq!(b.config.chat_model, "sim-glm");
+        assert_eq!(b.config.replicas, 3);
+        assert!(b.config.fine_tuned_t2s);
+        assert!(b.config.sales_demo);
+    }
+
+    #[test]
+    fn replicas_floor_at_one() {
+        assert_eq!(DbGptBuilder::new().replicas(0).config.replicas, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! The built-in model zoo.
+//!
+//! The DB-GPT demo offers OpenAI's GPT service plus local models such as
+//! Qwen and GLM (§3). This catalog mirrors that line-up with simulated
+//! equivalents whose specs differ the way the real models differ — context
+//! window, chat template, quality, serving latency, multilinguality — so
+//! SMMF routing and model-comparison experiments have real trade-offs to
+//! explore.
+
+use std::sync::Arc;
+
+use crate::chat::PromptFormat;
+use crate::latency::LatencyModel;
+use crate::model::{ModelId, SharedModel};
+use crate::sim::{SimLlm, SimModelSpec};
+
+/// Names of every built-in model.
+pub const BUILTIN_MODELS: &[&str] = &[
+    "proxy-gpt",
+    "sim-qwen",
+    "sim-glm",
+    "sim-vicuna",
+    "sim-coder",
+];
+
+/// Spec for a built-in model, or `None` for unknown names.
+pub fn builtin_spec(name: &str) -> Option<SimModelSpec> {
+    let spec = match name {
+        // The "OpenAI proxy" path: biggest window, best quality, but the
+        // highest fixed overhead (network round trip is folded into base).
+        "proxy-gpt" => SimModelSpec {
+            id: ModelId::new("proxy-gpt"),
+            context_window: 8192,
+            prompt_format: PromptFormat::ChatMl,
+            quality: 0.98,
+            latency: LatencyModel {
+                base_us: 350_000,
+                prefill_us_per_token: 120,
+                decode_us_per_token: 18_000,
+            },
+            multilingual: true,
+        },
+        // Local Qwen-style model: good quality, ChatML, bilingual.
+        "sim-qwen" => SimModelSpec {
+            id: ModelId::new("sim-qwen"),
+            context_window: 8192,
+            prompt_format: PromptFormat::ChatMl,
+            quality: 0.92,
+            latency: LatencyModel {
+                base_us: 60_000,
+                prefill_us_per_token: 300,
+                decode_us_per_token: 26_000,
+            },
+            multilingual: true,
+        },
+        // Local GLM-style model: smaller window, GLM template, bilingual.
+        "sim-glm" => SimModelSpec {
+            id: ModelId::new("sim-glm"),
+            context_window: 4096,
+            prompt_format: PromptFormat::Glm,
+            quality: 0.90,
+            latency: LatencyModel {
+                base_us: 55_000,
+                prefill_us_per_token: 320,
+                decode_us_per_token: 28_000,
+            },
+            multilingual: true,
+        },
+        // A weaker English-only baseline — useful as the "base model" in
+        // fine-tuning experiments.
+        "sim-vicuna" => SimModelSpec {
+            id: ModelId::new("sim-vicuna"),
+            context_window: 2048,
+            prompt_format: PromptFormat::Plain,
+            quality: 0.75,
+            latency: LatencyModel {
+                base_us: 45_000,
+                prefill_us_per_token: 350,
+                decode_us_per_token: 30_000,
+            },
+            multilingual: false,
+        },
+        // Code-specialised model: the default substrate for Text-to-SQL
+        // fine-tuning (DB-GPT-Hub).
+        "sim-coder" => SimModelSpec {
+            id: ModelId::new("sim-coder"),
+            context_window: 4096,
+            prompt_format: PromptFormat::Plain,
+            quality: 0.88,
+            latency: LatencyModel {
+                base_us: 50_000,
+                prefill_us_per_token: 280,
+                decode_us_per_token: 24_000,
+            },
+            multilingual: false,
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// Instantiate a built-in model with the default skill bundle.
+pub fn builtin_model(name: &str) -> Option<SharedModel> {
+    builtin_spec(name).map(|spec| Arc::new(SimLlm::with_default_skills(spec)) as SharedModel)
+}
+
+/// Instantiate every built-in model.
+pub fn all_builtin_models() -> Vec<SharedModel> {
+    BUILTIN_MODELS
+        .iter()
+        .filter_map(|n| builtin_model(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GenerationParams;
+
+    #[test]
+    fn every_builtin_instantiates() {
+        let models = all_builtin_models();
+        assert_eq!(models.len(), BUILTIN_MODELS.len());
+        for m in &models {
+            let out = m
+                .generate("hello data world", &GenerationParams::default())
+                .unwrap();
+            assert!(!out.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_none() {
+        assert!(builtin_spec("gpt-99").is_none());
+        assert!(builtin_model("gpt-99").is_none());
+    }
+
+    #[test]
+    fn specs_have_distinct_tradeoffs() {
+        let gpt = builtin_spec("proxy-gpt").unwrap();
+        let qwen = builtin_spec("sim-qwen").unwrap();
+        let vicuna = builtin_spec("sim-vicuna").unwrap();
+        // Proxy has highest quality but highest fixed overhead.
+        assert!(gpt.quality > qwen.quality);
+        assert!(gpt.latency.base_us > qwen.latency.base_us);
+        // Local models are cheaper per request to start.
+        assert!(vicuna.latency.base_us < gpt.latency.base_us);
+        // Windows differ.
+        assert!(vicuna.context_window < gpt.context_window);
+    }
+
+    #[test]
+    fn templates_match_families() {
+        assert_eq!(
+            builtin_spec("sim-glm").unwrap().prompt_format,
+            PromptFormat::Glm
+        );
+        assert_eq!(
+            builtin_spec("sim-qwen").unwrap().prompt_format,
+            PromptFormat::ChatMl
+        );
+    }
+
+    #[test]
+    fn multilingual_flags() {
+        assert!(builtin_spec("sim-qwen").unwrap().multilingual);
+        assert!(!builtin_spec("sim-vicuna").unwrap().multilingual);
+    }
+}

@@ -1,0 +1,230 @@
+//! Chat messages and prompt-format rendering.
+//!
+//! DB-GPT's SMMF serves heterogeneous models, each expecting its own chat
+//! template (ChatML for Qwen-style models, bracketed turns for GLM-style
+//! models, a plain transcript for completion models). The server layer keeps
+//! conversations as [`ChatMessage`] lists and renders them into the target
+//! model's native format at dispatch time.
+
+use serde::{Deserialize, Serialize};
+
+/// Speaker of a chat message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// System instructions (persona, task framing).
+    System,
+    /// End-user input.
+    User,
+    /// Model output.
+    Assistant,
+}
+
+impl Role {
+    /// Lowercase wire name, as used in ChatML-style templates.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Role::System => "system",
+            Role::User => "user",
+            Role::Assistant => "assistant",
+        }
+    }
+}
+
+/// One turn of a conversation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatMessage {
+    /// Who spoke.
+    pub role: Role,
+    /// What they said.
+    pub content: String,
+}
+
+impl ChatMessage {
+    /// Construct a system message.
+    pub fn system(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::System,
+            content: content.into(),
+        }
+    }
+
+    /// Construct a user message.
+    pub fn user(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::User,
+            content: content.into(),
+        }
+    }
+
+    /// Construct an assistant message.
+    pub fn assistant(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::Assistant,
+            content: content.into(),
+        }
+    }
+}
+
+/// The prompt template family a model expects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PromptFormat {
+    /// `<|im_start|>role\n...<|im_end|>` turns (Qwen / OpenAI-style).
+    ChatMl,
+    /// `[Round n]\n问: ...\n答: ...` turns (GLM-style).
+    Glm,
+    /// A plain `ROLE: content` transcript (completion models).
+    Plain,
+}
+
+/// A chat-completion request: a message list plus the target format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatRequest {
+    /// Conversation so far, oldest first.
+    pub messages: Vec<ChatMessage>,
+}
+
+impl ChatRequest {
+    /// Start from a single user message.
+    pub fn from_user(content: impl Into<String>) -> Self {
+        ChatRequest {
+            messages: vec![ChatMessage::user(content)],
+        }
+    }
+
+    /// Append a message, builder style.
+    pub fn with(mut self, msg: ChatMessage) -> Self {
+        self.messages.push(msg);
+        self
+    }
+
+    /// Render the conversation into a single prompt string in `format`,
+    /// ending with the cue for the assistant's next turn.
+    pub fn render(&self, format: PromptFormat) -> String {
+        let mut out = String::with_capacity(
+            self.messages.iter().map(|m| m.content.len() + 32).sum::<usize>() + 32,
+        );
+        match format {
+            PromptFormat::ChatMl => {
+                for m in &self.messages {
+                    out.push_str("<|im_start|>");
+                    out.push_str(m.role.as_str());
+                    out.push('\n');
+                    out.push_str(&m.content);
+                    out.push_str("<|im_end|>\n");
+                }
+                out.push_str("<|im_start|>assistant\n");
+            }
+            PromptFormat::Glm => {
+                let mut round = 1usize;
+                for m in &self.messages {
+                    match m.role {
+                        Role::System => {
+                            out.push_str(&m.content);
+                            out.push('\n');
+                        }
+                        Role::User => {
+                            out.push_str(&format!("[Round {round}]\n问: {}\n", m.content));
+                        }
+                        Role::Assistant => {
+                            out.push_str(&format!("答: {}\n", m.content));
+                            round += 1;
+                        }
+                    }
+                }
+                out.push_str("答: ");
+            }
+            PromptFormat::Plain => {
+                for m in &self.messages {
+                    out.push_str(&m.role.as_str().to_uppercase());
+                    out.push_str(": ");
+                    out.push_str(&m.content);
+                    out.push('\n');
+                }
+                out.push_str("ASSISTANT: ");
+            }
+        }
+        out
+    }
+
+    /// The content of the most recent user message, if any.
+    pub fn last_user(&self) -> Option<&str> {
+        self.messages
+            .iter()
+            .rev()
+            .find(|m| m.role == Role::User)
+            .map(|m| m.content.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChatRequest {
+        ChatRequest {
+            messages: vec![
+                ChatMessage::system("You are DB-GPT."),
+                ChatMessage::user("show total sales"),
+                ChatMessage::assistant("SELECT SUM(amount) FROM orders;"),
+                ChatMessage::user("now by month"),
+            ],
+        }
+    }
+
+    #[test]
+    fn chatml_render_has_all_turns_and_cue() {
+        let p = sample().render(PromptFormat::ChatMl);
+        assert!(p.contains("<|im_start|>system\nYou are DB-GPT.<|im_end|>"));
+        assert!(p.contains("<|im_start|>user\nshow total sales<|im_end|>"));
+        assert!(p.ends_with("<|im_start|>assistant\n"));
+    }
+
+    #[test]
+    fn glm_render_numbers_rounds() {
+        let p = sample().render(PromptFormat::Glm);
+        assert!(p.contains("[Round 1]\n问: show total sales"));
+        assert!(p.contains("[Round 2]\n问: now by month"));
+        assert!(p.ends_with("答: "));
+    }
+
+    #[test]
+    fn plain_render_uppercases_roles() {
+        let p = sample().render(PromptFormat::Plain);
+        assert!(p.contains("SYSTEM: You are DB-GPT."));
+        assert!(p.contains("USER: now by month"));
+        assert!(p.ends_with("ASSISTANT: "));
+    }
+
+    #[test]
+    fn last_user_finds_latest() {
+        assert_eq!(sample().last_user(), Some("now by month"));
+        let empty = ChatRequest { messages: vec![] };
+        assert_eq!(empty.last_user(), None);
+        let only_system = ChatRequest {
+            messages: vec![ChatMessage::system("x")],
+        };
+        assert_eq!(only_system.last_user(), None);
+    }
+
+    #[test]
+    fn builder_appends() {
+        let r = ChatRequest::from_user("hi").with(ChatMessage::assistant("hello"));
+        assert_eq!(r.messages.len(), 2);
+        assert_eq!(r.messages[1].role, Role::Assistant);
+    }
+
+    #[test]
+    fn role_names() {
+        assert_eq!(Role::System.as_str(), "system");
+        assert_eq!(Role::User.as_str(), "user");
+        assert_eq!(Role::Assistant.as_str(), "assistant");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ChatRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the LLM substrate.
+
+use std::fmt;
+
+/// Errors produced by model inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// The prompt (plus requested completion budget) does not fit in the
+    /// model's context window.
+    ContextOverflow {
+        /// Name of the model that rejected the prompt.
+        model: String,
+        /// Number of tokens in the offending prompt.
+        prompt_tokens: usize,
+        /// The model's context window, in tokens.
+        context_window: usize,
+    },
+    /// The prompt was empty or contained no recognisable content.
+    EmptyPrompt,
+    /// A generation parameter was out of its legal range.
+    InvalidParams(String),
+    /// No model with the given name exists in the catalog/registry.
+    UnknownModel(String),
+    /// The (simulated) backend failed — used by SMMF failure injection.
+    Backend(String),
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::ContextOverflow {
+                model,
+                prompt_tokens,
+                context_window,
+            } => write!(
+                f,
+                "prompt of {prompt_tokens} tokens exceeds context window \
+                 of {context_window} for model `{model}`"
+            ),
+            LlmError::EmptyPrompt => write!(f, "prompt is empty"),
+            LlmError::InvalidParams(msg) => write!(f, "invalid generation params: {msg}"),
+            LlmError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
+            LlmError::Backend(msg) => write!(f, "backend failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_context_overflow() {
+        let e = LlmError::ContextOverflow {
+            model: "proxy-gpt".into(),
+            prompt_tokens: 9000,
+            context_window: 8192,
+        };
+        let s = e.to_string();
+        assert!(s.contains("9000"));
+        assert!(s.contains("8192"));
+        assert!(s.contains("proxy-gpt"));
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert_eq!(LlmError::EmptyPrompt.to_string(), "prompt is empty");
+        assert!(LlmError::UnknownModel("x".into()).to_string().contains('x'));
+        assert!(LlmError::InvalidParams("temp".into())
+            .to_string()
+            .contains("temp"));
+        assert!(LlmError::Backend("down".into()).to_string().contains("down"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LlmError::EmptyPrompt);
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulated inference latency.
+//!
+//! SMMF's routing policies (least-latency, weighted) and the deployment
+//! benchmarks need models whose *relative* cost behaves like real serving:
+//! a fixed prefill cost proportional to prompt length plus a decode cost per
+//! generated token, with larger models slower per token. No wall clock is
+//! consulted — latency is an arithmetic model, so tests and benchmarks are
+//! exactly reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters of one model backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-request overhead (scheduling, tokenization), µs.
+    pub base_us: u64,
+    /// Prefill cost per prompt token, µs.
+    pub prefill_us_per_token: u64,
+    /// Decode cost per completion token, µs.
+    pub decode_us_per_token: u64,
+}
+
+impl LatencyModel {
+    /// A model that costs nothing (useful in tests).
+    pub const ZERO: LatencyModel = LatencyModel {
+        base_us: 0,
+        prefill_us_per_token: 0,
+        decode_us_per_token: 0,
+    };
+
+    /// Simulated latency for a request, in microseconds.
+    pub fn request_us(&self, prompt_tokens: usize, completion_tokens: usize) -> u64 {
+        self.base_us
+            + self.prefill_us_per_token * prompt_tokens as u64
+            + self.decode_us_per_token * completion_tokens as u64
+    }
+
+    /// Simulated time-to-first-token, in microseconds (prefill + base).
+    pub fn ttft_us(&self, prompt_tokens: usize) -> u64 {
+        self.base_us + self.prefill_us_per_token * prompt_tokens as u64
+    }
+
+    /// Simulated decode throughput in tokens/second (0 if free).
+    pub fn decode_tokens_per_sec(&self) -> f64 {
+        if self.decode_us_per_token == 0 {
+            return f64::INFINITY;
+        }
+        1_000_000.0 / self.decode_us_per_token as f64
+    }
+}
+
+impl Default for LatencyModel {
+    /// Defaults roughly shaped like a 7B model on one GPU: 50 ms overhead,
+    /// 0.25 ms/token prefill, 25 ms/token decode (~40 tok/s).
+    fn default() -> Self {
+        LatencyModel {
+            base_us: 50_000,
+            prefill_us_per_token: 250,
+            decode_us_per_token: 25_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_latency_is_linear() {
+        let m = LatencyModel {
+            base_us: 100,
+            prefill_us_per_token: 10,
+            decode_us_per_token: 1000,
+        };
+        assert_eq!(m.request_us(0, 0), 100);
+        assert_eq!(m.request_us(5, 2), 100 + 50 + 2000);
+        // Doubling both components doubles the variable part.
+        let a = m.request_us(10, 10) - m.base_us;
+        let b = m.request_us(20, 20) - m.base_us;
+        assert_eq!(b, 2 * a);
+    }
+
+    #[test]
+    fn ttft_excludes_decode() {
+        let m = LatencyModel {
+            base_us: 100,
+            prefill_us_per_token: 10,
+            decode_us_per_token: 1000,
+        };
+        assert_eq!(m.ttft_us(7), 170);
+    }
+
+    #[test]
+    fn throughput_inverse_of_decode_cost() {
+        let m = LatencyModel {
+            base_us: 0,
+            prefill_us_per_token: 0,
+            decode_us_per_token: 25_000,
+        };
+        assert!((m.decode_tokens_per_sec() - 40.0).abs() < 1e-9);
+        assert!(LatencyModel::ZERO.decode_tokens_per_sec().is_infinite());
+    }
+
+    #[test]
+    fn default_is_plausible() {
+        let m = LatencyModel::default();
+        let tps = m.decode_tokens_per_sec();
+        assert!(tps > 10.0 && tps < 200.0, "default {tps} tok/s implausible");
+    }
+}

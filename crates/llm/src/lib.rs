@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # dbgpt-llm — simulated large-language-model substrate for `db-gpt-rs`
+//!
+//! DB-GPT (VLDB 2024 demo) is built *around* large language models: every
+//! layer of the system — the multi-agent framework, AWEL workflows, the RAG
+//! pipeline, SMMF model serving and the application layer — ultimately calls
+//! into an LLM through a narrow inference interface.
+//!
+//! This crate provides that interface ([`LanguageModel`]) together with a
+//! family of **deterministic simulated models**. A simulated model is a
+//! structured-prompt interpreter: it tokenizes the prompt, recognises the
+//! task section embedded by the upstream component (planning, extractive QA
+//! over retrieved context, summarisation, translation, …) and produces a
+//! plausible completion via rule/template engines with seeded sampling.
+//!
+//! ## Why simulation is faithful
+//!
+//! The paper's contributions (SMMF, AWEL, the agent framework, the RAG
+//! plumbing) are *model-agnostic*: they only require something that maps a
+//! prompt to a completion with token accounting and streaming. A
+//! deterministic model exercises exactly the same code paths — prompt
+//! assembly, context-window enforcement, streaming decode, output parsing —
+//! while keeping every test reproducible and runnable offline.
+//!
+//! ## Crate map
+//!
+//! - [`tokenizer`] — whitespace/punctuation tokenizer with token accounting.
+//! - [`types`] — [`GenerationParams`], [`Completion`], [`Usage`].
+//! - [`chat`] — chat messages and prompt-format rendering.
+//! - [`model`] — the [`LanguageModel`] trait and [`ModelId`] newtype.
+//! - [`skill`] — the [`PromptSkill`] extension point simulated models use.
+//! - [`skills`] — built-in skills (planner, extractive QA, summarise, …).
+//! - [`sim`] — [`SimLlm`], the simulated model runtime, plus its spec.
+//! - [`catalog`] — the built-in model zoo (`proxy-gpt`, `sim-qwen`, …).
+//! - [`stream`] — token streaming.
+//! - [`latency`] — the simulated latency model used by SMMF benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbgpt_llm::{catalog, LanguageModel, GenerationParams};
+//!
+//! let model = catalog::builtin_model("proxy-gpt").unwrap();
+//! let out = model
+//!     .generate("### Task: summarize\nRust is fast. Rust is safe. Rust is fun.",
+//!               &GenerationParams::default())
+//!     .unwrap();
+//! assert!(!out.text.is_empty());
+//! assert!(out.usage.prompt_tokens > 0);
+//! ```
+
+pub mod catalog;
+pub mod chat;
+pub mod error;
+pub mod latency;
+pub mod model;
+pub mod sim;
+pub mod skill;
+pub mod skills;
+pub mod stream;
+pub mod tokenizer;
+pub mod types;
+
+pub use catalog::builtin_model;
+pub use chat::{ChatMessage, ChatRequest, PromptFormat, Role};
+pub use error::LlmError;
+pub use model::{LanguageModel, ModelId, SharedModel};
+pub use sim::{SimLlm, SimModelSpec};
+pub use skill::{PromptSkill, SkillContext};
+pub use stream::TokenStream;
+pub use tokenizer::Tokenizer;
+pub use types::{Completion, FinishReason, GenerationParams, Usage};

@@ -1,0 +1,145 @@
+//! The [`LanguageModel`] trait — the narrow waist every DB-GPT layer
+//! programs against — plus the [`ModelId`] newtype.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::chat::{ChatRequest, PromptFormat};
+use crate::error::LlmError;
+use crate::stream::TokenStream;
+use crate::types::{Completion, GenerationParams};
+
+/// Stable identifier for a registered model (e.g. `proxy-gpt`, `sim-qwen`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModelId(pub String);
+
+impl ModelId {
+    /// Construct from anything string-like.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelId(name.into())
+    }
+
+    /// Borrow the underlying name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ModelId {
+    fn from(s: &str) -> Self {
+        ModelId(s.to_string())
+    }
+}
+
+/// A language model backend.
+///
+/// Everything above this trait (agents, RAG, apps, SMMF workers) is
+/// model-agnostic; everything below it (the simulated model zoo, a future
+/// network-backed client) is interchangeable.
+pub trait LanguageModel: Send + Sync {
+    /// This model's identifier.
+    fn id(&self) -> &ModelId;
+
+    /// Context window in billable tokens.
+    fn context_window(&self) -> usize;
+
+    /// Chat template the model was trained with.
+    fn prompt_format(&self) -> PromptFormat;
+
+    /// Generate a completion for a raw prompt.
+    fn generate(&self, prompt: &str, params: &GenerationParams) -> Result<Completion, LlmError>;
+
+    /// Generate a completion and expose it as a token stream (the default
+    /// implementation completes eagerly then streams the chunks — exactly
+    /// what an SSE proxy in front of a non-streaming backend does).
+    fn generate_stream(
+        &self,
+        prompt: &str,
+        params: &GenerationParams,
+    ) -> Result<TokenStream, LlmError> {
+        let completion = self.generate(prompt, params)?;
+        Ok(TokenStream::from_completion(completion))
+    }
+
+    /// Convenience: render a chat request in this model's native template
+    /// and generate.
+    fn chat(&self, request: &ChatRequest, params: &GenerationParams) -> Result<Completion, LlmError> {
+        let prompt = request.render(self.prompt_format());
+        self.generate(&prompt, params)
+    }
+}
+
+/// Shared handle to a model.
+pub type SharedModel = Arc<dyn LanguageModel>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FinishReason, Usage};
+
+    /// A trivially-correct model used to test the trait's default methods.
+    struct Parrot(ModelId);
+
+    impl LanguageModel for Parrot {
+        fn id(&self) -> &ModelId {
+            &self.0
+        }
+        fn context_window(&self) -> usize {
+            128
+        }
+        fn prompt_format(&self) -> PromptFormat {
+            PromptFormat::Plain
+        }
+        fn generate(&self, prompt: &str, _p: &GenerationParams) -> Result<Completion, LlmError> {
+            Ok(Completion {
+                text: prompt.to_string(),
+                finish_reason: FinishReason::Stop,
+                usage: Usage::default(),
+                model: self.0.to_string(),
+                simulated_latency_us: 0,
+            })
+        }
+    }
+
+    #[test]
+    fn model_id_display_and_eq() {
+        let a = ModelId::new("proxy-gpt");
+        let b: ModelId = "proxy-gpt".into();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "proxy-gpt");
+        assert_eq!(a.as_str(), "proxy-gpt");
+    }
+
+    #[test]
+    fn default_stream_replays_completion() {
+        let m = Parrot(ModelId::new("parrot"));
+        let s = m
+            .generate_stream("a b c", &GenerationParams::default())
+            .unwrap();
+        let text: String = s.collect();
+        assert_eq!(text, "a b c");
+    }
+
+    #[test]
+    fn chat_renders_native_format() {
+        let m = Parrot(ModelId::new("parrot"));
+        let req = ChatRequest::from_user("hello");
+        let out = m.chat(&req, &GenerationParams::default()).unwrap();
+        assert!(out.text.contains("USER: hello"));
+        assert!(out.text.ends_with("ASSISTANT: "));
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        let m: SharedModel = Arc::new(Parrot(ModelId::new("parrot")));
+        assert_eq!(m.context_window(), 128);
+    }
+}

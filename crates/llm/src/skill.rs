@@ -1,0 +1,305 @@
+//! The [`PromptSkill`] extension point and the structured-prompt convention.
+//!
+//! A simulated model is a bundle of *skills*. Each skill recognises one kind
+//! of structured prompt (planning, extractive QA, summarisation, SQL
+//! generation, …) and produces a completion for it. Upstream crates register
+//! extra skills onto a [`crate::SimLlm`] — e.g. `dbgpt-text2sql` registers a
+//! trainable Text-to-SQL skill, mirroring how DB-GPT-Hub produces fine-tuned
+//! model variants.
+//!
+//! ## The structured-prompt convention
+//!
+//! Components in this repository build prompts in sections:
+//!
+//! ```text
+//! ### Task: plan
+//! ### Context:
+//! <retrieved paragraphs, schema dumps, …>
+//! ### Input:
+//! <the user's goal or question>
+//! ```
+//!
+//! [`StructuredPrompt::parse`] recovers the sections; free-form prompts (no
+//! `### Task:` header) fall through to the generic chat skill.
+
+use std::sync::Arc;
+
+use crate::tokenizer::Tokenizer;
+
+/// A prompt parsed into its conventional sections.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StructuredPrompt {
+    /// The declared task name (lowercased), if a `### Task:` header exists.
+    pub task: Option<String>,
+    /// All named sections in order of appearance, excluding `Task`.
+    pub sections: Vec<(String, String)>,
+    /// Text before the first section header (e.g. a rendered system turn).
+    pub preamble: String,
+}
+
+impl StructuredPrompt {
+    /// Parse `prompt` into sections. Headers are lines starting with `### `
+    /// and ending with `:` (optionally with inline content after the colon).
+    pub fn parse(prompt: &str) -> Self {
+        let mut out = StructuredPrompt::default();
+        let mut current: Option<(String, String)> = None;
+        for line in prompt.lines() {
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("### ") {
+                // Flush previous section.
+                if let Some((name, body)) = current.take() {
+                    out.push_section(name, body);
+                }
+                let (name, inline) = match rest.split_once(':') {
+                    Some((n, i)) => (n.trim().to_string(), i.trim().to_string()),
+                    None => (rest.trim().to_string(), String::new()),
+                };
+                current = Some((name, inline));
+            } else {
+                match &mut current {
+                    Some((_, body)) => {
+                        if !body.is_empty() {
+                            body.push('\n');
+                        }
+                        body.push_str(line);
+                    }
+                    None => {
+                        if !out.preamble.is_empty() {
+                            out.preamble.push('\n');
+                        }
+                        out.preamble.push_str(line);
+                    }
+                }
+            }
+        }
+        if let Some((name, body)) = current.take() {
+            out.push_section(name, body);
+        }
+        out
+    }
+
+    fn push_section(&mut self, name: String, body: String) {
+        if name.eq_ignore_ascii_case("task") {
+            self.task = Some(body.trim().to_lowercase());
+        } else {
+            self.sections.push((name, body.trim().to_string()));
+        }
+    }
+
+    /// Body of the first section with the given (case-insensitive) name.
+    pub fn section(&self, name: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, b)| b.as_str())
+    }
+
+    /// The `Input` section, falling back to the preamble, falling back to
+    /// the whole last section. This is "what the user actually asked".
+    pub fn input(&self) -> &str {
+        if let Some(i) = self.section("input") {
+            return i;
+        }
+        if !self.preamble.trim().is_empty() {
+            return self.preamble.trim();
+        }
+        self.sections
+            .last()
+            .map(|(_, b)| b.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// Per-request context handed to a skill.
+#[derive(Debug, Clone)]
+pub struct SkillContext {
+    /// Shared tokenizer for budget decisions.
+    pub tokenizer: Tokenizer,
+    /// Sampling temperature (skills may vary phrasing at higher values).
+    pub temperature: f64,
+    /// Request seed, for any sampled choice a skill makes.
+    pub seed: u64,
+    /// The serving model's name (skills may reference it in output).
+    pub model: String,
+}
+
+/// One capability of a simulated model.
+pub trait PromptSkill: Send + Sync {
+    /// Skill name (diagnostic).
+    fn name(&self) -> &str;
+
+    /// Does this skill handle the given prompt? Skills are consulted in
+    /// registration order; the first match wins.
+    fn matches(&self, prompt: &StructuredPrompt, raw: &str) -> bool;
+
+    /// Produce the completion text. Returning `None` passes the prompt to
+    /// the next skill.
+    fn complete(&self, prompt: &StructuredPrompt, raw: &str, ctx: &SkillContext)
+        -> Option<String>;
+}
+
+/// Shared skill handle.
+pub type SharedSkill = Arc<dyn PromptSkill>;
+
+/// An ordered set of skills.
+#[derive(Clone, Default)]
+pub struct SkillSet {
+    skills: Vec<SharedSkill>,
+}
+
+impl SkillSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        SkillSet { skills: Vec::new() }
+    }
+
+    /// Append a skill (lowest priority so far).
+    pub fn register(&mut self, skill: SharedSkill) {
+        self.skills.push(skill);
+    }
+
+    /// Insert a skill at the front (highest priority).
+    pub fn register_front(&mut self, skill: SharedSkill) {
+        self.skills.insert(0, skill);
+    }
+
+    /// Number of registered skills.
+    pub fn len(&self) -> usize {
+        self.skills.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.skills.is_empty()
+    }
+
+    /// Names of registered skills, in priority order.
+    pub fn names(&self) -> Vec<&str> {
+        self.skills.iter().map(|s| s.name()).collect()
+    }
+
+    /// Run the first matching skill; `None` if nothing matched or the
+    /// matching skills all declined.
+    pub fn dispatch(&self, raw: &str, ctx: &SkillContext) -> Option<(String, String)> {
+        let parsed = StructuredPrompt::parse(raw);
+        for skill in &self.skills {
+            if skill.matches(&parsed, raw) {
+                if let Some(text) = skill.complete(&parsed, raw, ctx) {
+                    return Some((skill.name().to_string(), text));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for SkillSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkillSet").field("skills", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_task_and_sections() {
+        let p = StructuredPrompt::parse(
+            "### Task: plan\n### Context:\nctx line 1\nctx line 2\n### Input:\ndo things",
+        );
+        assert_eq!(p.task.as_deref(), Some("plan"));
+        assert_eq!(p.section("context"), Some("ctx line 1\nctx line 2"));
+        assert_eq!(p.section("Input"), Some("do things"));
+        assert_eq!(p.input(), "do things");
+    }
+
+    #[test]
+    fn parse_inline_section_content() {
+        let p = StructuredPrompt::parse("### Task: qa\n### Question: what is rust?");
+        assert_eq!(p.task.as_deref(), Some("qa"));
+        assert_eq!(p.section("question"), Some("what is rust?"));
+    }
+
+    #[test]
+    fn freeform_prompt_has_no_task() {
+        let p = StructuredPrompt::parse("just a plain question");
+        assert_eq!(p.task, None);
+        assert_eq!(p.input(), "just a plain question");
+    }
+
+    #[test]
+    fn preamble_preserved() {
+        let p = StructuredPrompt::parse("system stuff\n### Task: qa\n### Input: hi");
+        assert_eq!(p.preamble, "system stuff");
+        assert_eq!(p.input(), "hi");
+    }
+
+    #[test]
+    fn task_name_lowercased() {
+        let p = StructuredPrompt::parse("### Task: PLAN");
+        assert_eq!(p.task.as_deref(), Some("plan"));
+    }
+
+    struct Always(&'static str);
+    impl PromptSkill for Always {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn matches(&self, _: &StructuredPrompt, _: &str) -> bool {
+            true
+        }
+        fn complete(&self, _: &StructuredPrompt, _: &str, _: &SkillContext) -> Option<String> {
+            Some(self.0.to_string())
+        }
+    }
+
+    struct Never;
+    impl PromptSkill for Never {
+        fn name(&self) -> &str {
+            "never"
+        }
+        fn matches(&self, _: &StructuredPrompt, _: &str) -> bool {
+            false
+        }
+        fn complete(&self, _: &StructuredPrompt, _: &str, _: &SkillContext) -> Option<String> {
+            unreachable!()
+        }
+    }
+
+    fn ctx() -> SkillContext {
+        SkillContext {
+            tokenizer: Tokenizer::new(),
+            temperature: 0.0,
+            seed: 1,
+            model: "test".into(),
+        }
+    }
+
+    #[test]
+    fn dispatch_first_match_wins() {
+        let mut set = SkillSet::new();
+        set.register(Arc::new(Never));
+        set.register(Arc::new(Always("a")));
+        set.register(Arc::new(Always("b")));
+        let (name, text) = set.dispatch("x", &ctx()).unwrap();
+        assert_eq!(name, "a");
+        assert_eq!(text, "a");
+    }
+
+    #[test]
+    fn register_front_takes_priority() {
+        let mut set = SkillSet::new();
+        set.register(Arc::new(Always("low")));
+        set.register_front(Arc::new(Always("high")));
+        assert_eq!(set.dispatch("x", &ctx()).unwrap().0, "high");
+        assert_eq!(set.names(), vec!["high", "low"]);
+    }
+
+    #[test]
+    fn empty_set_dispatches_nothing() {
+        let set = SkillSet::new();
+        assert!(set.is_empty());
+        assert!(set.dispatch("x", &ctx()).is_none());
+    }
+}

@@ -1,0 +1,199 @@
+//! The extractive question-answering skill.
+//!
+//! This is the generation stage of the RAG pipeline (Fig. 2): the retrieval
+//! stage places the top-k paragraphs into a `### Context:` section and the
+//! question into `### Input:`; this skill then answers *extractively* by
+//! scoring context sentences against the question and returning the best
+//! ones. Extractive answering keeps the simulation honest — the model can
+//! only answer from supplied context, so RAG recall experiments measure the
+//! retrieval stack, not a hallucinating generator.
+
+use std::collections::HashSet;
+
+use crate::skill::{PromptSkill, SkillContext, StructuredPrompt};
+
+/// Stop words ignored when scoring sentence overlap.
+const STOP_WORDS: &[&str] = &[
+    "the", "a", "an", "is", "are", "was", "were", "of", "in", "on", "to", "and", "or", "for",
+    "with", "what", "which", "who", "how", "why", "when", "where", "does", "do", "did", "it",
+    "this", "that", "be", "as", "at", "by", "from",
+];
+
+/// The extractive QA skill (see module docs).
+#[derive(Debug, Default)]
+pub struct ExtractiveQaSkill {
+    /// Maximum sentences to include in an answer.
+    max_sentences: usize,
+}
+
+impl ExtractiveQaSkill {
+    /// Create with the default answer budget (2 sentences).
+    pub fn new() -> Self {
+        ExtractiveQaSkill { max_sentences: 2 }
+    }
+
+    /// Create with a custom sentence budget.
+    pub fn with_max_sentences(max_sentences: usize) -> Self {
+        ExtractiveQaSkill {
+            max_sentences: max_sentences.max(1),
+        }
+    }
+}
+
+/// Lowercased content words of `text`.
+fn content_words(text: &str) -> HashSet<String> {
+    text.split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .filter(|w| !STOP_WORDS.contains(&w.as_str()))
+        .collect()
+}
+
+/// Split text into sentences on `.`, `!`, `?`, `。`, and newlines.
+fn sentences(text: &str) -> Vec<&str> {
+    text.split_inclusive(['.', '!', '?', '。', '\n'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+impl PromptSkill for ExtractiveQaSkill {
+    fn name(&self) -> &str {
+        "extractive-qa"
+    }
+
+    fn matches(&self, prompt: &StructuredPrompt, _raw: &str) -> bool {
+        let task_is_qa = matches!(prompt.task.as_deref(), Some("qa") | Some("answer"));
+        // Also handle any untasked prompt that carries context + a question.
+        task_is_qa || (prompt.task.is_none() && prompt.section("context").is_some())
+    }
+
+    fn complete(
+        &self,
+        prompt: &StructuredPrompt,
+        _raw: &str,
+        _ctx: &SkillContext,
+    ) -> Option<String> {
+        let context = prompt.section("context")?;
+        let question = prompt.input();
+        if context.trim().is_empty() {
+            return Some(
+                "I could not find relevant information in the knowledge base to answer that."
+                    .to_string(),
+            );
+        }
+        let q_words = content_words(question);
+        let mut scored: Vec<(f64, usize, &str)> = sentences(context)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let s_words = content_words(s);
+                let overlap = s_words.intersection(&q_words).count() as f64;
+                let denom = (q_words.len().max(1)) as f64;
+                (overlap / denom, i, s)
+            })
+            .collect();
+        // Highest score first; ties broken by original order for determinism.
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let best: Vec<&str> = scored
+            .iter()
+            .take(self.max_sentences)
+            .filter(|(score, _, _)| *score > 0.0)
+            .map(|&(_, _, s)| s)
+            .collect();
+        if best.is_empty() {
+            return Some(
+                "I could not find relevant information in the knowledge base to answer that."
+                    .to_string(),
+            );
+        }
+        Some(best.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn ctx() -> SkillContext {
+        SkillContext {
+            tokenizer: Tokenizer::new(),
+            temperature: 0.0,
+            seed: 0,
+            model: "t".into(),
+        }
+    }
+
+    fn answer(context: &str, question: &str) -> String {
+        let raw = format!("### Task: qa\n### Context:\n{context}\n### Input:\n{question}");
+        let parsed = StructuredPrompt::parse(&raw);
+        let skill = ExtractiveQaSkill::new();
+        assert!(skill.matches(&parsed, &raw));
+        skill.complete(&parsed, &raw, &ctx()).unwrap()
+    }
+
+    #[test]
+    fn answers_from_most_relevant_sentence() {
+        let context = "DB-GPT uses AWEL to orchestrate workflows. \
+                       The moon orbits the earth. \
+                       SMMF manages private model deployments.";
+        let a = answer(context, "what manages private model deployments?");
+        assert!(a.contains("SMMF"), "got: {a}");
+    }
+
+    #[test]
+    fn refuses_when_no_overlap() {
+        let a = answer("Cats are mammals.", "quantum chromodynamics coupling constant?");
+        assert!(a.contains("could not find"));
+    }
+
+    #[test]
+    fn refuses_on_empty_context() {
+        let raw = "### Task: qa\n### Context:\n\n### Input:\nanything?";
+        let parsed = StructuredPrompt::parse(raw);
+        let a = ExtractiveQaSkill::new()
+            .complete(&parsed, raw, &ctx())
+            .unwrap();
+        assert!(a.contains("could not find"));
+    }
+
+    #[test]
+    fn sentence_budget_respected() {
+        let context = "Rust is fast. Rust is safe. Rust is fun. Rust is popular.";
+        let raw = format!("### Task: qa\n### Context:\n{context}\n### Input:\ntell me about Rust");
+        let parsed = StructuredPrompt::parse(&raw);
+        let skill = ExtractiveQaSkill::with_max_sentences(1);
+        let a = skill.complete(&parsed, &raw, &ctx()).unwrap();
+        assert_eq!(sentences(&a).len(), 1);
+    }
+
+    #[test]
+    fn matches_contextful_prompt_without_task() {
+        let raw = "### Context:\nfoo bar\n### Input:\nfoo?";
+        let parsed = StructuredPrompt::parse(raw);
+        assert!(ExtractiveQaSkill::new().matches(&parsed, raw));
+    }
+
+    #[test]
+    fn deterministic_tie_break_prefers_earlier_sentence() {
+        let context = "Alpha mentions rust. Beta mentions rust.";
+        let a = answer(context, "rust?");
+        assert!(a.starts_with("Alpha"), "got: {a}");
+    }
+
+    #[test]
+    fn content_words_filters_stop_words() {
+        let w = content_words("What is the AWEL language?");
+        assert!(w.contains("awel"));
+        assert!(w.contains("language"));
+        assert!(!w.contains("what"));
+        assert!(!w.contains("the"));
+    }
+
+    #[test]
+    fn sentence_splitter_handles_cjk_period() {
+        let s = sentences("第一句。第二句。");
+        assert_eq!(s.len(), 2);
+    }
+}

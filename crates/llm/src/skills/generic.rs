@@ -1,0 +1,170 @@
+//! The catch-all chat skill.
+//!
+//! Every simulated model ends its skill chain with this skill so that any
+//! prompt — including free-form chit-chat the application layer forwards
+//! verbatim — receives *some* deterministic completion. The reply is a
+//! template anchored on the prompt's salient terms, so downstream tests can
+//! assert the model "engaged with" the input without the simulation
+//! pretending to general intelligence.
+
+use std::collections::HashSet;
+
+use crate::skill::{PromptSkill, SkillContext, StructuredPrompt};
+
+/// Words too common to count as salient.
+const COMMON: &[&str] = &[
+    "the", "a", "an", "is", "are", "of", "in", "on", "to", "and", "or", "for", "with", "me",
+    "my", "your", "please", "can", "you", "i", "we", "it", "show", "tell", "about", "what",
+    "how", "that", "this",
+];
+
+/// The fallback chat skill (see module docs).
+#[derive(Debug, Default)]
+pub struct GenericChatSkill;
+
+impl GenericChatSkill {
+    /// Create the skill.
+    pub fn new() -> Self {
+        GenericChatSkill
+    }
+
+    /// The up-to-four most salient (longest, de-duplicated) words.
+    fn salient_terms(input: &str) -> Vec<String> {
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut words: Vec<String> = input
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .filter(|w| w.len() > 2)
+            .map(|w| w.to_lowercase())
+            .filter(|w| !COMMON.contains(&w.as_str()))
+            .filter(|w| seen.insert(w.clone()))
+            .collect();
+        // Longest first, ties by dictionary order — deterministic.
+        words.sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
+        words.truncate(4);
+        words
+    }
+}
+
+impl PromptSkill for GenericChatSkill {
+    fn name(&self) -> &str {
+        "generic-chat"
+    }
+
+    fn matches(&self, _prompt: &StructuredPrompt, _raw: &str) -> bool {
+        true
+    }
+
+    fn complete(
+        &self,
+        prompt: &StructuredPrompt,
+        raw: &str,
+        ctx: &SkillContext,
+    ) -> Option<String> {
+        let input = {
+            let i = prompt.input();
+            if i.is_empty() {
+                raw
+            } else {
+                i
+            }
+        };
+        let terms = Self::salient_terms(input);
+        if terms.is_empty() {
+            return Some(format!(
+                "[{}] I am ready to help with your data interaction tasks.",
+                ctx.model
+            ));
+        }
+        // Vary the opener with the seed at non-zero temperature, so repeated
+        // sampling looks like sampling — but stay deterministic per seed.
+        const OPENERS: &[&str] = &[
+            "Here is what I can tell you about",
+            "Let me address",
+            "Regarding",
+            "Focusing on",
+        ];
+        let idx = if ctx.temperature > 0.0 {
+            (ctx.seed as usize) % OPENERS.len()
+        } else {
+            0
+        };
+        Some(format!(
+            "[{}] {} {}: based on the available information, the system can assist \
+             with analysis, queries and visualization for this topic.",
+            ctx.model,
+            OPENERS[idx],
+            terms.join(", ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn ctx() -> SkillContext {
+        SkillContext {
+            tokenizer: Tokenizer::new(),
+            temperature: 0.0,
+            seed: 0,
+            model: "proxy-gpt".into(),
+        }
+    }
+
+    #[test]
+    fn always_matches() {
+        let p = StructuredPrompt::parse("anything");
+        assert!(GenericChatSkill::new().matches(&p, "anything"));
+    }
+
+    #[test]
+    fn reply_mentions_salient_terms() {
+        let raw = "tell me about database sharding strategies";
+        let p = StructuredPrompt::parse(raw);
+        let out = GenericChatSkill::new().complete(&p, raw, &ctx()).unwrap();
+        assert!(out.contains("sharding"));
+        assert!(out.contains("database"));
+        assert!(out.contains("proxy-gpt"));
+    }
+
+    #[test]
+    fn empty_input_gets_ready_message() {
+        let p = StructuredPrompt::parse("");
+        let out = GenericChatSkill::new().complete(&p, "", &ctx()).unwrap();
+        assert!(out.contains("ready to help"));
+    }
+
+    #[test]
+    fn deterministic_at_zero_temperature() {
+        let raw = "analyze quarterly revenue";
+        let p = StructuredPrompt::parse(raw);
+        let a = GenericChatSkill::new().complete(&p, raw, &ctx()).unwrap();
+        let b = GenericChatSkill::new().complete(&p, raw, &ctx()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_varies_opener_at_temperature() {
+        let raw = "analyze quarterly revenue";
+        let p = StructuredPrompt::parse(raw);
+        let mut c1 = ctx();
+        c1.temperature = 1.0;
+        c1.seed = 0;
+        let mut c2 = ctx();
+        c2.temperature = 1.0;
+        c2.seed = 1;
+        let a = GenericChatSkill::new().complete(&p, raw, &c1).unwrap();
+        let b = GenericChatSkill::new().complete(&p, raw, &c2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn salient_terms_dedup_and_cap() {
+        let terms =
+            GenericChatSkill::salient_terms("alpha alpha beta gamma delta epsilon zeta");
+        assert!(terms.len() <= 4);
+        let set: HashSet<&String> = terms.iter().collect();
+        assert_eq!(set.len(), terms.len());
+    }
+}

@@ -1,0 +1,51 @@
+//! Built-in skills for the simulated model zoo.
+//!
+//! Each submodule implements one [`crate::PromptSkill`]:
+//!
+//! - [`planner`] — turns a natural-language goal into a JSON task plan
+//!   (drives the Multi-Agents framework's planning agent).
+//! - [`extractive_qa`] — answers a question from supplied context paragraphs
+//!   (the generation stage of the RAG pipeline, Fig. 2).
+//! - [`summarize`] — lead-sentence summarisation.
+//! - [`translate`] — zh↔en handling for the multilingual application paths.
+//! - [`generic`] — the catch-all chat skill every model ends with.
+
+pub mod extractive_qa;
+pub mod generic;
+pub mod planner;
+pub mod summarize;
+pub mod translate;
+
+pub use extractive_qa::ExtractiveQaSkill;
+pub use generic::GenericChatSkill;
+pub use planner::PlannerSkill;
+pub use summarize::SummarizeSkill;
+pub use translate::TranslateSkill;
+
+use crate::skill::SkillSet;
+use std::sync::Arc;
+
+/// The default skill bundle shared by every built-in simulated model.
+pub fn default_skills() -> SkillSet {
+    let mut set = SkillSet::new();
+    set.register(Arc::new(PlannerSkill::new()));
+    set.register(Arc::new(ExtractiveQaSkill::new()));
+    set.register(Arc::new(SummarizeSkill::new()));
+    set.register(Arc::new(TranslateSkill::new()));
+    set.register(Arc::new(GenericChatSkill::new()));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bundle_order() {
+        let set = default_skills();
+        assert_eq!(
+            set.names(),
+            vec!["planner", "extractive-qa", "summarize", "translate", "generic-chat"]
+        );
+    }
+}

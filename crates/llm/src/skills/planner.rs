@@ -1,0 +1,311 @@
+//! The planning skill.
+//!
+//! DB-GPT's Multi-Agents framework "begins with invoking a planner to
+//! generate a four-step strategy tailored to the task" (§3, Fig. 3 area ③).
+//! This skill is the model-side half of that: given a `### Task: plan`
+//! prompt whose `Input` is the user's goal, it emits a JSON array of plan
+//! steps the planner agent parses back.
+//!
+//! The skill understands the sales-report demo goal specially — it detects
+//! analysis *dimensions* (product category, user demographics, monthly
+//! trend) and assigns the chart types the paper names (donut, bar, area) —
+//! and degrades gracefully to a clause-per-step plan for arbitrary goals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::skill::{PromptSkill, SkillContext, StructuredPrompt};
+
+/// One step of a generated plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// 1-based step number.
+    pub id: usize,
+    /// Human-readable description.
+    pub description: String,
+    /// Which agent role should execute this step.
+    pub agent: String,
+    /// Chart type, when the step produces a chart.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub chart: Option<String>,
+    /// Analysis dimension, when the step analyses data.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub dimension: Option<String>,
+}
+
+/// A recognised analysis dimension with its paper-assigned chart type.
+struct Dimension {
+    keywords: &'static [&'static str],
+    name: &'static str,
+    chart: &'static str,
+    description: &'static str,
+}
+
+const DIMENSIONS: &[Dimension] = &[
+    Dimension {
+        keywords: &["category", "categories", "product", "品类", "产品"],
+        name: "product category",
+        chart: "donut",
+        description: "Analyze total sales by product category",
+    },
+    Dimension {
+        keywords: &["user", "users", "customer", "demographic", "order", "orders", "用户", "客户"],
+        name: "user demographics",
+        chart: "bar",
+        description: "Examine sales data from the perspective of user demographics",
+    },
+    Dimension {
+        keywords: &["month", "monthly", "trend", "time", "季度", "月", "趋势"],
+        name: "monthly trend",
+        chart: "area",
+        description: "Evaluate monthly sales trends",
+    },
+    Dimension {
+        keywords: &["region", "regional", "geography", "city", "地区", "城市"],
+        name: "region",
+        chart: "bar",
+        description: "Break down sales by region",
+    },
+];
+
+/// The planning skill (see module docs).
+#[derive(Debug, Default)]
+pub struct PlannerSkill;
+
+impl PlannerSkill {
+    /// Create the skill.
+    pub fn new() -> Self {
+        PlannerSkill
+    }
+
+    /// Build the demo-style analysis plan when the goal mentions data
+    /// analysis / reports, else a clause-per-step generic plan.
+    fn plan_for(&self, goal: &str) -> Vec<PlanStep> {
+        let lower = goal.to_lowercase();
+        let is_analysis = ["report", "analy", "sales", "chart", "dashboard", "报表", "分析"]
+            .iter()
+            .any(|k| lower.contains(k));
+        if is_analysis {
+            self.analysis_plan(&lower, goal)
+        } else {
+            self.generic_plan(goal)
+        }
+    }
+
+    fn analysis_plan(&self, lower_goal: &str, goal: &str) -> Vec<PlanStep> {
+        // Pick the dimensions the goal mentions; default to the paper's
+        // three (category, demographics, monthly trend) when it just asks
+        // for "at least three distinct dimensions".
+        let mut picked: Vec<&Dimension> = DIMENSIONS
+            .iter()
+            .filter(|d| d.keywords.iter().any(|k| lower_goal.contains(k)))
+            .collect();
+        let wanted = requested_dimension_count(lower_goal).unwrap_or(3).max(1);
+        for d in DIMENSIONS {
+            if picked.len() >= wanted {
+                break;
+            }
+            if !picked.iter().any(|p| p.name == d.name) {
+                picked.push(d);
+            }
+        }
+        picked.truncate(wanted);
+        // Present steps in the canonical order of Fig. 3: category, then
+        // demographics, then trend (DIMENSIONS order).
+        picked.sort_by_key(|d| {
+            DIMENSIONS.iter().position(|x| x.name == d.name).unwrap_or(usize::MAX)
+        });
+
+        let mut steps = Vec::with_capacity(picked.len() + 1);
+        for (i, d) in picked.iter().enumerate() {
+            steps.push(PlanStep {
+                id: i + 1,
+                description: d.description.to_string(),
+                agent: "chart_generator".into(),
+                chart: Some(d.chart.to_string()),
+                dimension: Some(d.name.to_string()),
+            });
+        }
+        steps.push(PlanStep {
+            id: steps.len() + 1,
+            description: format!("Aggregate the charts and present the report for: {goal}"),
+            agent: "aggregator".into(),
+            chart: None,
+            dimension: None,
+        });
+        steps
+    }
+
+    fn generic_plan(&self, goal: &str) -> Vec<PlanStep> {
+        let clauses: Vec<&str> = goal
+            .split(['.', ';', ',', '，', '。'])
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut steps: Vec<PlanStep> = clauses
+            .iter()
+            .enumerate()
+            .map(|(i, c)| PlanStep {
+                id: i + 1,
+                description: c.to_string(),
+                agent: "worker".into(),
+                chart: None,
+                dimension: None,
+            })
+            .collect();
+        if steps.is_empty() {
+            steps.push(PlanStep {
+                id: 1,
+                description: goal.to_string(),
+                agent: "worker".into(),
+                chart: None,
+                dimension: None,
+            });
+        }
+        steps.push(PlanStep {
+            id: steps.len() + 1,
+            description: "Summarize and report the results".into(),
+            agent: "aggregator".into(),
+            chart: None,
+            dimension: None,
+        });
+        steps
+    }
+}
+
+/// Parse "three distinct dimensions" / "3 dimensions" style requests.
+fn requested_dimension_count(lower_goal: &str) -> Option<usize> {
+    const WORDS: &[(&str, usize)] = &[
+        ("two", 2),
+        ("three", 3),
+        ("four", 4),
+        ("三个", 3),
+        ("四个", 4),
+    ];
+    if let Some(pos) = lower_goal.find("dimension").or_else(|| lower_goal.find("维度")) {
+        let before = &lower_goal[..pos];
+        // Nearest number word or digit before "dimension".
+        for (w, n) in WORDS {
+            if before.contains(w) {
+                return Some(*n);
+            }
+        }
+        if let Some(d) = before.chars().rev().find(|c| c.is_ascii_digit()) {
+            return d.to_digit(10).map(|n| n as usize);
+        }
+    }
+    None
+}
+
+impl PromptSkill for PlannerSkill {
+    fn name(&self) -> &str {
+        "planner"
+    }
+
+    fn matches(&self, prompt: &StructuredPrompt, _raw: &str) -> bool {
+        matches!(prompt.task.as_deref(), Some("plan") | Some("planning"))
+    }
+
+    fn complete(
+        &self,
+        prompt: &StructuredPrompt,
+        _raw: &str,
+        _ctx: &SkillContext,
+    ) -> Option<String> {
+        let goal = prompt.input();
+        if goal.is_empty() {
+            return None;
+        }
+        let steps = self.plan_for(goal);
+        serde_json::to_string_pretty(&steps).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn run(goal: &str) -> Vec<PlanStep> {
+        let skill = PlannerSkill::new();
+        let raw = format!("### Task: plan\n### Input:\n{goal}");
+        let parsed = StructuredPrompt::parse(&raw);
+        assert!(skill.matches(&parsed, &raw));
+        let ctx = SkillContext {
+            tokenizer: Tokenizer::new(),
+            temperature: 0.0,
+            seed: 0,
+            model: "t".into(),
+        };
+        let out = skill.complete(&parsed, &raw, &ctx).unwrap();
+        serde_json::from_str(&out).unwrap()
+    }
+
+    #[test]
+    fn demo_goal_yields_four_step_plan() {
+        // The exact Fig. 3 command.
+        let steps = run(
+            "Build sales reports and analyze user orders from at least three distinct dimensions",
+        );
+        assert_eq!(steps.len(), 4, "planner + 3 charts + aggregate = 4 steps");
+        let charts: Vec<&str> = steps
+            .iter()
+            .filter_map(|s| s.chart.as_deref())
+            .collect();
+        assert!(charts.contains(&"donut"));
+        assert!(charts.contains(&"bar"));
+        assert!(charts.contains(&"area"));
+        assert_eq!(steps.last().unwrap().agent, "aggregator");
+    }
+
+    #[test]
+    fn dimensions_follow_goal_keywords() {
+        let steps = run("sales report by product category only, 1 dimension");
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].dimension.as_deref(), Some("product category"));
+        assert_eq!(steps[0].chart.as_deref(), Some("donut"));
+    }
+
+    #[test]
+    fn four_dimensions_when_requested() {
+        let steps = run("build a sales report across four distinct dimensions");
+        assert_eq!(steps.len(), 5);
+    }
+
+    #[test]
+    fn chinese_goal_is_understood() {
+        let steps = run("构建销售报表，从三个维度分析用户订单");
+        assert_eq!(steps.len(), 4);
+        assert!(steps.iter().any(|s| s.chart.as_deref() == Some("donut")));
+    }
+
+    #[test]
+    fn generic_goal_splits_into_clauses() {
+        let steps = run("collect the logs, parse the errors, email the summary");
+        assert_eq!(steps.len(), 4); // 3 clauses + aggregate
+        assert_eq!(steps[0].agent, "worker");
+        assert_eq!(steps.last().unwrap().agent, "aggregator");
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let steps = run("Build sales reports from three dimensions");
+        for (i, s) in steps.iter().enumerate() {
+            assert_eq!(s.id, i + 1);
+        }
+    }
+
+    #[test]
+    fn does_not_match_other_tasks() {
+        let skill = PlannerSkill::new();
+        let p = StructuredPrompt::parse("### Task: qa\n### Input: hi");
+        assert!(!skill.matches(&p, ""));
+    }
+
+    #[test]
+    fn plan_steps_serde_roundtrip() {
+        let steps = run("Build sales reports from three dimensions");
+        let json = serde_json::to_string(&steps).unwrap();
+        let back: Vec<PlanStep> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, steps);
+    }
+}

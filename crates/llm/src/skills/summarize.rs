@@ -1,0 +1,155 @@
+//! The summarisation skill.
+//!
+//! Used by the aggregator agent (Fig. 3 area ⑤) to produce the narrative
+//! that accompanies the generated charts, and by the knowledge-base QA app
+//! to compress long retrieved passages. Lead-sentence extraction per
+//! paragraph keeps output deterministic and grounded in the input.
+
+use crate::skill::{PromptSkill, SkillContext, StructuredPrompt};
+
+/// The summarisation skill (see module docs).
+#[derive(Debug, Default)]
+pub struct SummarizeSkill {
+    /// Token budget for the summary.
+    budget_tokens: usize,
+}
+
+impl SummarizeSkill {
+    /// Create with the default budget (60 tokens).
+    pub fn new() -> Self {
+        SummarizeSkill { budget_tokens: 60 }
+    }
+
+    /// Create with a custom token budget.
+    pub fn with_budget(budget_tokens: usize) -> Self {
+        SummarizeSkill {
+            budget_tokens: budget_tokens.max(5),
+        }
+    }
+}
+
+/// First sentence of `paragraph`, or the whole paragraph if unpunctuated.
+fn lead_sentence(paragraph: &str) -> &str {
+    for (i, c) in paragraph.char_indices() {
+        if matches!(c, '.' | '!' | '?' | '。') {
+            return paragraph[..i + c.len_utf8()].trim();
+        }
+    }
+    paragraph.trim()
+}
+
+impl PromptSkill for SummarizeSkill {
+    fn name(&self) -> &str {
+        "summarize"
+    }
+
+    fn matches(&self, prompt: &StructuredPrompt, raw: &str) -> bool {
+        matches!(prompt.task.as_deref(), Some("summarize") | Some("summary"))
+            || (prompt.task.is_none()
+                && raw.to_lowercase().starts_with("summarize"))
+    }
+
+    fn complete(
+        &self,
+        prompt: &StructuredPrompt,
+        raw: &str,
+        ctx: &SkillContext,
+    ) -> Option<String> {
+        // The text to summarise: a Context section, the Input, or everything
+        // after a leading "summarize" directive.
+        let body = prompt
+            .section("context")
+            .map(str::to_string)
+            .or_else(|| {
+                let input = prompt.input();
+                if !input.is_empty() {
+                    Some(input.to_string())
+                } else {
+                    None
+                }
+            })
+            .or_else(|| {
+                raw.to_lowercase()
+                    .starts_with("summarize")
+                    .then(|| raw[9..].trim().to_string())
+            })?;
+        if body.trim().is_empty() {
+            return None;
+        }
+        let mut out = String::new();
+        for para in body.split("\n\n").flat_map(|p| p.split('\n')) {
+            let para = para.trim();
+            if para.is_empty() {
+                continue;
+            }
+            let lead = lead_sentence(para);
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(lead);
+            if ctx.tokenizer.count(&out) >= self.budget_tokens {
+                break;
+            }
+        }
+        let (truncated, _) = ctx.tokenizer.truncate(&out, self.budget_tokens);
+        Some(truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn ctx() -> SkillContext {
+        SkillContext {
+            tokenizer: Tokenizer::new(),
+            temperature: 0.0,
+            seed: 0,
+            model: "t".into(),
+        }
+    }
+
+    #[test]
+    fn takes_lead_sentences_per_paragraph() {
+        let raw = "### Task: summarize\n### Context:\nAlpha one. Alpha two.\nBeta one. Beta two.";
+        let parsed = StructuredPrompt::parse(raw);
+        let s = SummarizeSkill::new().complete(&parsed, raw, &ctx()).unwrap();
+        assert!(s.contains("Alpha one."));
+        assert!(s.contains("Beta one."));
+        assert!(!s.contains("Alpha two"));
+    }
+
+    #[test]
+    fn respects_token_budget() {
+        let body = "word. ".repeat(100);
+        let raw = format!("### Task: summarize\n### Context:\n{body}");
+        let parsed = StructuredPrompt::parse(&raw);
+        let skill = SummarizeSkill::with_budget(10);
+        let s = skill.complete(&parsed, &raw, &ctx()).unwrap();
+        assert!(ctx().tokenizer.count(&s) <= 10);
+    }
+
+    #[test]
+    fn matches_bare_summarize_prefix() {
+        let raw = "Summarize the following: Rust is great. It compiles fast.";
+        let parsed = StructuredPrompt::parse(raw);
+        let skill = SummarizeSkill::new();
+        assert!(skill.matches(&parsed, raw));
+        let s = skill.complete(&parsed, raw, &ctx()).unwrap();
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn declines_on_empty_body() {
+        let raw = "### Task: summarize\n### Context:\n";
+        let parsed = StructuredPrompt::parse(raw);
+        assert!(SummarizeSkill::new().complete(&parsed, raw, &ctx()).is_none());
+    }
+
+    #[test]
+    fn unpunctuated_paragraph_taken_whole() {
+        assert_eq!(lead_sentence("no punctuation here"), "no punctuation here");
+        assert_eq!(lead_sentence("first. second."), "first.");
+    }
+}

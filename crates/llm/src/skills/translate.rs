@@ -1,0 +1,206 @@
+//! The translation skill — multilingual interaction support.
+//!
+//! Table 1 lists "Multilingual Interactions" as a DB-GPT capability
+//! (English and Chinese, §1). The simulated models implement it with a
+//! domain phrasebook covering the data-interaction vocabulary the
+//! application layer actually uses, plus language detection so apps can
+//! route Chinese goals through the same pipelines as English ones.
+
+use crate::skill::{PromptSkill, SkillContext, StructuredPrompt};
+
+/// zh → en phrasebook for the data-interaction domain. Longest-match-first
+/// replacement; entries are ordered accordingly at construction.
+const PHRASEBOOK: &[(&str, &str)] = &[
+    ("构建销售报表", "build sales reports"),
+    ("销售报表", "sales report"),
+    ("用户订单", "user orders"),
+    ("产品品类", "product category"),
+    ("数据分析", "data analysis"),
+    ("知识库", "knowledge base"),
+    ("数据库", "database"),
+    ("月度趋势", "monthly trend"),
+    ("可视化", "visualization"),
+    ("查询", "query"),
+    ("销售", "sales"),
+    ("报表", "report"),
+    ("分析", "analyze"),
+    ("用户", "user"),
+    ("订单", "orders"),
+    ("图表", "chart"),
+    ("维度", "dimensions"),
+    ("三个", "three"),
+    ("四个", "four"),
+    ("总额", "total"),
+    ("月份", "month"),
+    ("地区", "region"),
+];
+
+/// Fraction of CJK characters above which text counts as Chinese.
+const CJK_THRESHOLD: f64 = 0.25;
+
+/// Is `c` in the main CJK ranges?
+fn is_cjk(c: char) -> bool {
+    matches!(c as u32, 0x4E00..=0x9FFF | 0x3400..=0x4DBF)
+}
+
+/// Detected language of a piece of text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Language {
+    /// Mostly English/Latin text.
+    English,
+    /// Mostly Chinese text.
+    Chinese,
+}
+
+/// Detect the dominant language of `text`.
+pub fn detect_language(text: &str) -> Language {
+    let total = text.chars().filter(|c| !c.is_whitespace()).count();
+    if total == 0 {
+        return Language::English;
+    }
+    let cjk = text.chars().filter(|&c| is_cjk(c)).count();
+    if (cjk as f64) / (total as f64) >= CJK_THRESHOLD {
+        Language::Chinese
+    } else {
+        Language::English
+    }
+}
+
+/// Translate Chinese data-interaction phrases to English using the
+/// phrasebook (unknown spans pass through unchanged).
+pub fn zh_to_en(text: &str) -> String {
+    let mut out = text.to_string();
+    for (zh, en) in PHRASEBOOK {
+        if out.contains(zh) {
+            // Insert spaces so the result tokenizes like English.
+            out = out.replace(zh, &format!(" {en} "));
+        }
+    }
+    // Collapse runs of spaces introduced by replacement.
+    let mut collapsed = String::with_capacity(out.len());
+    let mut last_space = true;
+    for c in out.chars() {
+        if c == ' ' {
+            if !last_space {
+                collapsed.push(' ');
+            }
+            last_space = true;
+        } else {
+            collapsed.push(c);
+            last_space = false;
+        }
+    }
+    collapsed.trim().to_string()
+}
+
+/// The translation skill (see module docs).
+#[derive(Debug, Default)]
+pub struct TranslateSkill;
+
+impl TranslateSkill {
+    /// Create the skill.
+    pub fn new() -> Self {
+        TranslateSkill
+    }
+}
+
+impl PromptSkill for TranslateSkill {
+    fn name(&self) -> &str {
+        "translate"
+    }
+
+    fn matches(&self, prompt: &StructuredPrompt, _raw: &str) -> bool {
+        matches!(prompt.task.as_deref(), Some("translate"))
+    }
+
+    fn complete(
+        &self,
+        prompt: &StructuredPrompt,
+        _raw: &str,
+        _ctx: &SkillContext,
+    ) -> Option<String> {
+        let input = prompt.input();
+        if input.is_empty() {
+            return None;
+        }
+        match detect_language(input) {
+            Language::Chinese => Some(zh_to_en(input)),
+            // en→zh is out of the phrasebook's scope: echo, which keeps the
+            // pipeline total (apps treat English as canonical).
+            Language::English => Some(input.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn ctx() -> SkillContext {
+        SkillContext {
+            tokenizer: Tokenizer::new(),
+            temperature: 0.0,
+            seed: 0,
+            model: "t".into(),
+        }
+    }
+
+    #[test]
+    fn detects_chinese() {
+        assert_eq!(detect_language("构建销售报表"), Language::Chinese);
+        assert_eq!(detect_language("build sales reports"), Language::English);
+        assert_eq!(detect_language(""), Language::English);
+    }
+
+    #[test]
+    fn mixed_text_uses_threshold() {
+        // One CJK char in a long English sentence stays English.
+        assert_eq!(
+            detect_language("please analyze the 表 in the database now"),
+            Language::English
+        );
+    }
+
+    #[test]
+    fn demo_command_translates() {
+        let en = zh_to_en("构建销售报表，从三个维度分析用户订单");
+        assert!(en.contains("build sales reports"), "got: {en}");
+        assert!(en.contains("three"));
+        assert!(en.contains("dimensions"));
+        assert!(en.contains("user"));
+        assert!(en.contains("orders"));
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // "构建销售报表" must be matched before its substring "销售报表".
+        let en = zh_to_en("构建销售报表");
+        assert_eq!(en, "build sales reports");
+    }
+
+    #[test]
+    fn skill_translates_chinese_input() {
+        let raw = "### Task: translate\n### Input:\n查询销售总额";
+        let parsed = StructuredPrompt::parse(raw);
+        let skill = TranslateSkill::new();
+        assert!(skill.matches(&parsed, raw));
+        let out = skill.complete(&parsed, raw, &ctx()).unwrap();
+        assert!(out.contains("query"));
+        assert!(out.contains("total"));
+    }
+
+    #[test]
+    fn skill_echoes_english_input() {
+        let raw = "### Task: translate\n### Input:\nshow me the money";
+        let parsed = StructuredPrompt::parse(raw);
+        let out = TranslateSkill::new().complete(&parsed, raw, &ctx()).unwrap();
+        assert_eq!(out, "show me the money");
+    }
+
+    #[test]
+    fn unknown_chinese_passes_through() {
+        let out = zh_to_en("你好世界");
+        assert!(out.contains("你好世界"));
+    }
+}

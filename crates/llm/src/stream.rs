@@ -1,0 +1,156 @@
+//! Token streaming.
+//!
+//! DB-GPT's front-end renders completions incrementally; AWEL's stream mode
+//! consumes operators that yield data piece by piece. [`TokenStream`] is the
+//! substrate for both: an iterator over completion chunks that also carries
+//! the final [`Completion`] metadata once drained.
+
+use crate::tokenizer::Tokenizer;
+use crate::types::{Completion, FinishReason, Usage};
+
+/// An iterator over the chunks of one completion.
+///
+/// Concatenating every yielded chunk reproduces `completion().text` exactly.
+#[derive(Debug, Clone)]
+pub struct TokenStream {
+    chunks: std::vec::IntoIter<String>,
+    finish_reason: FinishReason,
+    usage: Usage,
+    model: String,
+    simulated_latency_us: u64,
+    yielded: usize,
+}
+
+impl TokenStream {
+    /// Build a stream that replays an already-finished completion.
+    pub fn from_completion(completion: Completion) -> Self {
+        let tokenizer = Tokenizer::new();
+        let chunks = tokenizer.stream_chunks(&completion.text);
+        TokenStream {
+            chunks: chunks.into_iter(),
+            finish_reason: completion.finish_reason,
+            usage: completion.usage,
+            model: completion.model,
+            simulated_latency_us: completion.simulated_latency_us,
+            yielded: 0,
+        }
+    }
+
+    /// How many chunks have been yielded so far.
+    pub fn yielded(&self) -> usize {
+        self.yielded
+    }
+
+    /// Chunks remaining.
+    pub fn remaining(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Why the underlying generation stopped.
+    pub fn finish_reason(&self) -> FinishReason {
+        self.finish_reason
+    }
+
+    /// Token accounting for the whole completion.
+    pub fn usage(&self) -> Usage {
+        self.usage
+    }
+
+    /// Model that produced the stream.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Drain the stream and reassemble the full [`Completion`].
+    pub fn into_completion(self) -> Completion {
+        let usage = self.usage;
+        let finish_reason = self.finish_reason;
+        let model = self.model.clone();
+        let simulated_latency_us = self.simulated_latency_us;
+        let mut text = String::new();
+        let already: Vec<String> = self.chunks.collect();
+        for c in already {
+            text.push_str(&c);
+        }
+        Completion {
+            text,
+            finish_reason,
+            usage,
+            model,
+            simulated_latency_us,
+        }
+    }
+}
+
+impl Iterator for TokenStream {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        let n = self.chunks.next();
+        if n.is_some() {
+            self.yielded += 1;
+        }
+        n
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.chunks.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completion(text: &str) -> Completion {
+        Completion {
+            text: text.to_string(),
+            finish_reason: FinishReason::Stop,
+            usage: Usage {
+                prompt_tokens: 4,
+                completion_tokens: 3,
+            },
+            model: "proxy-gpt".into(),
+            simulated_latency_us: 10,
+        }
+    }
+
+    #[test]
+    fn stream_concatenates_to_original() {
+        let s = TokenStream::from_completion(completion("one two, three!"));
+        let text: String = s.collect();
+        assert_eq!(text, "one two, three!");
+    }
+
+    #[test]
+    fn metadata_survives_streaming() {
+        let s = TokenStream::from_completion(completion("a b"));
+        assert_eq!(s.finish_reason(), FinishReason::Stop);
+        assert_eq!(s.usage().completion_tokens, 3);
+        assert_eq!(s.model(), "proxy-gpt");
+    }
+
+    #[test]
+    fn yielded_and_remaining_track_progress() {
+        let mut s = TokenStream::from_completion(completion("a b c"));
+        assert_eq!(s.yielded(), 0);
+        let total = s.remaining();
+        s.next();
+        assert_eq!(s.yielded(), 1);
+        assert_eq!(s.remaining(), total - 1);
+    }
+
+    #[test]
+    fn into_completion_reassembles_unconsumed_tail() {
+        let mut s = TokenStream::from_completion(completion("a b c"));
+        let first = s.next().unwrap();
+        let rest = s.into_completion();
+        assert_eq!(format!("{first}{}", rest.text), "a b c");
+    }
+
+    #[test]
+    fn empty_completion_streams_nothing() {
+        let mut s = TokenStream::from_completion(completion(""));
+        assert!(s.next().is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! A deterministic word/punctuation tokenizer.
+//!
+//! Real LLM stacks use subword (BPE) tokenizers; for the simulated models in
+//! this repository the interesting properties of a tokenizer are that it is
+//! (a) deterministic, (b) reversible enough to stream completions token by
+//! token, and (c) produces counts that grow linearly with text length so the
+//! context-window and latency models behave realistically. A
+//! word-and-punctuation tokenizer satisfies all three.
+
+/// A borrowed token: either a word, a punctuation mark, or whitespace run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Alphanumeric word (includes CJK characters, one token per char —
+    /// mirroring how real tokenizers treat Chinese text).
+    Word,
+    /// A single punctuation/symbol character.
+    Punct,
+    /// A run of whitespace.
+    Space,
+}
+
+/// A token slice into the original text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token's text.
+    pub text: &'a str,
+    /// Its classification.
+    pub kind: TokenKind,
+}
+
+/// The tokenizer. Stateless; all methods take `&self` so it can be shared.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer;
+
+impl Tokenizer {
+    /// Create a tokenizer.
+    pub fn new() -> Self {
+        Tokenizer
+    }
+
+    /// Tokenize `text` into word / punctuation / whitespace tokens.
+    ///
+    /// CJK ideographs are split one-per-token (like real BPE vocabularies,
+    /// which rarely merge Chinese characters), which matters for the
+    /// multilingual paths in the application layer.
+    pub fn tokenize<'a>(&self, text: &'a str) -> Vec<Token<'a>> {
+        let mut tokens = Vec::with_capacity(text.len() / 4 + 1);
+        let mut chars = text.char_indices().peekable();
+        while let Some((start, c)) = chars.next() {
+            if c.is_whitespace() {
+                let mut end = start + c.len_utf8();
+                while let Some(&(i, nc)) = chars.peek() {
+                    if nc.is_whitespace() {
+                        end = i + nc.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    text: &text[start..end],
+                    kind: TokenKind::Space,
+                });
+            } else if is_cjk(c) {
+                tokens.push(Token {
+                    text: &text[start..start + c.len_utf8()],
+                    kind: TokenKind::Word,
+                });
+            } else if c.is_alphanumeric() || c == '_' {
+                let mut end = start + c.len_utf8();
+                while let Some(&(i, nc)) = chars.peek() {
+                    if (nc.is_alphanumeric() || nc == '_') && !is_cjk(nc) {
+                        end = i + nc.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    text: &text[start..end],
+                    kind: TokenKind::Word,
+                });
+            } else {
+                tokens.push(Token {
+                    text: &text[start..start + c.len_utf8()],
+                    kind: TokenKind::Punct,
+                });
+            }
+        }
+        tokens
+    }
+
+    /// Count the *billable* tokens in `text` (words + punctuation; whitespace
+    /// is free, matching how BPE folds spaces into word tokens).
+    pub fn count(&self, text: &str) -> usize {
+        self.tokenize(text)
+            .iter()
+            .filter(|t| t.kind != TokenKind::Space)
+            .count()
+    }
+
+    /// Split a completion into the chunks emitted by the streaming API:
+    /// whitespace is attached to the following token so concatenating the
+    /// chunks reproduces the original text exactly.
+    pub fn stream_chunks(&self, text: &str) -> Vec<String> {
+        let tokens = self.tokenize(text);
+        let mut chunks = Vec::with_capacity(tokens.len());
+        let mut pending_space: Option<&str> = None;
+        for t in tokens {
+            match t.kind {
+                TokenKind::Space => {
+                    // Merge consecutive whitespace into the pending prefix.
+                    pending_space = Some(match pending_space {
+                        None => t.text,
+                        Some(_) => t.text, // runs are already merged by tokenize
+                    });
+                }
+                _ => {
+                    let mut s = String::with_capacity(t.text.len() + 1);
+                    if let Some(sp) = pending_space.take() {
+                        s.push_str(sp);
+                    }
+                    s.push_str(t.text);
+                    chunks.push(s);
+                }
+            }
+        }
+        if let Some(sp) = pending_space {
+            chunks.push(sp.to_string());
+        }
+        chunks
+    }
+
+    /// Truncate `text` to at most `max_tokens` billable tokens, preserving
+    /// whitespace structure. Returns the prefix as an owned string plus the
+    /// number of billable tokens kept.
+    pub fn truncate(&self, text: &str, max_tokens: usize) -> (String, usize) {
+        let mut kept = 0usize;
+        let mut pos = 0usize;
+        // Byte offset just past the last billable token we kept; trailing
+        // whitespace is never included in a truncated prefix.
+        let mut cut = 0usize;
+        for t in self.tokenize(text) {
+            let at_limit = kept == max_tokens;
+            if t.kind != TokenKind::Space && at_limit {
+                return (text[..cut].to_string(), kept);
+            }
+            pos += t.text.len();
+            if t.kind != TokenKind::Space {
+                kept += 1;
+                cut = pos;
+            }
+        }
+        (text.to_string(), kept)
+    }
+}
+
+/// Is `c` a CJK ideograph (or in the common CJK punctuation/extension areas)?
+fn is_cjk(c: char) -> bool {
+    matches!(c as u32,
+        0x4E00..=0x9FFF      // CJK Unified Ideographs
+        | 0x3400..=0x4DBF    // Extension A
+        | 0xF900..=0xFAFF    // Compatibility Ideographs
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tk() -> Tokenizer {
+        Tokenizer::new()
+    }
+
+    #[test]
+    fn tokenize_words_and_punct() {
+        let toks = tk().tokenize("SELECT a, b FROM t;");
+        let words: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Word)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(words, vec!["SELECT", "a", "b", "FROM", "t"]);
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, vec![",", ";"]);
+    }
+
+    #[test]
+    fn count_ignores_whitespace() {
+        assert_eq!(tk().count("a  b\t\nc"), 3);
+        assert_eq!(tk().count(""), 0);
+        assert_eq!(tk().count("   "), 0);
+    }
+
+    #[test]
+    fn cjk_chars_are_individual_tokens() {
+        // "构建销售报表" = 6 ideographs = 6 tokens.
+        assert_eq!(tk().count("构建销售报表"), 6);
+        // Mixed text.
+        assert_eq!(tk().count("build 报表 now"), 4);
+    }
+
+    #[test]
+    fn underscores_stay_in_words() {
+        assert_eq!(tk().count("user_name order_id"), 2);
+    }
+
+    #[test]
+    fn stream_chunks_roundtrip() {
+        let texts = [
+            "hello world, this is  DB-GPT!",
+            "  leading space",
+            "trailing space  ",
+            "多语言 support 混合",
+            "",
+        ];
+        for text in texts {
+            let chunks = tk().stream_chunks(text);
+            let rebuilt: String = chunks.concat();
+            assert_eq!(rebuilt, text, "roundtrip failed for {text:?}");
+        }
+    }
+
+    #[test]
+    fn truncate_respects_limit() {
+        let (s, n) = tk().truncate("one two three four five", 3);
+        assert_eq!(n, 3);
+        assert_eq!(s, "one two three");
+        assert_eq!(tk().count(&s), 3);
+    }
+
+    #[test]
+    fn truncate_short_text_is_identity() {
+        let (s, n) = tk().truncate("one two", 10);
+        assert_eq!(s, "one two");
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn truncate_zero_tokens() {
+        let (s, n) = tk().truncate("one two", 0);
+        assert_eq!(n, 0);
+        assert_eq!(tk().count(&s), 0);
+    }
+
+    #[test]
+    fn token_count_scales_linearly() {
+        let one = "word ".repeat(10);
+        let two = "word ".repeat(20);
+        assert_eq!(tk().count(&two), 2 * tk().count(&one));
+    }
+}

@@ -1,0 +1,196 @@
+//! Request/response types shared by every model backend.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LlmError;
+
+/// Decoding parameters for a generation request.
+///
+/// Mirrors the knobs DB-GPT exposes per model worker: sampling temperature,
+/// an output budget, optional stop sequences, and an explicit seed so that
+/// every component in this repository is reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationParams {
+    /// Sampling temperature in `[0.0, 2.0]`. `0.0` is fully greedy; the
+    /// simulated models use temperature to scale their noise injection.
+    pub temperature: f64,
+    /// Maximum number of completion tokens to emit.
+    pub max_tokens: usize,
+    /// Generation stops when any of these strings would be emitted.
+    pub stop: Vec<String>,
+    /// Seed for the model's sampler. Identical (prompt, params) pairs always
+    /// produce identical completions.
+    pub seed: u64,
+}
+
+impl Default for GenerationParams {
+    fn default() -> Self {
+        GenerationParams {
+            temperature: 0.0,
+            max_tokens: 1024,
+            stop: Vec::new(),
+            seed: 42,
+        }
+    }
+}
+
+impl GenerationParams {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), LlmError> {
+        if !(0.0..=2.0).contains(&self.temperature) || self.temperature.is_nan() {
+            return Err(LlmError::InvalidParams(format!(
+                "temperature {} outside [0, 2]",
+                self.temperature
+            )));
+        }
+        if self.max_tokens == 0 {
+            return Err(LlmError::InvalidParams("max_tokens must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder-style temperature setter.
+    pub fn with_temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Builder-style max-tokens setter.
+    pub fn with_max_tokens(mut self, m: usize) -> Self {
+        self.max_tokens = m;
+        self
+    }
+
+    /// Builder-style seed setter.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Builder-style stop-sequence setter.
+    pub fn with_stop(mut self, stop: impl Into<String>) -> Self {
+        self.stop.push(stop.into());
+        self
+    }
+}
+
+/// Why generation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FinishReason {
+    /// The model emitted its natural end of output.
+    Stop,
+    /// The `max_tokens` budget was exhausted.
+    Length,
+    /// A stop sequence was hit.
+    StopSequence,
+}
+
+/// Token accounting for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Usage {
+    /// Billable tokens in the prompt.
+    pub prompt_tokens: usize,
+    /// Billable tokens in the completion.
+    pub completion_tokens: usize,
+}
+
+impl Usage {
+    /// Total billable tokens.
+    pub fn total(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+
+    /// Merge accounting from another request (used by agents that make
+    /// several model calls for one task).
+    pub fn add(&mut self, other: Usage) {
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+    }
+}
+
+/// A finished completion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The generated text.
+    pub text: String,
+    /// Why generation stopped.
+    pub finish_reason: FinishReason,
+    /// Token accounting.
+    pub usage: Usage,
+    /// Name of the model that produced this completion.
+    pub model: String,
+    /// Simulated inference latency in microseconds (from the latency model;
+    /// no wall clock is consulted).
+    pub simulated_latency_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        assert!(GenerationParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_temperature_rejected() {
+        let p = GenerationParams::default().with_temperature(3.0);
+        assert!(matches!(p.validate(), Err(LlmError::InvalidParams(_))));
+        let p = GenerationParams::default().with_temperature(f64::NAN);
+        assert!(p.validate().is_err());
+        let p = GenerationParams::default().with_temperature(-0.1);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_max_tokens_rejected() {
+        let p = GenerationParams::default().with_max_tokens(0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let p = GenerationParams::default()
+            .with_temperature(0.7)
+            .with_max_tokens(64)
+            .with_seed(7)
+            .with_stop("\n\n");
+        assert_eq!(p.temperature, 0.7);
+        assert_eq!(p.max_tokens, 64);
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.stop, vec!["\n\n".to_string()]);
+    }
+
+    #[test]
+    fn usage_arithmetic() {
+        let mut u = Usage {
+            prompt_tokens: 10,
+            completion_tokens: 5,
+        };
+        assert_eq!(u.total(), 15);
+        u.add(Usage {
+            prompt_tokens: 1,
+            completion_tokens: 2,
+        });
+        assert_eq!(u.prompt_tokens, 11);
+        assert_eq!(u.completion_tokens, 7);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Completion {
+            text: "hi".into(),
+            finish_reason: FinishReason::Stop,
+            usage: Usage {
+                prompt_tokens: 3,
+                completion_tokens: 1,
+            },
+            model: "proxy-gpt".into(),
+            simulated_latency_us: 1234,
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Completion = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,219 @@
+//! Knowledge construction stage 1: segment documents into paragraphs.
+//!
+//! "Contents in each data source are segmented into paragraphs" (§2.3).
+//! Two strategies are provided: natural paragraph boundaries (blank lines /
+//! newlines) and a fixed sliding token window with overlap, which bounds
+//! chunk size for embedding quality.
+
+use serde::{Deserialize, Serialize};
+
+use dbgpt_llm::Tokenizer;
+
+use crate::document::Document;
+
+/// One retrievable unit of text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Id of the source document.
+    pub document_id: String,
+    /// Position of this chunk within its document (0-based).
+    pub index: usize,
+    /// The text.
+    pub text: String,
+}
+
+/// How to split documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChunkingStrategy {
+    /// Split on blank lines, then single newlines; long paragraphs are
+    /// further wrapped at `max_tokens`.
+    Paragraph {
+        /// Upper bound per chunk.
+        max_tokens: usize,
+    },
+    /// Fixed window of `size` tokens advancing by `size - overlap`.
+    Window {
+        /// Window size in tokens.
+        size: usize,
+        /// Overlap between consecutive windows, in tokens.
+        overlap: usize,
+    },
+}
+
+impl Default for ChunkingStrategy {
+    fn default() -> Self {
+        ChunkingStrategy::Paragraph { max_tokens: 128 }
+    }
+}
+
+/// Splits documents into [`Chunk`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Chunker {
+    strategy: ChunkingStrategy,
+    tokenizer: Tokenizer,
+}
+
+impl Chunker {
+    /// Chunker with a strategy.
+    pub fn new(strategy: ChunkingStrategy) -> Self {
+        Chunker {
+            strategy,
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> ChunkingStrategy {
+        self.strategy
+    }
+
+    /// Split one document.
+    pub fn chunk(&self, doc: &Document) -> Vec<Chunk> {
+        let pieces: Vec<String> = match self.strategy {
+            ChunkingStrategy::Paragraph { max_tokens } => self.by_paragraph(&doc.content, max_tokens),
+            ChunkingStrategy::Window { size, overlap } => self.by_window(&doc.content, size, overlap),
+        };
+        pieces
+            .into_iter()
+            .filter(|p| !p.trim().is_empty())
+            .enumerate()
+            .map(|(index, text)| Chunk {
+                document_id: doc.id.clone(),
+                index,
+                text,
+            })
+            .collect()
+    }
+
+    fn by_paragraph(&self, text: &str, max_tokens: usize) -> Vec<String> {
+        let max_tokens = max_tokens.max(8);
+        let mut out = Vec::new();
+        for para in text.split("\n\n").flat_map(|p| p.split('\n')) {
+            let para = para.trim();
+            if para.is_empty() {
+                continue;
+            }
+            if self.tokenizer.count(para) <= max_tokens {
+                out.push(para.to_string());
+            } else {
+                // Wrap long paragraphs at sentence boundaries where
+                // possible, hard-splitting only as a last resort.
+                let mut current = String::new();
+                for sentence in para.split_inclusive(['.', '!', '?', '。']) {
+                    let candidate_len =
+                        self.tokenizer.count(&current) + self.tokenizer.count(sentence);
+                    if !current.is_empty() && candidate_len > max_tokens {
+                        out.push(std::mem::take(&mut current).trim().to_string());
+                    }
+                    if self.tokenizer.count(sentence) > max_tokens {
+                        // Hard split an over-long sentence. `truncate`
+                        // returns a byte-exact prefix, so slicing past it
+                        // stays on a char boundary.
+                        let mut rest: &str = sentence.trim();
+                        while self.tokenizer.count(rest) > max_tokens {
+                            let (head, kept) = self.tokenizer.truncate(rest, max_tokens);
+                            debug_assert!(kept > 0);
+                            let advance = head.len();
+                            out.push(head.trim().to_string());
+                            rest = rest[advance..].trim_start();
+                        }
+                        if !rest.is_empty() {
+                            current.push_str(rest);
+                        }
+                    } else {
+                        current.push_str(sentence);
+                    }
+                }
+                if !current.trim().is_empty() {
+                    out.push(current.trim().to_string());
+                }
+            }
+        }
+        out
+    }
+
+    fn by_window(&self, text: &str, size: usize, overlap: usize) -> Vec<String> {
+        let size = size.max(4);
+        let overlap = overlap.min(size - 1);
+        let step = size - overlap;
+        // Work over stream chunks so reconstruction preserves spacing.
+        let words = self.tokenizer.stream_chunks(text);
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < words.len() {
+            let end = (start + size).min(words.len());
+            let window: String = words[start..end].concat();
+            out.push(window.trim().to_string());
+            if end == words.len() {
+                break;
+            }
+            start += step;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paragraph_chunking_splits_on_newlines() {
+        let d = Document::from_text("d", "Para one text.\n\nPara two text.\nPara three.");
+        let chunks = Chunker::new(ChunkingStrategy::Paragraph { max_tokens: 50 }).chunk(&d);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].text, "Para one text.");
+        assert_eq!(chunks[2].index, 2);
+        assert!(chunks.iter().all(|c| c.document_id == "d"));
+    }
+
+    #[test]
+    fn long_paragraph_wraps_at_sentences() {
+        let long = "Sentence one is here. Sentence two is here. Sentence three is here. \
+                    Sentence four is here.";
+        let d = Document::from_text("d", long);
+        let chunks = Chunker::new(ChunkingStrategy::Paragraph { max_tokens: 12 }).chunk(&d);
+        assert!(chunks.len() >= 2, "{chunks:?}");
+        let tok = Tokenizer::new();
+        for c in &chunks {
+            assert!(tok.count(&c.text) <= 12 + 6, "chunk too big: {}", c.text);
+        }
+    }
+
+    #[test]
+    fn window_chunking_overlaps() {
+        let text = (1..=20).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let d = Document::from_text("d", text);
+        let chunks = Chunker::new(ChunkingStrategy::Window { size: 8, overlap: 4 }).chunk(&d);
+        assert!(chunks.len() >= 3);
+        // Overlap: the second window repeats the back half of the first.
+        assert!(chunks[1].text.contains("w5"));
+        assert!(chunks[0].text.contains("w5"));
+    }
+
+    #[test]
+    fn window_covers_all_tokens() {
+        let text = (1..=23).map(|i| format!("w{i}")).collect::<Vec<_>>().join(" ");
+        let d = Document::from_text("d", text);
+        let chunks = Chunker::new(ChunkingStrategy::Window { size: 10, overlap: 2 }).chunk(&d);
+        assert!(chunks.last().unwrap().text.contains("w23"));
+    }
+
+    #[test]
+    fn empty_document_yields_no_chunks() {
+        let d = Document::from_text("d", "  \n\n ");
+        assert!(Chunker::default().chunk(&d).is_empty());
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let d = Document::from_text("d", "a.\nb.\nc.");
+        let chunks = Chunker::default().chunk(&d);
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Documents from multiple data sources.
+//!
+//! The paper: "DB-GPT constructs a knowledge base according to multiple
+//! data sources provided by users." This module normalises those sources —
+//! plain text, Markdown, and CSV/tabular exports — into one [`Document`]
+//! shape the rest of the pipeline consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a document came from; controls the cleaning applied at ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DocumentSource {
+    /// Plain text: used verbatim.
+    PlainText,
+    /// Markdown: headings/emphasis/code fences are stripped to prose.
+    Markdown,
+    /// CSV: each record becomes a `col: value` sentence, so tabular facts
+    /// are retrievable by keyword and vector search alike.
+    Csv,
+}
+
+/// A normalised document ready for chunking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// Stable id, unique within a knowledge base.
+    pub id: String,
+    /// Source kind.
+    pub source: DocumentSource,
+    /// Cleaned text content.
+    pub content: String,
+}
+
+impl Document {
+    /// Ingest plain text.
+    pub fn from_text(id: impl Into<String>, content: impl Into<String>) -> Self {
+        Document {
+            id: id.into(),
+            source: DocumentSource::PlainText,
+            content: content.into(),
+        }
+    }
+
+    /// Ingest Markdown: strips `#` headings, `*`/`_` emphasis markers,
+    /// inline code ticks, code fences, and link targets.
+    pub fn from_markdown(id: impl Into<String>, md: &str) -> Self {
+        let mut out = String::with_capacity(md.len());
+        let mut in_fence = false;
+        for line in md.lines() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            let line = trimmed.trim_start_matches('#').trim_start();
+            let line = strip_md_inline(line);
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Document {
+            id: id.into(),
+            source: DocumentSource::Markdown,
+            content: out,
+        }
+    }
+
+    /// Ingest CSV text: the header names each field, and every record is
+    /// rendered as one `name: v1, name2: v2.` sentence-paragraph.
+    pub fn from_csv(id: impl Into<String>, csv: &str) -> Self {
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().map(|h| h.split(',').collect()).unwrap_or_default();
+        let mut out = String::new();
+        for record in lines {
+            if record.trim().is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = record.split(',').collect();
+            let mut sentence = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    sentence.push_str(", ");
+                }
+                let name = header.get(i).copied().unwrap_or("field");
+                sentence.push_str(&format!("{}: {}", name.trim(), cell.trim()));
+            }
+            sentence.push('.');
+            out.push_str(&sentence);
+            out.push('\n');
+        }
+        Document {
+            id: id.into(),
+            source: DocumentSource::Csv,
+            content: out,
+        }
+    }
+
+    /// Is there anything to index?
+    pub fn is_empty(&self) -> bool {
+        self.content.trim().is_empty()
+    }
+}
+
+/// Strip inline Markdown markers (`*`, `_`, backticks, link targets).
+fn strip_md_inline(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '*' | '_' | '`' => {}
+            '[' => { /* keep link text */ }
+            ']' => {
+                // Skip the "(url)" part if present.
+                if chars.peek() == Some(&'(') {
+                    for nc in chars.by_ref() {
+                        if nc == ')' {
+                            break;
+                        }
+                    }
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_verbatim() {
+        let d = Document::from_text("a", "hello world");
+        assert_eq!(d.content, "hello world");
+        assert_eq!(d.source, DocumentSource::PlainText);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn markdown_strips_syntax() {
+        let md = "# Title\nSome *bold* and `code` text.\n```rust\nfn hidden() {}\n```\nA [link](http://x.com) here.";
+        let d = Document::from_markdown("m", md);
+        assert!(d.content.contains("Title"));
+        assert!(d.content.contains("Some bold and code text."));
+        assert!(!d.content.contains("fn hidden"));
+        assert!(d.content.contains("A link here."));
+        assert!(!d.content.contains("http://x.com"));
+    }
+
+    #[test]
+    fn csv_becomes_sentences() {
+        let d = Document::from_csv("c", "name,amount\nalice,10\nbob,20\n");
+        assert!(d.content.contains("name: alice, amount: 10."));
+        assert!(d.content.contains("name: bob, amount: 20."));
+    }
+
+    #[test]
+    fn empty_inputs_detected() {
+        assert!(Document::from_text("a", "  \n ").is_empty());
+        assert!(Document::from_csv("c", "h1,h2\n").is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = Document::from_text("a", "x");
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(serde_json::from_str::<Document>(&json).unwrap(), d);
+    }
+}

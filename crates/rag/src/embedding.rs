@@ -1,0 +1,246 @@
+//! The neural-encoder stand-in: deterministic hashed embeddings.
+//!
+//! "each paragraph is encoded into a multidimensional vector using a
+//! neural encoder" (§2.3). Offline we substitute a *feature-hashing*
+//! encoder: every unigram and bigram of the text is hashed into a
+//! fixed-dimensional vector with a signed contribution, and the result is
+//! L2-normalised. This preserves what the RAG pipeline needs from an
+//! encoder — texts sharing vocabulary land close in cosine space, the map
+//! is deterministic, and encoding is cheap — without model weights.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RagError;
+
+/// A dense embedding vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding(pub Vec<f32>);
+
+impl Embedding {
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.0.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+/// Cosine similarity in `[-1, 1]`; 0 when either vector is zero.
+pub fn cosine_similarity(a: &Embedding, b: &Embedding) -> f32 {
+    debug_assert_eq!(a.dim(), b.dim());
+    let dot: f32 = a.0.iter().zip(&b.0).map(|(x, y)| x * y).sum();
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Anything that turns text into an embedding.
+pub trait Embedder: Send + Sync {
+    /// Output dimension.
+    fn dim(&self) -> usize;
+
+    /// Encode one text.
+    fn embed(&self, text: &str) -> Embedding;
+
+    /// Validate a vector against this embedder's dimension.
+    fn check(&self, e: &Embedding) -> Result<(), RagError> {
+        if e.dim() != self.dim() {
+            return Err(RagError::DimensionMismatch {
+                expected: self.dim(),
+                found: e.dim(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The feature-hashing encoder (see module docs).
+#[derive(Debug, Clone)]
+pub struct HashEmbedder {
+    dim: usize,
+    seed: u64,
+}
+
+impl HashEmbedder {
+    /// Default: 128 dimensions.
+    pub fn new() -> Self {
+        HashEmbedder { dim: 128, seed: 0x5EED }
+    }
+
+    /// Custom dimension (min 8).
+    pub fn with_dim(dim: usize) -> Self {
+        HashEmbedder {
+            dim: dim.max(8),
+            seed: 0x5EED,
+        }
+    }
+
+    /// FNV-1a with a seed salt.
+    fn hash(&self, token: &str, salt: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed.wrapping_mul(salt | 1);
+        for b in token.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Lowercased alphanumeric tokens (CJK chars count individually).
+    fn tokens(text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut current = String::new();
+        for c in text.chars() {
+            if c.is_alphanumeric() || c == '_' {
+                if (0x4E00..=0x9FFF).contains(&(c as u32)) {
+                    if !current.is_empty() {
+                        out.push(std::mem::take(&mut current));
+                    }
+                    out.push(c.to_string());
+                } else {
+                    current.extend(c.to_lowercase());
+                }
+            } else if !current.is_empty() {
+                out.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            out.push(current);
+        }
+        out
+    }
+}
+
+impl Default for HashEmbedder {
+    fn default() -> Self {
+        HashEmbedder::new()
+    }
+}
+
+impl Embedder for HashEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, text: &str) -> Embedding {
+        let mut v = vec![0.0f32; self.dim];
+        let tokens = Self::tokens(text);
+        // Unigram features.
+        for t in &tokens {
+            let h = self.hash(t, 1);
+            let idx = (h % self.dim as u64) as usize;
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[idx] += sign;
+            // A second projection halves collision damage.
+            let h2 = self.hash(t, 7);
+            let idx2 = (h2 % self.dim as u64) as usize;
+            let sign2 = if (h2 >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[idx2] += 0.5 * sign2;
+        }
+        // Bigram features give mild order sensitivity.
+        for pair in tokens.windows(2) {
+            let joined = format!("{} {}", pair[0], pair[1]);
+            let h = self.hash(&joined, 13);
+            let idx = (h % self.dim as u64) as usize;
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[idx] += 0.5 * sign;
+        }
+        // L2 normalise (zero vector stays zero).
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        Embedding(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb(text: &str) -> Embedding {
+        HashEmbedder::new().embed(text)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(emb("hello world"), emb("hello world"));
+    }
+
+    #[test]
+    fn normalised() {
+        let e = emb("some nontrivial text here");
+        assert!((e.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = emb("");
+        assert_eq!(e.norm(), 0.0);
+        assert_eq!(cosine_similarity(&e, &emb("x")), 0.0);
+    }
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let s = cosine_similarity(&emb("database query"), &emb("database query"));
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn related_beats_unrelated() {
+        let q = emb("sales report by product category");
+        let related = emb("the sales report shows revenue per product category");
+        let unrelated = emb("quantum entanglement of photon pairs in vacuum");
+        assert!(
+            cosine_similarity(&q, &related) > cosine_similarity(&q, &unrelated),
+            "related={} unrelated={}",
+            cosine_similarity(&q, &related),
+            cosine_similarity(&q, &unrelated)
+        );
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let a = emb("Database Query");
+        let b = emb("database query");
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn word_order_matters_slightly() {
+        let a = emb("fast database");
+        let b = emb("database fast");
+        let s = cosine_similarity(&a, &b);
+        assert!(s > 0.5 && s < 0.9999, "similarity {s}");
+    }
+
+    #[test]
+    fn cjk_tokens_contribute() {
+        let a = emb("销售报表");
+        let b = emb("销售数据");
+        let c = emb("quantum physics");
+        assert!(cosine_similarity(&a, &b) > cosine_similarity(&a, &c));
+    }
+
+    #[test]
+    fn dimension_check() {
+        let e = HashEmbedder::with_dim(32);
+        assert_eq!(e.dim(), 32);
+        assert_eq!(e.embed("x").dim(), 32);
+        let wrong = Embedding(vec![0.0; 16]);
+        assert!(e.check(&wrong).is_err());
+        assert!(e.check(&e.embed("x")).is_ok());
+    }
+
+    #[test]
+    fn min_dim_enforced() {
+        assert_eq!(HashEmbedder::with_dim(2).dim(), 8);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for the RAG stack.
+
+use std::fmt;
+
+/// Errors across knowledge construction, retrieval and ICL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RagError {
+    /// A document id was registered twice.
+    DuplicateDocument(String),
+    /// A referenced document does not exist.
+    DocumentNotFound(String),
+    /// Embedding dimensions disagree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Supplied dimension.
+        found: usize,
+    },
+    /// The prompt budget is too small to fit the template at all.
+    BudgetTooSmall(usize),
+    /// Input document was empty after cleaning.
+    EmptyDocument(String),
+}
+
+impl fmt::Display for RagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RagError::DuplicateDocument(id) => write!(f, "duplicate document id `{id}`"),
+            RagError::DocumentNotFound(id) => write!(f, "document not found: `{id}`"),
+            RagError::DimensionMismatch { expected, found } => {
+                write!(f, "embedding dimension mismatch: expected {expected}, found {found}")
+            }
+            RagError::BudgetTooSmall(n) => write!(f, "prompt budget of {n} tokens is too small"),
+            RagError::EmptyDocument(id) => write!(f, "document `{id}` has no content"),
+        }
+    }
+}
+
+impl std::error::Error for RagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(RagError::DuplicateDocument("d".into()).to_string().contains('d'));
+        assert!(RagError::DimensionMismatch { expected: 64, found: 32 }
+            .to_string()
+            .contains("64"));
+        assert!(RagError::BudgetTooSmall(3).to_string().contains('3'));
+    }
+}

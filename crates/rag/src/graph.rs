@@ -1,0 +1,266 @@
+//! The graph index: entity co-occurrence knowledge graph.
+//!
+//! The paper's knowledge construction "integrates … graph index methods,
+//! facilitating precise context-relevant data retrieval" (§2.3). Here the
+//! graph's nodes are *entities* (salient content terms) and its edges are
+//! chunk-level co-occurrences. Retrieval expands a query's entities one hop
+//! through the graph, then scores chunks by direct entity matches plus
+//! discounted neighbour matches — which lets the graph index find chunks
+//! that share no literal keyword with the query, via an intermediate
+//! document that links the vocabulary.
+
+use std::collections::{HashMap, HashSet};
+
+/// Weight of a one-hop (neighbour) entity match relative to a direct match.
+const NEIGHBOUR_WEIGHT: f64 = 0.5;
+
+/// Terms too common/structural to be entities.
+const STOP_WORDS: &[&str] = &[
+    "the", "a", "an", "is", "are", "was", "were", "of", "in", "on", "to", "and", "or", "for",
+    "with", "by", "from", "at", "as", "it", "its", "this", "that", "be", "has", "have", "had",
+    "what", "which", "who", "how", "why", "when", "where", "not", "no", "can", "will", "does",
+    "do", "did", "into", "their", "they", "them", "these", "those", "also", "but", "if", "then",
+];
+
+/// A scored hit: `(chunk id, graph score)`.
+pub type GraphHit = (usize, f64);
+
+/// The co-occurrence graph index.
+#[derive(Debug, Clone, Default)]
+pub struct GraphIndex {
+    /// entity → chunk ids containing it.
+    entity_chunks: HashMap<String, HashSet<usize>>,
+    /// entity → co-occurring entities.
+    edges: HashMap<String, HashSet<String>>,
+    chunk_count: usize,
+}
+
+impl GraphIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        GraphIndex::default()
+    }
+
+    /// Extract the entity terms of `text`: lowercased content words of
+    /// length ≥ 3 (CJK chars are grouped into bigram entities).
+    pub fn entities(text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut current = String::new();
+        let mut cjk_prev: Option<char> = None;
+        let push = |s: String, out: &mut Vec<String>, seen: &mut HashSet<String>| {
+            if s.len() >= 3 && !STOP_WORDS.contains(&s.as_str()) && seen.insert(s.clone()) {
+                out.push(s);
+            }
+        };
+        for c in text.chars() {
+            if (0x4E00..=0x9FFF).contains(&(c as u32)) {
+                if !current.is_empty() {
+                    push(std::mem::take(&mut current), &mut out, &mut seen);
+                }
+                // CJK bigrams as entities (covers most Chinese nouns).
+                if let Some(p) = cjk_prev {
+                    let bigram: String = [p, c].iter().collect();
+                    if seen.insert(bigram.clone()) {
+                        out.push(bigram);
+                    }
+                }
+                cjk_prev = Some(c);
+            } else if c.is_alphanumeric() || c == '_' {
+                cjk_prev = None;
+                current.extend(c.to_lowercase());
+            } else {
+                cjk_prev = None;
+                if !current.is_empty() {
+                    push(std::mem::take(&mut current), &mut out, &mut seen);
+                }
+            }
+        }
+        if !current.is_empty() {
+            push(current, &mut out, &mut seen);
+        }
+        out
+    }
+
+    /// Index one chunk; its id is its insertion index.
+    pub fn add(&mut self, text: &str) -> usize {
+        let id = self.chunk_count;
+        self.chunk_count += 1;
+        let ents = Self::entities(text);
+        for e in &ents {
+            self.entity_chunks.entry(e.clone()).or_default().insert(id);
+        }
+        for (i, a) in ents.iter().enumerate() {
+            for b in &ents[i + 1..] {
+                self.edges.entry(a.clone()).or_default().insert(b.clone());
+                self.edges.entry(b.clone()).or_default().insert(a.clone());
+            }
+        }
+        id
+    }
+
+    /// Number of indexed chunks.
+    pub fn len(&self) -> usize {
+        self.chunk_count
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.chunk_count == 0
+    }
+
+    /// Number of entity nodes.
+    pub fn node_count(&self) -> usize {
+        self.entity_chunks.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(HashSet::len).sum::<usize>() / 2
+    }
+
+    /// Direct neighbours of an entity.
+    pub fn neighbours(&self, entity: &str) -> Vec<&str> {
+        self.edges
+            .get(&entity.to_lowercase())
+            .map(|s| {
+                let mut v: Vec<&str> = s.iter().map(String::as_str).collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Graph search: score = direct entity hits + 0.5 × one-hop entity
+    /// hits, normalised by query entity count.
+    pub fn search(&self, query: &str, k: usize) -> Vec<GraphHit> {
+        let q_entities = Self::entities(query);
+        if q_entities.is_empty() || self.chunk_count == 0 {
+            return Vec::new();
+        }
+        // One-hop expansion.
+        let mut expanded: HashMap<String, f64> = HashMap::new();
+        for e in &q_entities {
+            expanded.insert(e.clone(), 1.0);
+        }
+        for e in &q_entities {
+            if let Some(ns) = self.edges.get(e) {
+                for n in ns {
+                    expanded.entry(n.clone()).or_insert(NEIGHBOUR_WEIGHT);
+                }
+            }
+        }
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for (entity, weight) in &expanded {
+            if let Some(chunks) = self.entity_chunks.get(entity) {
+                for &c in chunks {
+                    *scores.entry(c).or_insert(0.0) += weight;
+                }
+            }
+        }
+        let norm = q_entities.len() as f64;
+        let mut hits: Vec<GraphHit> = scores
+            .into_iter()
+            .map(|(c, s)| (c, s / norm))
+            .collect();
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(texts: &[&str]) -> GraphIndex {
+        let mut g = GraphIndex::new();
+        for t in texts {
+            g.add(t);
+        }
+        g
+    }
+
+    #[test]
+    fn entity_extraction_filters_stopwords_and_short() {
+        let ents = GraphIndex::entities("The AWEL language is a DAG of operators");
+        assert!(ents.contains(&"awel".to_string()));
+        assert!(ents.contains(&"language".to_string()));
+        assert!(ents.contains(&"dag".to_string()));
+        assert!(!ents.contains(&"the".to_string()));
+        assert!(!ents.contains(&"is".to_string()));
+        assert!(!ents.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn entities_deduplicate() {
+        let ents = GraphIndex::entities("data data data");
+        assert_eq!(ents, vec!["data".to_string()]);
+    }
+
+    #[test]
+    fn cjk_bigram_entities() {
+        let ents = GraphIndex::entities("销售报表");
+        assert!(ents.contains(&"销售".to_string()));
+        assert!(ents.contains(&"售报".to_string()));
+        assert!(ents.contains(&"报表".to_string()));
+    }
+
+    #[test]
+    fn direct_match_scores_highest() {
+        let g = index(&[
+            "awel orchestrates agent workflows",
+            "cats and dogs play outside",
+        ]);
+        let hits = g.search("awel workflows", 2);
+        assert_eq!(hits[0].0, 0);
+    }
+
+    #[test]
+    fn one_hop_expansion_finds_linked_chunks() {
+        // Chunk 0 links "smmf" ↔ "privacy". Chunk 1 mentions only
+        // "privacy". A query for "smmf" should surface chunk 1 via the
+        // graph even though chunk 1 never says "smmf".
+        let g = index(&[
+            "smmf guarantees privacy for deployments",
+            "privacy matters for enterprise data",
+        ]);
+        let hits = g.search("smmf", 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+        assert!(hits[1].1 < hits[0].1);
+    }
+
+    #[test]
+    fn neighbours_are_sorted_and_reflexive() {
+        let g = index(&["alpha beta gamma"]);
+        let n = g.neighbours("beta");
+        assert_eq!(n, vec!["alpha", "gamma"]);
+        assert!(g.neighbours("alpha").contains(&"beta"));
+        assert!(g.neighbours("missing").is_empty());
+    }
+
+    #[test]
+    fn graph_stats() {
+        let g = index(&["alpha beta", "beta gamma"]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2); // alpha-beta, beta-gamma
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn empty_query_or_index() {
+        let g = index(&["alpha beta"]);
+        assert!(g.search("", 5).is_empty());
+        assert!(g.search("of the", 5).is_empty());
+        assert!(GraphIndex::new().search("alpha", 5).is_empty());
+    }
+
+    #[test]
+    fn k_truncates_results() {
+        let g = index(&["data one", "data two", "data three"]);
+        assert_eq!(g.search("data", 2).len(), 2);
+    }
+}

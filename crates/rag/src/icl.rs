@@ -1,0 +1,362 @@
+//! Adaptive In-Context Learning: prompt assembly with privacy redaction.
+//!
+//! The third stage of Figure 2: "ICL enhances DB-GPT's response by
+//! integrating knowledge retrieval results during LLMs' inference. It
+//! incorporates them into a predefined prompt template … and
+//! incorporates privacy measures to protect private information" (§2.3).
+//!
+//! [`IclBuilder`] packs retrieved chunks into the structured-prompt
+//! convention of `dbgpt-llm` under an explicit token budget (most relevant
+//! chunks first; a chunk that would overflow the budget is skipped, and
+//! packing continues with smaller ones). [`PrivacyPolicy`] redacts
+//! sensitive spans — emails, phone numbers, and long digit runs — before
+//! any text reaches a model.
+
+use dbgpt_llm::Tokenizer;
+
+use crate::error::RagError;
+use crate::knowledge::RetrievedChunk;
+
+/// Which sensitive spans to redact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivacyPolicy {
+    /// Redact `user@host.tld` shapes.
+    pub redact_emails: bool,
+    /// Redact phone-number shapes (7+ digits with separators).
+    pub redact_phones: bool,
+    /// Redact bare digit runs of 9+ (account/ID numbers).
+    pub redact_long_numbers: bool,
+}
+
+impl PrivacyPolicy {
+    /// Everything on.
+    pub fn strict() -> Self {
+        PrivacyPolicy {
+            redact_emails: true,
+            redact_phones: true,
+            redact_long_numbers: true,
+        }
+    }
+
+    /// Everything off.
+    pub fn disabled() -> Self {
+        PrivacyPolicy {
+            redact_emails: false,
+            redact_phones: false,
+            redact_long_numbers: false,
+        }
+    }
+
+    /// Apply the policy to `text`.
+    pub fn redact(&self, text: &str) -> String {
+        let mut out = text.to_string();
+        if self.redact_emails {
+            out = redact_emails(&out);
+        }
+        if self.redact_phones {
+            out = redact_phones(&out);
+        }
+        if self.redact_long_numbers {
+            out = redact_long_numbers(&out);
+        }
+        out
+    }
+}
+
+impl Default for PrivacyPolicy {
+    fn default() -> Self {
+        PrivacyPolicy::strict()
+    }
+}
+
+/// Replace `local@domain.tld` spans with `[REDACTED-EMAIL]`.
+fn redact_emails(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let chars: Vec<char> = text.chars().collect();
+    let is_local = |c: char| c.is_alphanumeric() || matches!(c, '.' | '_' | '-' | '+');
+    let is_domain = |c: char| c.is_alphanumeric() || matches!(c, '.' | '-');
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] == '@' && i > 0 && is_local(chars[i - 1]) {
+            // Walk back over the local part already emitted.
+            let mut start = out.chars().count();
+            let emitted: Vec<char> = out.chars().collect();
+            while start > 0 && is_local(emitted[start - 1]) {
+                start -= 1;
+            }
+            // Walk forward over the domain.
+            let mut j = i + 1;
+            let mut saw_dot = false;
+            while j < chars.len() && is_domain(chars[j]) {
+                if chars[j] == '.' {
+                    saw_dot = true;
+                }
+                j += 1;
+            }
+            if saw_dot && j > i + 1 {
+                let keep: String = emitted[..start].iter().collect();
+                out = keep;
+                out.push_str("[REDACTED-EMAIL]");
+                i = j;
+                continue;
+            }
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Replace phone-like runs (≥7 digits allowing `-`, space, `(`, `)`, `+`)
+/// with `[REDACTED-PHONE]`.
+fn redact_phones(text: &str) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i].is_ascii_digit() || (chars[i] == '+' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let mut j = i;
+            let mut digits = 0usize;
+            while j < chars.len()
+                && (chars[j].is_ascii_digit() || matches!(chars[j], '-' | ' ' | '(' | ')' | '+'))
+            {
+                if chars[j].is_ascii_digit() {
+                    digits += 1;
+                }
+                j += 1;
+            }
+            // Trim trailing separators from the candidate span.
+            let mut end = j;
+            while end > i && !chars[end - 1].is_ascii_digit() {
+                end -= 1;
+            }
+            if digits >= 7 {
+                out.push_str("[REDACTED-PHONE]");
+                i = end;
+                continue;
+            }
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Replace bare digit runs of 9+ with `[REDACTED-ID]` (applied after the
+/// phone rule, so only runs the phone rule left behind are caught).
+fn redact_long_numbers(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut run = String::new();
+    for c in text.chars() {
+        if c.is_ascii_digit() {
+            run.push(c);
+        } else {
+            if !run.is_empty() {
+                if run.len() >= 9 {
+                    out.push_str("[REDACTED-ID]");
+                } else {
+                    out.push_str(&run);
+                }
+                run.clear();
+            }
+            out.push(c);
+        }
+    }
+    if !run.is_empty() {
+        if run.len() >= 9 {
+            out.push_str("[REDACTED-ID]");
+        } else {
+            out.push_str(&run);
+        }
+    }
+    out
+}
+
+/// Builds ICL prompts from retrieved chunks (see module docs).
+#[derive(Debug, Clone)]
+pub struct IclBuilder {
+    /// Token budget for the whole prompt.
+    budget_tokens: usize,
+    /// Privacy policy applied to context and question.
+    policy: PrivacyPolicy,
+    /// Task label emitted in the `### Task:` header.
+    task: String,
+    tokenizer: Tokenizer,
+}
+
+impl IclBuilder {
+    /// Builder with a budget, strict privacy, and the `qa` task.
+    pub fn new(budget_tokens: usize) -> Self {
+        IclBuilder {
+            budget_tokens,
+            policy: PrivacyPolicy::strict(),
+            task: "qa".into(),
+            tokenizer: Tokenizer::new(),
+        }
+    }
+
+    /// Override the privacy policy.
+    pub fn with_policy(mut self, policy: PrivacyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Override the task header.
+    pub fn with_task(mut self, task: impl Into<String>) -> Self {
+        self.task = task.into();
+        self
+    }
+
+    /// Assemble the prompt. Chunks are taken in the given (ranked) order;
+    /// any chunk that would overflow the remaining budget is skipped.
+    /// Returns the prompt and the number of chunks included.
+    pub fn build(
+        &self,
+        question: &str,
+        chunks: &[RetrievedChunk],
+    ) -> Result<(String, usize), RagError> {
+        let question = self.policy.redact(question);
+        let skeleton = format!("### Task: {}\n### Context:\n\n### Input:\n{question}", self.task);
+        let skeleton_tokens = self.tokenizer.count(&skeleton);
+        if skeleton_tokens >= self.budget_tokens {
+            return Err(RagError::BudgetTooSmall(self.budget_tokens));
+        }
+        let mut remaining = self.budget_tokens - skeleton_tokens;
+        let mut context = String::new();
+        let mut used = 0usize;
+        for rc in chunks {
+            let text = self.policy.redact(&rc.chunk.text);
+            let cost = self.tokenizer.count(&text) + 1; // newline separator
+            if cost > remaining {
+                continue;
+            }
+            if !context.is_empty() {
+                context.push('\n');
+            }
+            context.push_str(&text);
+            remaining -= cost;
+            used += 1;
+        }
+        let prompt = format!(
+            "### Task: {}\n### Context:\n{context}\n### Input:\n{question}",
+            self.task
+        );
+        Ok((prompt, used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::Chunk;
+
+    fn rc(text: &str) -> RetrievedChunk {
+        RetrievedChunk {
+            chunk: Chunk {
+                document_id: "d".into(),
+                index: 0,
+                text: text.into(),
+            },
+            score: 1.0,
+        }
+    }
+
+    #[test]
+    fn redacts_emails() {
+        let p = PrivacyPolicy::strict();
+        let out = p.redact("contact alice.smith+x@company.co.uk today");
+        assert_eq!(out, "contact [REDACTED-EMAIL] today");
+    }
+
+    #[test]
+    fn redacts_phones() {
+        let p = PrivacyPolicy::strict();
+        let out = p.redact("call +1 (555) 123-4567 now");
+        assert!(out.contains("[REDACTED-PHONE]"), "{out}");
+        assert!(!out.contains("4567"));
+    }
+
+    #[test]
+    fn short_numbers_survive() {
+        let p = PrivacyPolicy::strict();
+        assert_eq!(p.redact("we sold 42 units in Q3 2024"), "we sold 42 units in Q3 2024");
+    }
+
+    #[test]
+    fn redacts_long_ids() {
+        let p = PrivacyPolicy {
+            redact_emails: false,
+            redact_phones: false,
+            redact_long_numbers: true,
+        };
+        let out = p.redact("account 123456789012 closed");
+        assert_eq!(out, "account [REDACTED-ID] closed");
+    }
+
+    #[test]
+    fn disabled_policy_is_identity() {
+        let p = PrivacyPolicy::disabled();
+        let s = "mail a@b.com, call 555-123-4567, id 123456789";
+        assert_eq!(p.redact(s), s);
+    }
+
+    #[test]
+    fn build_includes_chunks_in_rank_order() {
+        let b = IclBuilder::new(200).with_policy(PrivacyPolicy::disabled());
+        let (prompt, used) = b
+            .build("what?", &[rc("first chunk."), rc("second chunk.")])
+            .unwrap();
+        assert_eq!(used, 2);
+        let p1 = prompt.find("first chunk").unwrap();
+        let p2 = prompt.find("second chunk").unwrap();
+        assert!(p1 < p2);
+        assert!(prompt.starts_with("### Task: qa"));
+        assert!(prompt.contains("### Input:\nwhat?"));
+    }
+
+    #[test]
+    fn build_skips_oversized_chunks_but_packs_smaller_ones() {
+        let b = IclBuilder::new(30).with_policy(PrivacyPolicy::disabled());
+        let big = "word ".repeat(50);
+        let (prompt, used) = b.build("q?", &[rc(&big), rc("tiny.")]).unwrap();
+        assert_eq!(used, 1);
+        assert!(prompt.contains("tiny."));
+        assert!(!prompt.contains("word word word word word word word word"));
+    }
+
+    #[test]
+    fn build_rejects_impossible_budget() {
+        let b = IclBuilder::new(3);
+        assert!(matches!(
+            b.build("a long question with many words here", &[]),
+            Err(RagError::BudgetTooSmall(3))
+        ));
+    }
+
+    #[test]
+    fn build_redacts_context_and_question() {
+        let b = IclBuilder::new(200);
+        let (prompt, _) = b
+            .build("email bob@corp.com?", &[rc("bob@corp.com bought 12 units")])
+            .unwrap();
+        assert!(!prompt.contains("bob@corp.com"));
+        assert_eq!(prompt.matches("[REDACTED-EMAIL]").count(), 2);
+    }
+
+    #[test]
+    fn custom_task_header() {
+        let b = IclBuilder::new(100).with_task("summarize");
+        let (prompt, _) = b.build("summarise this", &[rc("content.")]).unwrap();
+        assert!(prompt.starts_with("### Task: summarize"));
+    }
+
+    #[test]
+    fn prompt_fits_budget() {
+        let b = IclBuilder::new(50).with_policy(PrivacyPolicy::disabled());
+        let chunks: Vec<RetrievedChunk> =
+            (0..10).map(|i| rc(&format!("chunk number {i} with some words."))).collect();
+        let (prompt, _) = b.build("question?", &chunks).unwrap();
+        assert!(Tokenizer::new().count(&prompt) <= 50);
+    }
+}

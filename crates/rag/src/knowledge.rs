@@ -1,0 +1,324 @@
+//! The knowledge base: construction + retrieval under one roof.
+//!
+//! Ties the whole of Figure 2 together: documents enter, are chunked, and
+//! every chunk is indexed into the vector store, the inverted index and the
+//! graph index simultaneously; queries leave through a selectable
+//! [`RetrievalStrategy`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::chunker::{Chunk, Chunker, ChunkingStrategy};
+use crate::document::Document;
+use crate::embedding::{Embedder, HashEmbedder};
+use crate::error::RagError;
+use crate::graph::GraphIndex;
+use crate::inverted::InvertedIndex;
+use crate::retriever::{reciprocal_rank_fusion, RetrievalStrategy};
+use crate::vector_store::VectorStore;
+
+/// A retrieval result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievedChunk {
+    /// The chunk.
+    pub chunk: Chunk,
+    /// Strategy-specific relevance score (higher is better). Scores are
+    /// comparable within one strategy, not across strategies.
+    pub score: f64,
+}
+
+/// Default number of IVF partitions per 100 chunks.
+const IVF_LIST_RATIO: usize = 100;
+
+/// The knowledge base (see module docs).
+pub struct KnowledgeBase {
+    chunker: Chunker,
+    embedder: Arc<dyn Embedder>,
+    chunks: Vec<Chunk>,
+    vectors: VectorStore,
+    inverted: InvertedIndex,
+    graph: GraphIndex,
+    documents: HashMap<String, usize>, // id → chunk count
+}
+
+impl KnowledgeBase {
+    /// Knowledge base with paragraph chunking and the hash embedder.
+    pub fn with_defaults() -> Self {
+        KnowledgeBase::new(
+            Chunker::new(ChunkingStrategy::default()),
+            Arc::new(HashEmbedder::new()),
+        )
+    }
+
+    /// Fully custom construction.
+    pub fn new(chunker: Chunker, embedder: Arc<dyn Embedder>) -> Self {
+        KnowledgeBase {
+            chunker,
+            embedder,
+            chunks: Vec::new(),
+            vectors: VectorStore::new(),
+            inverted: InvertedIndex::new(),
+            graph: GraphIndex::new(),
+            documents: HashMap::new(),
+        }
+    }
+
+    /// Ingest a document into all three indexes. Returns chunks created.
+    pub fn add_document(&mut self, doc: Document) -> Result<usize, RagError> {
+        if self.documents.contains_key(&doc.id) {
+            return Err(RagError::DuplicateDocument(doc.id));
+        }
+        if doc.is_empty() {
+            return Err(RagError::EmptyDocument(doc.id));
+        }
+        let chunks = self.chunker.chunk(&doc);
+        let n = chunks.len();
+        for chunk in chunks {
+            let vid = self.vectors.add(self.embedder.embed(&chunk.text));
+            let iid = self.inverted.add(&chunk.text);
+            let gid = self.graph.add(&chunk.text);
+            debug_assert_eq!(vid, iid);
+            debug_assert_eq!(vid, gid);
+            debug_assert_eq!(vid, self.chunks.len());
+            self.chunks.push(chunk);
+        }
+        self.documents.insert(doc.id, n);
+        Ok(n)
+    }
+
+    /// Convenience: ingest plain text.
+    pub fn add_text(&mut self, id: &str, text: &str) -> usize {
+        self.add_document(Document::from_text(id, text)).unwrap_or(0)
+    }
+
+    /// Total chunks indexed.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Documents ingested.
+    pub fn document_count(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// All chunks of one document, in order.
+    pub fn document_chunks(&self, id: &str) -> Vec<&Chunk> {
+        self.chunks.iter().filter(|c| c.document_id == id).collect()
+    }
+
+    /// Build IVF partitions for approximate vector search (idempotent;
+    /// call after bulk ingestion).
+    pub fn build_ann_index(&mut self) {
+        let nlist = (self.chunks.len() / IVF_LIST_RATIO).clamp(1, 64);
+        self.vectors.build_partitions(nlist);
+    }
+
+    /// Retrieve with a second-stage rerank: fetch `3k` candidates under
+    /// `strategy`, then let the lexical cross-scorer pick the top `k`.
+    pub fn retrieve_reranked(
+        &self,
+        query: &str,
+        k: usize,
+        strategy: RetrievalStrategy,
+    ) -> Vec<RetrievedChunk> {
+        let candidates = self.retrieve(query, k * 3, strategy);
+        crate::rerank::rerank(query, candidates, k)
+    }
+
+    /// Retrieve the top-k chunks for a query under a strategy.
+    pub fn retrieve(
+        &self,
+        query: &str,
+        k: usize,
+        strategy: RetrievalStrategy,
+    ) -> Vec<RetrievedChunk> {
+        let ids_scores: Vec<(usize, f64)> = match strategy {
+            RetrievalStrategy::Vector => self
+                .vectors
+                .search_flat(&self.embedder.embed(query), k)
+                .into_iter()
+                .map(|(i, s)| (i, s as f64))
+                .collect(),
+            RetrievalStrategy::VectorApprox => self
+                .vectors
+                .search_ivf(&self.embedder.embed(query), k, 4)
+                .into_iter()
+                .map(|(i, s)| (i, s as f64))
+                .collect(),
+            RetrievalStrategy::Keyword => self.inverted.search(query, k),
+            RetrievalStrategy::Graph => self.graph.search(query, k),
+            RetrievalStrategy::Hybrid => {
+                let q = self.embedder.embed(query);
+                let vector: Vec<usize> = self
+                    .vectors
+                    .search_flat(&q, k * 2)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect();
+                let keyword: Vec<usize> = self
+                    .inverted
+                    .search(query, k * 2)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect();
+                let graph: Vec<usize> = self
+                    .graph
+                    .search(query, k * 2)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect();
+                reciprocal_rank_fusion(&[vector, keyword, graph], k)
+            }
+        };
+        ids_scores
+            .into_iter()
+            .filter_map(|(i, score)| {
+                self.chunks.get(i).map(|chunk| RetrievedChunk {
+                    chunk: chunk.clone(),
+                    score,
+                })
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for KnowledgeBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnowledgeBase")
+            .field("documents", &self.documents.len())
+            .field("chunks", &self.chunks.len())
+            .field("vocabulary", &self.inverted.vocabulary_size())
+            .field("graph_nodes", &self.graph.node_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::with_defaults();
+        kb.add_text(
+            "awel",
+            "AWEL is the Agentic Workflow Expression Language.\n\
+             It composes agents into directed acyclic graphs.",
+        );
+        kb.add_text(
+            "smmf",
+            "SMMF is the Service-oriented Multi-model Management Framework.\n\
+             It keeps model serving private and local.",
+        );
+        kb.add_text(
+            "rag",
+            "Retrieval augmented generation enriches prompts with context.\n\
+             DB-GPT retrieves from vector, inverted and graph indexes.",
+        );
+        kb
+    }
+
+    #[test]
+    fn ingestion_counts() {
+        let kb = kb();
+        assert_eq!(kb.document_count(), 3);
+        assert_eq!(kb.chunk_count(), 6);
+        assert_eq!(kb.document_chunks("awel").len(), 2);
+    }
+
+    #[test]
+    fn duplicate_document_rejected() {
+        let mut kb = kb();
+        let err = kb.add_document(Document::from_text("awel", "dup")).unwrap_err();
+        assert!(matches!(err, RagError::DuplicateDocument(_)));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        let mut kb = kb();
+        let err = kb.add_document(Document::from_text("blank", "  ")).unwrap_err();
+        assert!(matches!(err, RagError::EmptyDocument(_)));
+    }
+
+    #[test]
+    fn every_strategy_finds_the_obvious_answer() {
+        let mut kb = kb();
+        kb.build_ann_index();
+        for &strategy in RetrievalStrategy::ALL {
+            let hits = kb.retrieve("agentic workflow expression language", 2, strategy);
+            assert!(
+                !hits.is_empty(),
+                "strategy {} returned nothing",
+                strategy.name()
+            );
+            assert_eq!(
+                hits[0].chunk.document_id,
+                "awel",
+                "strategy {} missed",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_covers_keyword_only_matches() {
+        // A chunk retrievable by exact keyword but embedded far from the
+        // query phrasing should still surface through hybrid fusion.
+        let mut kb = KnowledgeBase::with_defaults();
+        kb.add_text("a", "xylophone zebra quartz");
+        kb.add_text("b", "completely different musical instrument discussion");
+        let hits = kb.retrieve("xylophone", 2, RetrievalStrategy::Hybrid);
+        assert_eq!(hits[0].chunk.document_id, "a");
+    }
+
+    #[test]
+    fn retrieval_scores_are_monotonic() {
+        let kb = kb();
+        let hits = kb.retrieve("private model serving", 3, RetrievalStrategy::Vector);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let kb = kb();
+        assert!(kb.retrieve("the", 1, RetrievalStrategy::Vector).len() <= 1);
+    }
+
+    #[test]
+    fn debug_output_summarises() {
+        let kb = kb();
+        let dbg = format!("{kb:?}");
+        assert!(dbg.contains("documents: 3"));
+    }
+
+    #[test]
+    fn add_text_returns_zero_on_failure() {
+        let mut kb = kb();
+        assert_eq!(kb.add_text("awel", "dup"), 0);
+    }
+}
+
+#[cfg(test)]
+mod rerank_integration {
+    use super::*;
+
+    #[test]
+    fn reranked_retrieval_prefers_dense_matches() {
+        let mut kb = KnowledgeBase::with_defaults();
+        kb.add_text("padded", &format!("checkpoint {}", "irrelevant padding words ".repeat(30)));
+        kb.add_text("dense", "checkpoint interval tuning for compaction");
+        let top = kb.retrieve_reranked("checkpoint interval tuning", 1, RetrievalStrategy::Keyword);
+        assert_eq!(top[0].chunk.document_id, "dense");
+    }
+
+    #[test]
+    fn reranked_never_exceeds_k() {
+        let mut kb = KnowledgeBase::with_defaults();
+        for i in 0..10 {
+            kb.add_text(&format!("d{i}"), &format!("common words appear in document {i}"));
+        }
+        assert_eq!(kb.retrieve_reranked("common words", 4, RetrievalStrategy::Hybrid).len(), 4);
+    }
+}

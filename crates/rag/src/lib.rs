@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # dbgpt-rag — Retrieval-Augmented Generation from multiple data sources
+//!
+//! Implements the RAG architecture of DB-GPT's module layer (paper §2.3,
+//! Figure 2), in three stages:
+//!
+//! 1. **Knowledge construction** — documents from multiple sources are
+//!    segmented into paragraphs ([`chunker`]), each paragraph encoded into a
+//!    multidimensional vector by a neural-encoder stand-in
+//!    ([`embedding::HashEmbedder`]), and indexed **three ways**, exactly as
+//!    the paper describes: a vector index ([`vector_store`]), an inverted
+//!    index with BM25 scoring ([`inverted`]), and a graph index of entity
+//!    co-occurrence ([`graph`]).
+//! 2. **Knowledge retrieval** — a query is embedded and the top-k most
+//!    relevant paragraphs are found under a selectable
+//!    [`retriever::RetrievalStrategy`]: cosine-similarity vector search,
+//!    keyword (BM25) search, graph-neighbourhood search, or a hybrid that
+//!    fuses all three with reciprocal-rank fusion.
+//!    A second-stage [`rerank()`](rerank()) pass sharpens the candidate list with a
+//!    lexical cross-scorer.
+//! 3. **Adaptive ICL** — retrieved paragraphs are packed into a prompt
+//!    template under a token budget, with privacy redaction of sensitive
+//!    spans ([`icl`]), ready for a [`dbgpt_llm::LanguageModel`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbgpt_rag::{KnowledgeBase, RetrievalStrategy};
+//!
+//! let mut kb = KnowledgeBase::with_defaults();
+//! kb.add_text("awel-doc", "AWEL is DB-GPT's workflow language. \
+//!                          It composes agents into DAGs.");
+//! kb.add_text("smmf-doc", "SMMF manages private model deployments locally.");
+//! let hits = kb.retrieve("what language composes agents?", 1,
+//!                        RetrievalStrategy::Hybrid);
+//! assert_eq!(hits[0].chunk.document_id, "awel-doc");
+//! ```
+
+pub mod chunker;
+pub mod document;
+pub mod embedding;
+pub mod error;
+pub mod graph;
+pub mod icl;
+pub mod inverted;
+pub mod knowledge;
+pub mod rerank;
+pub mod retriever;
+pub mod vector_store;
+
+pub use chunker::{Chunk, Chunker, ChunkingStrategy};
+pub use document::{Document, DocumentSource};
+pub use embedding::{cosine_similarity, Embedder, Embedding, HashEmbedder};
+pub use error::RagError;
+pub use graph::GraphIndex;
+pub use icl::{IclBuilder, PrivacyPolicy};
+pub use inverted::InvertedIndex;
+pub use knowledge::{KnowledgeBase, RetrievedChunk};
+pub use rerank::rerank;
+pub use retriever::RetrievalStrategy;
+pub use vector_store::VectorStore;

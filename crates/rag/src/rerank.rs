@@ -1,0 +1,128 @@
+//! Reranking: a second-stage scorer over retrieved candidates.
+//!
+//! Production RAG stacks retrieve generously with a cheap first stage and
+//! rerank the candidates with a sharper (more expensive) scorer — the
+//! "diverse retrieval strategies for prioritizing relevant documents" of
+//! §2.3. The reranker here is a lexical cross-scorer: it measures direct
+//! query↔chunk term overlap (with IDF-free dampening for length), and
+//! blends it with the candidate's first-stage rank. Deterministic, like
+//! everything else in the repository.
+
+use std::collections::HashSet;
+
+use crate::inverted::InvertedIndex;
+use crate::knowledge::RetrievedChunk;
+
+/// Weight of the lexical cross-score relative to the first-stage rank.
+const CROSS_WEIGHT: f64 = 0.7;
+
+/// Compute the lexical cross-score of a query against one chunk text:
+/// |terms ∩| / sqrt(|chunk terms|), normalised by query size.
+pub fn cross_score(query: &str, text: &str) -> f64 {
+    let q_terms: HashSet<String> = InvertedIndex::terms(query).into_iter().collect();
+    if q_terms.is_empty() {
+        return 0.0;
+    }
+    let t_terms: Vec<String> = InvertedIndex::terms(text);
+    if t_terms.is_empty() {
+        return 0.0;
+    }
+    let t_set: HashSet<&String> = t_terms.iter().collect();
+    let overlap = q_terms.iter().filter(|t| t_set.contains(t)).count() as f64;
+    overlap / (q_terms.len() as f64) / (t_terms.len() as f64).sqrt() * 4.0
+}
+
+/// Rerank candidates in place: final score = rank-decay + cross-score.
+/// Returns the top `k`, best first. Stable for equal scores.
+pub fn rerank(query: &str, mut candidates: Vec<RetrievedChunk>, k: usize) -> Vec<RetrievedChunk> {
+    let n = candidates.len();
+    let mut scored: Vec<(f64, usize)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(rank, c)| {
+            // First-stage evidence decays with rank (1.0 → ~0).
+            let stage1 = 1.0 - rank as f64 / n.max(1) as f64;
+            let cross = cross_score(query, &c.chunk.text);
+            ((1.0 - CROSS_WEIGHT) * stage1 + CROSS_WEIGHT * cross, rank)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let order: Vec<usize> = scored.into_iter().take(k).map(|(_, i)| i).collect();
+    // Extract in the new order (preserving scores for inspection).
+    let mut out = Vec::with_capacity(order.len());
+    let mut taken: Vec<Option<RetrievedChunk>> =
+        candidates.drain(..).map(Some).collect();
+    for i in order {
+        let mut c = taken[i].take().expect("each index taken once");
+        c.score = cross_score(query, &c.chunk.text);
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::Chunk;
+
+    fn rc(id: &str, text: &str) -> RetrievedChunk {
+        RetrievedChunk {
+            chunk: Chunk {
+                document_id: id.into(),
+                index: 0,
+                text: text.into(),
+            },
+            score: 0.0,
+        }
+    }
+
+    #[test]
+    fn exact_overlap_outranks_padding() {
+        let q = "compaction checkpoint interval";
+        let candidates = vec![
+            rc("padded", &format!("unrelated words {}", "filler ".repeat(40))),
+            rc("exact", "the compaction checkpoint interval is configurable"),
+        ];
+        let top = rerank(q, candidates, 1);
+        assert_eq!(top[0].chunk.document_id, "exact");
+    }
+
+    #[test]
+    fn first_stage_rank_still_matters_without_overlap() {
+        let q = "zzz qqq";
+        let candidates = vec![rc("first", "alpha beta"), rc("second", "gamma delta")];
+        let top = rerank(q, candidates, 2);
+        // No lexical signal: stage-1 order preserved.
+        assert_eq!(top[0].chunk.document_id, "first");
+        assert_eq!(top[1].chunk.document_id, "second");
+    }
+
+    #[test]
+    fn k_truncates_and_handles_empty() {
+        assert!(rerank("q", vec![], 3).is_empty());
+        let top = rerank("alpha", vec![rc("a", "alpha"), rc("b", "alpha")], 1);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn cross_score_properties() {
+        assert!(cross_score("alpha beta", "alpha beta gamma") > cross_score("alpha beta", "alpha"));
+        assert_eq!(cross_score("", "anything"), 0.0);
+        assert_eq!(cross_score("word", ""), 0.0);
+        // Longer chunks with the same overlap score lower.
+        let short = cross_score("alpha", "alpha beta");
+        let long = cross_score("alpha", &format!("alpha {}", "pad ".repeat(50)));
+        assert!(short > long);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || vec![rc("a", "alpha beta"), rc("b", "alpha beta gamma")];
+        let x = rerank("alpha beta", mk(), 2);
+        let y = rerank("alpha beta", mk(), 2);
+        let ids = |v: &[RetrievedChunk]| {
+            v.iter().map(|c| c.chunk.document_id.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&x), ids(&y));
+    }
+}

@@ -1,0 +1,266 @@
+//! The vector index: exact flat search plus an IVF-style partitioned index.
+//!
+//! "DB-GPT then identifies the top-k paragraphs within the knowledge base
+//! that are most relevant to q … ordering based on the cosine similarity of
+//! their embedded vectors" (§2.3). The flat store is the exact reference;
+//! the partitioned store trades a little recall for sublinear probe cost on
+//! large corpora (benchmark E5 measures the trade-off).
+
+use crate::embedding::{cosine_similarity, Embedding};
+
+/// A scored hit: `(chunk id, similarity)`.
+pub type VectorHit = (usize, f32);
+
+/// Number of Lloyd iterations used when building partitions.
+const KMEANS_ITERS: usize = 5;
+
+/// A store of embeddings addressed by dense `usize` ids.
+#[derive(Debug, Clone, Default)]
+pub struct VectorStore {
+    vectors: Vec<Embedding>,
+    /// IVF partitions: centroids plus member lists. Rebuilt on demand.
+    partitions: Option<Partitions>,
+}
+
+#[derive(Debug, Clone)]
+struct Partitions {
+    centroids: Vec<Embedding>,
+    members: Vec<Vec<usize>>,
+}
+
+impl VectorStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        VectorStore::default()
+    }
+
+    /// Append a vector; its id is its insertion index. Invalidates any
+    /// built partitions.
+    pub fn add(&mut self, v: Embedding) -> usize {
+        self.partitions = None;
+        self.vectors.push(v);
+        self.vectors.len() - 1
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The vector with id `i`.
+    pub fn get(&self, i: usize) -> Option<&Embedding> {
+        self.vectors.get(i)
+    }
+
+    /// Exact top-k by cosine similarity, highest first; ties broken by id.
+    pub fn search_flat(&self, query: &Embedding, k: usize) -> Vec<VectorHit> {
+        let mut hits: Vec<VectorHit> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, cosine_similarity(query, v)))
+            .collect();
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Build IVF partitions with `nlist` centroids (k-means with
+    /// deterministic farthest-point seeding).
+    pub fn build_partitions(&mut self, nlist: usize) {
+        let n = self.vectors.len();
+        if n == 0 {
+            self.partitions = None;
+            return;
+        }
+        let nlist = nlist.clamp(1, n);
+        // Farthest-point init: start from vector 0.
+        let mut centroids: Vec<Embedding> = vec![self.vectors[0].clone()];
+        while centroids.len() < nlist {
+            let mut best = (0usize, f32::INFINITY);
+            for (i, v) in self.vectors.iter().enumerate() {
+                // Distance to the closest existing centroid.
+                let closest = centroids
+                    .iter()
+                    .map(|c| cosine_similarity(c, v))
+                    .fold(f32::NEG_INFINITY, f32::max);
+                if closest < best.1 {
+                    best = (i, closest);
+                }
+            }
+            centroids.push(self.vectors[best.0].clone());
+        }
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); centroids.len()];
+        for _ in 0..KMEANS_ITERS {
+            for m in &mut members {
+                m.clear();
+            }
+            for (i, v) in self.vectors.iter().enumerate() {
+                let c = nearest_centroid(&centroids, v);
+                members[c].push(i);
+            }
+            // Recompute centroids as normalised means.
+            for (c, member_ids) in centroids.iter_mut().zip(&members) {
+                if member_ids.is_empty() {
+                    continue;
+                }
+                let dim = c.dim();
+                let mut mean = vec![0.0f32; dim];
+                for &id in member_ids {
+                    for (m, x) in mean.iter_mut().zip(&self.vectors[id].0) {
+                        *m += x;
+                    }
+                }
+                let norm = mean.iter().map(|x| x * x).sum::<f32>().sqrt();
+                if norm > 0.0 {
+                    for m in &mut mean {
+                        *m /= norm;
+                    }
+                }
+                *c = Embedding(mean);
+            }
+        }
+        self.partitions = Some(Partitions { centroids, members });
+    }
+
+    /// Approximate top-k probing the `nprobe` nearest partitions. Falls
+    /// back to flat search when partitions are unbuilt.
+    pub fn search_ivf(&self, query: &Embedding, k: usize, nprobe: usize) -> Vec<VectorHit> {
+        let Some(p) = &self.partitions else {
+            return self.search_flat(query, k);
+        };
+        let mut centroid_order: Vec<(usize, f32)> = p
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, cosine_similarity(query, c)))
+            .collect();
+        centroid_order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut hits: Vec<VectorHit> = Vec::new();
+        for &(ci, _) in centroid_order.iter().take(nprobe.max(1)) {
+            for &id in &p.members[ci] {
+                hits.push((id, cosine_similarity(query, &self.vectors[id])));
+            }
+        }
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Are partitions currently built?
+    pub fn has_partitions(&self) -> bool {
+        self.partitions.is_some()
+    }
+}
+
+fn nearest_centroid(centroids: &[Embedding], v: &Embedding) -> usize {
+    let mut best = (0usize, f32::NEG_INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let s = cosine_similarity(c, v);
+        if s > best.1 {
+            best = (i, s);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::{Embedder, HashEmbedder};
+
+    fn store_with(texts: &[&str]) -> (VectorStore, HashEmbedder) {
+        let e = HashEmbedder::new();
+        let mut s = VectorStore::new();
+        for t in texts {
+            s.add(e.embed(t));
+        }
+        (s, e)
+    }
+
+    #[test]
+    fn flat_search_finds_exact_match_first() {
+        let (s, e) = store_with(&[
+            "rust is a systems language",
+            "cats are small mammals",
+            "sql databases store rows",
+        ]);
+        let hits = s.search_flat(&e.embed("sql databases store rows"), 2);
+        assert_eq!(hits[0].0, 2);
+        assert!(hits[0].1 > 0.99);
+    }
+
+    #[test]
+    fn flat_search_ranks_by_similarity() {
+        let (s, e) = store_with(&[
+            "sales report by category",
+            "unrelated quantum physics",
+        ]);
+        let hits = s.search_flat(&e.embed("category sales numbers"), 2);
+        assert_eq!(hits[0].0, 0);
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn k_larger_than_store_returns_all() {
+        let (s, e) = store_with(&["a", "b"]);
+        assert_eq!(s.search_flat(&e.embed("a"), 10).len(), 2);
+    }
+
+    #[test]
+    fn empty_store_returns_nothing() {
+        let s = VectorStore::new();
+        let e = HashEmbedder::new();
+        assert!(s.search_flat(&e.embed("x"), 3).is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ivf_matches_flat_on_small_corpus_with_full_probe() {
+        let texts: Vec<String> = (0..40).map(|i| format!("document number {i} about topic {}", i % 5)).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (mut s, e) = store_with(&refs);
+        s.build_partitions(4);
+        assert!(s.has_partitions());
+        let q = e.embed("document about topic 3");
+        let flat = s.search_flat(&q, 5);
+        let ivf = s.search_ivf(&q, 5, 4); // probe all partitions = exact
+        assert_eq!(flat, ivf);
+    }
+
+    #[test]
+    fn ivf_with_few_probes_still_finds_near_duplicates() {
+        let mut texts: Vec<String> = (0..60).map(|i| format!("filler text number {i}")).collect();
+        texts.push("the quarterly sales report for electronics".into());
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (mut s, e) = store_with(&refs);
+        s.build_partitions(6);
+        let q = e.embed("the quarterly sales report for electronics");
+        let hits = s.search_ivf(&q, 1, 1);
+        assert_eq!(hits[0].0, 60);
+    }
+
+    #[test]
+    fn add_invalidates_partitions() {
+        let (mut s, e) = store_with(&["a", "b", "c"]);
+        s.build_partitions(2);
+        assert!(s.has_partitions());
+        s.add(e.embed("d"));
+        assert!(!s.has_partitions());
+        // Fallback still works.
+        assert_eq!(s.search_ivf(&e.embed("d"), 1, 1)[0].0, 3);
+    }
+
+    #[test]
+    fn get_and_len() {
+        let (s, _) = store_with(&["a", "b"]);
+        assert_eq!(s.len(), 2);
+        assert!(s.get(1).is_some());
+        assert!(s.get(2).is_none());
+    }
+}

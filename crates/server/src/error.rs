@@ -1,0 +1,43 @@
+//! Error type for the server layer.
+
+use std::fmt;
+
+/// Errors from framing, sessions and routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The frame is malformed (bad length prefix / truncated body).
+    BadFrame(String),
+    /// The request body is not valid JSON for [`crate::Request`].
+    BadRequest(String),
+    /// No handler is registered for the requested app.
+    UnknownApp(String),
+    /// The referenced session does not exist.
+    SessionNotFound(String),
+    /// A handler failed.
+    Handler(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::BadFrame(m) => write!(f, "bad frame: {m}"),
+            ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServerError::UnknownApp(a) => write!(f, "unknown app `{a}`"),
+            ServerError::SessionNotFound(s) => write!(f, "session not found: {s}"),
+            ServerError::Handler(m) => write!(f, "handler error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ServerError::UnknownApp("chat2db".into()).to_string().contains("chat2db"));
+        assert!(ServerError::BadFrame("short".into()).to_string().contains("short"));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # dbgpt-server — the server layer
+//!
+//! "The server layer in DB-GPT is an optional component that manages
+//! external inputs, such as HTTP requests, by integrating them with domain
+//! knowledge to guide lower-tier layers. … This layer's optional status
+//! allows for direct communication between the application layer and the
+//! module layer in simple scenarios" (paper §2.2).
+//!
+//! - [`protocol`] — the wire contract: [`Request`]/[`Response`] JSON
+//!   bodies plus a length-prefixed binary framing
+//!   ([`protocol::encode_frame`]) standing in for the HTTP transport.
+//! - [`session`] — conversation state: each session keeps its chat
+//!   history, which the server layer merges into requests ("integrating
+//!   them with domain knowledge").
+//! - [`tcp`] — the same framing over real sockets: a thread-per-connection
+//!   TCP front door ([`TcpServer`]) plus a client helper.
+//! - [`router`] — dispatch to registered application handlers by app name.
+//!   The *optional* nature of the layer is explicit: handlers implement
+//!   [`router::AppHandler`] and can be called directly (application →
+//!   module), or through [`router::Server::handle`] /
+//!   [`router::Server::handle_frame`] (the external-input path).
+
+pub mod error;
+pub mod protocol;
+pub mod router;
+pub mod session;
+pub mod tcp;
+
+pub use error::ServerError;
+pub use protocol::{decode_frame, encode_frame, Request, Response, Status};
+pub use router::{AppHandler, Server};
+pub use session::{Session, SessionId, SessionManager};
+pub use tcp::TcpServer;

@@ -1,0 +1,201 @@
+//! The wire protocol: request/response bodies and binary framing.
+//!
+//! External inputs reach the server layer as length-prefixed JSON frames —
+//! a minimal faithful stand-in for HTTP: a header (the 4-byte big-endian
+//! body length) followed by a JSON body, over any byte stream.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::error::ServerError;
+
+/// Response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Success.
+    Ok,
+    /// Caller error (bad input, unknown app).
+    BadRequest,
+    /// Handler failure.
+    Error,
+}
+
+/// An external request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen request id, echoed in the response.
+    pub id: u64,
+    /// Target session (empty = create/sessionless).
+    pub session: String,
+    /// Application name (e.g. `chat2db`, `chat2data`).
+    pub app: String,
+    /// The user's natural-language input.
+    pub input: String,
+    /// App-specific parameters.
+    #[serde(default)]
+    pub params: Value,
+}
+
+impl Request {
+    /// A sessionless request.
+    pub fn new(id: u64, app: impl Into<String>, input: impl Into<String>) -> Self {
+        Request {
+            id,
+            session: String::new(),
+            app: app.into(),
+            input: input.into(),
+            params: Value::Null,
+        }
+    }
+}
+
+/// A response to one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echoed request id.
+    pub id: u64,
+    /// Outcome.
+    pub status: Status,
+    /// Machine-readable payload.
+    pub content: Value,
+    /// Optional rendered artifact (ASCII table, SVG chart, …).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub rendered: Option<String>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: u64, content: Value) -> Self {
+        Response {
+            id,
+            status: Status::Ok,
+            content,
+            rendered: None,
+        }
+    }
+
+    /// An error response.
+    pub fn error(id: u64, status: Status, message: impl Into<String>) -> Self {
+        Response {
+            id,
+            status,
+            content: Value::String(message.into()),
+            rendered: None,
+        }
+    }
+
+    /// Attach a rendered artifact.
+    pub fn with_rendered(mut self, rendered: impl Into<String>) -> Self {
+        self.rendered = Some(rendered.into());
+        self
+    }
+}
+
+/// Encode a serializable body as one frame.
+pub fn encode_frame<T: Serialize>(body: &T) -> Bytes {
+    let json = serde_json::to_vec(body).expect("body serializes");
+    let mut buf = BytesMut::with_capacity(4 + json.len());
+    buf.put_u32(json.len() as u32);
+    buf.put_slice(&json);
+    buf.freeze()
+}
+
+/// Decode one frame into a deserializable body. Returns the body and the
+/// number of bytes consumed; errors on truncated or malformed frames.
+pub fn decode_frame<T: for<'de> Deserialize<'de>>(buf: &[u8]) -> Result<(T, usize), ServerError> {
+    if buf.len() < 4 {
+        return Err(ServerError::BadFrame(format!(
+            "need 4 length bytes, have {}",
+            buf.len()
+        )));
+    }
+    let mut prefix = &buf[..4];
+    let len = prefix.get_u32() as usize;
+    if buf.len() < 4 + len {
+        return Err(ServerError::BadFrame(format!(
+            "body truncated: need {len}, have {}",
+            buf.len() - 4
+        )));
+    }
+    let body = serde_json::from_slice(&buf[4..4 + len])
+        .map_err(|e| ServerError::BadRequest(e.to_string()))?;
+    Ok((body, 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn request() -> Request {
+        Request {
+            id: 9,
+            session: "s1".into(),
+            app: "chat2data".into(),
+            input: "total sales per month".into(),
+            params: json!({"limit": 5}),
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(&request());
+        let (back, used): (Request, usize) = decode_frame(&frame).unwrap();
+        assert_eq!(back, request());
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn frames_concatenate_on_a_stream() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(&Request::new(1, "a", "x")));
+        stream.extend_from_slice(&encode_frame(&Request::new(2, "b", "y")));
+        let (r1, n1): (Request, usize) = decode_frame(&stream).unwrap();
+        let (r2, n2): (Request, usize) = decode_frame(&stream[n1..]).unwrap();
+        assert_eq!(r1.id, 1);
+        assert_eq!(r2.id, 2);
+        assert_eq!(n1 + n2, stream.len());
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let frame = encode_frame(&request());
+        assert!(matches!(
+            decode_frame::<Request>(&frame[..2]),
+            Err(ServerError::BadFrame(_))
+        ));
+        assert!(matches!(
+            decode_frame::<Request>(&frame[..frame.len() - 1]),
+            Err(ServerError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_body_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(3);
+        buf.put_slice(b"{x}");
+        assert!(matches!(
+            decode_frame::<Request>(&buf),
+            Err(ServerError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_constructors() {
+        let r = Response::ok(4, json!({"rows": 2})).with_rendered("| table |");
+        assert_eq!(r.status, Status::Ok);
+        assert_eq!(r.rendered.as_deref(), Some("| table |"));
+        let e = Response::error(4, Status::BadRequest, "nope");
+        assert_eq!(e.status, Status::BadRequest);
+        assert_eq!(e.content, json!("nope"));
+    }
+
+    #[test]
+    fn request_default_params_deserialize() {
+        let json = r#"{"id":1,"session":"","app":"x","input":"y"}"#;
+        let r: Request = serde_json::from_str(json).unwrap();
+        assert_eq!(r.params, Value::Null);
+    }
+}

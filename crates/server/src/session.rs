@@ -1,0 +1,195 @@
+//! Conversation sessions.
+//!
+//! The demo flow (Fig. 3 area ①) starts with "a new chat session"; every
+//! later turn (area ⑦) continues it. The session carries the chat history
+//! the server layer merges into downstream requests.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use dbgpt_llm::{ChatMessage, Role};
+
+use crate::error::ServerError;
+
+/// Session identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionId(pub String);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One conversation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Id.
+    pub id: SessionId,
+    /// Which app the session is bound to.
+    pub app: String,
+    /// Turns so far, oldest first.
+    pub history: Vec<ChatMessage>,
+}
+
+impl Session {
+    /// Last `n` turns (for prompt budgets).
+    pub fn tail(&self, n: usize) -> &[ChatMessage] {
+        let start = self.history.len().saturating_sub(n);
+        &self.history[start..]
+    }
+
+    /// Number of user turns.
+    pub fn user_turns(&self) -> usize {
+        self.history.iter().filter(|m| m.role == Role::User).count()
+    }
+}
+
+/// Creates and stores sessions (thread-safe).
+#[derive(Debug, Default)]
+pub struct SessionManager {
+    sessions: RwLock<HashMap<String, Session>>,
+    counter: RwLock<u64>,
+}
+
+impl SessionManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        SessionManager::default()
+    }
+
+    /// Create a session bound to `app`; returns its id.
+    pub fn create(&self, app: &str) -> SessionId {
+        let mut c = self.counter.write();
+        *c += 1;
+        let id = SessionId(format!("sess-{}", *c));
+        self.sessions.write().insert(
+            id.0.clone(),
+            Session {
+                id: id.clone(),
+                app: app.to_string(),
+                history: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Snapshot of a session.
+    pub fn get(&self, id: &str) -> Result<Session, ServerError> {
+        self.sessions
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServerError::SessionNotFound(id.to_string()))
+    }
+
+    /// Append one turn.
+    pub fn append(&self, id: &str, msg: ChatMessage) -> Result<(), ServerError> {
+        let mut sessions = self.sessions.write();
+        let s = sessions
+            .get_mut(id)
+            .ok_or_else(|| ServerError::SessionNotFound(id.to_string()))?;
+        s.history.push(msg);
+        Ok(())
+    }
+
+    /// Remove a session.
+    pub fn close(&self, id: &str) -> Result<(), ServerError> {
+        self.sessions
+            .write()
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| ServerError::SessionNotFound(id.to_string()))
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// No sessions?
+    pub fn is_empty(&self) -> bool {
+        self.sessions.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_append() {
+        let m = SessionManager::new();
+        let id = m.create("chat2db");
+        m.append(&id.0, ChatMessage::user("hello")).unwrap();
+        m.append(&id.0, ChatMessage::assistant("hi")).unwrap();
+        let s = m.get(&id.0).unwrap();
+        assert_eq!(s.history.len(), 2);
+        assert_eq!(s.user_turns(), 1);
+        assert_eq!(s.app, "chat2db");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let m = SessionManager::new();
+        let a = m.create("x");
+        let b = m.create("x");
+        assert_ne!(a, b);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn missing_session_errors() {
+        let m = SessionManager::new();
+        assert!(matches!(m.get("nope"), Err(ServerError::SessionNotFound(_))));
+        assert!(m.append("nope", ChatMessage::user("x")).is_err());
+        assert!(m.close("nope").is_err());
+    }
+
+    #[test]
+    fn close_removes() {
+        let m = SessionManager::new();
+        let id = m.create("x");
+        m.close(&id.0).unwrap();
+        assert!(m.is_empty());
+        assert!(m.get(&id.0).is_err());
+    }
+
+    #[test]
+    fn tail_returns_recent_turns() {
+        let m = SessionManager::new();
+        let id = m.create("x");
+        for i in 0..5 {
+            m.append(&id.0, ChatMessage::user(format!("m{i}"))).unwrap();
+        }
+        let s = m.get(&id.0).unwrap();
+        let tail = s.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[1].content, "m4");
+        assert_eq!(s.tail(99).len(), 5);
+    }
+
+    #[test]
+    fn concurrent_session_use() {
+        use std::sync::Arc;
+        let m = Arc::new(SessionManager::new());
+        let id = m.create("x");
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let m = m.clone();
+            let id = id.0.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    m.append(&id, ChatMessage::user(format!("{t}-{i}"))).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.get(&id.0).unwrap().history.len(), 100);
+    }
+}

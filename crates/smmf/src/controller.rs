@@ -1,0 +1,221 @@
+//! The model controller: SMMF's metadata registry.
+//!
+//! "the model controller manages metadata, integrating the deployment
+//! process" (§2.3). The controller knows which models are deployed, which
+//! workers serve each, and enforces the privacy posture at registration
+//! time — a worker that violates the [`crate::DeploymentMode`] never enters
+//! the registry at all.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::SmmfError;
+use crate::privacy::DeploymentMode;
+use crate::worker::{ModelWorker, WorkerHealth, WorkerId};
+
+/// The controller (see module docs).
+pub struct ModelController {
+    mode: DeploymentMode,
+    /// model name → its workers (BTreeMap for deterministic listings).
+    deployments: BTreeMap<String, Vec<Arc<ModelWorker>>>,
+}
+
+impl ModelController {
+    /// Controller with a privacy posture.
+    pub fn new(mode: DeploymentMode) -> Self {
+        ModelController {
+            mode,
+            deployments: BTreeMap::new(),
+        }
+    }
+
+    /// The privacy posture.
+    pub fn mode(&self) -> DeploymentMode {
+        self.mode
+    }
+
+    /// Register a worker for the model it serves. Rejects privacy
+    /// violations and duplicate worker ids (within the model).
+    pub fn register(&mut self, worker: ModelWorker) -> Result<(), SmmfError> {
+        if !self.mode.admits(worker.locality()) {
+            return Err(SmmfError::PrivacyViolation {
+                worker: worker.id().to_string(),
+            });
+        }
+        let model = worker.model().id().to_string();
+        let workers = self.deployments.entry(model).or_default();
+        if workers.iter().any(|w| w.id() == worker.id()) {
+            return Err(SmmfError::DuplicateWorker(worker.id().to_string()));
+        }
+        workers.push(Arc::new(worker));
+        Ok(())
+    }
+
+    /// Remove a worker from a model's rotation.
+    pub fn deregister(&mut self, model: &str, worker: &WorkerId) -> Result<(), SmmfError> {
+        let workers = self
+            .deployments
+            .get_mut(model)
+            .ok_or_else(|| SmmfError::UnknownModel(model.to_string()))?;
+        let before = workers.len();
+        workers.retain(|w| w.id() != worker);
+        if workers.len() == before {
+            return Err(SmmfError::NoHealthyWorker(format!(
+                "{model}: worker {worker} not found"
+            )));
+        }
+        if workers.is_empty() {
+            self.deployments.remove(model);
+        }
+        Ok(())
+    }
+
+    /// Workers of a model.
+    pub fn workers(&self, model: &str) -> Result<&[Arc<ModelWorker>], SmmfError> {
+        self.deployments
+            .get(model)
+            .map(Vec::as_slice)
+            .ok_or_else(|| SmmfError::UnknownModel(model.to_string()))
+    }
+
+    /// Deployed model names (sorted).
+    pub fn models(&self) -> Vec<&str> {
+        self.deployments.keys().map(String::as_str).collect()
+    }
+
+    /// Is any worker of `model` healthy?
+    pub fn has_healthy_worker(&self, model: &str) -> bool {
+        self.deployments
+            .get(model)
+            .map(|ws| ws.iter().any(|w| w.health() == WorkerHealth::Healthy))
+            .unwrap_or(false)
+    }
+
+    /// Total workers across all models.
+    pub fn worker_count(&self) -> usize {
+        self.deployments.values().map(Vec::len).sum()
+    }
+
+    /// A metadata snapshot: `(model, worker id, health, served, failed)`.
+    pub fn snapshot(&self) -> Vec<(String, String, WorkerHealth, u64, u64)> {
+        let mut out = Vec::with_capacity(self.worker_count());
+        for (model, workers) in &self.deployments {
+            for w in workers {
+                let s = w.stats();
+                out.push((
+                    model.clone(),
+                    w.id().to_string(),
+                    w.health(),
+                    s.served,
+                    s.failed,
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for ModelController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelController")
+            .field("mode", &self.mode)
+            .field("models", &self.models())
+            .field("workers", &self.worker_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privacy::Locality;
+    use dbgpt_llm::catalog::builtin_model;
+
+    fn local_worker(id: &str, model: &str) -> ModelWorker {
+        ModelWorker::new(id, builtin_model(model).unwrap())
+    }
+
+    #[test]
+    fn register_and_list() {
+        let mut c = ModelController::new(DeploymentMode::Local);
+        c.register(local_worker("w0", "sim-qwen")).unwrap();
+        c.register(local_worker("w1", "sim-qwen")).unwrap();
+        c.register(local_worker("w2", "sim-glm")).unwrap();
+        assert_eq!(c.models(), vec!["sim-glm", "sim-qwen"]);
+        assert_eq!(c.workers("sim-qwen").unwrap().len(), 2);
+        assert_eq!(c.worker_count(), 3);
+        assert!(c.has_healthy_worker("sim-qwen"));
+    }
+
+    #[test]
+    fn duplicate_worker_rejected() {
+        let mut c = ModelController::new(DeploymentMode::Local);
+        c.register(local_worker("w0", "sim-qwen")).unwrap();
+        let e = c.register(local_worker("w0", "sim-qwen")).unwrap_err();
+        assert!(matches!(e, SmmfError::DuplicateWorker(_)));
+    }
+
+    #[test]
+    fn privacy_enforced_at_registration() {
+        let mut c = ModelController::new(DeploymentMode::Local);
+        let remote = ModelWorker::with_faults(
+            "r0",
+            builtin_model("proxy-gpt").unwrap(),
+            Locality::Remote,
+            0.0,
+            0,
+        );
+        let e = c.register(remote).unwrap_err();
+        assert!(matches!(e, SmmfError::PrivacyViolation { .. }));
+        assert_eq!(c.worker_count(), 0);
+        // Cloud mode admits the same worker.
+        let mut c = ModelController::new(DeploymentMode::Cloud);
+        let remote = ModelWorker::with_faults(
+            "r0",
+            builtin_model("proxy-gpt").unwrap(),
+            Locality::Remote,
+            0.0,
+            0,
+        );
+        c.register(remote).unwrap();
+        assert_eq!(c.worker_count(), 1);
+    }
+
+    #[test]
+    fn deregister_removes_and_cleans_up() {
+        let mut c = ModelController::new(DeploymentMode::Local);
+        c.register(local_worker("w0", "sim-qwen")).unwrap();
+        c.deregister("sim-qwen", &WorkerId::new("w0")).unwrap();
+        assert!(c.models().is_empty());
+        assert!(matches!(
+            c.deregister("sim-qwen", &WorkerId::new("w0")),
+            Err(SmmfError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn deregister_missing_worker_errors() {
+        let mut c = ModelController::new(DeploymentMode::Local);
+        c.register(local_worker("w0", "sim-qwen")).unwrap();
+        assert!(c.deregister("sim-qwen", &WorkerId::new("nope")).is_err());
+    }
+
+    #[test]
+    fn healthy_flag_tracks_worker_state() {
+        let mut c = ModelController::new(DeploymentMode::Local);
+        c.register(local_worker("w0", "sim-qwen")).unwrap();
+        c.workers("sim-qwen").unwrap()[0].drain();
+        assert!(!c.has_healthy_worker("sim-qwen"));
+        assert!(!c.has_healthy_worker("ghost-model"));
+    }
+
+    #[test]
+    fn snapshot_lists_everything() {
+        let mut c = ModelController::new(DeploymentMode::Local);
+        c.register(local_worker("w0", "sim-qwen")).unwrap();
+        c.register(local_worker("w1", "sim-glm")).unwrap();
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "sim-glm"); // sorted by model
+    }
+}

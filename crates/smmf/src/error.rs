@@ -1,0 +1,102 @@
+//! Error type for SMMF.
+
+use std::fmt;
+
+use dbgpt_llm::LlmError;
+
+/// Errors from model management and serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmmfError {
+    /// No model with this name is deployed.
+    UnknownModel(String),
+    /// The model exists but every worker is unhealthy/draining.
+    NoHealthyWorker(String),
+    /// A worker failed while serving (simulated infrastructure fault).
+    WorkerFailure {
+        /// Worker that failed.
+        worker: String,
+        /// Cause description.
+        cause: String,
+    },
+    /// All retry attempts were exhausted.
+    RetriesExhausted {
+        /// Model requested.
+        model: String,
+        /// Attempts made.
+        attempts: usize,
+        /// Last error seen.
+        last: String,
+    },
+    /// A non-local worker was registered while privacy mode is Local.
+    PrivacyViolation {
+        /// Offending worker.
+        worker: String,
+    },
+    /// The underlying model rejected the request (bad params, overflow…).
+    Model(LlmError),
+    /// A worker id collision.
+    DuplicateWorker(String),
+}
+
+impl fmt::Display for SmmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmmfError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            SmmfError::NoHealthyWorker(m) => write!(f, "no healthy worker for model `{m}`"),
+            SmmfError::WorkerFailure { worker, cause } => {
+                write!(f, "worker `{worker}` failed: {cause}")
+            }
+            SmmfError::RetriesExhausted {
+                model,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "request to `{model}` failed after {attempts} attempt(s): {last}"
+            ),
+            SmmfError::PrivacyViolation { worker } => write!(
+                f,
+                "privacy violation: worker `{worker}` is not local but deployment mode is Local"
+            ),
+            SmmfError::Model(e) => write!(f, "model error: {e}"),
+            SmmfError::DuplicateWorker(w) => write!(f, "duplicate worker id `{w}`"),
+        }
+    }
+}
+
+impl std::error::Error for SmmfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmmfError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LlmError> for SmmfError {
+    fn from(e: LlmError) -> Self {
+        SmmfError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_subjects() {
+        assert!(SmmfError::UnknownModel("m".into()).to_string().contains('m'));
+        assert!(SmmfError::NoHealthyWorker("q".into()).to_string().contains('q'));
+        assert!(SmmfError::PrivacyViolation { worker: "w1".into() }
+            .to_string()
+            .contains("w1"));
+    }
+
+    #[test]
+    fn llm_error_converts_and_sources() {
+        let e: SmmfError = LlmError::EmptyPrompt.into();
+        assert!(matches!(e, SmmfError::Model(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # dbgpt-smmf — the Service-oriented Multi-model Management Framework
+//!
+//! Implements SMMF as described in paper §2.3: "SMMF is underpinned by two
+//! core components: the model inference layer and the model deployment
+//! layer. … At its core, the model controller manages metadata, integrating
+//! the deployment process, while the model worker establishes connectivity
+//! with inference and infrastructure."
+//!
+//! Mapping to modules:
+//!
+//! - **Model inference layer** — any [`dbgpt_llm::LanguageModel`]; SMMF is
+//!   backend-agnostic, exactly like the paper's support for multiple
+//!   inference frameworks.
+//! - **Model worker** ([`worker`]) — wraps one model replica with
+//!   capacity limits, load/latency accounting, health state, and seeded
+//!   failure injection for resilience experiments.
+//! - **Model controller** ([`controller`]) — the metadata registry: which
+//!   models exist, which workers serve each, worker lifecycle
+//!   (register / drain / deregister).
+//! - **API server + model handler** ([`server`]) — the deployment layer's
+//!   entry point: routes a request to a worker under a
+//!   [`router::RoutingPolicy`], retries on worker failure, and enforces the
+//!   [`privacy`] mode (local-only serving, the paper's data-privacy
+//!   guarantee).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbgpt_smmf::{ApiServer, DeploymentMode};
+//! use dbgpt_llm::GenerationParams;
+//!
+//! let mut server = ApiServer::new(DeploymentMode::Local);
+//! server.deploy_builtin("sim-qwen", 2).unwrap();  // two replicas
+//! let out = server.chat("sim-qwen", "hello data", &GenerationParams::default()).unwrap();
+//! assert!(!out.text.is_empty());
+//! ```
+
+pub mod controller;
+pub mod error;
+pub mod privacy;
+pub mod router;
+pub mod server;
+pub mod worker;
+
+pub use controller::ModelController;
+pub use error::SmmfError;
+pub use privacy::{DeploymentMode, Locality};
+pub use router::RoutingPolicy;
+pub use server::ApiServer;
+pub use worker::{ModelWorker, WorkerHealth, WorkerId, WorkerStats};

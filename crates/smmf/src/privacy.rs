@@ -1,0 +1,84 @@
+//! Privacy mode: the paper's core SMMF guarantee.
+//!
+//! "SMMF … enables local execution of users' own LLMs to ensure data
+//! privacy and security" and "All the interactions among users, LLMs and
+//! data are performed locally, which definitely promises users' privacy"
+//! (§1, §2.3). Here that guarantee is a *checked invariant*: in
+//! [`DeploymentMode::Local`], registering any worker whose [`Locality`] is
+//! not `Local` is rejected, so no prompt can ever be routed off-machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a worker physically runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// Same machine / user-controlled environment.
+    Local,
+    /// A user-controlled cluster node (simulated Ray deployment).
+    Cluster,
+    /// A third-party endpoint (e.g. a hosted proxy model).
+    Remote,
+}
+
+/// The serving privacy posture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeploymentMode {
+    /// Strict privacy: only [`Locality::Local`] workers may serve.
+    Local,
+    /// Distributed within the user's own infrastructure: `Local` and
+    /// `Cluster` allowed, `Remote` rejected.
+    Distributed,
+    /// Anything goes (explicitly opting out of the privacy guarantee,
+    /// e.g. to use the hosted proxy model).
+    Cloud,
+}
+
+impl DeploymentMode {
+    /// Is a worker with the given locality admissible under this mode?
+    pub fn admits(&self, locality: Locality) -> bool {
+        match self {
+            DeploymentMode::Local => locality == Locality::Local,
+            DeploymentMode::Distributed => locality != Locality::Remote,
+            DeploymentMode::Cloud => true,
+        }
+    }
+
+    /// Does this mode guarantee prompts never leave user infrastructure?
+    pub fn is_private(&self) -> bool {
+        !matches!(self, DeploymentMode::Cloud)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_mode_admits_only_local() {
+        let m = DeploymentMode::Local;
+        assert!(m.admits(Locality::Local));
+        assert!(!m.admits(Locality::Cluster));
+        assert!(!m.admits(Locality::Remote));
+    }
+
+    #[test]
+    fn distributed_mode_rejects_remote_only() {
+        let m = DeploymentMode::Distributed;
+        assert!(m.admits(Locality::Local));
+        assert!(m.admits(Locality::Cluster));
+        assert!(!m.admits(Locality::Remote));
+    }
+
+    #[test]
+    fn cloud_mode_admits_all() {
+        let m = DeploymentMode::Cloud;
+        assert!(m.admits(Locality::Remote));
+    }
+
+    #[test]
+    fn privacy_flag() {
+        assert!(DeploymentMode::Local.is_private());
+        assert!(DeploymentMode::Distributed.is_private());
+        assert!(!DeploymentMode::Cloud.is_private());
+    }
+}

@@ -1,0 +1,249 @@
+//! Request routing policies.
+//!
+//! The deployment layer must pick one of a model's workers for each
+//! request. Four policies with different trade-offs (benchmark E2 sweeps
+//! them): round-robin (fair, state-light), least-latency (adaptive,
+//! steers around slow replicas), random (seeded; the baseline), and
+//! weighted (latency-proportional random; the exploration/exploitation
+//! middle ground).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::worker::{ModelWorker, WorkerHealth};
+
+/// Routing policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Cycle through healthy workers.
+    RoundRobin,
+    /// Pick the healthy worker with the lowest observed mean latency
+    /// (unserved workers count as 0, so new replicas warm up first).
+    LeastLatency,
+    /// Uniform random among healthy workers (seeded).
+    Random,
+    /// Random, weighted by inverse observed mean latency (seeded): fast
+    /// workers absorb proportionally more traffic, slow ones still get
+    /// probed occasionally.
+    Weighted,
+}
+
+impl RoutingPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: &'static [RoutingPolicy] = &[
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastLatency,
+        RoutingPolicy::Random,
+        RoutingPolicy::Weighted,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastLatency => "least-latency",
+            RoutingPolicy::Random => "random",
+            RoutingPolicy::Weighted => "weighted",
+        }
+    }
+}
+
+/// Stateful router over a worker list.
+pub struct Router {
+    policy: RoutingPolicy,
+    counter: AtomicU64,
+    rng: Mutex<StdRng>,
+}
+
+impl Router {
+    /// Router with a policy (random policy seeded with `seed`).
+    pub fn new(policy: RoutingPolicy, seed: u64) -> Self {
+        Router {
+            policy,
+            counter: AtomicU64::new(0),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Pick a healthy worker, or `None` if none are healthy.
+    pub fn pick(&self, workers: &[Arc<ModelWorker>]) -> Option<Arc<ModelWorker>> {
+        let healthy: Vec<&Arc<ModelWorker>> = workers
+            .iter()
+            .filter(|w| w.health() == WorkerHealth::Healthy)
+            .collect();
+        if healthy.is_empty() {
+            return None;
+        }
+        let chosen = match self.policy {
+            RoutingPolicy::RoundRobin => {
+                let n = self.counter.fetch_add(1, Ordering::Relaxed);
+                healthy[(n % healthy.len() as u64) as usize]
+            }
+            RoutingPolicy::LeastLatency => healthy
+                .iter()
+                .min_by_key(|w| (w.stats().mean_latency_us(), w.id().to_string()))
+                .unwrap(),
+            RoutingPolicy::Random => {
+                let i = self.rng.lock().gen_range(0..healthy.len());
+                healthy[i]
+            }
+            RoutingPolicy::Weighted => {
+                // Weight = 1 / (1 + mean latency in ms); cold workers get
+                // the maximum weight so they warm up quickly.
+                let weights: Vec<f64> = healthy
+                    .iter()
+                    .map(|w| 1.0 / (1.0 + w.stats().mean_latency_us() as f64 / 1000.0))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut pick = self.rng.lock().gen_range(0.0..total.max(f64::MIN_POSITIVE));
+                let mut idx = 0;
+                for (i, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        idx = i;
+                        break;
+                    }
+                    pick -= w;
+                    idx = i;
+                }
+                healthy[idx]
+            }
+        };
+        Some(Arc::clone(chosen))
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router").field("policy", &self.policy).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgpt_llm::catalog::builtin_model;
+    use dbgpt_llm::GenerationParams;
+
+    fn workers(n: usize) -> Vec<Arc<ModelWorker>> {
+        (0..n)
+            .map(|i| {
+                Arc::new(ModelWorker::new(
+                    format!("w{i}"),
+                    builtin_model("sim-qwen").unwrap(),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let ws = workers(3);
+        let r = Router::new(RoutingPolicy::RoundRobin, 0);
+        let picks: Vec<String> = (0..6).map(|_| r.pick(&ws).unwrap().id().to_string()).collect();
+        assert_eq!(picks, vec!["w0", "w1", "w2", "w0", "w1", "w2"]);
+    }
+
+    #[test]
+    fn round_robin_skips_unhealthy() {
+        let ws = workers(3);
+        ws[1].drain();
+        let r = Router::new(RoutingPolicy::RoundRobin, 0);
+        let picks: Vec<String> = (0..4).map(|_| r.pick(&ws).unwrap().id().to_string()).collect();
+        assert!(!picks.contains(&"w1".to_string()));
+    }
+
+    #[test]
+    fn no_healthy_workers_returns_none() {
+        let ws = workers(2);
+        ws[0].drain();
+        ws[1].drain();
+        let r = Router::new(RoutingPolicy::RoundRobin, 0);
+        assert!(r.pick(&ws).is_none());
+        assert!(r.pick(&[]).is_none());
+    }
+
+    #[test]
+    fn least_latency_prefers_cold_then_fast_workers() {
+        let ws = workers(2);
+        // Warm up w0 with some served latency.
+        ws[0].infer("warm up request", &GenerationParams::default()).unwrap();
+        let r = Router::new(RoutingPolicy::LeastLatency, 0);
+        // w1 has zero observed latency → picked first.
+        assert_eq!(r.pick(&ws).unwrap().id().to_string(), "w1");
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let ws = workers(4);
+        let seq = |seed| -> Vec<String> {
+            let r = Router::new(RoutingPolicy::Random, seed);
+            (0..8).map(|_| r.pick(&ws).unwrap().id().to_string()).collect()
+        };
+        assert_eq!(seq(5), seq(5));
+        assert_ne!(seq(5), seq(6));
+    }
+
+    #[test]
+    fn policy_names() {
+        let names: Vec<&str> = RoutingPolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["round-robin", "least-latency", "random", "weighted"]
+        );
+    }
+
+    #[test]
+    fn weighted_prefers_fast_workers() {
+        use dbgpt_llm::{SimLlm, SimModelSpec};
+        use dbgpt_llm::latency::LatencyModel;
+        // Two workers with very different latency profiles.
+        let mk = |name: &str, decode_us: u64| {
+            let mut spec = SimModelSpec::for_tests("m");
+            spec.latency = LatencyModel {
+                base_us: 0,
+                prefill_us_per_token: 0,
+                decode_us_per_token: decode_us,
+            };
+            Arc::new(ModelWorker::new(
+                name,
+                Arc::new(SimLlm::with_default_skills(spec)) as dbgpt_llm::SharedModel,
+            ))
+        };
+        let fast = mk("fast", 10);
+        let slow = mk("slow", 1_000);
+        // Warm both up so observed latencies differ.
+        for w in [&fast, &slow] {
+            w.infer("warm up request", &GenerationParams::default()).unwrap();
+        }
+        let ws = vec![fast, slow];
+        let r = Router::new(RoutingPolicy::Weighted, 9);
+        let mut fast_picks = 0;
+        for _ in 0..500 {
+            if r.pick(&ws).unwrap().id().to_string() == "fast" {
+                fast_picks += 1;
+            }
+        }
+        assert!(fast_picks > 300, "fast worker got only {fast_picks}/500");
+        assert!(fast_picks < 500, "slow worker must still be probed");
+    }
+
+    #[test]
+    fn weighted_is_seeded() {
+        let ws = workers(3);
+        let seq = |seed| -> Vec<String> {
+            let r = Router::new(RoutingPolicy::Weighted, seed);
+            (0..10).map(|_| r.pick(&ws).unwrap().id().to_string()).collect()
+        };
+        assert_eq!(seq(4), seq(4));
+    }
+}

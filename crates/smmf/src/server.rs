@@ -1,0 +1,255 @@
+//! The API server — SMMF's deployment-layer entry point.
+//!
+//! "The deployment layer connects inference mechanisms with model serving
+//! capabilities, incorporating an API server and a model handler" (§2.3).
+//! [`ApiServer`] owns the controller and a router, and serves chat
+//! requests with automatic failover: when a worker fails, the request is
+//! retried on the remaining healthy workers before an error is returned.
+
+use dbgpt_llm::catalog::{builtin_model, builtin_spec};
+use dbgpt_llm::{Completion, GenerationParams, SharedModel};
+
+use crate::controller::ModelController;
+use crate::error::SmmfError;
+use crate::privacy::{DeploymentMode, Locality};
+use crate::router::{Router, RoutingPolicy};
+use crate::worker::ModelWorker;
+
+/// Upper bound on failover attempts per request.
+const MAX_ATTEMPTS: usize = 4;
+
+/// The SMMF API server (see module docs).
+pub struct ApiServer {
+    controller: ModelController,
+    router: Router,
+}
+
+impl ApiServer {
+    /// Server with round-robin routing.
+    pub fn new(mode: DeploymentMode) -> Self {
+        ApiServer {
+            controller: ModelController::new(mode),
+            router: Router::new(RoutingPolicy::RoundRobin, 0),
+        }
+    }
+
+    /// Server with an explicit routing policy.
+    pub fn with_policy(mode: DeploymentMode, policy: RoutingPolicy, seed: u64) -> Self {
+        ApiServer {
+            controller: ModelController::new(mode),
+            router: Router::new(policy, seed),
+        }
+    }
+
+    /// The controller (metadata registry).
+    pub fn controller(&self) -> &ModelController {
+        &self.controller
+    }
+
+    /// Mutable controller access (worker lifecycle).
+    pub fn controller_mut(&mut self) -> &mut ModelController {
+        &mut self.controller
+    }
+
+    /// Deploy `replicas` local workers of a built-in model. The hosted
+    /// `proxy-gpt` model is registered with [`Locality::Remote`] —
+    /// so deploying it in [`DeploymentMode::Local`] fails, which is the
+    /// paper's privacy guarantee doing its job.
+    pub fn deploy_builtin(&mut self, model: &str, replicas: usize) -> Result<(), SmmfError> {
+        let spec = builtin_spec(model).ok_or_else(|| SmmfError::UnknownModel(model.to_string()))?;
+        let locality = if spec.id.as_str() == "proxy-gpt" {
+            Locality::Remote
+        } else {
+            Locality::Local
+        };
+        for i in 0..replicas.max(1) {
+            let m = builtin_model(model).expect("spec exists so model exists");
+            let worker =
+                ModelWorker::with_faults(format!("{model}-w{i}"), m, locality, 0.0, i as u64);
+            self.controller.register(worker)?;
+        }
+        Ok(())
+    }
+
+    /// Deploy replicas of a custom model instance (e.g. a fine-tuned
+    /// Text-to-SQL model from DB-GPT-Hub). Workers are local.
+    pub fn deploy_model(&mut self, model: SharedModel, replicas: usize) -> Result<(), SmmfError> {
+        let name = model.id().to_string();
+        for i in 0..replicas.max(1) {
+            let worker = ModelWorker::new(format!("{name}-w{i}"), model.clone());
+            self.controller.register(worker)?;
+        }
+        Ok(())
+    }
+
+    /// Register a single pre-built worker (full control: locality, faults).
+    pub fn register_worker(&mut self, worker: ModelWorker) -> Result<(), SmmfError> {
+        self.controller.register(worker)
+    }
+
+    /// Serve a chat request with failover.
+    pub fn chat(
+        &self,
+        model: &str,
+        prompt: &str,
+        params: &GenerationParams,
+    ) -> Result<Completion, SmmfError> {
+        let workers = self.controller.workers(model)?;
+        let mut last: Option<SmmfError> = None;
+        for attempt in 0..MAX_ATTEMPTS.min(workers.len().max(1)) {
+            let worker = match self.router.pick(workers) {
+                Some(w) => w,
+                None => {
+                    // Everyone is out of rotation: run health checks, the
+                    // way a deployment's prober would, and retry once.
+                    #[allow(clippy::unnecessary_fold)] // deliberate: probe every worker, no short-circuit
+                    let any_revived = workers.iter().fold(false, |acc, w| w.probe() || acc);
+                    match (any_revived, self.router.pick(workers)) {
+                        (true, Some(w)) => w,
+                        _ => {
+                            return Err(last.unwrap_or_else(|| {
+                                SmmfError::NoHealthyWorker(model.to_string())
+                            }))
+                        }
+                    }
+                }
+            };
+            match worker.infer(prompt, params) {
+                Ok(c) => return Ok(c),
+                Err(e @ SmmfError::Model(_)) => {
+                    // Caller error — failover cannot help.
+                    return Err(e);
+                }
+                Err(e) => {
+                    last = Some(e);
+                    let _ = attempt;
+                }
+            }
+        }
+        Err(SmmfError::RetriesExhausted {
+            model: model.to_string(),
+            attempts: MAX_ATTEMPTS.min(workers.len().max(1)),
+            last: last
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "no workers".into()),
+        })
+    }
+
+    /// Names of all deployed models.
+    pub fn models(&self) -> Vec<&str> {
+        self.controller.models()
+    }
+}
+
+impl std::fmt::Debug for ApiServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApiServer")
+            .field("controller", &self.controller)
+            .field("router", &self.router)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_and_chat() {
+        let mut s = ApiServer::new(DeploymentMode::Local);
+        s.deploy_builtin("sim-qwen", 2).unwrap();
+        let out = s
+            .chat("sim-qwen", "hello world", &GenerationParams::default())
+            .unwrap();
+        assert_eq!(out.model, "sim-qwen");
+        assert_eq!(s.models(), vec!["sim-qwen"]);
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        let s = ApiServer::new(DeploymentMode::Local);
+        assert!(matches!(
+            s.chat("ghost", "x", &GenerationParams::default()),
+            Err(SmmfError::UnknownModel(_))
+        ));
+        let mut s = ApiServer::new(DeploymentMode::Local);
+        assert!(s.deploy_builtin("ghost", 1).is_err());
+    }
+
+    #[test]
+    fn proxy_model_blocked_in_local_mode() {
+        let mut s = ApiServer::new(DeploymentMode::Local);
+        let e = s.deploy_builtin("proxy-gpt", 1).unwrap_err();
+        assert!(matches!(e, SmmfError::PrivacyViolation { .. }));
+        // …but fine in cloud mode.
+        let mut s = ApiServer::new(DeploymentMode::Cloud);
+        s.deploy_builtin("proxy-gpt", 1).unwrap();
+        assert!(s.chat("proxy-gpt", "hi there", &GenerationParams::default()).is_ok());
+    }
+
+    #[test]
+    fn failover_rescues_flaky_worker() {
+        let mut s = ApiServer::new(DeploymentMode::Local);
+        // One always-failing worker plus one good one.
+        let bad = ModelWorker::with_faults(
+            "bad",
+            dbgpt_llm::catalog::builtin_model("sim-qwen").unwrap(),
+            Locality::Local,
+            1.0,
+            0,
+        );
+        s.register_worker(bad).unwrap();
+        s.deploy_builtin("sim-qwen", 1).unwrap();
+        // Round-robin will sometimes hit `bad` first; failover must save
+        // every request.
+        for _ in 0..6 {
+            assert!(s
+                .chat("sim-qwen", "hello again", &GenerationParams::default())
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn all_workers_failing_exhausts_retries() {
+        let mut s = ApiServer::new(DeploymentMode::Local);
+        for i in 0..2 {
+            let w = ModelWorker::with_faults(
+                format!("bad{i}"),
+                dbgpt_llm::catalog::builtin_model("sim-qwen").unwrap(),
+                Locality::Local,
+                1.0,
+                i,
+            );
+            s.register_worker(w).unwrap();
+        }
+        let e = s
+            .chat("sim-qwen", "hello", &GenerationParams::default())
+            .unwrap_err();
+        assert!(
+            matches!(e, SmmfError::RetriesExhausted { .. } | SmmfError::NoHealthyWorker(_)),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn model_errors_are_not_retried() {
+        let mut s = ApiServer::new(DeploymentMode::Local);
+        s.deploy_builtin("sim-qwen", 2).unwrap();
+        let e = s.chat("sim-qwen", "   ", &GenerationParams::default()).unwrap_err();
+        assert!(matches!(e, SmmfError::Model(_)));
+        // No worker should have been damaged.
+        assert!(s.controller().has_healthy_worker("sim-qwen"));
+    }
+
+    #[test]
+    fn custom_model_deployment() {
+        use dbgpt_llm::{SimLlm, SimModelSpec};
+        use std::sync::Arc;
+        let custom: dbgpt_llm::model::SharedModel =
+            Arc::new(SimLlm::with_default_skills(SimModelSpec::for_tests("my-finetune")));
+        let mut s = ApiServer::new(DeploymentMode::Local);
+        s.deploy_model(custom, 3).unwrap();
+        assert_eq!(s.controller().workers("my-finetune").unwrap().len(), 3);
+        assert!(s.chat("my-finetune", "hello", &GenerationParams::default()).is_ok());
+    }
+}

@@ -1,0 +1,385 @@
+//! The model worker: one serving replica.
+//!
+//! "the model worker establishes connectivity with inference and
+//! infrastructure, ensuring efficient model operation" (§2.3). A worker
+//! wraps one model instance and adds the serving concerns the controller
+//! cares about: health, load/latency accounting, and — for resilience
+//! experiments (E2) — seeded failure injection that makes a configurable
+//! fraction of requests fail like real infrastructure does.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dbgpt_llm::{Completion, GenerationParams, SharedModel};
+
+use crate::error::SmmfError;
+use crate::privacy::Locality;
+
+/// Stable worker identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub String);
+
+impl WorkerId {
+    /// Construct from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        WorkerId(s.into())
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Worker lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerHealth {
+    /// Accepting requests.
+    Healthy,
+    /// Finishing in-flight work; no new requests.
+    Draining,
+    /// Out of rotation after repeated failures.
+    Unhealthy,
+}
+
+/// Point-in-time serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Requests served successfully.
+    pub served: u64,
+    /// Requests that failed (injected faults or model errors).
+    pub failed: u64,
+    /// Sum of simulated latencies over successful requests, µs.
+    pub total_latency_us: u64,
+}
+
+impl WorkerStats {
+    /// Mean simulated latency per successful request, µs (0 if none).
+    pub fn mean_latency_us(&self) -> u64 {
+        self.total_latency_us.checked_div(self.served).unwrap_or(0)
+    }
+}
+
+/// Consecutive failures before a worker marks itself [`WorkerHealth::Unhealthy`].
+const FAILURE_THRESHOLD: u32 = 3;
+
+/// A serving replica (see module docs).
+pub struct ModelWorker {
+    id: WorkerId,
+    model: SharedModel,
+    locality: Locality,
+    health: Mutex<WorkerHealth>,
+    consecutive_failures: Mutex<u32>,
+    /// Probability a request fails with an infrastructure fault.
+    failure_rate: f64,
+    rng: Mutex<StdRng>,
+    served: AtomicU64,
+    failed: AtomicU64,
+    total_latency_us: AtomicU64,
+}
+
+impl ModelWorker {
+    /// A local worker with no fault injection.
+    pub fn new(id: impl Into<String>, model: SharedModel) -> Self {
+        Self::with_faults(id, model, Locality::Local, 0.0, 0)
+    }
+
+    /// Full construction: locality plus a seeded failure rate.
+    pub fn with_faults(
+        id: impl Into<String>,
+        model: SharedModel,
+        locality: Locality,
+        failure_rate: f64,
+        seed: u64,
+    ) -> Self {
+        ModelWorker {
+            id: WorkerId::new(id),
+            model,
+            locality,
+            health: Mutex::new(WorkerHealth::Healthy),
+            consecutive_failures: Mutex::new(0),
+            failure_rate: failure_rate.clamp(0.0, 1.0),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            total_latency_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker id.
+    pub fn id(&self) -> &WorkerId {
+        &self.id
+    }
+
+    /// The model this worker serves.
+    pub fn model(&self) -> &SharedModel {
+        &self.model
+    }
+
+    /// Where the worker runs.
+    pub fn locality(&self) -> Locality {
+        self.locality
+    }
+
+    /// Current health.
+    pub fn health(&self) -> WorkerHealth {
+        *self.health.lock()
+    }
+
+    /// Begin draining (no new requests; used for graceful scale-down).
+    pub fn drain(&self) {
+        *self.health.lock() = WorkerHealth::Draining;
+    }
+
+    /// Return a drained/unhealthy worker to rotation.
+    pub fn revive(&self) {
+        *self.health.lock() = WorkerHealth::Healthy;
+        *self.consecutive_failures.lock() = 0;
+    }
+
+    /// Health-check an unhealthy worker: the probe succeeds unless the
+    /// injected fault fires, and a passing probe returns the worker to
+    /// rotation. Draining workers are left alone (graceful shutdown is
+    /// deliberate). Returns whether the worker is healthy afterwards.
+    pub fn probe(&self) -> bool {
+        match self.health() {
+            WorkerHealth::Healthy => true,
+            WorkerHealth::Draining => false,
+            WorkerHealth::Unhealthy => {
+                let fault = self.failure_rate > 0.0 && self.rng.lock().gen_bool(self.failure_rate);
+                if !fault {
+                    self.revive();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Serving statistics snapshot.
+    pub fn stats(&self) -> WorkerStats {
+        WorkerStats {
+            served: self.served.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            total_latency_us: self.total_latency_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serve one request.
+    pub fn infer(&self, prompt: &str, params: &GenerationParams) -> Result<Completion, SmmfError> {
+        if self.health() != WorkerHealth::Healthy {
+            return Err(SmmfError::NoHealthyWorker(self.model.id().to_string()));
+        }
+        // Injected infrastructure fault?
+        if self.failure_rate > 0.0 && self.rng.lock().gen_bool(self.failure_rate) {
+            self.record_failure();
+            return Err(SmmfError::WorkerFailure {
+                worker: self.id.to_string(),
+                cause: "injected infrastructure fault".into(),
+            });
+        }
+        match self.model.generate(prompt, params) {
+            Ok(c) => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                self.total_latency_us
+                    .fetch_add(c.simulated_latency_us, Ordering::Relaxed);
+                *self.consecutive_failures.lock() = 0;
+                Ok(c)
+            }
+            Err(e) => {
+                // Model-level errors (bad prompt) are the caller's fault and
+                // do not damage worker health.
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                Err(SmmfError::Model(e))
+            }
+        }
+    }
+
+    fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        let mut cf = self.consecutive_failures.lock();
+        *cf += 1;
+        if *cf >= FAILURE_THRESHOLD {
+            *self.health.lock() = WorkerHealth::Unhealthy;
+        }
+    }
+}
+
+impl fmt::Debug for ModelWorker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelWorker")
+            .field("id", &self.id)
+            .field("model", &self.model.id().to_string())
+            .field("locality", &self.locality)
+            .field("health", &self.health())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgpt_llm::catalog::builtin_model;
+
+    fn worker() -> ModelWorker {
+        ModelWorker::new("w0", builtin_model("sim-qwen").unwrap())
+    }
+
+    #[test]
+    fn serves_and_accounts() {
+        let w = worker();
+        let out = w.infer("hello there", &GenerationParams::default()).unwrap();
+        assert!(!out.text.is_empty());
+        let s = w.stats();
+        assert_eq!(s.served, 1);
+        assert_eq!(s.failed, 0);
+        assert!(s.total_latency_us > 0);
+        assert_eq!(s.mean_latency_us(), s.total_latency_us);
+    }
+
+    #[test]
+    fn draining_rejects_requests() {
+        let w = worker();
+        w.drain();
+        assert_eq!(w.health(), WorkerHealth::Draining);
+        assert!(w.infer("x", &GenerationParams::default()).is_err());
+        w.revive();
+        assert!(w.infer("hello again", &GenerationParams::default()).is_ok());
+    }
+
+    #[test]
+    fn model_errors_do_not_mark_unhealthy() {
+        let w = worker();
+        for _ in 0..5 {
+            let e = w.infer("  ", &GenerationParams::default()).unwrap_err();
+            assert!(matches!(e, SmmfError::Model(_)));
+        }
+        assert_eq!(w.health(), WorkerHealth::Healthy);
+        assert_eq!(w.stats().failed, 5);
+    }
+
+    #[test]
+    fn injected_faults_eventually_mark_unhealthy() {
+        let w = ModelWorker::with_faults(
+            "flaky",
+            builtin_model("sim-qwen").unwrap(),
+            Locality::Local,
+            1.0, // always fail
+            7,
+        );
+        for _ in 0..FAILURE_THRESHOLD {
+            let e = w.infer("hello", &GenerationParams::default()).unwrap_err();
+            assert!(matches!(e, SmmfError::WorkerFailure { .. }));
+        }
+        assert_eq!(w.health(), WorkerHealth::Unhealthy);
+        // While unhealthy the worker refuses outright.
+        assert!(matches!(
+            w.infer("hello", &GenerationParams::default()),
+            Err(SmmfError::NoHealthyWorker(_))
+        ));
+    }
+
+    #[test]
+    fn fault_injection_is_seeded_and_partial() {
+        let run = |seed: u64| -> u64 {
+            let w = ModelWorker::with_faults(
+                "flaky",
+                builtin_model("sim-qwen").unwrap(),
+                Locality::Local,
+                0.3,
+                seed,
+            );
+            let mut failures = 0;
+            for _ in 0..50 {
+                w.revive(); // keep it in rotation for the experiment
+                if w.infer("hello", &GenerationParams::default()).is_err() {
+                    failures += 1;
+                }
+            }
+            failures
+        };
+        assert_eq!(run(1), run(1), "same seed, same outcome");
+        let f = run(1);
+        assert!(f > 0 && f < 50, "failure rate 0.3 should be partial, got {f}");
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        // 50% fault rate: verify a success between failures prevents the
+        // unhealthy transition for longer than 3 total failures.
+        let w = ModelWorker::with_faults(
+            "flaky",
+            builtin_model("sim-qwen").unwrap(),
+            Locality::Local,
+            0.5,
+            42,
+        );
+        let mut total_failures = 0;
+        for _ in 0..30 {
+            if w.health() != WorkerHealth::Healthy {
+                break;
+            }
+            if w.infer("hello", &GenerationParams::default()).is_err() {
+                total_failures += 1;
+            }
+        }
+        // With p=0.5, three-in-a-row takes a while; we must have seen ≥3
+        // failures total before (possibly) going unhealthy.
+        assert!(total_failures >= 3);
+    }
+}
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+    use dbgpt_llm::catalog::builtin_model;
+    use dbgpt_llm::GenerationParams;
+
+    #[test]
+    fn probe_revives_when_fault_clears() {
+        // Fault rate 0.5: an unhealthy worker's probes eventually pass.
+        let w = ModelWorker::with_faults(
+            "flaky",
+            builtin_model("sim-qwen").unwrap(),
+            Locality::Local,
+            0.5,
+            11,
+        );
+        // Drive it unhealthy.
+        while w.health() == WorkerHealth::Healthy {
+            let _ = w.infer("hello", &GenerationParams::default());
+        }
+        assert_eq!(w.health(), WorkerHealth::Unhealthy);
+        let mut revived = false;
+        for _ in 0..20 {
+            if w.probe() {
+                revived = true;
+                break;
+            }
+        }
+        assert!(revived, "probe should eventually pass at 50% fault rate");
+        assert_eq!(w.health(), WorkerHealth::Healthy);
+    }
+
+    #[test]
+    fn probe_leaves_draining_workers_alone() {
+        let w = ModelWorker::new("w", builtin_model("sim-qwen").unwrap());
+        w.drain();
+        assert!(!w.probe());
+        assert_eq!(w.health(), WorkerHealth::Draining);
+    }
+
+    #[test]
+    fn probe_on_healthy_is_true() {
+        let w = ModelWorker::new("w", builtin_model("sim-qwen").unwrap());
+        assert!(w.probe());
+    }
+}

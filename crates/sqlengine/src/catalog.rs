@@ -1,0 +1,477 @@
+//! The catalog: named tables, their stored rows, and secondary indexes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crate::error::SqlError;
+use crate::row::Row;
+use crate::schema::{Schema, SchemaRef};
+use crate::value::{GroupKey, Value};
+
+/// A hash index over one column: value → row positions.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    entries: HashMap<GroupKey, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build from a column of an existing table.
+    fn build(rows: &[Row], col: usize) -> HashIndex {
+        let mut entries: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+        for (i, r) in rows.iter().enumerate() {
+            entries.entry(r[col].group_key()).or_default().push(i);
+        }
+        HashIndex { entries }
+    }
+
+    /// Row positions holding `value` (empty slice when absent).
+    pub fn lookup(&self, value: &Value) -> &[usize] {
+        self.entries
+            .get(&value.group_key())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// A stored table: schema + row storage + secondary hash indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Schema (unqualified column names).
+    pub schema: SchemaRef,
+    /// Row storage.
+    pub rows: Vec<Row>,
+    /// Hash indexes by column position. Maintained on insert; rebuilt
+    /// lazily after bulk mutation (UPDATE/DELETE mark them stale).
+    indexes: HashMap<usize, HashIndex>,
+    /// Index name → column position (for `DROP INDEX name ON table`).
+    index_names: HashMap<String, usize>,
+    indexes_stale: bool,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into().to_lowercase(),
+            schema: Arc::new(schema),
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+            index_names: HashMap::new(),
+            indexes_stale: false,
+        }
+    }
+
+    /// Append a row after coercing every value to its column type.
+    pub fn insert_row(&mut self, values: Vec<Value>) -> Result<(), SqlError> {
+        if values.len() != self.schema.len() {
+            return Err(SqlError::Execution(format!(
+                "table `{}` has {} columns but {} values were supplied",
+                self.name,
+                self.schema.len(),
+                values.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(values.len());
+        for (v, c) in values.into_iter().zip(self.schema.columns()) {
+            row.push(v.coerce_to(c.data_type)?);
+        }
+        let row = Row::new(row);
+        // Incremental index maintenance on the append path.
+        if !self.indexes_stale {
+            let pos = self.rows.len();
+            for (&col, idx) in self.indexes.iter_mut() {
+                idx.entries.entry(row[col].group_key()).or_default().push(pos);
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Create a named hash index on `column`. Re-creating under the same
+    /// name replaces it; a second name on the same column is rejected.
+    pub fn create_index(&mut self, name: &str, column: &str) -> Result<(), SqlError> {
+        let col = self.schema.index_of(column)?;
+        let name = name.to_lowercase();
+        if let Some(&existing) = self.index_names.get(&name) {
+            if existing != col {
+                self.indexes.remove(&existing);
+            }
+        }
+        self.indexes.insert(col, HashIndex::build(&self.rows, col));
+        self.index_names.insert(name, col);
+        Ok(())
+    }
+
+    /// Drop an index by name.
+    pub fn drop_index(&mut self, name: &str) -> Result<(), SqlError> {
+        let name = name.to_lowercase();
+        match self.index_names.remove(&name) {
+            Some(col) => {
+                // Only remove the column index if no other name covers it.
+                if !self.index_names.values().any(|&c| c == col) {
+                    self.indexes.remove(&col);
+                }
+                Ok(())
+            }
+            None => Err(SqlError::Plan(format!("index not found: {name}"))),
+        }
+    }
+
+    /// Names of this table's indexes, sorted.
+    pub fn index_list(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.index_names.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Columns (by position) that currently carry indexes.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.indexes.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
+    /// The index on column position `col`, refreshed if stale.
+    /// Returns `None` when no index exists there.
+    pub fn index(&mut self, col: usize) -> Option<&HashIndex> {
+        if self.indexes_stale {
+            for (&c, idx) in self.indexes.iter_mut() {
+                *idx = HashIndex::build(&self.rows, c);
+            }
+            self.indexes_stale = false;
+        }
+        self.indexes.get(&col)
+    }
+
+    /// Read-only view of an index; `None` if absent or stale.
+    pub fn index_if_fresh(&self, col: usize) -> Option<&HashIndex> {
+        if self.indexes_stale {
+            return None;
+        }
+        self.indexes.get(&col)
+    }
+
+    /// Mark indexes stale after in-place mutation (UPDATE/DELETE).
+    pub fn mark_indexes_stale(&mut self) {
+        if !self.indexes.is_empty() {
+            self.indexes_stale = true;
+        }
+    }
+
+    /// Rebuild any stale indexes now (optional; lookups do this lazily).
+    pub fn refresh_indexes(&mut self) {
+        if self.indexes_stale {
+            for (&c, idx) in self.indexes.iter_mut() {
+                *idx = HashIndex::build(&self.rows, c);
+            }
+            self.indexes_stale = false;
+        }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// An in-memory database: a set of named tables.
+///
+/// Iteration order is deterministic (`BTreeMap`), which keeps schema dumps
+/// — the input to Text-to-SQL prompts — stable across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table. Errors if the name is taken (unless
+    /// `if_not_exists`).
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        if_not_exists: bool,
+    ) -> Result<(), SqlError> {
+        let key = name.to_lowercase();
+        if self.tables.contains_key(&key) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(SqlError::TableExists(key));
+        }
+        self.tables.insert(key.clone(), Table::new(key, schema));
+        Ok(())
+    }
+
+    /// Drop a table. Errors if missing (unless `if_exists`).
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<(), SqlError> {
+        let key = name.to_lowercase();
+        if self.tables.remove(&key).is_none() && !if_exists {
+            return Err(SqlError::TableNotFound(key));
+        }
+        Ok(())
+    }
+
+    /// Shared view of a table.
+    pub fn table(&self, name: &str) -> Result<&Table, SqlError> {
+        self.tables
+            .get(&name.to_lowercase())
+            .ok_or_else(|| SqlError::TableNotFound(name.to_lowercase()))
+    }
+
+    /// Mutable view of a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
+        self.tables
+            .get_mut(&name.to_lowercase())
+            .ok_or_else(|| SqlError::TableNotFound(name.to_lowercase()))
+    }
+
+    /// Does the table exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_lowercase())
+    }
+
+    /// Table names in deterministic order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Render the full schema as `CREATE TABLE`-style DDL — the schema
+    /// context that Text-to-SQL prompts embed.
+    pub fn schema_ddl(&self) -> String {
+        let mut out = String::new();
+        for t in self.tables.values() {
+            out.push_str("CREATE TABLE ");
+            out.push_str(&t.name);
+            out.push_str(" (");
+            for (i, c) in t.schema.columns().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&c.name);
+                out.push(' ');
+                out.push_str(c.data_type.name());
+            }
+            out.push_str(");\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Text),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        db.create_table("Users", schema(), false).unwrap();
+        assert!(db.has_table("users"));
+        assert!(db.has_table("USERS"));
+        assert_eq!(db.table("users").unwrap().schema.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_create_rejected_unless_if_not_exists() {
+        let mut db = Database::new();
+        db.create_table("t", schema(), false).unwrap();
+        assert!(matches!(
+            db.create_table("t", schema(), false),
+            Err(SqlError::TableExists(_))
+        ));
+        assert!(db.create_table("t", schema(), true).is_ok());
+    }
+
+    #[test]
+    fn drop_semantics() {
+        let mut db = Database::new();
+        db.create_table("t", schema(), false).unwrap();
+        db.drop_table("t", false).unwrap();
+        assert!(!db.has_table("t"));
+        assert!(matches!(
+            db.drop_table("t", false),
+            Err(SqlError::TableNotFound(_))
+        ));
+        assert!(db.drop_table("t", true).is_ok());
+    }
+
+    #[test]
+    fn insert_coerces_and_validates() {
+        let mut db = Database::new();
+        db.create_table("t", schema(), false).unwrap();
+        let t = db.table_mut("t").unwrap();
+        t.insert_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        // Wrong arity.
+        assert!(t.insert_row(vec![Value::Int(1)]).is_err());
+        // Wrong type.
+        assert!(t
+            .insert_row(vec![Value::Text("x".into()), Value::Text("a".into())])
+            .is_err());
+        // NULL passes.
+        t.insert_row(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut db = Database::new();
+        db.create_table("zeta", schema(), false).unwrap();
+        db.create_table("alpha", schema(), false).unwrap();
+        assert_eq!(db.table_names(), vec!["alpha", "zeta"]);
+        assert_eq!(db.table_count(), 2);
+    }
+
+    #[test]
+    fn schema_ddl_roundtrips_through_parser() {
+        let mut db = Database::new();
+        db.create_table("users", schema(), false).unwrap();
+        let ddl = db.schema_ddl();
+        assert!(ddl.contains("CREATE TABLE users (id INT, name TEXT);"));
+        // And it parses back.
+        for stmt in ddl.lines() {
+            assert!(crate::parser::parse(stmt).is_ok());
+        }
+    }
+}
+
+#[cfg(test)]
+mod index_tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn seeded() -> Engine {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE t (id INT, grp TEXT, v INT)").unwrap();
+        e.execute(
+            "INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20), (3, 'a', 30), (4, 'c', 40)",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn create_index_and_lookup() {
+        let mut e = seeded();
+        e.execute("CREATE INDEX idx_grp ON t (grp)").unwrap();
+        let t = e.database_mut().table_mut("t").unwrap();
+        assert_eq!(t.index_list(), vec!["idx_grp"]);
+        assert_eq!(t.indexed_columns(), vec![1]);
+        let idx = t.index(1).unwrap();
+        assert_eq!(idx.lookup(&Value::Text("a".into())), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Text("z".into())), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn indexed_query_matches_unindexed() {
+        let mut plain = seeded();
+        let mut indexed = seeded();
+        indexed.execute("CREATE INDEX i ON t (grp)").unwrap();
+        for sql in [
+            "SELECT id FROM t WHERE grp = 'a' ORDER BY id",
+            "SELECT SUM(v) FROM t WHERE grp = 'a'",
+            "SELECT id FROM t WHERE grp = 'a' AND v > 15",
+            "SELECT id FROM t WHERE grp = 'nope'",
+        ] {
+            let a = plain.execute(sql).unwrap();
+            let b = indexed.execute(sql).unwrap();
+            assert_eq!(a.rows, b.rows, "disagreement on {sql}");
+        }
+    }
+
+    #[test]
+    fn index_stays_fresh_across_inserts() {
+        let mut e = seeded();
+        e.execute("CREATE INDEX i ON t (grp)").unwrap();
+        e.execute("INSERT INTO t VALUES (5, 'a', 50)").unwrap();
+        let r = e.execute("SELECT COUNT(*) FROM t WHERE grp = 'a'").unwrap();
+        assert_eq!(r.rows[0][0].as_i64(), Some(3));
+    }
+
+    #[test]
+    fn update_and_delete_invalidate_then_results_stay_correct() {
+        let mut e = seeded();
+        e.execute("CREATE INDEX i ON t (grp)").unwrap();
+        e.execute("UPDATE t SET grp = 'z' WHERE id = 1").unwrap();
+        // Stale index must not serve wrong candidates.
+        let r = e.execute("SELECT COUNT(*) FROM t WHERE grp = 'a'").unwrap();
+        assert_eq!(r.rows[0][0].as_i64(), Some(1));
+        let r = e.execute("SELECT COUNT(*) FROM t WHERE grp = 'z'").unwrap();
+        assert_eq!(r.rows[0][0].as_i64(), Some(1));
+        e.execute("DELETE FROM t WHERE grp = 'z'").unwrap();
+        let r = e.execute("SELECT COUNT(*) FROM t WHERE grp = 'z'").unwrap();
+        assert_eq!(r.rows[0][0].as_i64(), Some(0));
+        // Refresh path also works explicitly.
+        e.database_mut().table_mut("t").unwrap().refresh_indexes();
+        let r = e.execute("SELECT COUNT(*) FROM t WHERE grp = 'b'").unwrap();
+        assert_eq!(r.rows[0][0].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn drop_index_by_name() {
+        let mut e = seeded();
+        e.execute("CREATE INDEX i ON t (grp)").unwrap();
+        e.execute("DROP INDEX i ON t").unwrap();
+        assert!(e.database().table("t").unwrap().index_list().is_empty());
+        assert!(e.execute("DROP INDEX i ON t").is_err());
+        // Queries still work without the index.
+        assert!(e.execute("SELECT id FROM t WHERE grp = 'a'").is_ok());
+    }
+
+    #[test]
+    fn index_on_unknown_column_rejected() {
+        let mut e = seeded();
+        assert!(e.execute("CREATE INDEX i ON t (ghost)").is_err());
+        assert!(e.execute("CREATE INDEX i ON ghost_table (grp)").is_err());
+    }
+
+    #[test]
+    fn renaming_index_to_other_column_replaces() {
+        let mut t = Table::new(
+            "x",
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        t.insert_row(vec![Value::Int(1), Value::Int(2)]).unwrap();
+        t.create_index("i", "a").unwrap();
+        t.create_index("i", "b").unwrap(); // same name, new column
+        assert_eq!(t.indexed_columns(), vec![1]);
+    }
+}

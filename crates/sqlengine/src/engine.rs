@@ -1,0 +1,588 @@
+//! The top-level engine: SQL text in, rows out.
+
+use std::sync::Arc;
+
+use crate::catalog::Database;
+use crate::error::SqlError;
+use crate::exec::execute_plan;
+use crate::parser::{parse, Statement};
+use crate::plan::logical::Planner;
+use crate::plan::optimizer::Optimizer;
+use crate::row::Row;
+use crate::schema::{Column, Schema, SchemaRef};
+use crate::value::Value;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Column names/types of the result (empty for DDL/DML).
+    pub schema: SchemaRef,
+    /// Result rows (empty for DDL/DML).
+    pub rows: Vec<Row>,
+    /// Rows affected by DML (0 for queries/DDL).
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    /// An empty result with `rows_affected` set.
+    fn affected(n: usize) -> QueryResult {
+        QueryResult {
+            schema: Arc::new(Schema::new_unchecked(vec![])),
+            rows: Vec::new(),
+            rows_affected: n,
+        }
+    }
+
+    /// Column names of the result.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.schema.columns().iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Render an ASCII table (used by examples and the Chat2DB app).
+    pub fn to_table(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        if headers.is_empty() {
+            return format!("({} row(s) affected)", self.rows_affected);
+        }
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let sep = |widths: &[usize]| {
+            let mut s = String::from("+");
+            for w in widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        let fmt_row = |cols: &[String], widths: &[usize]| {
+            let mut s = String::from("|");
+            for (c, w) in cols.iter().zip(widths) {
+                s.push_str(&format!(" {c:<w$} |", w = w));
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = sep(&widths);
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push_str(&sep(&widths));
+        for row in &cells {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out.push_str(&sep(&widths));
+        out
+    }
+}
+
+/// The SQL engine: a [`Database`] plus the query pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    db: Database,
+    optimizer: Optimizer,
+}
+
+impl Engine {
+    /// Empty engine with the optimizer on.
+    pub fn new() -> Self {
+        Engine {
+            db: Database::new(),
+            optimizer: Optimizer::new(),
+        }
+    }
+
+    /// Engine with a custom optimizer configuration (for ablations).
+    pub fn with_optimizer(optimizer: Optimizer) -> Self {
+        Engine {
+            db: Database::new(),
+            optimizer,
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database (bulk loads).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, SqlError> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|(n, t)| Column::new(n, t))
+                        .collect(),
+                )?;
+                self.db.create_table(&name, schema, if_not_exists)?;
+                Ok(QueryResult::affected(0))
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.db.drop_table(&name, if_exists)?;
+                Ok(QueryResult::affected(0))
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                self.db.table_mut(&table)?.create_index(&name, &column)?;
+                Ok(QueryResult::affected(0))
+            }
+            Statement::DropIndex { name, table } => {
+                self.db.table_mut(&table)?.drop_index(&name)?;
+                Ok(QueryResult::affected(0))
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let empty_schema = Schema::new_unchecked(vec![]);
+                let empty_row = Row::default();
+                // Pre-compute the value layout.
+                let table_schema = self.db.table(&table)?.schema.clone();
+                let positions: Vec<usize> = match &columns {
+                    Some(cols) => cols
+                        .iter()
+                        .map(|c| table_schema.index_of(c))
+                        .collect::<Result<_, _>>()?,
+                    None => (0..table_schema.len()).collect(),
+                };
+                let mut inserted = 0usize;
+                for row_exprs in rows {
+                    if row_exprs.len() != positions.len() {
+                        return Err(SqlError::Execution(format!(
+                            "INSERT expects {} values per row, got {}",
+                            positions.len(),
+                            row_exprs.len()
+                        )));
+                    }
+                    let mut vals = vec![Value::Null; table_schema.len()];
+                    for (expr, &pos) in row_exprs.iter().zip(&positions) {
+                        vals[pos] = expr.eval(&empty_row, &empty_schema)?;
+                    }
+                    self.db.table_mut(&table)?.insert_row(vals)?;
+                    inserted += 1;
+                }
+                Ok(QueryResult::affected(inserted))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                filter,
+            } => {
+                let t = self.db.table_mut(&table)?;
+                let schema = t.schema.clone();
+                let targets: Vec<(usize, &crate::expr::Expr)> = assignments
+                    .iter()
+                    .map(|(col, e)| Ok((schema.index_of(col)?, e)))
+                    .collect::<Result<_, SqlError>>()?;
+                let mut updated = 0usize;
+                for row in t.rows.iter_mut() {
+                    let hit = match &filter {
+                        Some(f) => f.eval(row, &schema)?.is_truthy(),
+                        None => true,
+                    };
+                    if !hit {
+                        continue;
+                    }
+                    // Evaluate all assignments against the *old* row.
+                    let mut new_vals = Vec::with_capacity(targets.len());
+                    for (idx, e) in &targets {
+                        let v = e.eval(row, &schema)?;
+                        let ty = schema.columns()[*idx].data_type;
+                        new_vals.push((*idx, v.coerce_to(ty)?));
+                    }
+                    for (idx, v) in new_vals {
+                        row.values_mut()[idx] = v;
+                    }
+                    updated += 1;
+                }
+                if updated > 0 {
+                    self.db.table_mut(&table)?.mark_indexes_stale();
+                }
+                Ok(QueryResult::affected(updated))
+            }
+            Statement::Delete { table, filter } => {
+                let t = self.db.table_mut(&table)?;
+                let schema = t.schema.clone();
+                let before = t.rows.len();
+                match filter {
+                    Some(f) => {
+                        let mut err = None;
+                        t.rows.retain(|row| match f.eval(row, &schema) {
+                            Ok(v) => !v.is_truthy(),
+                            Err(e) => {
+                                err.get_or_insert(e);
+                                true
+                            }
+                        });
+                        if let Some(e) = err {
+                            return Err(e);
+                        }
+                    }
+                    None => t.rows.clear(),
+                }
+                let removed = before - t.rows.len();
+                if removed > 0 {
+                    t.mark_indexes_stale();
+                }
+                Ok(QueryResult::affected(removed))
+            }
+            Statement::Select(sel) => {
+                let plan = Planner::new(&self.db).plan_select(&sel)?;
+                let plan = self.optimizer.optimize(plan)?;
+                let batch = execute_plan(&plan, &self.db)?;
+                Ok(QueryResult {
+                    schema: batch.schema,
+                    rows: batch.rows,
+                    rows_affected: 0,
+                })
+            }
+        }
+    }
+
+    /// Execute a query and pretty-print it (convenience for demos).
+    pub fn query_table(&mut self, sql: &str) -> Result<String, SqlError> {
+        Ok(self.execute(sql)?.to_table())
+    }
+
+    /// Render an `EXPLAIN`-style plan for a SELECT.
+    pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
+        match parse(sql)? {
+            Statement::Select(sel) => {
+                let plan = Planner::new(&self.db).plan_select(&sel)?;
+                let plan = self.optimizer.optimize(plan)?;
+                Ok(plan.display_indent())
+            }
+            other => Err(SqlError::Plan(format!(
+                "EXPLAIN supports SELECT only, got {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE t (id INT, name TEXT, score FLOAT)")
+            .unwrap();
+        e.execute(
+            "INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', 2.5), (3, 'c', 3.5)",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let mut e = engine();
+        let r = e.execute("SELECT name FROM t WHERE id >= 2 ORDER BY id DESC").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0].to_string(), "c");
+        assert_eq!(r.column_names(), vec!["name"]);
+    }
+
+    #[test]
+    fn insert_reports_count() {
+        let mut e = engine();
+        let r = e.execute("INSERT INTO t VALUES (4, 'd', 4.5)").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let r = e.execute("INSERT INTO t VALUES (5, 'e', 0.0), (6, 'f', 0.0)").unwrap();
+        assert_eq!(r.rows_affected, 2);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut e = engine();
+        e.execute("INSERT INTO t (id) VALUES (9)").unwrap();
+        let r = e.execute("SELECT name FROM t WHERE id = 9").unwrap();
+        assert!(r.rows[0][0].is_null());
+    }
+
+    #[test]
+    fn insert_arity_mismatch_rejected() {
+        let mut e = engine();
+        assert!(e.execute("INSERT INTO t (id, name) VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn update_with_filter() {
+        let mut e = engine();
+        let r = e.execute("UPDATE t SET score = score * 2 WHERE id > 1").unwrap();
+        assert_eq!(r.rows_affected, 2);
+        let r = e.execute("SELECT score FROM t ORDER BY id").unwrap();
+        assert_eq!(r.rows[0][0].to_string(), "1.5");
+        assert_eq!(r.rows[1][0].to_string(), "5.0");
+    }
+
+    #[test]
+    fn update_swap_uses_old_values() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE p (a INT, b INT)").unwrap();
+        e.execute("INSERT INTO p VALUES (1, 2)").unwrap();
+        e.execute("UPDATE p SET a = b, b = a").unwrap();
+        let r = e.execute("SELECT a, b FROM p").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+        assert_eq!(r.rows[0][1], Value::Int(1));
+    }
+
+    #[test]
+    fn delete_with_and_without_filter() {
+        let mut e = engine();
+        let r = e.execute("DELETE FROM t WHERE id = 1").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let r = e.execute("DELETE FROM t").unwrap();
+        assert_eq!(r.rows_affected, 2);
+        let r = e.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn ddl_lifecycle() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE x (a INT)").unwrap();
+        assert!(e.execute("CREATE TABLE x (a INT)").is_err());
+        e.execute("CREATE TABLE IF NOT EXISTS x (a INT)").unwrap();
+        e.execute("DROP TABLE x").unwrap();
+        assert!(e.execute("DROP TABLE x").is_err());
+        e.execute("DROP TABLE IF EXISTS x").unwrap();
+    }
+
+    #[test]
+    fn to_table_renders_grid() {
+        let mut e = engine();
+        let r = e.execute("SELECT id, name FROM t WHERE id = 1").unwrap();
+        let table = r.to_table();
+        assert!(table.contains("| id | name |"), "{table}");
+        assert!(table.contains("| 1  | a    |"), "{table}");
+    }
+
+    #[test]
+    fn to_table_for_dml() {
+        let mut e = engine();
+        let r = e.execute("DELETE FROM t WHERE id = 1").unwrap();
+        assert_eq!(r.to_table(), "(1 row(s) affected)");
+    }
+
+    #[test]
+    fn explain_shows_plan() {
+        let e = engine();
+        let txt = e.explain("SELECT id FROM t WHERE score > 2").unwrap();
+        assert!(txt.contains("Scan: t"), "{txt}");
+        assert!(e.explain("DELETE FROM t").is_err());
+    }
+
+    #[test]
+    fn error_propagates_from_parser() {
+        let mut e = engine();
+        assert!(matches!(e.execute("SELEC 1"), Err(SqlError::Parse(_))));
+    }
+
+    #[test]
+    fn query_table_convenience() {
+        let mut e = engine();
+        let t = e.query_table("SELECT COUNT(*) AS n FROM t").unwrap();
+        assert!(t.contains('n'));
+        assert!(t.contains('3'));
+    }
+}
+
+#[cfg(test)]
+mod union_tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE a (x INT, label TEXT)").unwrap();
+        e.execute("CREATE TABLE b (x INT, label TEXT)").unwrap();
+        e.execute("INSERT INTO a VALUES (1, 'one'), (2, 'two'), (3, 'three')").unwrap();
+        e.execute("INSERT INTO b VALUES (2, 'two'), (4, 'four')").unwrap();
+        e
+    }
+
+    #[test]
+    fn union_dedupes() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT x FROM a UNION SELECT x FROM b ORDER BY 1")
+            .unwrap();
+        let xs: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert_eq!(xs, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn union_all_keeps_duplicates() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY 1")
+            .unwrap();
+        let xs: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert_eq!(xs, vec![1, 2, 2, 3, 4]);
+    }
+
+    #[test]
+    fn three_arm_chain_with_filters() {
+        let mut e = engine();
+        let r = e
+            .execute(
+                "SELECT x FROM a WHERE x > 1 UNION SELECT x FROM b UNION ALL SELECT 99 ORDER BY 1",
+            )
+            .unwrap();
+        let xs: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        // A plain UNION anywhere in the chain dedupes the whole result.
+        assert_eq!(xs, vec![2, 3, 4, 99]);
+    }
+
+    #[test]
+    fn trailing_order_and_limit_bind_to_the_union() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT x, label FROM a UNION ALL SELECT x, label FROM b ORDER BY x DESC LIMIT 2")
+            .unwrap();
+        let xs: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert_eq!(xs, vec![4, 3]);
+        // Ordering by output column name also works.
+        let r = e
+            .execute("SELECT x FROM a UNION SELECT x FROM b ORDER BY x DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(r.rows[0][0].as_i64(), Some(4));
+    }
+
+    #[test]
+    fn union_with_aggregates_per_arm() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT COUNT(*) FROM a UNION ALL SELECT COUNT(*) FROM b ORDER BY 1")
+            .unwrap();
+        let xs: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert_eq!(xs, vec![2, 3]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut e = engine();
+        let err = e
+            .execute("SELECT x FROM a UNION SELECT x, label FROM b")
+            .unwrap_err();
+        assert!(err.to_string().contains("column count"), "{err}");
+    }
+
+    #[test]
+    fn bad_union_order_key_rejected() {
+        let mut e = engine();
+        assert!(e
+            .execute("SELECT x FROM a UNION SELECT x FROM b ORDER BY x + 1")
+            .is_err());
+        assert!(e
+            .execute("SELECT x FROM a UNION SELECT x FROM b ORDER BY 5")
+            .is_err());
+    }
+
+    #[test]
+    fn union_explain_shows_arms() {
+        let e = engine();
+        let txt = e
+            .explain("SELECT x FROM a UNION SELECT x FROM b")
+            .unwrap();
+        assert!(txt.contains("Union: 2 arm(s) distinct"), "{txt}");
+    }
+
+    #[test]
+    fn union_optimizes_like_raw() {
+        let sql = "SELECT x FROM a WHERE x > 1 UNION SELECT x FROM b WHERE label = 'four' ORDER BY 1";
+        let mut opt = engine();
+        let mut raw = Engine::with_optimizer(crate::plan::optimizer::Optimizer::disabled());
+        raw.execute("CREATE TABLE a (x INT, label TEXT)").unwrap();
+        raw.execute("CREATE TABLE b (x INT, label TEXT)").unwrap();
+        raw.execute("INSERT INTO a VALUES (1, 'one'), (2, 'two'), (3, 'three')").unwrap();
+        raw.execute("INSERT INTO b VALUES (2, 'two'), (4, 'four')").unwrap();
+        assert_eq!(opt.execute(sql).unwrap().rows, raw.execute(sql).unwrap().rows);
+    }
+}
+
+#[cfg(test)]
+mod count_distinct_tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE t (cat TEXT, v INT)").unwrap();
+        e.execute(
+            "INSERT INTO t VALUES ('a', 1), ('a', 1), ('a', 2), ('b', 1), ('b', NULL)",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn global_count_distinct() {
+        let mut e = engine();
+        let r = e.execute("SELECT COUNT(DISTINCT cat) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+        let r = e.execute("SELECT COUNT(DISTINCT v) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2)); // NULL not counted
+    }
+
+    #[test]
+    fn grouped_count_distinct() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT cat, COUNT(DISTINCT v) FROM t GROUP BY cat ORDER BY cat")
+            .unwrap();
+        assert_eq!(r.rows[0][1], Value::Int(2)); // a: {1,2}
+        assert_eq!(r.rows[1][1], Value::Int(1)); // b: {1}
+    }
+
+    #[test]
+    fn count_distinct_alongside_plain_count() {
+        let mut e = engine();
+        let r = e
+            .execute("SELECT COUNT(v), COUNT(DISTINCT v), COUNT(*) FROM t")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(4));
+        assert_eq!(r.rows[0][1], Value::Int(2));
+        assert_eq!(r.rows[0][2], Value::Int(5));
+    }
+
+    #[test]
+    fn count_distinct_over_empty() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE x (a INT)").unwrap();
+        let r = e.execute("SELECT COUNT(DISTINCT a) FROM x").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn distinct_in_non_count_still_rejected() {
+        let mut e = engine();
+        assert!(e.execute("SELECT AVG(DISTINCT v) FROM t").is_err());
+    }
+}

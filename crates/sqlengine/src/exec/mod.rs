@@ -1,0 +1,7 @@
+//! Physical execution of logical plans.
+
+pub mod aggregate;
+pub mod executor;
+
+pub use aggregate::Accumulator;
+pub use executor::execute_plan;

@@ -1,0 +1,374 @@
+//! SQL lexer.
+
+use crate::error::SqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (kept verbatim; the parser matches keywords
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// A single punctuation/operator token.
+    Sym(Sym),
+}
+
+/// Operator / punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Lex `sql` into tokens. Comments (`-- …` to end of line) are skipped.
+pub fn lex(sql: &str) -> Result<Vec<Tok>, SqlError> {
+    let mut out = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Tok::Sym(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::Sym(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Sym(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Sym(Sym::Semi));
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Sym(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Sym(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Sym(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Sym(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                out.push(Tok::Sym(Sym::Percent));
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Sym(Sym::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Sym(Sym::Neq));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Tok::Sym(Sym::Le));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Tok::Sym(Sym::Neq));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Tok::Sym(Sym::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Sym(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Copy a full UTF-8 char.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len])
+                                .map_err(|_| SqlError::Lex("invalid utf-8".into()))?,
+                        );
+                        i += ch_len;
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            '"' | '`' => {
+                // Quoted identifier.
+                let quote = bytes[i];
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SqlError::Lex("unterminated quoted identifier".into()));
+                }
+                let ident = std::str::from_utf8(&bytes[start..i])
+                    .map_err(|_| SqlError::Lex("invalid utf-8".into()))?;
+                out.push(Tok::Ident(ident.to_string()));
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || (bytes[i] == b'.'
+                            && bytes
+                                .get(i + 1)
+                                .map(|b| (*b as char).is_ascii_digit())
+                                .unwrap_or(false)
+                            && !is_float))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    out.push(Tok::Float(text.parse().map_err(|_| {
+                        SqlError::Lex(format!("bad float literal `{text}`"))
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| {
+                        SqlError::Lex(format!("bad int literal `{text}`"))
+                    })?));
+                }
+            }
+            '.' => {
+                out.push(Tok::Sym(Sym::Dot));
+                i += 1;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    let ch_len = utf8_len(b);
+                    if ch_len == 1 {
+                        let c = b as char;
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            i += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    // Multibyte (e.g. CJK) characters are valid identifier
+                    // chars — some test fixtures use Chinese table names.
+                    i += ch_len;
+                }
+                out.push(Tok::Ident(sql[start..i].to_string()));
+            }
+            c if !c.is_ascii() => {
+                // A leading multibyte char also starts an identifier.
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    let ch_len = utf8_len(b);
+                    if ch_len == 1 {
+                        let ch = b as char;
+                        if ch.is_ascii_alphanumeric() || ch == '_' {
+                            i += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    i += ch_len;
+                }
+                out.push(Tok::Ident(sql[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Lex(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Byte length of the UTF-8 char starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basic_select() {
+        let toks = lex("SELECT id, name FROM users WHERE id >= 10;").unwrap();
+        assert_eq!(toks[0], Tok::Ident("SELECT".into()));
+        assert!(toks.contains(&Tok::Sym(Sym::Comma)));
+        assert!(toks.contains(&Tok::Sym(Sym::Ge)));
+        assert!(toks.contains(&Tok::Int(10)));
+        assert_eq!(*toks.last().unwrap(), Tok::Sym(Sym::Semi));
+    }
+
+    #[test]
+    fn lex_string_with_escape() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Tok::Str("it's".into())]);
+    }
+
+    #[test]
+    fn lex_unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(SqlError::Lex(_))));
+    }
+
+    #[test]
+    fn lex_floats_and_ints() {
+        let toks = lex("1 2.5 3.0 42").unwrap();
+        assert_eq!(
+            toks,
+            vec![Tok::Int(1), Tok::Float(2.5), Tok::Float(3.0), Tok::Int(42)]
+        );
+    }
+
+    #[test]
+    fn lex_neq_variants() {
+        assert_eq!(lex("a != b").unwrap()[1], Tok::Sym(Sym::Neq));
+        assert_eq!(lex("a <> b").unwrap()[1], Tok::Sym(Sym::Neq));
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert!(toks.contains(&Tok::Int(2)));
+        assert!(!toks.iter().any(|t| matches!(t, Tok::Ident(s) if s.contains("comment"))));
+    }
+
+    #[test]
+    fn lex_qualified_column() {
+        let toks = lex("t.id").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("t".into()),
+                Tok::Sym(Sym::Dot),
+                Tok::Ident("id".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_quoted_identifiers() {
+        assert_eq!(lex("\"Order Total\"").unwrap(), vec![Tok::Ident("Order Total".into())]);
+        assert_eq!(lex("`weird`").unwrap(), vec![Tok::Ident("weird".into())]);
+    }
+
+    #[test]
+    fn lex_cjk_identifier() {
+        let toks = lex("SELECT * FROM 订单").unwrap();
+        assert_eq!(*toks.last().unwrap(), Tok::Ident("订单".into()));
+    }
+
+    #[test]
+    fn lex_cjk_string_literal() {
+        assert_eq!(lex("'电子产品'").unwrap(), vec![Tok::Str("电子产品".into())]);
+    }
+
+    #[test]
+    fn lex_arithmetic() {
+        let toks = lex("1+2*3-4/5%6").unwrap();
+        let syms: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Sym(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![Sym::Plus, Sym::Star, Sym::Minus, Sym::Slash, Sym::Percent]
+        );
+    }
+
+    #[test]
+    fn lex_rejects_garbage() {
+        assert!(lex("SELECT @").is_err());
+    }
+
+    #[test]
+    fn lex_empty_is_empty() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # dbgpt-sqlengine — the relational database substrate of `db-gpt-rs`
+//!
+//! DB-GPT is a *data interaction* system: Chat2DB, Chat2Data, Chat2Excel and
+//! Text-to-SQL all need an actual database to parse, plan and execute the
+//! SQL that the language models produce. The paper assumes an external
+//! engine (MySQL, DuckDB, …); this crate is the in-repo substitute — an
+//! in-memory relational engine built DataFusion-style:
+//!
+//! ```text
+//! SQL text ──lexer──▶ tokens ──parser──▶ AST
+//!     ──planner──▶ LogicalPlan ──optimizer──▶ LogicalPlan
+//!     ──executor──▶ rows
+//! ```
+//!
+//! ## Supported SQL
+//!
+//! - DDL: `CREATE TABLE`, `DROP TABLE`
+//! - DML: `INSERT INTO … VALUES`, `UPDATE … SET … WHERE`, `DELETE FROM`
+//! - Queries: `SELECT` with projections & aliases, `WHERE`, `INNER/LEFT
+//!   JOIN … ON`, `GROUP BY` + `HAVING`, `ORDER BY … ASC/DESC`, `LIMIT`,
+//!   `DISTINCT`, aggregates (`COUNT/SUM/AVG/MIN/MAX`), scalar functions
+//!   (`ABS/UPPER/LOWER/LENGTH/ROUND/COALESCE`), `LIKE`, `IN`, `BETWEEN`,
+//!   `IS [NOT] NULL`, arithmetic and boolean expressions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbgpt_sqlengine::Engine;
+//!
+//! let mut engine = Engine::new();
+//! engine.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
+//! engine.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+//! let result = engine.execute("SELECT name FROM t WHERE id = 2").unwrap();
+//! assert_eq!(result.rows[0][0].to_string(), "b");
+//! ```
+
+pub mod catalog;
+pub mod csv;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use catalog::Database;
+pub use engine::{Engine, QueryResult};
+pub use error::SqlError;
+pub use row::Row;
+pub use schema::{Column, Schema};
+pub use value::{DataType, Value};

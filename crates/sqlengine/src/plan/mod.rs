@@ -1,0 +1,7 @@
+//! Query planning: AST → logical plan → optimized logical plan.
+
+pub mod logical;
+pub mod optimizer;
+
+pub use logical::{AggFunc, LogicalPlan, Planner};
+pub use optimizer::Optimizer;

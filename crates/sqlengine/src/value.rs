@@ -1,0 +1,389 @@
+//! Runtime values and data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SqlError;
+
+/// Declared column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (`INT`, `INTEGER`, `BIGINT`).
+    Int,
+    /// 64-bit float (`FLOAT`, `DOUBLE`, `REAL`, `DECIMAL`).
+    Float,
+    /// UTF-8 string (`TEXT`, `VARCHAR`, `CHAR`, `STRING`).
+    Text,
+    /// Boolean (`BOOL`, `BOOLEAN`).
+    Bool,
+}
+
+impl DataType {
+    /// Parse a SQL type name (case-insensitive; length args like
+    /// `VARCHAR(32)` must be stripped by the parser first).
+    pub fn parse(name: &str) -> Option<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" => Some(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" => Some(DataType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" | "DATE" | "DATETIME" | "TIMESTAMP" => {
+                Some(DataType::Text)
+            }
+            "BOOL" | "BOOLEAN" => Some(DataType::Bool),
+            _ => None,
+        }
+    }
+
+    /// Canonical SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A runtime value. `Null` is typeless, as in SQL.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// This value's type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to float); `None` for non-numerics.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for non-ints.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view; `None` for non-text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view; `None` for non-bools.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for WHERE clauses: only `Bool(true)` passes; NULL and
+    /// non-booleans do not (SQL three-valued logic collapses to false).
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Coerce into the target column type where SQL allows it (int→float,
+    /// anything→text is NOT implicit; NULL passes any type).
+    pub fn coerce_to(self, ty: DataType) -> Result<Value, SqlError> {
+        match (&self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(_), DataType::Int)
+            | (Value::Float(_), DataType::Float)
+            | (Value::Text(_), DataType::Text)
+            | (Value::Bool(_), DataType::Bool) => Ok(self),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Float(f), DataType::Int) if f.fract() == 0.0 => Ok(Value::Int(*f as i64)),
+            _ => Err(SqlError::TypeMismatch {
+                expected: ty.name().to_string(),
+                found: self
+                    .data_type()
+                    .map(|t| t.name().to_string())
+                    .unwrap_or_else(|| "NULL".into()),
+            }),
+        }
+    }
+
+    /// SQL comparison: NULL compares as unknown (`None`); numerics compare
+    /// across int/float; other cross-type comparisons are `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Total ordering for ORDER BY / grouping: NULLs first, then by type,
+    /// then by value. Unlike [`Value::sql_cmp`] this never returns unknown.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ => match rank(self).cmp(&rank(other)) {
+                Ordering::Equal => self.sql_cmp(other).unwrap_or(Ordering::Equal),
+                o => o,
+            },
+        }
+    }
+
+    /// Equality for grouping/DISTINCT: NULL equals NULL here (SQL GROUP BY
+    /// semantics), floats compare by bits-equal-enough.
+    pub fn group_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Null, _) | (_, Value::Null) => false,
+            _ => self.sql_cmp(other) == Some(Ordering::Equal),
+        }
+    }
+
+    /// A hashable group key. Floats are keyed by their bit pattern.
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Int(i) => GroupKey::Int(*i),
+            Value::Float(f) => GroupKey::Float(f.to_bits()),
+            Value::Text(s) => GroupKey::Text(s.clone()),
+            Value::Bool(b) => GroupKey::Bool(*b),
+        }
+    }
+}
+
+/// Hashable projection of a [`Value`] for hash aggregation and DISTINCT.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// NULL key (groups together).
+    Null,
+    /// Integer key.
+    Int(i64),
+    /// Float key by bit pattern.
+    Float(u64),
+    /// Text key.
+    Text(String),
+    /// Bool key.
+    Bool(bool),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.group_eq(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datatype_parse_aliases() {
+        assert_eq!(DataType::parse("integer"), Some(DataType::Int));
+        assert_eq!(DataType::parse("VARCHAR"), Some(DataType::Text));
+        assert_eq!(DataType::parse("double"), Some(DataType::Float));
+        assert_eq!(DataType::parse("BOOLEAN"), Some(DataType::Bool));
+        assert_eq!(DataType::parse("blob"), None);
+    }
+
+    #[test]
+    fn coerce_int_to_float() {
+        assert_eq!(
+            Value::Int(3).coerce_to(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn coerce_whole_float_to_int() {
+        assert_eq!(
+            Value::Float(4.0).coerce_to(DataType::Int).unwrap(),
+            Value::Int(4)
+        );
+        assert!(Value::Float(4.5).coerce_to(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn coerce_null_passes_any_type() {
+        for ty in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool] {
+            assert!(Value::Null.coerce_to(ty).unwrap().is_null());
+        }
+    }
+
+    #[test]
+    fn coerce_rejects_text_to_int() {
+        assert!(Value::Text("5".into()).coerce_to(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_cross_numeric() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Float(2.0).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_text_and_bool() {
+        assert_eq!(
+            Value::Text("a".into()).sql_cmp(&Value::Text("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Bool(false).sql_cmp(&Value::Bool(true)),
+            Some(Ordering::Less)
+        );
+        // Cross-type non-numeric: unknown.
+        assert_eq!(Value::Text("1".into()).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_sorts_nulls_first() {
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn group_eq_nulls_group_together() {
+        assert!(Value::Null.group_eq(&Value::Null));
+        assert!(!Value::Null.group_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn group_key_distinguishes_types() {
+        assert_ne!(Value::Int(1).group_key(), Value::Bool(true).group_key());
+        assert_ne!(Value::Int(1).group_key(), Value::Text("1".into()).group_key());
+        assert_eq!(Value::Float(1.5).group_key(), Value::Float(1.5).group_key());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.25).to_string(), "2.25");
+        assert_eq!(Value::Text("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(1).is_truthy());
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(1i64), Value::Int(1));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from("x"), Value::Text("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

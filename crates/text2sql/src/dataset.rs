@@ -1,0 +1,424 @@
+//! A deterministic Spider-style Text-to-SQL benchmark.
+//!
+//! Three domains (sales, HR, library), each with a populated database and
+//! question/SQL pairs generated from templates. Test questions use
+//! *paraphrased* vocabulary ("revenue" for `amount`, "staff" for
+//! `employees`) with a fixed probability — which is precisely why
+//! fine-tuning on in-domain pairs helps (experiment E1): the base model's
+//! linker has never seen the paraphrases, the fine-tuned one has.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use dbgpt_sqlengine::Engine;
+
+/// One benchmark database.
+#[derive(Debug, Clone)]
+pub struct BenchmarkDb {
+    /// Domain name.
+    pub name: String,
+    /// `CREATE TABLE` DDL.
+    ddl: String,
+    /// `INSERT` statements populating the tables.
+    inserts: Vec<String>,
+}
+
+impl BenchmarkDb {
+    /// The schema DDL (the prompt context for Text-to-SQL).
+    pub fn schema_ddl(&self) -> String {
+        self.ddl.clone()
+    }
+
+    /// Materialise a fresh engine loaded with this database.
+    pub fn build_engine(&self) -> Engine {
+        let mut e = Engine::new();
+        for stmt in self.ddl.split(';') {
+            let stmt = stmt.trim();
+            if !stmt.is_empty() {
+                e.execute(stmt).expect("benchmark DDL is valid");
+            }
+        }
+        for ins in &self.inserts {
+            e.execute(ins).expect("benchmark inserts are valid");
+        }
+        e
+    }
+}
+
+/// One question/SQL pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Example {
+    /// Index into [`Benchmark::databases`].
+    pub db: usize,
+    /// The natural-language question.
+    pub question: String,
+    /// The canonical gold SQL.
+    pub gold_sql: String,
+    /// Whether the question uses paraphrased vocabulary.
+    pub paraphrased: bool,
+}
+
+/// The full benchmark: databases + train/test splits.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// The databases.
+    pub databases: Vec<BenchmarkDb>,
+    /// Training pairs (for the fine-tuner).
+    pub train: Vec<Example>,
+    /// Held-out evaluation pairs.
+    pub test: Vec<Example>,
+}
+
+/// A paraphrase entry: canonical noun → paraphrase, plus the schema term
+/// it stands for.
+struct Paraphrase {
+    canonical: &'static str,
+    alias: &'static str,
+}
+
+/// Template slots per domain.
+struct Domain {
+    name: &'static str,
+    ddl: &'static str,
+    /// Primary fact table with `(table noun, numeric col, group col, text value samples)`.
+    table: &'static str,
+    numeric_col: &'static str,
+    group_col: &'static str,
+    group_values: &'static [&'static str],
+    /// Secondary entity table with a label column and a numeric column.
+    entity_table: &'static str,
+    entity_numeric: &'static str,
+    paraphrases: &'static [Paraphrase],
+}
+
+const DOMAINS: &[Domain] = &[
+    Domain {
+        name: "sales",
+        ddl: "CREATE TABLE orders (id INT, user_id INT, amount FLOAT, category TEXT, month TEXT);\n\
+              CREATE TABLE products (id INT, name TEXT, price FLOAT, stock INT);",
+        table: "orders",
+        numeric_col: "amount",
+        group_col: "category",
+        group_values: &["books", "tech", "food"],
+        entity_table: "products",
+        entity_numeric: "price",
+        paraphrases: &[
+            Paraphrase { canonical: "amount", alias: "revenue" },
+            Paraphrase { canonical: "orders", alias: "purchases" },
+            Paraphrase { canonical: "category", alias: "segment" },
+        ],
+    },
+    Domain {
+        name: "hr",
+        ddl: "CREATE TABLE employees (id INT, name TEXT, salary FLOAT, department TEXT, age INT);\n\
+              CREATE TABLE projects (id INT, name TEXT, budget FLOAT, headcount INT);",
+        table: "employees",
+        numeric_col: "salary",
+        group_col: "department",
+        group_values: &["engineering", "sales", "finance"],
+        entity_table: "projects",
+        entity_numeric: "budget",
+        paraphrases: &[
+            Paraphrase { canonical: "salary", alias: "pay" },
+            Paraphrase { canonical: "employees", alias: "staff" },
+            Paraphrase { canonical: "department", alias: "division" },
+        ],
+    },
+    Domain {
+        name: "library",
+        ddl: "CREATE TABLE loans (id INT, book_id INT, days INT, genre TEXT, branch TEXT);\n\
+              CREATE TABLE books (id INT, name TEXT, pages INT, year INT);",
+        table: "loans",
+        numeric_col: "days",
+        group_col: "genre",
+        group_values: &["fiction", "history", "science"],
+        entity_table: "books",
+        entity_numeric: "pages",
+        paraphrases: &[
+            Paraphrase { canonical: "days", alias: "duration" },
+            Paraphrase { canonical: "loans", alias: "checkouts" },
+            Paraphrase { canonical: "genre", alias: "style" },
+        ],
+    },
+];
+
+/// Fraction of examples that use paraphrased vocabulary.
+const PARAPHRASE_RATE: f64 = 0.6;
+/// Training examples per domain.
+const TRAIN_PER_DOMAIN: usize = 60;
+/// Test examples per domain.
+const TEST_PER_DOMAIN: usize = 30;
+
+/// Generate the benchmark with a seed (same seed, same benchmark).
+pub fn spider_like(seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut databases = Vec::new();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+
+    for (di, d) in DOMAINS.iter().enumerate() {
+        databases.push(build_db(d, &mut rng));
+        for _ in 0..TRAIN_PER_DOMAIN {
+            train.push(make_example(di, d, &mut rng));
+        }
+        for _ in 0..TEST_PER_DOMAIN {
+            test.push(make_example(di, d, &mut rng));
+        }
+    }
+    Benchmark {
+        databases,
+        train,
+        test,
+    }
+}
+
+fn build_db(d: &Domain, rng: &mut StdRng) -> BenchmarkDb {
+    let mut inserts = Vec::new();
+    // Fact table rows.
+    let mut rows = Vec::new();
+    for i in 0..40 {
+        let numeric = (rng.gen_range(5..500) as f64) + 0.5;
+        let group = d.group_values[rng.gen_range(0..d.group_values.len())];
+        let month = ["jan", "feb", "mar"][rng.gen_range(0..3)];
+        // Columns differ per domain: render generically by schema shape.
+        let row = match d.name {
+            "sales" => format!("({}, {}, {}, '{}', '{}')", i, rng.gen_range(1..10), numeric, group, month),
+            "hr" => format!("({}, 'emp{}', {}, '{}', {})", i, i, numeric, group, rng.gen_range(21..65)),
+            _ => format!("({}, {}, {}, '{}', 'main')", i, rng.gen_range(1..20), numeric as i64, group),
+        };
+        rows.push(row);
+    }
+    inserts.push(format!("INSERT INTO {} VALUES {}", d.table, rows.join(", ")));
+    // Entity table rows.
+    let mut rows = Vec::new();
+    for i in 0..15 {
+        let numeric = rng.gen_range(10..900);
+        let row = match d.name {
+            "sales" => format!("({}, 'product{}', {}.0, {})", i, i, numeric, rng.gen_range(0..50)),
+            "hr" => format!("({}, 'project{}', {}.0, {})", i, i, numeric, rng.gen_range(1..30)),
+            _ => format!("({}, 'book{}', {}, {})", i, i, numeric, rng.gen_range(1950..2024)),
+        };
+        rows.push(row);
+    }
+    inserts.push(format!("INSERT INTO {} VALUES {}", d.entity_table, rows.join(", ")));
+    BenchmarkDb {
+        name: d.name.to_string(),
+        ddl: d.ddl.to_string(),
+        inserts,
+    }
+}
+
+/// Substitute paraphrases into a question when `paraphrased`.
+fn voice(word: &str, d: &Domain, paraphrased: bool) -> String {
+    if paraphrased {
+        for p in d.paraphrases {
+            if p.canonical == word {
+                return p.alias.to_string();
+            }
+        }
+    }
+    word.to_string()
+}
+
+fn make_example(di: usize, d: &Domain, rng: &mut StdRng) -> Example {
+    let paraphrased = rng.gen_bool(PARAPHRASE_RATE);
+    let v = |w: &str| voice(w, d, paraphrased);
+    let template = rng.gen_range(0..11u8);
+    let (question, gold_sql) = match template {
+        0 => (
+            format!("How many {} are there?", v(d.table)),
+            format!("SELECT COUNT(*) FROM {};", d.table),
+        ),
+        1 => (
+            format!("What is the total {} of {}?", v(d.numeric_col), v(d.table)),
+            format!("SELECT SUM({}) FROM {};", d.numeric_col, d.table),
+        ),
+        2 => (
+            format!("What is the average {} of {}?", v(d.numeric_col), v(d.table)),
+            format!("SELECT AVG({}) FROM {};", d.numeric_col, d.table),
+        ),
+        3 => (
+            format!(
+                "What is the total {} per {} of {}?",
+                v(d.numeric_col),
+                v(d.group_col),
+                v(d.table)
+            ),
+            format!(
+                "SELECT {}, SUM({}) FROM {} GROUP BY {};",
+                d.group_col, d.numeric_col, d.table, d.group_col
+            ),
+        ),
+        4 => (
+            format!("How many {} per {}?", v(d.table), v(d.group_col)),
+            format!(
+                "SELECT {}, COUNT(*) FROM {} GROUP BY {};",
+                d.group_col, d.table, d.group_col
+            ),
+        ),
+        5 => {
+            let threshold = rng.gen_range(50..300);
+            (
+                format!(
+                    "List {} with {} greater than {}",
+                    v(d.table),
+                    v(d.numeric_col),
+                    threshold
+                ),
+                format!(
+                    "SELECT * FROM {} WHERE {} > {};",
+                    d.table, d.numeric_col, threshold
+                ),
+            )
+        }
+        6 => {
+            let val = d.group_values[rng.gen_range(0..d.group_values.len())];
+            (
+                format!(
+                    "List {} whose {} is '{}'",
+                    v(d.table),
+                    v(d.group_col),
+                    val
+                ),
+                format!("SELECT * FROM {} WHERE {} = '{}';", d.table, d.group_col, val),
+            )
+        }
+        8 => {
+            let (a, b) = (rng.gen_range(20..120), rng.gen_range(150..400));
+            (
+                format!(
+                    "List {} with {} between {} and {}",
+                    v(d.table),
+                    v(d.numeric_col),
+                    a,
+                    b
+                ),
+                format!(
+                    "SELECT * FROM {} WHERE {} BETWEEN {} AND {};",
+                    d.table, d.numeric_col, a, b
+                ),
+            )
+        }
+        9 => {
+            let val = d.group_values[rng.gen_range(0..d.group_values.len())];
+            (
+                format!(
+                    "List {} whose {} is not '{}'",
+                    v(d.table),
+                    v(d.group_col),
+                    val
+                ),
+                format!(
+                    "SELECT * FROM {} WHERE {} <> '{}';",
+                    d.table, d.group_col, val
+                ),
+            )
+        }
+        10 => (
+            format!(
+                "How many distinct {} of {} are there?",
+                v(d.group_col),
+                v(d.table)
+            ),
+            format!("SELECT COUNT(DISTINCT {}) FROM {};", d.group_col, d.table),
+        ),
+        _ => {
+            let k = rng.gen_range(2..6);
+            (
+                format!(
+                    "Show the top {} {} by {}",
+                    k,
+                    d.entity_table,
+                    d.entity_numeric
+                ),
+                format!(
+                    "SELECT name FROM {} ORDER BY {} DESC LIMIT {};",
+                    d.entity_table, d.entity_numeric, k
+                ),
+            )
+        }
+    };
+    Example {
+        db: di,
+        question,
+        gold_sql,
+        paraphrased,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = spider_like(7);
+        let b = spider_like(7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = spider_like(8);
+        assert_ne!(a.test, c.test);
+    }
+
+    #[test]
+    fn sizes_match_spec() {
+        let b = spider_like(1);
+        assert_eq!(b.databases.len(), 3);
+        assert_eq!(b.train.len(), 3 * TRAIN_PER_DOMAIN);
+        assert_eq!(b.test.len(), 3 * TEST_PER_DOMAIN);
+    }
+
+    #[test]
+    fn databases_build_and_populate() {
+        let b = spider_like(2);
+        for db in &b.databases {
+            let mut e = db.build_engine();
+            let names = e.database().table_names().len();
+            assert_eq!(names, 2, "{} should have 2 tables", db.name);
+            // Fact table has 40 rows.
+            let fact = e
+                .execute(&format!(
+                    "SELECT COUNT(*) FROM {}",
+                    e.database().table_names()[0]
+                ))
+                .unwrap();
+            assert!(fact.rows[0][0].as_i64().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn gold_sql_is_valid_and_executes() {
+        let b = spider_like(3);
+        let mut engines: Vec<Engine> = b.databases.iter().map(|d| d.build_engine()).collect();
+        for ex in b.train.iter().chain(&b.test) {
+            let r = engines[ex.db].execute(&ex.gold_sql);
+            assert!(r.is_ok(), "gold fails: {} → {:?}", ex.gold_sql, r.err());
+        }
+    }
+
+    #[test]
+    fn paraphrase_rate_is_roughly_honoured() {
+        let b = spider_like(4);
+        let n = b.test.iter().filter(|e| e.paraphrased).count();
+        let rate = n as f64 / b.test.len() as f64;
+        assert!((0.4..=0.8).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn paraphrased_questions_use_alias_vocabulary() {
+        let b = spider_like(5);
+        let para = b
+            .test
+            .iter()
+            .find(|e| e.paraphrased && e.db == 0 && e.question.contains("total"))
+            .expect("some paraphrased sales sum question exists");
+        assert!(
+            para.question.contains("revenue") || para.question.contains("purchases"),
+            "{}",
+            para.question
+        );
+        // Gold stays canonical.
+        assert!(para.gold_sql.contains("amount") || para.gold_sql.contains("orders"));
+    }
+}

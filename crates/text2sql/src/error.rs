@@ -1,0 +1,45 @@
+//! Error type for Text-to-SQL.
+
+use std::fmt;
+
+/// Errors from linking, generation and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Text2SqlError {
+    /// No table in the schema matches the question.
+    NoTableMatch(String),
+    /// A needed column could not be linked.
+    NoColumnMatch(String),
+    /// The question shape is not covered by the grammar.
+    UnsupportedQuestion(String),
+    /// The supplied schema DDL could not be parsed.
+    SchemaParse(String),
+    /// SQL could not be parsed (SQL-to-Text direction).
+    SqlParse(String),
+}
+
+impl fmt::Display for Text2SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Text2SqlError::NoTableMatch(q) => write!(f, "no table matches question: {q}"),
+            Text2SqlError::NoColumnMatch(w) => write!(f, "cannot link column for: {w}"),
+            Text2SqlError::UnsupportedQuestion(q) => {
+                write!(f, "question shape not supported: {q}")
+            }
+            Text2SqlError::SchemaParse(m) => write!(f, "cannot parse schema: {m}"),
+            Text2SqlError::SqlParse(m) => write!(f, "cannot parse SQL: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Text2SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(Text2SqlError::NoTableMatch("q?".into()).to_string().contains("q?"));
+        assert!(Text2SqlError::SchemaParse("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,214 @@
+//! Evaluation: exact-match and execution accuracy (experiment E1).
+//!
+//! Standard Text-to-SQL metrics:
+//!
+//! - **Exact match** — predicted SQL equals the gold after whitespace/case
+//!   normalisation.
+//! - **Execution accuracy** — both queries run on the benchmark database
+//!   and return the same result multiset (order-insensitive, unless the
+//!   gold carries an ORDER BY).
+
+use dbgpt_sqlengine::Engine;
+
+use crate::dataset::Benchmark;
+use crate::model::Text2SqlModel;
+
+/// Aggregated evaluation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Model evaluated.
+    pub model: String,
+    /// Examples evaluated.
+    pub total: usize,
+    /// Predictions equal to gold (normalised).
+    pub exact_match: usize,
+    /// Predictions whose execution result equals gold's.
+    pub execution_match: usize,
+    /// Questions where the model failed to produce SQL at all.
+    pub generation_errors: usize,
+    /// Breakdown: `(canonical EM, canonical total)`.
+    pub canonical: (usize, usize),
+    /// Breakdown: `(paraphrased EM, paraphrased total)`.
+    pub paraphrased: (usize, usize),
+}
+
+impl EvalReport {
+    /// Exact-match accuracy in `[0, 1]`.
+    pub fn em_accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.exact_match as f64 / self.total as f64
+        }
+    }
+
+    /// Execution accuracy in `[0, 1]`.
+    pub fn exec_accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.execution_match as f64 / self.total as f64
+        }
+    }
+}
+
+/// Normalise SQL for exact-match comparison.
+pub fn normalize_sql(sql: &str) -> String {
+    sql.replace(';', " ")
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
+}
+
+/// Execute and render a result as a sorted multiset fingerprint.
+fn execution_fingerprint(engine: &mut Engine, sql: &str) -> Option<Vec<String>> {
+    let result = engine.execute(sql).ok()?;
+    let mut rows: Vec<String> = result
+        .rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    Some(rows)
+}
+
+/// Evaluate a model on the benchmark's test split.
+pub fn evaluate(model: &Text2SqlModel, benchmark: &Benchmark) -> EvalReport {
+    let mut engines: Vec<Engine> = benchmark.databases.iter().map(|d| d.build_engine()).collect();
+    let schemas: Vec<String> = benchmark
+        .databases
+        .iter()
+        .map(|d| d.schema_ddl())
+        .collect();
+
+    let mut report = EvalReport {
+        model: model.name().to_string(),
+        total: benchmark.test.len(),
+        exact_match: 0,
+        execution_match: 0,
+        generation_errors: 0,
+        canonical: (0, 0),
+        paraphrased: (0, 0),
+    };
+
+    for ex in &benchmark.test {
+        let bucket = if ex.paraphrased {
+            &mut report.paraphrased
+        } else {
+            &mut report.canonical
+        };
+        bucket.1 += 1;
+        let predicted = match model.generate_sql(&schemas[ex.db], &ex.question) {
+            Ok(sql) => sql,
+            Err(_) => {
+                report.generation_errors += 1;
+                continue;
+            }
+        };
+        let em = normalize_sql(&predicted) == normalize_sql(&ex.gold_sql);
+        if em {
+            report.exact_match += 1;
+            if ex.paraphrased {
+                report.paraphrased.0 += 1;
+            } else {
+                report.canonical.0 += 1;
+            }
+        }
+        let engine = &mut engines[ex.db];
+        let gold_fp = execution_fingerprint(engine, &ex.gold_sql);
+        let pred_fp = execution_fingerprint(engine, &predicted);
+        if gold_fp.is_some() && gold_fp == pred_fp {
+            report.execution_match += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::spider_like;
+    use crate::model::FineTuner;
+
+    #[test]
+    fn normalisation_rules() {
+        assert_eq!(
+            normalize_sql("SELECT  *\nFROM t ;"),
+            normalize_sql("select * from t;")
+        );
+        assert_ne!(normalize_sql("SELECT a FROM t"), normalize_sql("SELECT b FROM t"));
+    }
+
+    #[test]
+    fn base_vs_fine_tuned_accuracy_gap() {
+        let b = spider_like(21);
+        let base = Text2SqlModel::base();
+        let tuned =
+            Text2SqlModel::fine_tuned("t2s-tuned", FineTuner::new().fit(&b.databases, &b.train));
+        let base_report = evaluate(&base, &b);
+        let tuned_report = evaluate(&tuned, &b);
+
+        // Shape of the paper's fine-tuning claim: tuned wins, materially.
+        assert!(
+            tuned_report.em_accuracy() > base_report.em_accuracy() + 0.2,
+            "tuned {} vs base {}",
+            tuned_report.em_accuracy(),
+            base_report.em_accuracy()
+        );
+        // Base handles canonical phrasing well…
+        assert!(
+            base_report.canonical.0 as f64 / base_report.canonical.1.max(1) as f64 > 0.8,
+            "canonical {:?}",
+            base_report.canonical
+        );
+        // …but collapses on paraphrases; the tuned model does not.
+        assert!(base_report.paraphrased.0 < base_report.paraphrased.1 / 2);
+        assert!(
+            tuned_report.paraphrased.0 as f64 / tuned_report.paraphrased.1.max(1) as f64 > 0.7,
+            "tuned paraphrased {:?}",
+            tuned_report.paraphrased
+        );
+    }
+
+    #[test]
+    fn execution_accuracy_at_least_exact_match() {
+        let b = spider_like(22);
+        let tuned =
+            Text2SqlModel::fine_tuned("t", FineTuner::new().fit(&b.databases, &b.train));
+        let r = evaluate(&tuned, &b);
+        assert!(r.execution_match >= r.exact_match);
+        assert!(r.exec_accuracy() <= 1.0);
+        assert_eq!(r.total, b.test.len());
+    }
+
+    #[test]
+    fn errors_counted() {
+        let b = spider_like(23);
+        let base = Text2SqlModel::base();
+        let r = evaluate(&base, &b);
+        assert!(r.generation_errors > 0, "base must fail on some paraphrases");
+        assert!(r.generation_errors + r.exact_match <= r.total);
+    }
+
+    #[test]
+    fn empty_report_accuracy_is_zero() {
+        let r = EvalReport {
+            model: "m".into(),
+            total: 0,
+            exact_match: 0,
+            execution_match: 0,
+            generation_errors: 0,
+            canonical: (0, 0),
+            paraphrased: (0, 0),
+        };
+        assert_eq!(r.em_accuracy(), 0.0);
+        assert_eq!(r.exec_accuracy(), 0.0);
+    }
+}

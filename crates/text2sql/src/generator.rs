@@ -1,0 +1,789 @@
+//! Grammar-guided SQL generation.
+//!
+//! The generation half of the Text-to-SQL model: a question is parsed into
+//! an intent frame (aggregation, projection, filter, grouping, ordering,
+//! limit), the frame's slots are filled by schema linking, and the frame is
+//! rendered as canonical SQL. Grammar-guided decoding mirrors how
+//! production Text-to-SQL models constrain generation to valid SQL — and
+//! guarantees that everything this module emits parses on
+//! `dbgpt-sqlengine`.
+
+use crate::error::Text2SqlError;
+use crate::linker::{SchemaIndex, SchemaLinker, TableInfo};
+
+/// Aggregation intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Agg {
+    Count,
+    CountDistinct,
+    Sum,
+    Avg,
+}
+
+/// Comparison operator in a filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Gt,
+    Lt,
+    Ge,
+    Le,
+    Eq,
+    Neq,
+    Between,
+}
+
+impl CmpOp {
+    fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Gt => ">",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Between => "BETWEEN",
+        }
+    }
+}
+
+/// A filter slot: column words, operator, raw value (plus the upper bound
+/// for BETWEEN).
+#[derive(Debug, Clone)]
+struct Filter {
+    col_words: Vec<String>,
+    op: CmpOp,
+    value: String,
+    value2: Option<String>,
+    value_is_text: bool,
+}
+
+/// The parsed intent frame.
+#[derive(Debug, Clone, Default)]
+struct Frame {
+    agg: Option<Agg>,
+    agg_target: Vec<String>,
+    projection: Vec<String>,
+    group: Option<String>,
+    filter: Option<Filter>,
+    limit: Option<usize>,
+    order_words: Vec<String>,
+    order_desc: bool,
+    superlative: bool,
+}
+
+/// The generator: linker + grammar.
+#[derive(Debug, Clone, Default)]
+pub struct SqlGenerator {
+    linker: SchemaLinker,
+}
+
+impl SqlGenerator {
+    /// Generator with a base (empty-lexicon) linker.
+    pub fn new() -> Self {
+        SqlGenerator::default()
+    }
+
+    /// Generator with a fine-tuned linker.
+    pub fn with_linker(linker: SchemaLinker) -> Self {
+        SqlGenerator { linker }
+    }
+
+    /// The linker in use.
+    pub fn linker(&self) -> &SchemaLinker {
+        &self.linker
+    }
+
+    /// Generate canonical SQL for `question` against `schema`.
+    pub fn generate(
+        &self,
+        schema: &SchemaIndex,
+        question: &str,
+    ) -> Result<String, Text2SqlError> {
+        let tokens = tokenize(question);
+        if tokens.is_empty() {
+            return Err(Text2SqlError::UnsupportedQuestion(question.into()));
+        }
+        let frame = parse_frame(&tokens);
+
+        // Link the table from every token (table nouns can be anywhere).
+        let all_words: Vec<String> = tokens.iter().map(|t| t.word.clone()).collect();
+        let (table, _) = self
+            .linker
+            .link_table(&all_words, schema)
+            .ok_or_else(|| Text2SqlError::NoTableMatch(question.into()))?;
+
+        self.render(schema, table, &frame, question)
+    }
+
+    fn render(
+        &self,
+        schema: &SchemaIndex,
+        table: &TableInfo,
+        frame: &Frame,
+        question: &str,
+    ) -> Result<String, Text2SqlError> {
+        // WHERE clause.
+        let where_clause = match &frame.filter {
+            Some(f) => {
+                let (col, _) = self
+                    .linker
+                    .link_column_multi(&f.col_words, table)
+                    .ok_or_else(|| Text2SqlError::NoColumnMatch(f.col_words.join(" ")))?;
+                let value = if f.value_is_text {
+                    format!("'{}'", f.value.replace('\'', "''"))
+                } else {
+                    f.value.clone()
+                };
+                match (&f.op, &f.value2) {
+                    (CmpOp::Between, Some(hi)) => {
+                        Some(format!("{col} BETWEEN {value} AND {hi}"))
+                    }
+                    _ => Some(format!("{col} {} {value}", f.op.sql())),
+                }
+            }
+            None => None,
+        };
+
+        // GROUP BY column.
+        let group_col = match &frame.group {
+            Some(g) => Some(
+                self.linker
+                    .link_column(g, table)
+                    .map(|(c, _)| c.to_string())
+                    .ok_or_else(|| Text2SqlError::NoColumnMatch(g.clone()))?,
+            ),
+            None => None,
+        };
+
+        // Aggregation expression.
+        let agg_expr = match frame.agg {
+            Some(Agg::Count) => Some("COUNT(*)".to_string()),
+            Some(Agg::CountDistinct) => {
+                let (col, _) = self
+                    .linker
+                    .link_column_multi(&frame.agg_target, table)
+                    .ok_or_else(|| Text2SqlError::NoColumnMatch(frame.agg_target.join(" ")))?;
+                Some(format!("COUNT(DISTINCT {col})"))
+            }
+            Some(agg) => {
+                let linked = self
+                    .linker
+                    .link_column_multi(&frame.agg_target, table)
+                    .map(|(c, _)| c.to_string());
+                // "total of orders" names no column at all: default to the
+                // table's first non-id numeric column. (A *named but
+                // unlinkable* column is still an error — that failure mode
+                // is what fine-tuning fixes.)
+                let col = match (linked, frame.agg_target.is_empty()) {
+                    (Some(c), _) => c,
+                    (None, true) => first_numeric_column(schema, table).ok_or_else(|| {
+                        Text2SqlError::NoColumnMatch("aggregate target".into())
+                    })?,
+                    (None, false) => {
+                        return Err(Text2SqlError::NoColumnMatch(frame.agg_target.join(" ")))
+                    }
+                };
+                let f = match agg {
+                    Agg::Sum => "SUM",
+                    Agg::Avg => "AVG",
+                    Agg::Count | Agg::CountDistinct => unreachable!(),
+                };
+                Some(format!("{f}({col})"))
+            }
+            None => None,
+        };
+
+        let mut sql = String::from("SELECT ");
+        if let Some(agg) = &agg_expr {
+            match &group_col {
+                Some(g) => sql.push_str(&format!("{g}, {agg}")),
+                None => sql.push_str(agg),
+            }
+        } else if frame.superlative || frame.limit.is_some() {
+            // Ranked entity queries project the label column(s).
+            if !frame.projection.is_empty() {
+                let (col, _) = self
+                    .linker
+                    .link_column_multi(&frame.projection, table)
+                    .ok_or_else(|| Text2SqlError::NoColumnMatch(frame.projection.join(" ")))?;
+                sql.push_str(col);
+            } else {
+                sql.push_str(label_column(table));
+            }
+        } else if !frame.projection.is_empty() {
+            let (col, _) = self
+                .linker
+                .link_column_multi(&frame.projection, table)
+                .ok_or_else(|| Text2SqlError::NoColumnMatch(frame.projection.join(" ")))?;
+            sql.push_str(col);
+        } else {
+            sql.push('*');
+        }
+        sql.push_str(&format!(" FROM {}", table.name));
+        if let Some(w) = where_clause {
+            sql.push_str(&format!(" WHERE {w}"));
+        }
+        if let Some(g) = &group_col {
+            sql.push_str(&format!(" GROUP BY {g}"));
+        }
+
+        // ORDER BY for superlatives / top-k.
+        if frame.superlative || frame.limit.is_some() {
+            let order_col = self
+                .linker
+                .link_column_multi(&frame.order_words, table)
+                .map(|(c, _)| c.to_string())
+                // "most expensive" carries no column word: fall back to the
+                // table's first non-id numeric column.
+                .or_else(|| first_numeric_column(schema, table))
+                .ok_or_else(|| {
+                    Text2SqlError::NoColumnMatch(format!("order column in: {question}"))
+                })?;
+            sql.push_str(&format!(
+                " ORDER BY {order_col} {}",
+                if frame.order_desc { "DESC" } else { "ASC" }
+            ));
+            sql.push_str(&format!(" LIMIT {}", frame.limit.unwrap_or(1)));
+        }
+        sql.push(';');
+        Ok(sql)
+    }
+}
+
+/// The label column of a table: `name` if present, else the first TEXT
+/// column, else the first column.
+fn label_column(table: &TableInfo) -> &str {
+    if table.columns.iter().any(|c| c == "name") {
+        return "name";
+    }
+    for (c, t) in table.columns.iter().zip(&table.types) {
+        if t == "TEXT" {
+            return c;
+        }
+    }
+    &table.columns[0]
+}
+
+/// First INT/FLOAT column that is not an id.
+fn first_numeric_column(schema: &SchemaIndex, table: &TableInfo) -> Option<String> {
+    table
+        .columns
+        .iter()
+        .find(|c| !c.ends_with("id") && schema.is_numeric(&table.name, c))
+        .cloned()
+}
+
+/// A question token: the lowercased word, plus literal flags.
+#[derive(Debug, Clone)]
+struct QToken {
+    word: String,
+    is_number: bool,
+    is_quoted: bool,
+}
+
+/// Tokenize, keeping quoted spans as single literal tokens.
+fn tokenize(question: &str) -> Vec<QToken> {
+    let mut out = Vec::new();
+    let mut chars = question.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\'' || c == '"' {
+            let quote = c;
+            let mut lit = String::new();
+            for nc in chars.by_ref() {
+                if nc == quote {
+                    break;
+                }
+                lit.push(nc);
+            }
+            out.push(QToken {
+                word: lit,
+                is_number: false,
+                is_quoted: true,
+            });
+        } else if c.is_alphanumeric() || c == '_' || c == '.' || c == '-' {
+            let mut w = String::new();
+            w.push(c);
+            while let Some(&nc) = chars.peek() {
+                if nc.is_alphanumeric() || nc == '_' || nc == '.' {
+                    w.push(nc);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            // Trailing sentence punctuation is not part of the word
+            // ('.' is only kept for decimals like 5.5).
+            while w.ends_with('.') {
+                w.pop();
+            }
+            if w.is_empty() {
+                continue;
+            }
+            let is_number = w.parse::<f64>().is_ok();
+            out.push(QToken {
+                word: w.to_lowercase(),
+                is_number,
+                is_quoted: false,
+            });
+        }
+        // punctuation/whitespace: skip
+    }
+    out
+}
+
+/// Words spelled as numbers, for "top five products".
+fn number_word(w: &str) -> Option<usize> {
+    match w {
+        "one" => Some(1),
+        "two" => Some(2),
+        "three" => Some(3),
+        "four" => Some(4),
+        "five" => Some(5),
+        "six" => Some(6),
+        "seven" => Some(7),
+        "eight" => Some(8),
+        "nine" => Some(9),
+        "ten" => Some(10),
+        _ => None,
+    }
+}
+
+/// Noise words that never carry linkable content.
+const NOISE: &[&str] = &[
+    "the", "a", "an", "of", "all", "are", "is", "there", "what", "which", "who", "show", "list",
+    "display", "give", "me", "find", "get", "their", "that", "have", "has", "do", "does", "each",
+    "in", "on", "and", "please", "how", "many", "much",
+];
+
+fn content_words(tokens: &[QToken]) -> Vec<String> {
+    tokens
+        .iter()
+        .filter(|t| !t.is_number && !t.is_quoted && !NOISE.contains(&t.word.as_str()))
+        .map(|t| t.word.clone())
+        .collect()
+}
+
+/// Parse the intent frame out of the token stream.
+fn parse_frame(tokens: &[QToken]) -> Frame {
+    let mut frame = Frame::default();
+    let words: Vec<&str> = tokens.iter().map(|t| t.word.as_str()).collect();
+
+    // ---- filter clause: with/whose/where … <op> <value> ----
+    let mut main_end = tokens.len();
+    if let Some(i) = words
+        .iter()
+        .position(|w| matches!(*w, "with" | "whose" | "where"))
+    {
+        let clause = &tokens[i + 1..];
+        if let Some(f) = parse_filter(clause) {
+            frame.filter = Some(f);
+            main_end = i;
+        }
+    }
+    let main = &tokens[..main_end];
+    let mwords: Vec<&str> = main.iter().map(|t| t.word.as_str()).collect();
+
+    // ---- grouping: per X / for each X / in each X ----
+    let mut group_consumed: Option<usize> = None;
+    for (i, w) in mwords.iter().enumerate() {
+        if *w == "per" && i + 1 < main.len() {
+            frame.group = Some(main[i + 1].word.clone());
+            group_consumed = Some(i);
+            break;
+        }
+        if *w == "each" && i + 1 < main.len() && i > 0 && matches!(mwords[i - 1], "for" | "in") {
+            frame.group = Some(main[i + 1].word.clone());
+            group_consumed = Some(i - 1);
+            break;
+        }
+    }
+    let main: Vec<QToken> = match group_consumed {
+        Some(i) => main[..i].to_vec(),
+        None => main.to_vec(),
+    };
+    let mwords: Vec<&str> = main.iter().map(|t| t.word.as_str()).collect();
+
+    // ---- top-k: "top K Xs by C" ----
+    if let Some(i) = mwords.iter().position(|w| *w == "top") {
+        if i + 1 < main.len() {
+            let k = if main[i + 1].is_number {
+                main[i + 1].word.parse::<usize>().ok()
+            } else {
+                number_word(&main[i + 1].word)
+            };
+            if let Some(k) = k {
+                frame.limit = Some(k);
+                frame.order_desc = true;
+                frame.superlative = true;
+                // "by <col>" after the noun.
+                if let Some(j) = mwords[i..].iter().position(|w| *w == "by") {
+                    frame.order_words = content_words(&main[i + j + 1..]);
+                }
+            }
+        }
+    }
+
+    // ---- superlatives ----
+    for (i, w) in mwords.iter().enumerate() {
+        if matches!(*w, "highest" | "largest" | "biggest" | "most" | "maximum") {
+            frame.superlative = true;
+            frame.order_desc = true;
+            frame.order_words = content_words(&main[i + 1..]);
+        }
+        if matches!(*w, "lowest" | "smallest" | "minimum" | "least" | "cheapest") {
+            frame.superlative = true;
+            frame.order_desc = false;
+            frame.order_words = content_words(&main[i + 1..]);
+        }
+    }
+
+    // ---- aggregation ----
+    if mwords.windows(2).any(|w| w == ["how", "many"]) {
+        // "how many different/distinct/unique Xs" → COUNT(DISTINCT x).
+        if let Some(i) = mwords
+            .iter()
+            .position(|w| matches!(*w, "different" | "distinct" | "unique"))
+        {
+            frame.agg = Some(Agg::CountDistinct);
+            frame.agg_target = agg_target_words(&main[i + 1..]);
+        } else {
+            frame.agg = Some(Agg::Count);
+        }
+    } else if let Some(i) = mwords.iter().position(|w| matches!(*w, "total" | "sum")) {
+        frame.agg = Some(Agg::Sum);
+        frame.agg_target = agg_target_words(&main[i + 1..]);
+    } else if let Some(i) = mwords.iter().position(|w| matches!(*w, "average" | "mean")) {
+        frame.agg = Some(Agg::Avg);
+        frame.agg_target = agg_target_words(&main[i + 1..]);
+    }
+
+    // ---- projection: "show/list the C of X" ----
+    if frame.agg.is_none() {
+        if let Some(i) = mwords
+            .iter()
+            .position(|w| matches!(*w, "show" | "list" | "display" | "what" | "give"))
+        {
+            // words between the verb and "of" form a candidate projection.
+            if let Some(j) = mwords[i..].iter().position(|w| *w == "of") {
+                let words = content_words(&main[i + 1..i + j]);
+                if !words.is_empty() {
+                    frame.projection = words;
+                }
+            }
+        }
+    }
+
+    frame
+}
+
+/// Target words of an aggregate: everything up to a boundary keyword.
+fn agg_target_words(tokens: &[QToken]) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if matches!(
+            t.word.as_str(),
+            "of" | "per" | "for" | "in" | "with" | "whose" | "where" | "by"
+        ) {
+            if !out.is_empty() {
+                break;
+            }
+            continue;
+        }
+        if NOISE.contains(&t.word.as_str()) || t.is_number || t.is_quoted {
+            continue;
+        }
+        out.push(t.word.clone());
+        if out.len() >= 3 {
+            break;
+        }
+    }
+    out
+}
+
+/// Parse the filter tail: `<col words> <op words> <value>`.
+fn parse_filter(tokens: &[QToken]) -> Option<Filter> {
+    // Locate the operator.
+    let words: Vec<&str> = tokens.iter().map(|t| t.word.as_str()).collect();
+    let mut op: Option<(usize, usize, CmpOp)> = None; // (start, len, op)
+    for i in 0..words.len() {
+        let found = match words[i] {
+            "greater" | "more" | "bigger" | "larger" => Some((2.min(words.len() - i), CmpOp::Gt)),
+            "over" | "above" | "exceeding" => Some((1, CmpOp::Gt)),
+            "less" | "fewer" | "smaller" => Some((2.min(words.len() - i), CmpOp::Lt)),
+            "under" | "below" => Some((1, CmpOp::Lt)),
+            "at" if words.get(i + 1) == Some(&"least") => Some((2, CmpOp::Ge)),
+            "at" if words.get(i + 1) == Some(&"most") => Some((2, CmpOp::Le)),
+            "between" => Some((1, CmpOp::Between)),
+            "is" if words.get(i + 1) == Some(&"not") => Some((2, CmpOp::Neq)),
+            "not" => Some((1, CmpOp::Neq)),
+            "is" | "equals" | "equal" | "being" => Some((1, CmpOp::Eq)),
+            _ => None,
+        };
+        if let Some((len, op_kind)) = found {
+            // Swallow the second word of two-word operators ("greater
+            // than", "at least", "is not", …).
+            let mut l = 1;
+            if len == 2
+                && matches!(
+                    words.get(i + 1),
+                    Some(&"than") | Some(&"least") | Some(&"most") | Some(&"to") | Some(&"not")
+                )
+            {
+                l = 2;
+            }
+            op = Some((i, l, op_kind));
+            break;
+        }
+    }
+    let (op_start, op_len, op_kind) = op?;
+    let col_words: Vec<String> = content_words(&tokens[..op_start]);
+    if col_words.is_empty() {
+        return None;
+    }
+    // Value: the first number/quoted token after the operator, else the
+    // remaining words joined (unquoted text value).
+    let tail = &tokens[op_start + op_len..];
+    if op_kind == CmpOp::Between {
+        // Two numeric bounds: "between 10 and 50".
+        let nums: Vec<&QToken> = tail.iter().filter(|t| t.is_number).take(2).collect();
+        let [lo, hi] = nums.as_slice() else {
+            return None;
+        };
+        return Some(Filter {
+            col_words,
+            op: CmpOp::Between,
+            value: lo.word.clone(),
+            value2: Some(hi.word.clone()),
+            value_is_text: false,
+        });
+    }
+    let value_tok = tail.iter().find(|t| t.is_number || t.is_quoted);
+    let (value, value_is_text) = match value_tok {
+        Some(t) => (t.word.clone(), t.is_quoted),
+        None => {
+            let rest: Vec<String> = tail
+                .iter()
+                .filter(|t| !NOISE.contains(&t.word.as_str()))
+                .map(|t| t.word.clone())
+                .collect();
+            if rest.is_empty() {
+                return None;
+            }
+            (rest.join(" "), true)
+        }
+    };
+    Some(Filter {
+        col_words,
+        op: op_kind,
+        value,
+        value2: None,
+        value_is_text,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DDL: &str = "CREATE TABLE orders (id INT, user_id INT, amount FLOAT, category TEXT, month TEXT);\n\
+                       CREATE TABLE products (id INT, name TEXT, price FLOAT, stock INT);";
+
+    fn gen(question: &str) -> String {
+        let schema = SchemaIndex::from_ddl(DDL).unwrap();
+        SqlGenerator::new().generate(&schema, question).unwrap()
+    }
+
+    #[test]
+    fn count_star() {
+        assert_eq!(gen("How many orders are there?"), "SELECT COUNT(*) FROM orders;");
+    }
+
+    #[test]
+    fn sum_column() {
+        assert_eq!(
+            gen("What is the total amount of orders?"),
+            "SELECT SUM(amount) FROM orders;"
+        );
+    }
+
+    #[test]
+    fn avg_column() {
+        assert_eq!(
+            gen("What is the average price of products?"),
+            "SELECT AVG(price) FROM products;"
+        );
+    }
+
+    #[test]
+    fn list_all() {
+        assert_eq!(gen("List all products."), "SELECT * FROM products;");
+    }
+
+    #[test]
+    fn numeric_filter() {
+        assert_eq!(
+            gen("List orders with amount greater than 100"),
+            "SELECT * FROM orders WHERE amount > 100;"
+        );
+        assert_eq!(
+            gen("List products with price less than 5.5"),
+            "SELECT * FROM products WHERE price < 5.5;"
+        );
+        assert_eq!(
+            gen("List products with stock at least 3"),
+            "SELECT * FROM products WHERE stock >= 3;"
+        );
+    }
+
+    #[test]
+    fn count_distinct_question() {
+        assert_eq!(
+            gen("How many distinct categories of orders are there?"),
+            "SELECT COUNT(DISTINCT category) FROM orders;"
+        );
+        assert_eq!(
+            gen("How many different months are there in orders?"),
+            "SELECT COUNT(DISTINCT month) FROM orders;"
+        );
+    }
+
+    #[test]
+    fn between_filter() {
+        assert_eq!(
+            gen("List orders with amount between 50 and 200"),
+            "SELECT * FROM orders WHERE amount BETWEEN 50 AND 200;"
+        );
+    }
+
+    #[test]
+    fn negated_equality_filter() {
+        assert_eq!(
+            gen("List orders whose category is not 'books'"),
+            "SELECT * FROM orders WHERE category <> 'books';"
+        );
+        assert_eq!(
+            gen("List orders whose category is not books"),
+            "SELECT * FROM orders WHERE category <> 'books';"
+        );
+    }
+
+    #[test]
+    fn text_filter_quoted_and_bare() {
+        assert_eq!(
+            gen("List orders whose category is 'books'"),
+            "SELECT * FROM orders WHERE category = 'books';"
+        );
+        assert_eq!(
+            gen("List orders whose category is books"),
+            "SELECT * FROM orders WHERE category = 'books';"
+        );
+    }
+
+    #[test]
+    fn group_by_sum() {
+        assert_eq!(
+            gen("What is the total amount per category of orders?"),
+            "SELECT category, SUM(amount) FROM orders GROUP BY category;"
+        );
+    }
+
+    #[test]
+    fn group_by_count() {
+        assert_eq!(
+            gen("How many orders per month?"),
+            "SELECT month, COUNT(*) FROM orders GROUP BY month;"
+        );
+        assert_eq!(
+            gen("How many orders for each month?"),
+            "SELECT month, COUNT(*) FROM orders GROUP BY month;"
+        );
+    }
+
+    #[test]
+    fn superlative() {
+        assert_eq!(
+            gen("Which product has the highest price?"),
+            "SELECT name FROM products ORDER BY price DESC LIMIT 1;"
+        );
+        assert_eq!(
+            gen("Which product has the lowest stock?"),
+            "SELECT name FROM products ORDER BY stock ASC LIMIT 1;"
+        );
+    }
+
+    #[test]
+    fn top_k() {
+        assert_eq!(
+            gen("Show the top 3 products by price"),
+            "SELECT name FROM products ORDER BY price DESC LIMIT 3;"
+        );
+        assert_eq!(
+            gen("Show the top five products by stock"),
+            "SELECT name FROM products ORDER BY stock DESC LIMIT 5;"
+        );
+    }
+
+    #[test]
+    fn projection_with_filter() {
+        assert_eq!(
+            gen("Show the price of products with stock greater than 10"),
+            "SELECT price FROM products WHERE stock > 10;"
+        );
+    }
+
+    #[test]
+    fn superlative_defaults_to_first_numeric_non_id() {
+        // "most expensive" has no direct column word; falls to price.
+        assert_eq!(
+            gen("Which product is the most expensive one?"),
+            "SELECT name FROM products ORDER BY price DESC LIMIT 1;"
+        );
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let schema = SchemaIndex::from_ddl(DDL).unwrap();
+        let e = SqlGenerator::new()
+            .generate(&schema, "how many quasars are there?")
+            .unwrap_err();
+        assert!(matches!(e, Text2SqlError::NoTableMatch(_)));
+    }
+
+    #[test]
+    fn unlinkable_column_errors() {
+        let schema = SchemaIndex::from_ddl(DDL).unwrap();
+        let e = SqlGenerator::new()
+            .generate(&schema, "what is the total revenue of orders?")
+            .unwrap_err();
+        assert!(matches!(e, Text2SqlError::NoColumnMatch(_)));
+    }
+
+    #[test]
+    fn generated_sql_parses_on_engine() {
+        let sqls = [
+            gen("How many orders are there?"),
+            gen("What is the total amount per category of orders?"),
+            gen("Show the top 3 products by price"),
+            gen("List orders with amount greater than 100"),
+        ];
+        for sql in sqls {
+            assert!(
+                dbgpt_sqlengine::parser::parse(&sql).is_ok(),
+                "does not parse: {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn fine_tuned_linker_resolves_paraphrase() {
+        use crate::linker::Lexicon;
+        let schema = SchemaIndex::from_ddl(DDL).unwrap();
+        let mut lex = Lexicon::new();
+        lex.learn("revenue", "amount", 3.0);
+        let tuned = SqlGenerator::with_linker(SchemaLinker::with_lexicon(lex));
+        assert_eq!(
+            tuned.generate(&schema, "what is the total revenue of orders?").unwrap(),
+            "SELECT SUM(amount) FROM orders;"
+        );
+    }
+}

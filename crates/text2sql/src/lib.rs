@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # dbgpt-text2sql — Text-to-SQL, SQL-to-Text, and the fine-tuning hub
+//!
+//! DB-GPT ships "specialized fine-tuning of Text-to-SQL Large Language
+//! Models" through its DB-GPT-Hub component (paper §2.5): users refine a
+//! base model on their own Text-to-SQL pairs and deploy the result locally
+//! through SMMF. This crate reproduces that whole workflow:
+//!
+//! - [`linker`] — schema linking: match question tokens to tables/columns,
+//!   with a *learnable lexicon* (the fine-tunable part).
+//! - [`generator`] — grammar-guided SQL generation: aggregation detection,
+//!   filters, GROUP BY, ORDER BY/LIMIT, assembled into SQL that
+//!   `dbgpt-sqlengine` executes.
+//! - [`model`] — [`Text2SqlModel`]: base vs fine-tuned variants, plus
+//!   [`model::FineTuner`], which learns question-word → schema-term
+//!   alignments from training pairs (the offline stand-in for LoRA
+//!   fine-tuning: same workflow, measurable accuracy gain).
+//! - [`skill`] — exposes a model as a [`dbgpt_llm::PromptSkill`] so it can
+//!   be served through SMMF like any other LLM.
+//! - [`sql_to_text`](mod@sql_to_text) — the reverse direction (Table 1's "SQL-to-Text").
+//! - [`dataset`] — a deterministic Spider-style benchmark over three
+//!   domains with paraphrased test questions (why fine-tuning helps).
+//! - [`eval`] — exact-match and execution accuracy (experiment E1).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbgpt_text2sql::{dataset, Text2SqlModel};
+//!
+//! let bench = dataset::spider_like(7);
+//! let base = Text2SqlModel::base();
+//! let sql = base.generate_sql(&bench.databases[0].schema_ddl(),
+//!                             "How many orders are there?").unwrap();
+//! assert_eq!(sql, "SELECT COUNT(*) FROM orders;");
+//! ```
+
+pub mod dataset;
+pub mod error;
+pub mod eval;
+pub mod generator;
+pub mod linker;
+pub mod model;
+pub mod skill;
+pub mod sql_to_text;
+
+pub use dataset::{Benchmark, BenchmarkDb, Example};
+pub use error::Text2SqlError;
+pub use eval::{evaluate, EvalReport};
+pub use linker::{Lexicon, SchemaIndex, SchemaLinker};
+pub use model::{FineTuner, Text2SqlModel};
+pub use skill::Text2SqlSkill;
+pub use sql_to_text::sql_to_text;

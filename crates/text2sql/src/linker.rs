@@ -1,0 +1,382 @@
+//! Schema linking: connecting question vocabulary to schema elements.
+//!
+//! The first half of any Text-to-SQL system. A [`SchemaIndex`] is built
+//! from DDL; a [`SchemaLinker`] scores tables/columns against question
+//! tokens using exact matches, plural stripping, substring containment and
+//! — crucially — a [`Lexicon`] of learned synonyms. The lexicon is the
+//! fine-tunable parameter store: the base model's lexicon is empty, and
+//! [`crate::FineTuner`] populates it from training pairs.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dbgpt_sqlengine::parser::{parse, Statement};
+
+use crate::error::Text2SqlError;
+
+/// A table with its columns, as linked against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableInfo {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Column names (lowercase, in DDL order).
+    pub columns: Vec<String>,
+    /// Column type names (parallel to `columns`).
+    pub types: Vec<String>,
+}
+
+/// Parsed schema ready for linking.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SchemaIndex {
+    /// All tables.
+    pub tables: Vec<TableInfo>,
+}
+
+impl SchemaIndex {
+    /// Build from `CREATE TABLE …;` DDL text (one statement per line or
+    /// `;`-separated).
+    pub fn from_ddl(ddl: &str) -> Result<SchemaIndex, Text2SqlError> {
+        let mut tables = Vec::new();
+        for stmt_text in ddl.split(';') {
+            let stmt_text = stmt_text.trim();
+            if stmt_text.is_empty() {
+                continue;
+            }
+            let stmt = parse(stmt_text).map_err(|e| Text2SqlError::SchemaParse(e.to_string()))?;
+            if let Statement::CreateTable { name, columns, .. } = stmt {
+                tables.push(TableInfo {
+                    name,
+                    columns: columns.iter().map(|(n, _)| n.clone()).collect(),
+                    types: columns.iter().map(|(_, t)| t.to_string()).collect(),
+                });
+            }
+        }
+        if tables.is_empty() {
+            return Err(Text2SqlError::SchemaParse("no CREATE TABLE found".into()));
+        }
+        Ok(SchemaIndex { tables })
+    }
+
+    /// Find a table by name.
+    pub fn table(&self, name: &str) -> Option<&TableInfo> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Is `column` numeric in `table`?
+    pub fn is_numeric(&self, table: &str, column: &str) -> bool {
+        self.table(table)
+            .and_then(|t| {
+                t.columns
+                    .iter()
+                    .position(|c| c == column)
+                    .map(|i| matches!(t.types[i].as_str(), "INT" | "FLOAT"))
+            })
+            .unwrap_or(false)
+    }
+}
+
+/// Learned question-word → schema-term weights. The fine-tunable store.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Lexicon {
+    /// `(question word → (schema term → weight))`.
+    entries: HashMap<String, HashMap<String, f64>>,
+}
+
+impl Lexicon {
+    /// Empty lexicon (the base model).
+    pub fn new() -> Self {
+        Lexicon::default()
+    }
+
+    /// Strengthen the association `word → term`.
+    pub fn learn(&mut self, word: &str, term: &str, weight: f64) {
+        *self
+            .entries
+            .entry(word.to_lowercase())
+            .or_default()
+            .entry(term.to_lowercase())
+            .or_insert(0.0) += weight;
+    }
+
+    /// The learned weight of `word → term` (0 when unknown).
+    pub fn weight(&self, word: &str, term: &str) -> f64 {
+        self.entries
+            .get(&word.to_lowercase())
+            .and_then(|m| m.get(&term.to_lowercase()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The best term for `word`, if any association exists.
+    pub fn best(&self, word: &str) -> Option<(&str, f64)> {
+        self.entries.get(&word.to_lowercase()).and_then(|m| {
+            m.iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+                .map(|(t, w)| (t.as_str(), *w))
+        })
+    }
+
+    /// Iterate `(word, term, weight)` triples (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.entries.iter().flat_map(|(w, terms)| {
+            terms.iter().map(move |(t, weight)| (w.as_str(), t.as_str(), *weight))
+        })
+    }
+
+    /// Number of known question words.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the lexicon empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Strip a plural suffix: `orders` → `order`, `categories` → `category`.
+pub fn singular(word: &str) -> String {
+    if let Some(stem) = word.strip_suffix("ies") {
+        return format!("{stem}y");
+    }
+    if let Some(stem) = word.strip_suffix("es") {
+        // boxes → box, but names → name is handled by the 's' rule below;
+        // only use the 'es' rule for sibilant stems.
+        if stem.ends_with('x') || stem.ends_with("ch") || stem.ends_with("sh") || stem.ends_with('s')
+        {
+            return stem.to_string();
+        }
+    }
+    word.strip_suffix('s').map(str::to_string).unwrap_or_else(|| word.to_string())
+}
+
+/// Scores schema elements against question words.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaLinker {
+    lexicon: Lexicon,
+}
+
+impl SchemaLinker {
+    /// Linker with an empty lexicon (the base model).
+    pub fn new() -> Self {
+        SchemaLinker::default()
+    }
+
+    /// Linker with a learned lexicon (the fine-tuned model).
+    pub fn with_lexicon(lexicon: Lexicon) -> Self {
+        SchemaLinker { lexicon }
+    }
+
+    /// The lexicon.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Similarity of a question word to a schema term.
+    pub fn word_score(&self, word: &str, term: &str) -> f64 {
+        let word = word.to_lowercase();
+        let term_l = term.to_lowercase();
+        if word == term_l {
+            return 1.0;
+        }
+        if singular(&word) == singular(&term_l) {
+            return 0.9;
+        }
+        // Compound column names: `user_id` matches `user`.
+        if term_l.split('_').any(|part| part == word || singular(&word) == singular(part)) {
+            return 0.7;
+        }
+        // Learned synonym (capped so exact evidence still dominates).
+        let learned = self.lexicon.weight(&word, &term_l);
+        if learned > 0.0 {
+            return 0.85_f64.min(0.3 + learned * 0.15);
+        }
+        0.0
+    }
+
+    /// Score a table against the question: best word-score against the
+    /// table name plus a small bonus per column mentioned.
+    pub fn table_score(&self, words: &[String], table: &TableInfo) -> f64 {
+        let name_score = words
+            .iter()
+            .map(|w| self.word_score(w, &table.name))
+            .fold(0.0, f64::max);
+        let mut column_bonus = 0.0;
+        for c in &table.columns {
+            let best = words.iter().map(|w| self.word_score(w, c)).fold(0.0, f64::max);
+            column_bonus += best * 0.2;
+        }
+        name_score + column_bonus
+    }
+
+    /// The best-matching table for the question words.
+    pub fn link_table<'a>(
+        &self,
+        words: &[String],
+        schema: &'a SchemaIndex,
+    ) -> Option<(&'a TableInfo, f64)> {
+        schema
+            .tables
+            .iter()
+            .map(|t| (t, self.table_score(words, t)))
+            .filter(|(_, s)| *s > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.name.cmp(&a.0.name)))
+    }
+
+    /// The best-matching column of `table` for one question word.
+    pub fn link_column<'a>(&self, word: &str, table: &'a TableInfo) -> Option<(&'a str, f64)> {
+        table
+            .columns
+            .iter()
+            .map(|c| (c.as_str(), self.word_score(word, c)))
+            .filter(|(_, s)| *s > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(a.0)))
+    }
+
+    /// The best column of `table` for any of several words (e.g. a noun
+    /// phrase); ties go to the earliest word.
+    pub fn link_column_multi<'a>(
+        &self,
+        words: &[String],
+        table: &'a TableInfo,
+    ) -> Option<(&'a str, f64)> {
+        let mut best: Option<(&str, f64)> = None;
+        for w in words {
+            if let Some((c, s)) = self.link_column(w, table) {
+                if best.map(|(_, bs)| s > bs).unwrap_or(true) {
+                    best = Some((c, s));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DDL: &str = "CREATE TABLE orders (id INT, user_id INT, amount FLOAT, category TEXT);\n\
+                       CREATE TABLE users (id INT, name TEXT, city TEXT);";
+
+    fn schema() -> SchemaIndex {
+        SchemaIndex::from_ddl(DDL).unwrap()
+    }
+
+    fn words(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_lowercase).collect()
+    }
+
+    #[test]
+    fn ddl_parses_into_index() {
+        let s = schema();
+        assert_eq!(s.tables.len(), 2);
+        assert_eq!(s.table("orders").unwrap().columns.len(), 4);
+        assert!(s.is_numeric("orders", "amount"));
+        assert!(!s.is_numeric("orders", "category"));
+        assert!(!s.is_numeric("ghost", "x"));
+    }
+
+    #[test]
+    fn bad_ddl_rejected() {
+        assert!(SchemaIndex::from_ddl("SELECT 1").is_err());
+        assert!(SchemaIndex::from_ddl("").is_err());
+    }
+
+    #[test]
+    fn singular_rules() {
+        assert_eq!(singular("orders"), "order");
+        assert_eq!(singular("categories"), "category");
+        assert_eq!(singular("boxes"), "box");
+        assert_eq!(singular("amount"), "amount");
+        assert_eq!(singular("classes"), "class");
+    }
+
+    #[test]
+    fn exact_and_plural_scores() {
+        let l = SchemaLinker::new();
+        assert_eq!(l.word_score("amount", "amount"), 1.0);
+        assert_eq!(l.word_score("orders", "order"), 0.9);
+        assert_eq!(l.word_score("user", "user_id"), 0.7);
+        assert_eq!(l.word_score("banana", "amount"), 0.0);
+    }
+
+    #[test]
+    fn link_table_picks_best() {
+        let l = SchemaLinker::new();
+        let s = schema();
+        let (t, _) = l.link_table(&words("how many orders are there"), &s).unwrap();
+        assert_eq!(t.name, "orders");
+        let (t, _) = l.link_table(&words("list all users"), &s).unwrap();
+        assert_eq!(t.name, "users");
+        assert!(l.link_table(&words("quantum flux"), &s).is_none());
+    }
+
+    #[test]
+    fn column_mentions_boost_table_score() {
+        let l = SchemaLinker::new();
+        let s = schema();
+        // "city" only exists on users.
+        let (t, _) = l.link_table(&words("which city"), &s).unwrap();
+        assert_eq!(t.name, "users");
+    }
+
+    #[test]
+    fn link_column_works() {
+        let l = SchemaLinker::new();
+        let s = schema();
+        let t = s.table("orders").unwrap();
+        assert_eq!(l.link_column("amount", t).unwrap().0, "amount");
+        assert_eq!(l.link_column("amounts", t).unwrap().0, "amount");
+        assert!(l.link_column("banana", t).is_none());
+    }
+
+    #[test]
+    fn lexicon_learning_enables_synonyms() {
+        let mut lex = Lexicon::new();
+        assert!(lex.is_empty());
+        // Base linker cannot link "revenue".
+        let base = SchemaLinker::new();
+        let s = schema();
+        assert!(base.link_column("revenue", s.table("orders").unwrap()).is_none());
+        // Fine-tuned lexicon links it.
+        lex.learn("revenue", "amount", 3.0);
+        assert_eq!(lex.len(), 1);
+        assert_eq!(lex.best("revenue").unwrap().0, "amount");
+        let tuned = SchemaLinker::with_lexicon(lex);
+        let (c, score) = tuned.link_column("revenue", s.table("orders").unwrap()).unwrap();
+        assert_eq!(c, "amount");
+        assert!(score > 0.0 && score <= 0.85);
+    }
+
+    #[test]
+    fn learned_weight_never_beats_exact() {
+        let mut lex = Lexicon::new();
+        lex.learn("amount", "category", 100.0);
+        let l = SchemaLinker::with_lexicon(lex);
+        let s = schema();
+        let (c, _) = l.link_column("amount", s.table("orders").unwrap()).unwrap();
+        assert_eq!(c, "amount", "exact match must dominate learned synonym");
+    }
+
+    #[test]
+    fn link_column_multi_prefers_strongest() {
+        let l = SchemaLinker::new();
+        let s = schema();
+        let t = s.table("orders").unwrap();
+        let (c, _) = l
+            .link_column_multi(&words("total amount of things"), t)
+            .unwrap();
+        assert_eq!(c, "amount");
+    }
+
+    #[test]
+    fn lexicon_serde_roundtrip() {
+        let mut lex = Lexicon::new();
+        lex.learn("revenue", "amount", 2.0);
+        let json = serde_json::to_string(&lex).unwrap();
+        let back: Lexicon = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.weight("revenue", "amount"), 2.0);
+    }
+}

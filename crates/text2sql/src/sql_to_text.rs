@@ -1,0 +1,191 @@
+//! SQL-to-Text: explain a SQL statement in natural language.
+//!
+//! Table 1 lists "Text-to-SQL / SQL-to-Text" as one capability; this is
+//! the reverse direction, used by Chat2DB to explain queries back to the
+//! user. The statement is parsed with the real engine parser — the
+//! explanation can never drift from what would actually execute.
+
+use dbgpt_sqlengine::parser::{parse, JoinKind, SelectItem, Statement};
+
+use crate::error::Text2SqlError;
+
+/// Describe one SQL statement in English.
+pub fn sql_to_text(sql: &str) -> Result<String, Text2SqlError> {
+    let stmt = parse(sql).map_err(|e| Text2SqlError::SqlParse(e.to_string()))?;
+    Ok(match stmt {
+        Statement::Select(s) => {
+            let mut out = String::from("Retrieve ");
+            if s.distinct {
+                out.push_str("distinct ");
+            }
+            let projections: Vec<String> = s
+                .projections
+                .iter()
+                .map(|p| match p {
+                    SelectItem::Wildcard => "all columns".to_string(),
+                    SelectItem::QualifiedWildcard(t) => format!("all columns of {t}"),
+                    SelectItem::Expr { expr, alias } => match alias {
+                        Some(a) => format!("{expr} (as {a})"),
+                        None => expr.to_string(),
+                    },
+                })
+                .collect();
+            out.push_str(&projections.join(", "));
+            if let Some(from) = &s.from {
+                out.push_str(&format!(" from the {} table", from.name));
+            }
+            for j in &s.joins {
+                let kind = match j.kind {
+                    JoinKind::Inner => "joined with",
+                    JoinKind::Left => "left-joined with",
+                };
+                out.push_str(&format!(" {kind} {} on {}", j.table.name, j.on));
+            }
+            if let Some(f) = &s.filter {
+                out.push_str(&format!(", keeping rows where {f}"));
+            }
+            if !s.group_by.is_empty() {
+                let groups: Vec<String> = s.group_by.iter().map(|g| g.to_string()).collect();
+                out.push_str(&format!(", grouped by {}", groups.join(", ")));
+            }
+            if let Some(h) = &s.having {
+                out.push_str(&format!(", for groups where {h}"));
+            }
+            if !s.order_by.is_empty() {
+                let keys: Vec<String> = s
+                    .order_by
+                    .iter()
+                    .map(|(e, desc)| {
+                        format!("{e} ({})", if *desc { "descending" } else { "ascending" })
+                    })
+                    .collect();
+                out.push_str(&format!(", ordered by {}", keys.join(", ")));
+            }
+            if let Some(n) = s.limit {
+                out.push_str(&format!(", limited to {n} row(s)"));
+            }
+            out.push('.');
+            out
+        }
+        Statement::Insert { table, rows, .. } => {
+            format!("Insert {} row(s) into the {table} table.", rows.len())
+        }
+        Statement::Update {
+            table,
+            assignments,
+            filter,
+        } => {
+            let cols: Vec<&str> = assignments.iter().map(|(c, _)| c.as_str()).collect();
+            let mut out = format!("Update column(s) {} of the {table} table", cols.join(", "));
+            if let Some(f) = filter {
+                out.push_str(&format!(" where {f}"));
+            }
+            out.push('.');
+            out
+        }
+        Statement::Delete { table, filter } => match filter {
+            Some(f) => format!("Delete rows from the {table} table where {f}."),
+            None => format!("Delete all rows from the {table} table."),
+        },
+        Statement::CreateTable { name, columns, .. } => {
+            format!("Create the {name} table with {} column(s).", columns.len())
+        }
+        Statement::DropTable { name, .. } => format!("Drop the {name} table."),
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+        } => format!("Create index {name} on column {column} of the {table} table."),
+        Statement::DropIndex { name, table } => {
+            format!("Drop index {name} from the {table} table.")
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describes_simple_select() {
+        let t = sql_to_text("SELECT name FROM users WHERE id > 3").unwrap();
+        assert_eq!(
+            t,
+            "Retrieve name from the users table, keeping rows where (id > 3)."
+        );
+    }
+
+    #[test]
+    fn describes_full_select() {
+        let t = sql_to_text(
+            "SELECT category, SUM(amount) AS total FROM orders \
+             WHERE amount > 10 GROUP BY category HAVING SUM(amount) > 100 \
+             ORDER BY total DESC LIMIT 5",
+        )
+        .unwrap();
+        assert!(t.contains("SUM(amount) (as total)"));
+        assert!(t.contains("grouped by category"));
+        assert!(t.contains("for groups where"));
+        assert!(t.contains("ordered by total (descending)"));
+        assert!(t.contains("limited to 5 row(s)"));
+    }
+
+    #[test]
+    fn describes_join() {
+        let t = sql_to_text(
+            "SELECT o.id FROM orders o LEFT JOIN users u ON o.user_id = u.id",
+        )
+        .unwrap();
+        assert!(t.contains("left-joined with users"));
+    }
+
+    #[test]
+    fn describes_wildcard_and_distinct() {
+        let t = sql_to_text("SELECT DISTINCT * FROM t").unwrap();
+        assert!(t.starts_with("Retrieve distinct all columns"));
+    }
+
+    #[test]
+    fn describes_dml_and_ddl() {
+        assert_eq!(
+            sql_to_text("INSERT INTO t VALUES (1), (2)").unwrap(),
+            "Insert 2 row(s) into the t table."
+        );
+        assert!(sql_to_text("UPDATE t SET a = 1 WHERE b = 2")
+            .unwrap()
+            .contains("Update column(s) a"));
+        assert_eq!(
+            sql_to_text("DELETE FROM t").unwrap(),
+            "Delete all rows from the t table."
+        );
+        assert!(sql_to_text("CREATE TABLE t (a INT, b TEXT)")
+            .unwrap()
+            .contains("2 column(s)"));
+        assert_eq!(sql_to_text("DROP TABLE t").unwrap(), "Drop the t table.");
+    }
+
+    #[test]
+    fn invalid_sql_errors() {
+        assert!(matches!(
+            sql_to_text("SELEC oops"),
+            Err(Text2SqlError::SqlParse(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod index_text_tests {
+    use super::*;
+
+    #[test]
+    fn describes_index_ddl() {
+        assert_eq!(
+            sql_to_text("CREATE INDEX idx ON t (a)").unwrap(),
+            "Create index idx on column a of the t table."
+        );
+        assert_eq!(
+            sql_to_text("DROP INDEX idx ON t").unwrap(),
+            "Drop index idx from the t table."
+        );
+    }
+}

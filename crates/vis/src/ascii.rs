@@ -1,0 +1,194 @@
+//! Terminal chart rendering.
+//!
+//! The CLI demo's "front-end": bar/area/line charts as text, donut/pie as
+//! a share breakdown with a unicode gauge. Deterministic layout, so tests
+//! can assert on output.
+
+use crate::chart::{ChartSpec, ChartType};
+
+/// Width of the plot area in characters.
+const PLOT_WIDTH: usize = 40;
+/// Height of the area/line plot grid.
+const PLOT_HEIGHT: usize = 8;
+
+/// Render a spec as terminal text.
+pub fn render(spec: &ChartSpec) -> String {
+    let mut out = format!("== {} [{}] ==\n", spec.title, spec.chart_type.name());
+    if spec.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    match spec.chart_type {
+        ChartType::Donut | ChartType::Pie => out.push_str(&render_share(spec)),
+        ChartType::Bar => out.push_str(&render_bars(spec)),
+        ChartType::Area | ChartType::Line | ChartType::Scatter => out.push_str(&render_plot(spec)),
+        ChartType::Table => out.push_str(&render_table(spec)),
+    }
+    out
+}
+
+fn label_width(spec: &ChartSpec) -> usize {
+    spec.points
+        .iter()
+        .map(|p| p.label.chars().count())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Donut/pie: per-slice share with a filled gauge.
+fn render_share(spec: &ChartSpec) -> String {
+    let total = spec.total();
+    let w = label_width(spec);
+    let mut out = String::new();
+    for p in &spec.points {
+        let share = if total > 0.0 { p.value / total } else { 0.0 };
+        let filled = (share * 20.0).round() as usize;
+        out.push_str(&format!(
+            "{:<w$}  {:>6.1}%  [{}{}] {}\n",
+            p.label,
+            share * 100.0,
+            "●".repeat(filled),
+            "○".repeat(20usize.saturating_sub(filled)),
+            p.value,
+            w = w,
+        ));
+    }
+    out
+}
+
+/// Horizontal bars scaled to the max value.
+fn render_bars(spec: &ChartSpec) -> String {
+    let max = spec.max_value().max(f64::MIN_POSITIVE);
+    let w = label_width(spec);
+    let mut out = String::new();
+    for p in &spec.points {
+        let len = ((p.value / max) * PLOT_WIDTH as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{:<w$} |{} {}\n",
+            p.label,
+            "█".repeat(len),
+            p.value,
+            w = w,
+        ));
+    }
+    out
+}
+
+/// A column-per-point plot grid for area/line/scatter.
+fn render_plot(spec: &ChartSpec) -> String {
+    let max = spec.max_value().max(f64::MIN_POSITIVE);
+    let n = spec.points.len();
+    let col_w = 3usize;
+    let mut grid = vec![vec![' '; n * col_w]; PLOT_HEIGHT];
+    for (i, p) in spec.points.iter().enumerate() {
+        let h = ((p.value / max) * PLOT_HEIGHT as f64).round() as usize;
+        let h = h.min(PLOT_HEIGHT);
+        let x = i * col_w + 1;
+        for y in 0..h {
+            let row = PLOT_HEIGHT - 1 - y;
+            let filled = matches!(spec.chart_type, ChartType::Area);
+            if filled || y == h.saturating_sub(1) {
+                grid[row][x] = if filled { '▒' } else { '•' };
+            }
+        }
+        if h > 0 && matches!(spec.chart_type, ChartType::Area) {
+            grid[PLOT_HEIGHT - h][x] = '▄';
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(n * col_w));
+    out.push('\n');
+    // X labels (first 2 chars each).
+    out.push(' ');
+    for p in &spec.points {
+        let short: String = p.label.chars().take(col_w - 1).collect();
+        out.push_str(&format!("{short:<col_w$}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Plain two-column table.
+fn render_table(spec: &ChartSpec) -> String {
+    let w = label_width(spec).max(5);
+    let mut out = format!("{:<w$} | {}\n", "label", spec.value_label, w = w);
+    out.push_str(&format!("{}-+------\n", "-".repeat(w)));
+    for p in &spec.points {
+        out.push_str(&format!("{:<w$} | {}\n", p.label, p.value, w = w));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::ChartSpec;
+
+    fn spec(t: ChartType) -> ChartSpec {
+        ChartSpec::new(t, "Sales by category")
+            .with_point("books", 25.0)
+            .with_point("tech", 75.0)
+    }
+
+    #[test]
+    fn header_names_type_and_title() {
+        let s = render(&spec(ChartType::Bar));
+        assert!(s.starts_with("== Sales by category [bar] =="));
+    }
+
+    #[test]
+    fn donut_shows_percentages() {
+        let s = render(&spec(ChartType::Donut));
+        assert!(s.contains("25.0%"), "{s}");
+        assert!(s.contains("75.0%"), "{s}");
+        assert!(s.contains('●'));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = render(&spec(ChartType::Bar));
+        let books_line = s.lines().find(|l| l.starts_with("books")).unwrap();
+        let tech_line = s.lines().find(|l| l.starts_with("tech")).unwrap();
+        let count = |l: &str| l.chars().filter(|&c| c == '█').count();
+        assert!(count(tech_line) > count(books_line) * 2);
+        assert_eq!(count(tech_line), 40); // max fills the plot width
+    }
+
+    #[test]
+    fn area_plot_has_axis_and_labels() {
+        let s = render(&spec(ChartType::Area));
+        assert!(s.contains('+'));
+        assert!(s.contains("bo")); // truncated label
+        assert!(s.contains('▒'));
+    }
+
+    #[test]
+    fn line_plot_marks_points() {
+        let s = render(&spec(ChartType::Line));
+        assert!(s.contains('•'));
+        assert!(!s.contains('▒'));
+    }
+
+    #[test]
+    fn table_lists_values() {
+        let s = render(&spec(ChartType::Table));
+        assert!(s.contains("books | 25"));
+    }
+
+    #[test]
+    fn empty_spec_renders_placeholder() {
+        let s = render(&ChartSpec::new(ChartType::Bar, "t"));
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(render(&spec(ChartType::Donut)), render(&spec(ChartType::Donut)));
+    }
+}

@@ -1,0 +1,195 @@
+//! Chart specifications — the agent ⇄ front-end contract.
+
+use serde::{Deserialize, Serialize};
+
+/// Chart families. The demo's plan assigns `Donut`, `Bar` and `Area` to
+/// the three sales-report dimensions (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChartType {
+    /// Ring chart (share of total).
+    Donut,
+    /// Filled circle chart.
+    Pie,
+    /// Vertical/horizontal bars per category.
+    Bar,
+    /// Filled line chart over an ordered axis.
+    Area,
+    /// Plain line chart.
+    Line,
+    /// Point cloud.
+    Scatter,
+    /// Fall back to a tabular rendering.
+    Table,
+}
+
+impl ChartType {
+    /// Parse a lowercase chart-type name (as planners emit it).
+    pub fn parse(name: &str) -> Option<ChartType> {
+        match name.to_lowercase().as_str() {
+            "donut" | "doughnut" | "ring" => Some(ChartType::Donut),
+            "pie" => Some(ChartType::Pie),
+            "bar" | "column" => Some(ChartType::Bar),
+            "area" => Some(ChartType::Area),
+            "line" => Some(ChartType::Line),
+            "scatter" | "point" => Some(ChartType::Scatter),
+            "table" | "grid" => Some(ChartType::Table),
+            _ => None,
+        }
+    }
+
+    /// Lowercase display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChartType::Donut => "donut",
+            ChartType::Pie => "pie",
+            ChartType::Bar => "bar",
+            ChartType::Area => "area",
+            ChartType::Line => "line",
+            ChartType::Scatter => "scatter",
+            ChartType::Table => "table",
+        }
+    }
+}
+
+/// One labelled value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Category / x label.
+    pub label: String,
+    /// Value.
+    pub value: f64,
+}
+
+/// A complete chart description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChartSpec {
+    /// Chart family.
+    pub chart_type: ChartType,
+    /// Title shown above the chart.
+    pub title: String,
+    /// The data, in display order.
+    pub points: Vec<DataPoint>,
+    /// Axis/series label for values (e.g. "sales").
+    pub value_label: String,
+}
+
+impl ChartSpec {
+    /// Empty spec.
+    pub fn new(chart_type: ChartType, title: impl Into<String>) -> Self {
+        ChartSpec {
+            chart_type,
+            title: title.into(),
+            points: Vec::new(),
+            value_label: "value".into(),
+        }
+    }
+
+    /// Append a point, builder style.
+    pub fn with_point(mut self, label: impl Into<String>, value: f64) -> Self {
+        self.points.push(DataPoint {
+            label: label.into(),
+            value,
+        });
+        self
+    }
+
+    /// Set the value label, builder style.
+    pub fn with_value_label(mut self, label: impl Into<String>) -> Self {
+        self.value_label = label.into();
+        self
+    }
+
+    /// Demo area ⑥: the user switches the chart type; data is untouched.
+    pub fn switch_type(&self, to: ChartType) -> ChartSpec {
+        let mut s = self.clone();
+        s.chart_type = to;
+        s
+    }
+
+    /// Sum of all values.
+    pub fn total(&self) -> f64 {
+        self.points.iter().map(|p| p.value).sum()
+    }
+
+    /// Largest value (0 when empty).
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|p| p.value).fold(0.0, f64::max)
+    }
+
+    /// Is there anything to draw?
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChartSpec {
+        ChartSpec::new(ChartType::Donut, "Sales")
+            .with_point("books", 40.0)
+            .with_point("tech", 60.0)
+            .with_value_label("sales")
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(ChartType::parse("donut"), Some(ChartType::Donut));
+        assert_eq!(ChartType::parse("DOUGHNUT"), Some(ChartType::Donut));
+        assert_eq!(ChartType::parse("bar"), Some(ChartType::Bar));
+        assert_eq!(ChartType::parse("area"), Some(ChartType::Area));
+        assert_eq!(ChartType::parse("hologram"), None);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for t in [
+            ChartType::Donut,
+            ChartType::Pie,
+            ChartType::Bar,
+            ChartType::Area,
+            ChartType::Line,
+            ChartType::Scatter,
+            ChartType::Table,
+        ] {
+            assert_eq!(ChartType::parse(t.name()), Some(t));
+        }
+    }
+
+    #[test]
+    fn builder_and_stats() {
+        let s = spec();
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.total(), 100.0);
+        assert_eq!(s.max_value(), 60.0);
+        assert!(!s.is_empty());
+        assert_eq!(s.value_label, "sales");
+    }
+
+    #[test]
+    fn switch_type_preserves_data() {
+        let s = spec();
+        let bar = s.switch_type(ChartType::Bar);
+        assert_eq!(bar.chart_type, ChartType::Bar);
+        assert_eq!(bar.points, s.points);
+        assert_eq!(bar.title, s.title);
+        // Original unchanged.
+        assert_eq!(s.chart_type, ChartType::Donut);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<ChartSpec>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_spec_stats() {
+        let s = ChartSpec::new(ChartType::Bar, "t");
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.max_value(), 0.0);
+    }
+}

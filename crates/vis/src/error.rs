@@ -1,0 +1,37 @@
+//! Error type for the visualization layer.
+
+use std::fmt;
+
+/// Errors building chart specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VisError {
+    /// The query result has no rows to chart.
+    EmptyResult,
+    /// No numeric column could be found for values.
+    NoValueColumn,
+    /// An explicitly named column does not exist in the result.
+    ColumnNotFound(String),
+}
+
+impl fmt::Display for VisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisError::EmptyResult => write!(f, "query result has no rows to chart"),
+            VisError::NoValueColumn => write!(f, "no numeric column available for chart values"),
+            VisError::ColumnNotFound(c) => write!(f, "column not found in result: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for VisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(VisError::EmptyResult.to_string().contains("no rows"));
+        assert!(VisError::ColumnNotFound("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # dbgpt-vis — the visualization layer
+//!
+//! "The visualization layer aims to display the answers returned by DB-GPT
+//! to the users with elegance. … When the tasks necessitate the generation
+//! of charts, DB-GPT renders these charts within its front-end,
+//! facilitating user interaction with the displayed charts" (paper §2.5).
+//!
+//! - [`chart`] — the [`ChartSpec`] contract between chart-generating
+//!   agents and any front-end: chart type, title, labelled numeric series.
+//!   Specs are JSON-serializable and support *chart-type switching* (demo
+//!   area ⑥ of Fig. 3).
+//! - [`transform`] — build a spec from a SQL [`dbgpt_sqlengine::QueryResult`]
+//!   (label column + value column inference).
+//! - [`ascii`] — terminal renderers (the "front-end" of a CLI demo).
+//! - [`svg`] — SVG renderers for the donut/pie, bar, area and line forms.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbgpt_vis::{ChartSpec, ChartType};
+//!
+//! let spec = ChartSpec::new(ChartType::Donut, "Sales by category")
+//!     .with_point("books", 40.0)
+//!     .with_point("tech", 60.0);
+//! let svg = dbgpt_vis::svg::render(&spec);
+//! assert!(svg.starts_with("<svg"));
+//! let text = dbgpt_vis::ascii::render(&spec);
+//! assert!(text.contains("books"));
+//! ```
+
+pub mod ascii;
+pub mod chart;
+pub mod error;
+pub mod svg;
+pub mod transform;
+
+pub use chart::{ChartSpec, ChartType, DataPoint};
+pub use error::VisError;
+pub use transform::spec_from_result;

@@ -1,0 +1,336 @@
+//! SVG chart rendering — the web front-end's format.
+
+use std::f64::consts::PI;
+
+use crate::chart::{ChartSpec, ChartType};
+
+/// Canvas size.
+const W: f64 = 400.0;
+const H: f64 = 300.0;
+/// Categorical palette (cycled).
+const PALETTE: &[&str] = &[
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+];
+
+/// Render a spec as a standalone SVG document.
+pub fn render(spec: &ChartSpec) -> String {
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\">\n<title>{}</title>\n",
+        escape(&spec.title)
+    );
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"18\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+        W / 2.0,
+        escape(&spec.title)
+    ));
+    if spec.is_empty() {
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">no data</text>\n",
+            W / 2.0,
+            H / 2.0
+        ));
+        out.push_str("</svg>\n");
+        return out;
+    }
+    match spec.chart_type {
+        ChartType::Donut => out.push_str(&render_ring(spec, 0.55)),
+        ChartType::Pie => out.push_str(&render_ring(spec, 0.0)),
+        ChartType::Bar => out.push_str(&render_bars(spec)),
+        ChartType::Area => out.push_str(&render_path(spec, true)),
+        ChartType::Line | ChartType::Scatter => out.push_str(&render_path(spec, false)),
+        ChartType::Table => out.push_str(&render_text_table(spec)),
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn color(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}
+
+/// Pie/donut as arc path segments; `inner` is the hole ratio (0 = pie).
+fn render_ring(spec: &ChartSpec, inner: f64) -> String {
+    let cx = W / 2.0;
+    let cy = H / 2.0 + 10.0;
+    let r = 100.0;
+    let total = spec.total().max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    let mut angle = -PI / 2.0;
+    for (i, p) in spec.points.iter().enumerate() {
+        // A full-circle slice would collapse the arc (start == end); cap
+        // just under 2π so a single-slice donut still draws.
+        let sweep = ((p.value / total) * 2.0 * PI).min(2.0 * PI - 1e-4);
+        let a0 = angle;
+        let a1 = angle + sweep;
+        angle = a1;
+        let (x0, y0) = (cx + r * a0.cos(), cy + r * a0.sin());
+        let (x1, y1) = (cx + r * a1.cos(), cy + r * a1.sin());
+        let large = if sweep > PI { 1 } else { 0 };
+        if inner > 0.0 {
+            let ri = r * inner;
+            let (ix0, iy0) = (cx + ri * a0.cos(), cy + ri * a0.sin());
+            let (ix1, iy1) = (cx + ri * a1.cos(), cy + ri * a1.sin());
+            out.push_str(&format!(
+                "<path d=\"M {x0:.2} {y0:.2} A {r} {r} 0 {large} 1 {x1:.2} {y1:.2} \
+                 L {ix1:.2} {iy1:.2} A {ri} {ri} 0 {large} 0 {ix0:.2} {iy0:.2} Z\" \
+                 fill=\"{}\"><title>{}: {}</title></path>\n",
+                color(i),
+                escape(&p.label),
+                p.value
+            ));
+        } else {
+            out.push_str(&format!(
+                "<path d=\"M {cx} {cy} L {x0:.2} {y0:.2} A {r} {r} 0 {large} 1 {x1:.2} {y1:.2} Z\" \
+                 fill=\"{}\"><title>{}: {}</title></path>\n",
+                color(i),
+                escape(&p.label),
+                p.value
+            ));
+        }
+    }
+    // Legend.
+    for (i, p) in spec.points.iter().enumerate() {
+        let y = 40.0 + i as f64 * 16.0;
+        out.push_str(&format!(
+            "<rect x=\"8\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"22\" y=\"{}\" font-size=\"10\">{}</text>\n",
+            y - 9.0,
+            color(i),
+            y,
+            escape(&p.label)
+        ));
+    }
+    out
+}
+
+fn render_bars(spec: &ChartSpec) -> String {
+    let max = spec.max_value().max(f64::MIN_POSITIVE);
+    let n = spec.points.len() as f64;
+    let plot_h = H - 80.0;
+    let bar_w = (W - 60.0) / n * 0.7;
+    let gap = (W - 60.0) / n;
+    let mut out = String::new();
+    for (i, p) in spec.points.iter().enumerate() {
+        let h = (p.value / max) * plot_h;
+        let x = 40.0 + i as f64 * gap + gap * 0.15;
+        let y = 40.0 + (plot_h - h);
+        out.push_str(&format!(
+            "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{bar_w:.2}\" height=\"{h:.2}\" \
+             fill=\"{}\"><title>{}: {}</title></rect>\n",
+            color(i),
+            escape(&p.label),
+            p.value
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>\n",
+            x + bar_w / 2.0,
+            H - 24.0,
+            escape(&p.label)
+        ));
+    }
+    out
+}
+
+fn render_path(spec: &ChartSpec, filled: bool) -> String {
+    let max = spec.max_value().max(f64::MIN_POSITIVE);
+    let n = spec.points.len();
+    let plot_h = H - 80.0;
+    let step = if n > 1 { (W - 80.0) / (n - 1) as f64 } else { 0.0 };
+    let coords: Vec<(f64, f64)> = spec
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let x = 40.0 + i as f64 * step;
+            let y = 40.0 + plot_h * (1.0 - p.value / max);
+            (x, y)
+        })
+        .collect();
+    let mut out = String::new();
+    if spec.chart_type == ChartType::Scatter {
+        for (i, &(x, y)) in coords.iter().enumerate() {
+            out.push_str(&format!(
+                "<circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"4\" fill=\"{}\"/>\n",
+                color(i)
+            ));
+        }
+    } else {
+        let mut d = String::new();
+        for (i, &(x, y)) in coords.iter().enumerate() {
+            d.push_str(&format!("{}{x:.2} {y:.2} ", if i == 0 { "M " } else { "L " }));
+        }
+        if filled {
+            let base = 40.0 + plot_h;
+            d.push_str(&format!(
+                "L {:.2} {base:.2} L {:.2} {base:.2} Z",
+                coords.last().unwrap().0,
+                coords[0].0
+            ));
+            out.push_str(&format!(
+                "<path d=\"{d}\" fill=\"{}\" fill-opacity=\"0.5\" stroke=\"{}\"/>\n",
+                color(0),
+                color(0)
+            ));
+        } else {
+            out.push_str(&format!(
+                "<path d=\"{d}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\"/>\n",
+                color(0)
+            ));
+        }
+    }
+    // X labels.
+    for (p, &(x, _)) in spec.points.iter().zip(&coords) {
+        out.push_str(&format!(
+            "<text x=\"{x:.2}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>\n",
+            H - 24.0,
+            escape(&p.label)
+        ));
+    }
+    out
+}
+
+fn render_text_table(spec: &ChartSpec) -> String {
+    let mut out = String::new();
+    for (i, p) in spec.points.iter().enumerate() {
+        out.push_str(&format!(
+            "<text x=\"40\" y=\"{}\" font-size=\"12\">{}: {}</text>\n",
+            50 + i * 18,
+            escape(&p.label),
+            p.value
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::ChartSpec;
+
+    fn spec(t: ChartType) -> ChartSpec {
+        ChartSpec::new(t, "Sales & <charts>")
+            .with_point("books", 25.0)
+            .with_point("tech", 75.0)
+            .with_point("food", 50.0)
+    }
+
+    #[test]
+    fn document_shape() {
+        let s = render(&spec(ChartType::Bar));
+        assert!(s.starts_with("<svg xmlns="));
+        assert!(s.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let s = render(&spec(ChartType::Bar));
+        assert!(s.contains("Sales &amp; &lt;charts&gt;"));
+        assert!(!s.contains("<charts>"));
+    }
+
+    #[test]
+    fn donut_has_ring_paths_and_legend() {
+        let s = render(&spec(ChartType::Donut));
+        assert_eq!(s.matches("<path").count(), 3);
+        assert!(s.contains("A 55")); // inner radius arcs (100 * 0.55)
+        assert_eq!(s.matches("<rect").count(), 3); // legend swatches
+    }
+
+    #[test]
+    fn pie_paths_reach_center() {
+        let s = render(&spec(ChartType::Pie));
+        assert!(s.contains(&format!("M {} {}", W / 2.0, H / 2.0 + 10.0)));
+    }
+
+    #[test]
+    fn bars_one_rect_per_point_plus_labels() {
+        let s = render(&spec(ChartType::Bar));
+        assert_eq!(s.matches("<rect").count(), 3);
+        assert!(s.contains(">books</text>"));
+    }
+
+    #[test]
+    fn area_is_closed_and_filled() {
+        let s = render(&spec(ChartType::Area));
+        assert!(s.contains("Z\" fill="));
+        assert!(s.contains("fill-opacity"));
+    }
+
+    #[test]
+    fn line_is_open_stroke() {
+        let s = render(&spec(ChartType::Line));
+        assert!(s.contains("fill=\"none\""));
+        assert!(s.contains("stroke-width=\"2\""));
+    }
+
+    #[test]
+    fn scatter_uses_circles() {
+        let s = render(&spec(ChartType::Scatter));
+        assert_eq!(s.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn table_renders_rows_as_text() {
+        let s = render(&spec(ChartType::Table));
+        assert!(s.contains("books: 25"));
+    }
+
+    #[test]
+    fn empty_spec_says_no_data() {
+        let s = render(&ChartSpec::new(ChartType::Donut, "t"));
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn tooltips_carry_values() {
+        let s = render(&spec(ChartType::Bar));
+        assert!(s.contains("<title>tech: 75</title>"));
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::chart::{ChartSpec, ChartType};
+
+    #[test]
+    fn single_slice_donut_still_draws_an_arc() {
+        let spec = ChartSpec::new(ChartType::Donut, "one").with_point("all", 10.0);
+        let s = render(&spec);
+        // The path must span the circle, not collapse to a point.
+        assert_eq!(s.matches("<path").count(), 1);
+        let d_start = s.find("d=\"M ").unwrap();
+        let d = &s[d_start..s[d_start..].find('>').unwrap() + d_start];
+        assert!(d.contains("A 100"), "{d}");
+        // Start and end points differ.
+        let coords: Vec<&str> = d.split_whitespace().collect();
+        assert!(coords.len() > 8);
+    }
+
+    #[test]
+    fn zero_valued_points_render_without_panic() {
+        let spec = ChartSpec::new(ChartType::Pie, "zeros")
+            .with_point("a", 0.0)
+            .with_point("b", 0.0);
+        let s = render(&spec);
+        assert!(s.contains("</svg>"));
+        let bar = spec.switch_type(ChartType::Bar);
+        assert!(render(&bar).contains("</svg>"));
+        let area = spec.switch_type(ChartType::Area);
+        assert!(render(&area).contains("</svg>"));
+    }
+
+    #[test]
+    fn single_point_line_and_area_render() {
+        for t in [ChartType::Line, ChartType::Area, ChartType::Scatter] {
+            let spec = ChartSpec::new(t, "single").with_point("only", 5.0);
+            let s = render(&spec);
+            assert!(s.contains("</svg>"), "{t:?}");
+        }
+    }
+}

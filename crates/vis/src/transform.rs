@@ -1,0 +1,159 @@
+//! Query results → chart specs.
+//!
+//! Chart-generating agents run SQL and chart the result. The default
+//! inference: the first TEXT column provides labels, the first numeric
+//! column (preferring one that is not an id) provides values.
+
+use dbgpt_sqlengine::{DataType, QueryResult, Value};
+
+use crate::chart::{ChartSpec, ChartType};
+use crate::error::VisError;
+
+/// Build a spec from a query result with inferred columns.
+pub fn spec_from_result(
+    result: &QueryResult,
+    chart_type: ChartType,
+    title: &str,
+) -> Result<ChartSpec, VisError> {
+    if result.rows.is_empty() {
+        return Err(VisError::EmptyResult);
+    }
+    let cols = result.schema.columns();
+    // Label column: first TEXT column, else synthesize row numbers.
+    let label_idx = cols.iter().position(|c| c.data_type == DataType::Text);
+    // Value column: first numeric, preferring non-id names.
+    let numeric = |i: &usize| {
+        matches!(
+            cols[*i].data_type,
+            DataType::Int | DataType::Float
+        )
+    };
+    let value_idx = (0..cols.len())
+        .filter(numeric)
+        .find(|i| !cols[*i].name.ends_with("id"))
+        .or_else(|| (0..cols.len()).find(numeric))
+        .ok_or(VisError::NoValueColumn)?;
+
+    let mut spec = ChartSpec::new(chart_type, title).with_value_label(cols[value_idx].name.clone());
+    for (ri, row) in result.rows.iter().enumerate() {
+        let label = match label_idx {
+            Some(li) => match &row[li] {
+                Value::Null => "unknown".to_string(),
+                other => other.to_string(),
+            },
+            None => format!("#{}", ri + 1),
+        };
+        let value = row[value_idx].as_f64().unwrap_or(0.0);
+        spec.points.push(crate::chart::DataPoint { label, value });
+    }
+    Ok(spec)
+}
+
+/// Build a spec from explicitly named label/value columns.
+pub fn spec_from_columns(
+    result: &QueryResult,
+    chart_type: ChartType,
+    title: &str,
+    label_col: &str,
+    value_col: &str,
+) -> Result<ChartSpec, VisError> {
+    if result.rows.is_empty() {
+        return Err(VisError::EmptyResult);
+    }
+    let find = |name: &str| {
+        result
+            .schema
+            .columns()
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| VisError::ColumnNotFound(name.to_string()))
+    };
+    let li = find(label_col)?;
+    let vi = find(value_col)?;
+    let mut spec = ChartSpec::new(chart_type, title).with_value_label(value_col);
+    for row in &result.rows {
+        spec.points.push(crate::chart::DataPoint {
+            label: row[li].to_string(),
+            value: row[vi].as_f64().unwrap_or(0.0),
+        });
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgpt_sqlengine::Engine;
+
+    fn result() -> QueryResult {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE s (id INT, category TEXT, total FLOAT)").unwrap();
+        e.execute("INSERT INTO s VALUES (1, 'books', 40.0), (2, 'tech', 60.0)").unwrap();
+        e.execute("SELECT id, category, total FROM s ORDER BY id").unwrap()
+    }
+
+    #[test]
+    fn infers_label_and_value_columns() {
+        let spec = spec_from_result(&result(), ChartType::Donut, "Sales").unwrap();
+        assert_eq!(spec.points.len(), 2);
+        assert_eq!(spec.points[0].label, "books");
+        assert_eq!(spec.points[1].value, 60.0);
+        // Skipped the id column even though it is numeric and first.
+        assert_eq!(spec.value_label, "total");
+    }
+
+    #[test]
+    fn numeric_only_result_gets_row_labels() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE n (v INT)").unwrap();
+        e.execute("INSERT INTO n VALUES (5), (9)").unwrap();
+        let r = e.execute("SELECT v FROM n").unwrap();
+        let spec = spec_from_result(&r, ChartType::Bar, "t").unwrap();
+        assert_eq!(spec.points[0].label, "#1");
+        assert_eq!(spec.points[1].value, 9.0);
+    }
+
+    #[test]
+    fn empty_result_rejected() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE x (a INT)").unwrap();
+        let r = e.execute("SELECT a FROM x").unwrap();
+        assert_eq!(
+            spec_from_result(&r, ChartType::Bar, "t"),
+            Err(VisError::EmptyResult)
+        );
+    }
+
+    #[test]
+    fn no_numeric_column_rejected() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE t (name TEXT)").unwrap();
+        e.execute("INSERT INTO t VALUES ('a')").unwrap();
+        let r = e.execute("SELECT name FROM t").unwrap();
+        assert_eq!(
+            spec_from_result(&r, ChartType::Bar, "t"),
+            Err(VisError::NoValueColumn)
+        );
+    }
+
+    #[test]
+    fn explicit_columns() {
+        let spec =
+            spec_from_columns(&result(), ChartType::Bar, "t", "category", "id").unwrap();
+        assert_eq!(spec.points[0].value, 1.0);
+        assert!(matches!(
+            spec_from_columns(&result(), ChartType::Bar, "t", "ghost", "id"),
+            Err(VisError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn null_labels_become_unknown() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE t (c TEXT, v INT)").unwrap();
+        e.execute("INSERT INTO t VALUES (NULL, 3)").unwrap();
+        let r = e.execute("SELECT c, v FROM t").unwrap();
+        let spec = spec_from_result(&r, ChartType::Bar, "t").unwrap();
+        assert_eq!(spec.points[0].label, "unknown");
+    }
+}

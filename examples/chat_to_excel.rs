@@ -1,0 +1,44 @@
+//! Chat2Excel: load a spreadsheet (CSV) and interrogate it in natural
+//! language, ending with a chart.
+//!
+//! ```text
+//! cargo run -p dbgpt --example chat_to_excel
+//! ```
+
+use dbgpt::DbGpt;
+
+const SHEET: &str = "\
+region,quarter,sales,returns
+north,q1,120,4
+south,q1,95,2
+east,q1,143,6
+north,q2,150,3
+south,q2,88,5
+east,q2,170,2
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = DbGpt::builder().build()?;
+
+    // "Excel" ingestion: types are inferred per column.
+    let rows = db.load_sheet("sales_sheet", SHEET)?;
+    println!("loaded sales_sheet: {rows} rows");
+    println!("{}", db.execute_sql("SELECT * FROM sales_sheet LIMIT 3")?);
+
+    // Chat over the sheet.
+    for q in [
+        "how many sales_sheet are there?",
+        "what is the total sales per region of sales_sheet?",
+        "show the top 2 sales_sheet by sales",
+        "what is the average returns of sales_sheet?",
+    ] {
+        let out = db.chat(q)?;
+        println!("Q: {q}");
+        println!("A: {}\n", out.text);
+    }
+
+    // Finish with a visualization of the same data.
+    let out = db.chat("draw a bar chart of the total sales per region of sales_sheet")?;
+    println!("{}", out.text);
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The paper's §4 future-work directions, implemented: time-series
+//! forecasting agents and automatic data preparation — plus the SQL
+//! engine's secondary indexes and UNION queries that power them.
+//!
+//! ```text
+//! cargo run -p dbgpt --example future_work_agents
+//! ```
+
+use dbgpt::apps::clean::{CleanOptions, DataCleaner};
+use dbgpt::apps::{AppContext, Forecaster};
+use dbgpt::DbGpt;
+
+const DIRTY_SHEET: &str = "\
+month,revenue,region
+jan,\"$1,200\", north
+feb,$1450,North
+mar,\"$1,690\",NORTH
+apr,$1960,north
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = DbGpt::builder().build()?;
+
+    // ---- 1. A dirty spreadsheet arrives ----
+    db.load_sheet("revenue", DIRTY_SHEET)?;
+    println!("-- as loaded (currency strings, inconsistent casing) --");
+    println!("{}", db.execute_sql("SELECT * FROM revenue")?);
+
+    // ---- 2. Automatic data preparation (future work: CleanAgent) ----
+    let ctx: &AppContext = db.context();
+    let report = DataCleaner::new(ctx.clone())
+        .with_options(CleanOptions::aggressive())
+        .clean_table("revenue")?;
+    println!("-- data preparation report --");
+    println!("{}\n", report.narrative());
+    println!("{}", db.execute_sql("SELECT * FROM revenue")?);
+
+    // The recovered numeric column is now aggregable…
+    println!("{}", db.execute_sql("SELECT SUM(revenue) AS total FROM revenue")?);
+
+    // …and indexable.
+    db.execute_sql("CREATE INDEX idx_region ON revenue (region)")?;
+    println!("-- indexed point lookup --");
+    println!(
+        "{}",
+        db.execute_sql("SELECT month, revenue FROM revenue WHERE region = 'north'")?
+    );
+
+    // ---- 3. Time-series forecasting (future work: predictive agents) ----
+    let forecaster = Forecaster::new(ctx.clone());
+    let f = forecaster.ask("forecast revenue for the next 3 months")?;
+    println!("-- forecast ({}) --", f.method);
+    println!("{}", f.narrative);
+    println!("{}", dbgpt::vis::ascii::render(&f.chart));
+
+    // The same capability through the chat front door, in one line:
+    let out = db.chat("predict revenue for the next 2 months")?;
+    println!("-- via chat routing ({:?}) --", out.intent);
+    println!("{}", out.text.lines().next().unwrap_or(""));
+
+    // ---- 4. UNION across tables (engine extension) ----
+    db.execute_sql("CREATE TABLE archive_revenue (month TEXT, revenue INT, region TEXT)")?;
+    db.execute_sql("INSERT INTO archive_revenue VALUES ('nov', 900, 'north'), ('dec', 1100, 'north')")?;
+    println!("-- UNION of live + archived revenue --");
+    println!(
+        "{}",
+        db.execute_sql(
+            "SELECT month, revenue FROM archive_revenue \
+             UNION ALL SELECT month, revenue FROM revenue ORDER BY revenue"
+        )?
+    );
+    Ok(())
+}

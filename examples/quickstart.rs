@@ -1,0 +1,46 @@
+//! Quickstart: build a DB-GPT system and talk to your data.
+//!
+//! ```text
+//! cargo run -p dbgpt --example quickstart
+//! ```
+
+use dbgpt::DbGpt;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One builder call assembles all four layers: SMMF model serving
+    // (private/local by default), the SQL engine, the RAG knowledge base,
+    // the multi-agent framework and the server layer.
+    let mut db = DbGpt::builder().with_sales_demo().build()?;
+
+    println!("DB-GPT is up: {db:?}\n");
+
+    // Natural-language questions route to the right app automatically.
+    for input in [
+        "how many orders are there?",
+        "what is the total amount per category of orders?",
+        "which product has the highest price?",
+        "SELECT name, city FROM users ORDER BY name",
+    ] {
+        let out = db.chat(input)?;
+        println!("you   > {input}");
+        println!("dbgpt > [{:?}]\n{}\n", out.intent, out.text);
+    }
+
+    // Feed it your own data…
+    db.execute_sql("CREATE TABLE tasks (id INT, title TEXT, done BOOL)")?;
+    db.execute_sql("INSERT INTO tasks VALUES (1, 'write docs', false), (2, 'ship demo', true)")?;
+    let out = db.chat("how many tasks are there?")?;
+    println!("you   > how many tasks are there?");
+    println!("dbgpt > {}\n", out.text);
+
+    // …and your own knowledge.
+    db.ingest_document(
+        "runbook",
+        "To restart the ingest pipeline, run the blue script on host seven.",
+    );
+    let out = db.chat("how do I restart the ingest pipeline?")?;
+    println!("you   > how do I restart the ingest pipeline?");
+    println!("dbgpt > {}", out.text);
+
+    Ok(())
+}
