@@ -1,0 +1,203 @@
+//! Thread-sweep benchmark for the parallel sharded retrieval path (E5).
+//!
+//! Measures flat-scan retrieval throughput on the E5 synthetic corpus
+//! three ways — the seed implementation (cosine with per-candidate norm
+//! recomputation + full sort), the rebuilt single-thread hot path
+//! (normalized kernel + heap top-k), and the sharded parallel scan at
+//! 1/2/4/8 threads — then emits `results/BENCH_rag_parallel.json` so the
+//! perf trajectory is tracked from PR to PR.
+//!
+//! ```text
+//! cargo run -p dbgpt-bench --release --bin bench_rag_parallel            # full sweep, ≥5k chunks
+//! cargo run -p dbgpt-bench --release --bin bench_rag_parallel -- --smoke # tiny corpus, CI gate
+//! ```
+//!
+//! Before timing anything, the run asserts that every parallel
+//! configuration returns a hit list identical to the sequential scan.
+
+use std::fs;
+use std::time::Instant;
+
+use dbgpt_bench::{doc_queries, synthetic_corpus};
+use dbgpt_rag::{
+    cosine_similarity, Embedder, Embedding, HashEmbedder, RetrievalConfig, VectorStore,
+};
+
+/// Hits requested per query.
+const K: usize = 10;
+
+/// Thread counts swept.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The seed retrieval path, reproduced verbatim for the before/after
+/// comparison: recompute both operand norms per candidate, collect every
+/// score, sort everything, truncate.
+fn seed_search_flat(vectors: &[Embedding], query: &Embedding, k: usize) -> Vec<(usize, f32)> {
+    let mut hits: Vec<(usize, f32)> = vectors
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, cosine_similarity(query, v)))
+        .collect();
+    hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    hits.truncate(k);
+    hits
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone());
+    let (n_docs, reps, mode) = if smoke {
+        (300usize, 2usize, "smoke")
+    } else {
+        (5000usize, 20usize, "full")
+    };
+    let out_path = out_override.unwrap_or_else(|| {
+        if smoke {
+            "results/BENCH_rag_parallel_smoke.json".to_string()
+        } else {
+            "results/BENCH_rag_parallel.json".to_string()
+        }
+    });
+
+    let hardware = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("BENCH rag_parallel ({mode})");
+    println!("  corpus: {n_docs} docs, k = {K}, reps = {reps}, hardware threads = {hardware}");
+
+    // One chunk per synthetic doc: the corpus size is the chunk count.
+    let docs = synthetic_corpus(n_docs, 5);
+    let embedder = HashEmbedder::new();
+    let raw: Vec<Embedding> = docs.iter().map(|d| embedder.embed(&d.text)).collect();
+    let mut store = VectorStore::new();
+    for v in &raw {
+        store.add(v.clone());
+    }
+
+    // Query mix: specific-document queries plus one topical query,
+    // embedded once up front so the sweep times the scan, not the encoder.
+    let mut queries: Vec<Embedding> = doc_queries(&docs, 40, 9)
+        .into_iter()
+        .map(|(_, q)| embedder.embed(&q))
+        .collect();
+    queries.push(embedder.embed("how does the embedding index affect recall and ranking?"));
+
+    // Correctness gate before any timing: every parallel configuration
+    // must return the sequential hit list, bit for bit.
+    let mut parallel_matches_sequential = true;
+    for q in &queries {
+        let sequential = store.search_flat_with(q, K, &RetrievalConfig::SEQUENTIAL);
+        for &threads in &THREAD_SWEEP {
+            let cfg = RetrievalConfig {
+                threads,
+                topk_crossover: 0,
+            };
+            if store.search_flat_with(q, K, &cfg) != sequential {
+                parallel_matches_sequential = false;
+            }
+        }
+    }
+    assert!(
+        parallel_matches_sequential,
+        "parallel hit lists diverged from sequential"
+    );
+
+    let total_queries = (reps * queries.len()) as f64;
+
+    // Seed baseline.
+    for q in &queries {
+        std::hint::black_box(seed_search_flat(&raw, q, K));
+    }
+    let t = Instant::now();
+    for _ in 0..reps {
+        for q in &queries {
+            std::hint::black_box(seed_search_flat(&raw, q, K));
+        }
+    }
+    let seed_qps = total_queries / t.elapsed().as_secs_f64();
+
+    let measure = |cfg: &RetrievalConfig| -> f64 {
+        for q in &queries {
+            std::hint::black_box(store.search_flat_with(q, K, cfg));
+        }
+        let t = Instant::now();
+        for _ in 0..reps {
+            for q in &queries {
+                std::hint::black_box(store.search_flat_with(q, K, cfg));
+            }
+        }
+        total_queries / t.elapsed().as_secs_f64()
+    };
+
+    let single_qps = measure(&RetrievalConfig::SEQUENTIAL);
+
+    println!("\n  {:<26} | {:>10} | {:>10}", "configuration", "qps", "µs/query");
+    println!("  {}", "-".repeat(52));
+    println!("  {:<26} | {:>10.0} | {:>10.1}", "seed (cosine + sort)", seed_qps, 1e6 / seed_qps);
+    println!(
+        "  {:<26} | {:>10.0} | {:>10.1}",
+        "kernel + heap, 1 thread", single_qps, 1e6 / single_qps
+    );
+
+    let mut one_thread_qps = single_qps;
+    let mut sweep = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        let cfg = RetrievalConfig {
+            threads,
+            topk_crossover: 0,
+        };
+        let qps = measure(&cfg);
+        if threads == 1 {
+            one_thread_qps = qps;
+        }
+        let speedup = qps / one_thread_qps;
+        println!(
+            "  {:<26} | {:>10.0} | {:>10.1}",
+            format!("sharded scan, {threads} thread(s)"),
+            qps,
+            1e6 / qps
+        );
+        sweep.push(serde_json::json!({
+            "threads": threads,
+            "qps": qps,
+            "per_query_us": 1e6 / qps,
+            "speedup_vs_1t": speedup,
+        }));
+    }
+
+    let json = serde_json::json!({
+        "bench": "rag_parallel",
+        "mode": mode,
+        "generated_by": "cargo run -p dbgpt-bench --release --bin bench_rag_parallel",
+        "hardware_threads": hardware,
+        "corpus_docs": n_docs,
+        "chunks": store.len(),
+        "dim": embedder.dim(),
+        "k": K,
+        "queries": queries.len(),
+        "reps": reps,
+        "parallel_matches_sequential": parallel_matches_sequential,
+        "seed_baseline": {
+            "qps": seed_qps,
+            "per_query_us": 1e6 / seed_qps,
+        },
+        "single_thread": {
+            "qps": single_qps,
+            "per_query_us": 1e6 / single_qps,
+            "speedup_vs_seed": single_qps / seed_qps,
+        },
+        "threads": sweep,
+    });
+    fs::create_dir_all("results").ok();
+    fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&json).expect("serialize") + "\n",
+    )
+    .expect("write results file");
+    println!("\n  single-thread speedup vs seed: {:.2}x", single_qps / seed_qps);
+    println!("  wrote {out_path}");
+}

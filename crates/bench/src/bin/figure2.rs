@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use dbgpt_bench::{corpus_kb, corpus_queries, recall_at_k, synthetic_corpus};
 use dbgpt_llm::{builtin_model, GenerationParams};
-use dbgpt_rag::{IclBuilder, RetrievalStrategy};
+use dbgpt_rag::{IclBuilder, RetrievalConfig, RetrievalStrategy};
 
 const CORPUS_SIZE: usize = 500;
 const K: usize = 5;
@@ -62,6 +62,28 @@ fn main() {
             h5 * 100.0
         );
     }
+
+    // Stage 2c: the sharded parallel scan (results identical at every
+    // thread count; only the wall-clock changes).
+    let mut kb = kb;
+    println!("\nStage 2c — sharded vector scan, thread sweep (k = {K})");
+    println!("  {:<10} | {:>12}", "threads", "µs/query");
+    println!("  {}", "-".repeat(26));
+    let question = "how does the embedding index affect recall in retrieval?";
+    for threads in [1usize, 2, 4, 8] {
+        kb.set_retrieval_config(RetrievalConfig {
+            threads,
+            topk_crossover: 0,
+        });
+        const REPS: usize = 50;
+        let start = Instant::now();
+        for _ in 0..REPS {
+            kb.retrieve(question, K, RetrievalStrategy::Vector);
+        }
+        let per_query = start.elapsed().as_micros() as f64 / REPS as f64;
+        println!("  {:<10} | {:>12.1}", threads, per_query);
+    }
+    kb.set_retrieval_config(RetrievalConfig::default());
 
     // Stage 3: adaptive ICL.
     println!("\nStage 3 — adaptive ICL");

@@ -26,9 +26,46 @@ impl Embedding {
     pub fn norm(&self) -> f32 {
         self.0.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
+
+    /// Consume the vector, returning its unit-normalized form together
+    /// with the original L2 norm. A zero (or non-finite-norm) vector is
+    /// returned unchanged so its dot product with anything stays 0 —
+    /// matching the [`cosine_similarity`] zero-vector convention.
+    pub fn into_unit(self) -> (Embedding, f32) {
+        let norm = self.norm();
+        if norm > 0.0 && norm.is_finite() {
+            let mut v = self.0;
+            for x in &mut v {
+                *x /= norm;
+            }
+            (Embedding(v), norm)
+        } else {
+            (self, norm)
+        }
+    }
+
+    /// A unit-normalized copy (zero vector stays zero).
+    pub fn unit(&self) -> Embedding {
+        self.clone().into_unit().0
+    }
+}
+
+/// Plain dot product. On *unit* vectors this equals cosine similarity —
+/// the normalized-vector kernel of the retrieval hot path: [`VectorStore`]
+/// normalizes once at insert time, so per-candidate scoring needs no
+/// square roots or divisions at all.
+///
+/// [`VectorStore`]: crate::vector_store::VectorStore
+pub fn dot(a: &Embedding, b: &Embedding) -> f32 {
+    debug_assert_eq!(a.dim(), b.dim());
+    a.0.iter().zip(&b.0).map(|(x, y)| x * y).sum()
 }
 
 /// Cosine similarity in `[-1, 1]`; 0 when either vector is zero.
+///
+/// Kept as the exact reference formula: it recomputes both operand norms
+/// per call, which the store-side kernel ([`dot`] over pre-normalized
+/// vectors) avoids. Property tests pin the two to within 1e-5.
 pub fn cosine_similarity(a: &Embedding, b: &Embedding) -> f32 {
     debug_assert_eq!(a.dim(), b.dim());
     let dot: f32 = a.0.iter().zip(&b.0).map(|(x, y)| x * y).sum();
@@ -242,5 +279,29 @@ mod tests {
     #[test]
     fn min_dim_enforced() {
         assert_eq!(HashEmbedder::with_dim(2).dim(), 8);
+    }
+
+    #[test]
+    fn into_unit_preserves_direction_and_norm() {
+        let raw = Embedding(vec![3.0, 4.0]);
+        let (unit, norm) = raw.clone().into_unit();
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((unit.norm() - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&raw, &unit) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn into_unit_zero_vector_is_fixed_point() {
+        let (unit, norm) = Embedding(vec![0.0; 4]).into_unit();
+        assert_eq!(norm, 0.0);
+        assert_eq!(unit, Embedding(vec![0.0; 4]));
+    }
+
+    #[test]
+    fn dot_on_units_equals_cosine() {
+        let a = emb("sales report by category");
+        let b = emb("report of category sales");
+        let d = dot(&a.unit(), &b.unit());
+        assert!((d - cosine_similarity(&a, &b)).abs() < 1e-5);
     }
 }

@@ -11,6 +11,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::topk::TopK;
+
 /// Weight of a one-hop (neighbour) entity match relative to a direct match.
 const NEIGHBOUR_WEIGHT: f64 = 0.5;
 
@@ -159,13 +161,11 @@ impl GraphIndex {
             }
         }
         let norm = q_entities.len() as f64;
-        let mut hits: Vec<GraphHit> = scores
-            .into_iter()
-            .map(|(c, s)| (c, s / norm))
-            .collect();
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        hits.truncate(k);
-        hits
+        let mut top = TopK::new(k);
+        for (c, s) in scores {
+            top.push(c, s / norm);
+        }
+        top.into_sorted_vec()
     }
 }
 

@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use crate::topk::TopK;
+
 /// BM25 parameters.
 const K1: f64 = 1.2;
 const B: f64 = 0.75;
@@ -113,10 +115,16 @@ impl InvertedIndex {
                 *scores.entry(doc).or_insert(0.0) += idf * tf * (K1 + 1.0) / denom;
             }
         }
-        let mut hits: Vec<KeywordHit> = scores.into_iter().filter(|(_, s)| *s > 0.0).collect();
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        hits.truncate(k);
-        hits
+        // Bounded heap selection: O(matches · log k), order-independent,
+        // NaN-safe (total order), identical tie-breaking to every other
+        // index (score desc, id asc).
+        let mut top = TopK::new(k);
+        for (doc, score) in scores {
+            if score > 0.0 {
+                top.push(doc, score);
+            }
+        }
+        top.into_sorted_vec()
     }
 }
 

@@ -14,7 +14,7 @@ use crate::embedding::{Embedder, HashEmbedder};
 use crate::error::RagError;
 use crate::graph::GraphIndex;
 use crate::inverted::InvertedIndex;
-use crate::retriever::{reciprocal_rank_fusion, RetrievalStrategy};
+use crate::retriever::{reciprocal_rank_fusion, RetrievalConfig, RetrievalStrategy};
 use crate::vector_store::VectorStore;
 
 /// A retrieval result.
@@ -39,6 +39,9 @@ pub struct KnowledgeBase {
     inverted: InvertedIndex,
     graph: GraphIndex,
     documents: HashMap<String, usize>, // id → chunk count
+    /// Scan tuning for every retrieval; defaults to auto-parallel above
+    /// the crossover size, so existing callers speed up with no changes.
+    config: RetrievalConfig,
 }
 
 impl KnowledgeBase {
@@ -60,7 +63,24 @@ impl KnowledgeBase {
             inverted: InvertedIndex::new(),
             graph: GraphIndex::new(),
             documents: HashMap::new(),
+            config: RetrievalConfig::default(),
         }
+    }
+
+    /// Override the retrieval scan tuning, builder style.
+    pub fn with_retrieval_config(mut self, config: RetrievalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Override the retrieval scan tuning in place.
+    pub fn set_retrieval_config(&mut self, config: RetrievalConfig) {
+        self.config = config;
+    }
+
+    /// The retrieval scan tuning currently in effect.
+    pub fn retrieval_config(&self) -> RetrievalConfig {
+        self.config
     }
 
     /// Ingest a document into all three indexes. Returns chunks created.
@@ -135,13 +155,13 @@ impl KnowledgeBase {
         let ids_scores: Vec<(usize, f64)> = match strategy {
             RetrievalStrategy::Vector => self
                 .vectors
-                .search_flat(&self.embedder.embed(query), k)
+                .search_flat_with(&self.embedder.embed(query), k, &self.config)
                 .into_iter()
                 .map(|(i, s)| (i, s as f64))
                 .collect(),
             RetrievalStrategy::VectorApprox => self
                 .vectors
-                .search_ivf(&self.embedder.embed(query), k, 4)
+                .search_ivf_with(&self.embedder.embed(query), k, 4, &self.config)
                 .into_iter()
                 .map(|(i, s)| (i, s as f64))
                 .collect(),
@@ -151,7 +171,7 @@ impl KnowledgeBase {
                 let q = self.embedder.embed(query);
                 let vector: Vec<usize> = self
                     .vectors
-                    .search_flat(&q, k * 2)
+                    .search_flat_with(&q, k * 2, &self.config)
                     .into_iter()
                     .map(|(i, _)| i)
                     .collect();
@@ -297,6 +317,25 @@ mod tests {
     fn add_text_returns_zero_on_failure() {
         let mut kb = kb();
         assert_eq!(kb.add_text("awel", "dup"), 0);
+    }
+
+    #[test]
+    fn retrieval_config_round_trips_and_keeps_results_identical() {
+        let mut kb = kb();
+        assert_eq!(kb.retrieval_config(), RetrievalConfig::default());
+        let sequential = kb.retrieve("private model serving", 3, RetrievalStrategy::Vector);
+
+        let forced_parallel = RetrievalConfig {
+            threads: 4,
+            topk_crossover: 0,
+        };
+        kb.set_retrieval_config(forced_parallel);
+        assert_eq!(kb.retrieval_config(), forced_parallel);
+        let parallel = kb.retrieve("private model serving", 3, RetrievalStrategy::Vector);
+        assert_eq!(sequential, parallel);
+
+        let kb2 = KnowledgeBase::with_defaults().with_retrieval_config(forced_parallel);
+        assert_eq!(kb2.retrieval_config(), forced_parallel);
     }
 }
 

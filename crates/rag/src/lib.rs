@@ -23,6 +23,28 @@
 //!    template under a token budget, with privacy redaction of sensitive
 //!    spans ([`icl`]), ready for a [`dbgpt_llm::LanguageModel`].
 //!
+//! ## Performance: the retrieval hot path
+//!
+//! Retrieval is built around three compounding optimizations (see the
+//! README "Performance" section for reproduction commands):
+//!
+//! - **Normalized-vector kernel** — [`VectorStore`] unit-normalizes every
+//!   vector once at insert (keeping the raw norm via
+//!   [`VectorStore::stored_norm`]), so per-candidate cosine scoring is a
+//!   bare [`dot`](embedding::dot) product with no square roots or
+//!   divisions; k-means partition building reuses the same kernel.
+//! - **Heap top-k** — every ranking path (flat scan, IVF probe, BM25,
+//!   graph, RRF fusion) selects through one shared bounded
+//!   [`topk::TopK`] accumulator: O(n log k) instead of sort-everything
+//!   O(n log n), with a single definition of tie-breaking (score
+//!   descending, id ascending) and NaN-safe `total_cmp` ordering.
+//! - **Sharded parallel scan** — above a configurable crossover size the
+//!   candidate range is split across scoped worker threads, each merging
+//!   a local `TopK`; results are bit-identical to the sequential scan.
+//!   Tuning lives in [`RetrievalConfig`] (`threads`, `topk_crossover`)
+//!   and is threaded through [`KnowledgeBase`], so `retrieve` /
+//!   `retrieve_reranked` callers get the speedup with no code changes.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -47,16 +69,18 @@ pub mod inverted;
 pub mod knowledge;
 pub mod rerank;
 pub mod retriever;
+pub mod topk;
 pub mod vector_store;
 
 pub use chunker::{Chunk, Chunker, ChunkingStrategy};
 pub use document::{Document, DocumentSource};
-pub use embedding::{cosine_similarity, Embedder, Embedding, HashEmbedder};
+pub use embedding::{cosine_similarity, dot, Embedder, Embedding, HashEmbedder};
 pub use error::RagError;
 pub use graph::GraphIndex;
 pub use icl::{IclBuilder, PrivacyPolicy};
 pub use inverted::InvertedIndex;
 pub use knowledge::{KnowledgeBase, RetrievedChunk};
 pub use rerank::rerank;
-pub use retriever::RetrievalStrategy;
+pub use retriever::{RetrievalConfig, RetrievalStrategy};
+pub use topk::TopK;
 pub use vector_store::VectorStore;

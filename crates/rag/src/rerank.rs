@@ -46,7 +46,9 @@ pub fn rerank(query: &str, mut candidates: Vec<RetrievedChunk>, k: usize) -> Vec
             ((1.0 - CROSS_WEIGHT) * stage1 + CROSS_WEIGHT * cross, rank)
         })
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    // total_cmp: a NaN cross-score degrades the ordering gracefully
+    // instead of panicking the server path.
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let order: Vec<usize> = scored.into_iter().take(k).map(|(_, i)| i).collect();
     // Extract in the new order (preserving scores for inspection).
     let mut out = Vec::with_capacity(order.len());

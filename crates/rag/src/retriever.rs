@@ -7,8 +7,70 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::topk::TopK;
+
 /// RRF smoothing constant (the conventional value).
 const RRF_K: f64 = 60.0;
+
+/// Tuning knobs for the sharded retrieval scan.
+///
+/// Threaded through [`KnowledgeBase`](crate::KnowledgeBase) so existing
+/// `retrieve`/`retrieve_reranked` callers pick up the parallel path with
+/// no code changes. Parallel and sequential scans return *identical* hit
+/// lists (the top-k order is a strict total order, so shard merge order
+/// cannot matter); the config only trades wall-clock for threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrievalConfig {
+    /// Worker threads for index scans. `0` means use
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Stores smaller than this are scanned sequentially — below the
+    /// crossover, thread spawn/merge overhead outweighs the shard win.
+    pub topk_crossover: usize,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig {
+            threads: 0,
+            topk_crossover: 2048,
+        }
+    }
+}
+
+impl RetrievalConfig {
+    /// Always scan on the calling thread, whatever the store size.
+    pub const SEQUENTIAL: RetrievalConfig = RetrievalConfig {
+        threads: 1,
+        topk_crossover: usize::MAX,
+    };
+
+    /// Config with an explicit thread count (`0` = auto) and the default
+    /// crossover.
+    pub fn with_threads(threads: usize) -> Self {
+        RetrievalConfig {
+            threads,
+            ..RetrievalConfig::default()
+        }
+    }
+
+    /// Number of workers a scan over `n` candidates should use, after
+    /// applying the crossover threshold, auto-detection, and the obvious
+    /// `1 ≤ workers ≤ n` clamp.
+    pub fn effective_threads(&self, n: usize) -> usize {
+        if n < self.topk_crossover.max(2) {
+            return 1;
+        }
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        requested.clamp(1, n)
+    }
+}
 
 /// Which index answers the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -57,10 +119,11 @@ pub fn reciprocal_rank_fusion(rankings: &[Vec<usize>], k: usize) -> Vec<(usize, 
             *scores.entry(id).or_insert(0.0) += 1.0 / (RRF_K + rank as f64 + 1.0);
         }
     }
-    let mut fused: Vec<(usize, f64)> = scores.into_iter().collect();
-    fused.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-    fused.truncate(k);
-    fused
+    let mut top = TopK::new(k);
+    for (id, score) in scores {
+        top.push(id, score);
+    }
+    top.into_sorted_vec()
 }
 
 #[cfg(test)]
@@ -108,5 +171,41 @@ mod tests {
         let s = RetrievalStrategy::Hybrid;
         let json = serde_json::to_string(&s).unwrap();
         assert_eq!(serde_json::from_str::<RetrievalStrategy>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn config_defaults_and_serde() {
+        let c = RetrievalConfig::default();
+        assert_eq!(c.threads, 0);
+        assert!(c.topk_crossover > 0);
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<RetrievalConfig>(&json).unwrap(), c);
+    }
+
+    #[test]
+    fn effective_threads_respects_crossover_and_clamp() {
+        let seq = RetrievalConfig::SEQUENTIAL;
+        assert_eq!(seq.effective_threads(1_000_000), 1);
+
+        let four = RetrievalConfig {
+            threads: 4,
+            topk_crossover: 100,
+        };
+        assert_eq!(four.effective_threads(50), 1, "below crossover");
+        assert_eq!(four.effective_threads(500), 4, "above crossover");
+        assert_eq!(
+            RetrievalConfig {
+                threads: 64,
+                topk_crossover: 0
+            }
+            .effective_threads(3),
+            3,
+            "never more workers than candidates"
+        );
+
+        // Auto detection always lands on something usable.
+        let auto = RetrievalConfig::with_threads(0);
+        let t = auto.effective_threads(1_000_000);
+        assert!(t >= 1);
     }
 }

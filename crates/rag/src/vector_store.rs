@@ -5,8 +5,28 @@
 //! their embedded vectors" (§2.3). The flat store is the exact reference;
 //! the partitioned store trades a little recall for sublinear probe cost on
 //! large corpora (benchmark E5 measures the trade-off).
+//!
+//! # The retrieval hot path
+//!
+//! Three compounding optimizations keep the scan as fast as the hardware
+//! allows:
+//!
+//! 1. **Normalized-vector kernel** — vectors are unit-normalized once at
+//!    [`VectorStore::add`] (the raw norm is kept, see
+//!    [`VectorStore::stored_norm`]), so per-candidate scoring is a bare
+//!    [`dot`] product: no square roots, no divisions, and k-means partition
+//!    building stops paying the redundant-norm cost `KMEANS_ITERS`× over.
+//! 2. **Heap top-k** — candidates feed a bounded [`TopK`] accumulator,
+//!    O(n log k) instead of the old collect-all-then-sort O(n log n).
+//! 3. **Sharded parallel scan** — above a configurable crossover the
+//!    candidate range is partitioned across scoped worker threads, each
+//!    with a local [`TopK`] merged at the end. Because the ranking order
+//!    is a strict total order, the parallel result is *bit-identical* to
+//!    the sequential one (property-tested in `tests/rag_props.rs`).
 
-use crate::embedding::{cosine_similarity, Embedding};
+use crate::embedding::{dot, Embedding};
+use crate::retriever::RetrievalConfig;
+use crate::topk::TopK;
 
 /// A scored hit: `(chunk id, similarity)`.
 pub type VectorHit = (usize, f32);
@@ -15,9 +35,15 @@ pub type VectorHit = (usize, f32);
 const KMEANS_ITERS: usize = 5;
 
 /// A store of embeddings addressed by dense `usize` ids.
+///
+/// Vectors are held unit-normalized; [`VectorStore::get`] returns the
+/// normalized form and [`VectorStore::stored_norm`] the original L2 norm.
 #[derive(Debug, Clone, Default)]
 pub struct VectorStore {
+    /// Unit-normalized vectors (a zero vector stays zero).
     vectors: Vec<Embedding>,
+    /// Raw L2 norm of each vector as inserted.
+    norms: Vec<f32>,
     /// IVF partitions: centroids plus member lists. Rebuilt on demand.
     partitions: Option<Partitions>,
 }
@@ -34,11 +60,14 @@ impl VectorStore {
         VectorStore::default()
     }
 
-    /// Append a vector; its id is its insertion index. Invalidates any
-    /// built partitions.
+    /// Append a vector; its id is its insertion index. The vector is
+    /// unit-normalized in place (its raw norm is retained). Invalidates
+    /// any built partitions.
     pub fn add(&mut self, v: Embedding) -> usize {
         self.partitions = None;
-        self.vectors.push(v);
+        let (unit, norm) = v.into_unit();
+        self.vectors.push(unit);
+        self.norms.push(norm);
         self.vectors.len() - 1
     }
 
@@ -52,26 +81,116 @@ impl VectorStore {
         self.vectors.is_empty()
     }
 
-    /// The vector with id `i`.
+    /// The (unit-normalized) vector with id `i`.
     pub fn get(&self, i: usize) -> Option<&Embedding> {
         self.vectors.get(i)
     }
 
+    /// The raw L2 norm vector `i` had when it was inserted.
+    pub fn stored_norm(&self, i: usize) -> Option<f32> {
+        self.norms.get(i).copied()
+    }
+
     /// Exact top-k by cosine similarity, highest first; ties broken by id.
+    /// Uses the default [`RetrievalConfig`] (auto thread count above the
+    /// crossover size).
     pub fn search_flat(&self, query: &Embedding, k: usize) -> Vec<VectorHit> {
-        let mut hits: Vec<VectorHit> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i, cosine_similarity(query, v)))
-            .collect();
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        hits.truncate(k);
-        hits
+        self.search_flat_with(query, k, &RetrievalConfig::default())
+    }
+
+    /// Exact top-k under an explicit [`RetrievalConfig`]. Parallel and
+    /// sequential configs return identical hit lists.
+    pub fn search_flat_with(
+        &self,
+        query: &Embedding,
+        k: usize,
+        config: &RetrievalConfig,
+    ) -> Vec<VectorHit> {
+        let q = query.unit();
+        self.scan_all(&q, k, config).into_sorted_vec()
+    }
+
+    /// Score every stored vector against the (already unit-normalized)
+    /// query, sharding across workers when the config allows it.
+    fn scan_all(&self, q: &Embedding, k: usize, config: &RetrievalConfig) -> TopK<f32> {
+        let n = self.vectors.len();
+        let workers = config.effective_threads(n);
+        if workers <= 1 {
+            let mut top = TopK::new(k);
+            for (i, v) in self.vectors.iter().enumerate() {
+                top.push(i, dot(q, v));
+            }
+            return top;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .vectors
+                .chunks(chunk)
+                .enumerate()
+                .map(|(shard, slice)| {
+                    s.spawn(move || {
+                        let mut top = TopK::new(k);
+                        let base = shard * chunk;
+                        for (j, v) in slice.iter().enumerate() {
+                            top.push(base + j, dot(q, v));
+                        }
+                        top
+                    })
+                })
+                .collect();
+            let mut merged = TopK::new(k);
+            for h in handles {
+                merged.merge(h.join().expect("scan worker panicked"));
+            }
+            merged
+        })
+    }
+
+    /// Score an explicit candidate id list (the IVF probe set), sharding
+    /// across workers when the config allows it.
+    fn scan_ids(
+        &self,
+        q: &Embedding,
+        ids: &[usize],
+        k: usize,
+        config: &RetrievalConfig,
+    ) -> TopK<f32> {
+        let n = ids.len();
+        let workers = config.effective_threads(n);
+        if workers <= 1 {
+            let mut top = TopK::new(k);
+            for &id in ids {
+                top.push(id, dot(q, &self.vectors[id]));
+            }
+            return top;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ids
+                .chunks(chunk)
+                .map(|slice| {
+                    s.spawn(move || {
+                        let mut top = TopK::new(k);
+                        for &id in slice {
+                            top.push(id, dot(q, &self.vectors[id]));
+                        }
+                        top
+                    })
+                })
+                .collect();
+            let mut merged = TopK::new(k);
+            for h in handles {
+                merged.merge(h.join().expect("scan worker panicked"));
+            }
+            merged
+        })
     }
 
     /// Build IVF partitions with `nlist` centroids (k-means with
-    /// deterministic farthest-point seeding).
+    /// deterministic farthest-point seeding). All distance computations
+    /// run on the normalized kernel: stored vectors and centroids are
+    /// unit, so similarity is a bare dot product.
     pub fn build_partitions(&mut self, nlist: usize) {
         let n = self.vectors.len();
         if n == 0 {
@@ -84,10 +203,10 @@ impl VectorStore {
         while centroids.len() < nlist {
             let mut best = (0usize, f32::INFINITY);
             for (i, v) in self.vectors.iter().enumerate() {
-                // Distance to the closest existing centroid.
+                // Similarity to the closest existing centroid.
                 let closest = centroids
                     .iter()
-                    .map(|c| cosine_similarity(c, v))
+                    .map(|c| dot(c, v))
                     .fold(f32::NEG_INFINITY, f32::max);
                 if closest < best.1 {
                     best = (i, closest);
@@ -128,28 +247,49 @@ impl VectorStore {
         self.partitions = Some(Partitions { centroids, members });
     }
 
-    /// Approximate top-k probing the `nprobe` nearest partitions. Falls
-    /// back to flat search when partitions are unbuilt.
+    /// Approximate top-k probing the `nprobe` nearest partitions, with the
+    /// default [`RetrievalConfig`]. Falls back to flat search when
+    /// partitions are unbuilt.
     pub fn search_ivf(&self, query: &Embedding, k: usize, nprobe: usize) -> Vec<VectorHit> {
+        self.search_ivf_with(query, k, nprobe, &RetrievalConfig::default())
+    }
+
+    /// Approximate top-k under an explicit [`RetrievalConfig`].
+    ///
+    /// Falls back to exact flat search when (a) partitions are unbuilt,
+    /// (b) the caller asked to probe every partition (probing all lists
+    /// one by one is never cheaper than one flat scan, and degenerate
+    /// k-means runs — duplicate vectors, empty partitions — must not cost
+    /// recall), or (c) the probed partitions hold fewer than `k`
+    /// candidates while the store has more (empty probed partitions would
+    /// otherwise silently shrink the result set).
+    pub fn search_ivf_with(
+        &self,
+        query: &Embedding,
+        k: usize,
+        nprobe: usize,
+        config: &RetrievalConfig,
+    ) -> Vec<VectorHit> {
         let Some(p) = &self.partitions else {
-            return self.search_flat(query, k);
+            return self.search_flat_with(query, k, config);
         };
-        let mut centroid_order: Vec<(usize, f32)> = p
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, cosine_similarity(query, c)))
-            .collect();
-        centroid_order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        let mut hits: Vec<VectorHit> = Vec::new();
-        for &(ci, _) in centroid_order.iter().take(nprobe.max(1)) {
-            for &id in &p.members[ci] {
-                hits.push((id, cosine_similarity(query, &self.vectors[id])));
-            }
+        let nprobe = nprobe.max(1);
+        if nprobe >= p.centroids.len() {
+            return self.search_flat_with(query, k, config);
         }
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        hits.truncate(k);
-        hits
+        let q = query.unit();
+        let mut centroid_top = TopK::new(nprobe);
+        for (i, c) in p.centroids.iter().enumerate() {
+            centroid_top.push(i, dot(&q, c));
+        }
+        let mut candidates: Vec<usize> = Vec::new();
+        for (ci, _) in centroid_top.into_sorted_vec() {
+            candidates.extend_from_slice(&p.members[ci]);
+        }
+        if candidates.len() < k && candidates.len() < self.vectors.len() {
+            return self.search_flat_with(query, k, config);
+        }
+        self.scan_ids(&q, &candidates, k, config).into_sorted_vec()
     }
 
     /// Are partitions currently built?
@@ -161,7 +301,7 @@ impl VectorStore {
 fn nearest_centroid(centroids: &[Embedding], v: &Embedding) -> usize {
     let mut best = (0usize, f32::NEG_INFINITY);
     for (i, c) in centroids.iter().enumerate() {
-        let s = cosine_similarity(c, v);
+        let s = dot(c, v);
         if s > best.1 {
             best = (i, s);
         }
@@ -172,7 +312,7 @@ fn nearest_centroid(centroids: &[Embedding], v: &Embedding) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::embedding::{Embedder, HashEmbedder};
+    use crate::embedding::{cosine_similarity, Embedder, HashEmbedder};
 
     fn store_with(texts: &[&str]) -> (VectorStore, HashEmbedder) {
         let e = HashEmbedder::new();
@@ -221,6 +361,75 @@ mod tests {
     }
 
     #[test]
+    fn scores_match_reference_cosine() {
+        // The normalized kernel must agree with the reference formula on
+        // raw (unnormalized) input vectors.
+        let raws = [
+            Embedding(vec![3.0, 4.0, 0.0, 1.0]),
+            Embedding(vec![-1.0, 2.0, 2.0, 0.5]),
+            Embedding(vec![0.0, 0.0, 0.0, 0.0]),
+            Embedding(vec![10.0, -3.0, 0.25, 7.0]),
+        ];
+        let mut s = VectorStore::new();
+        for r in &raws {
+            s.add(r.clone());
+        }
+        let q = Embedding(vec![1.0, 2.0, 3.0, 4.0]);
+        let hits = s.search_flat(&q, raws.len());
+        for (id, score) in hits {
+            let want = cosine_similarity(&q, &raws[id]);
+            assert!(
+                (score - want).abs() < 1e-5,
+                "id {id}: kernel {score} vs cosine {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn stored_norm_is_kept() {
+        let mut s = VectorStore::new();
+        s.add(Embedding(vec![3.0, 4.0]));
+        s.add(Embedding(vec![0.0, 0.0]));
+        assert!((s.stored_norm(0).unwrap() - 5.0).abs() < 1e-6);
+        assert_eq!(s.stored_norm(1), Some(0.0));
+        assert_eq!(s.stored_norm(2), None);
+        // The stored vector itself is unit.
+        assert!((s.get(0).unwrap().norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_flat_matches_sequential() {
+        let texts: Vec<String> = (0..300)
+            .map(|i| format!("document number {i} about topic {}", i % 7))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (s, e) = store_with(&refs);
+        let q = e.embed("document about topic 3");
+        let seq = s.search_flat_with(&q, 10, &RetrievalConfig::SEQUENTIAL);
+        for threads in [2, 3, 4, 8] {
+            let cfg = RetrievalConfig {
+                threads,
+                topk_crossover: 0,
+            };
+            assert_eq!(
+                s.search_flat_with(&q, 10, &cfg),
+                seq,
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_poisoned_vector_does_not_panic() {
+        let (mut s, e) = store_with(&["alpha beta", "gamma delta"]);
+        s.add(Embedding(vec![f32::NAN; 128]));
+        // No panic, bounded output — graceful degradation instead of the
+        // old partial_cmp unwrap crash.
+        let hits = s.search_flat(&e.embed("alpha"), 2);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
     fn ivf_matches_flat_on_small_corpus_with_full_probe() {
         let texts: Vec<String> = (0..40).map(|i| format!("document number {i} about topic {}", i % 5)).collect();
         let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
@@ -243,6 +452,39 @@ mod tests {
         let q = e.embed("the quarterly sales report for electronics");
         let hits = s.search_ivf(&q, 1, 1);
         assert_eq!(hits[0].0, 60);
+    }
+
+    #[test]
+    fn ivf_full_probe_exact_despite_degenerate_partitions() {
+        // Regression: many duplicate vectors make k-means collapse, which
+        // used to leave empty/degenerate partitions; probing "everything"
+        // must still be exactly equivalent to flat search.
+        let e = HashEmbedder::new();
+        let mut s = VectorStore::new();
+        for _ in 0..20 {
+            s.add(e.embed("identical duplicated text"));
+        }
+        for i in 0..5 {
+            s.add(e.embed(&format!("unique document number {i}")));
+        }
+        s.build_partitions(8);
+        let q = e.embed("unique document number 3");
+        assert_eq!(s.search_ivf(&q, 6, 8), s.search_flat(&q, 6));
+        assert_eq!(s.search_ivf(&q, 6, 100), s.search_flat(&q, 6));
+    }
+
+    #[test]
+    fn ivf_falls_back_when_probe_cannot_fill_k() {
+        // With k larger than any single partition, a 1-probe search would
+        // return fewer than k hits; the coverage fallback guarantees k.
+        let texts: Vec<String> = (0..30).map(|i| format!("text item {i} topic {}", i % 6)).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (mut s, e) = store_with(&refs);
+        s.build_partitions(6);
+        let q = e.embed("text item topic 2");
+        let hits = s.search_ivf(&q, 25, 1);
+        assert_eq!(hits.len(), 25);
+        assert_eq!(hits, s.search_flat(&q, 25));
     }
 
     #[test]
