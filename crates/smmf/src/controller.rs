@@ -60,9 +60,10 @@ impl ModelController {
         let before = workers.len();
         workers.retain(|w| w.id() != worker);
         if workers.len() == before {
-            return Err(SmmfError::NoHealthyWorker(format!(
-                "{model}: worker {worker} not found"
-            )));
+            return Err(SmmfError::UnknownWorker {
+                model: model.to_string(),
+                worker: worker.to_string(),
+            });
         }
         if workers.is_empty() {
             self.deployments.remove(model);
@@ -197,7 +198,20 @@ mod tests {
     fn deregister_missing_worker_errors() {
         let mut c = ModelController::new(DeploymentMode::Local);
         c.register(local_worker("w0", "sim-qwen")).unwrap();
-        assert!(c.deregister("sim-qwen", &WorkerId::new("nope")).is_err());
+        // A missing worker is an UnknownWorker error naming both the model
+        // and the worker — not NoHealthyWorker, which is about rotation
+        // state, not registry membership.
+        let e = c.deregister("sim-qwen", &WorkerId::new("nope")).unwrap_err();
+        assert!(
+            matches!(
+                &e,
+                SmmfError::UnknownWorker { model, worker }
+                    if model == "sim-qwen" && worker == "nope"
+            ),
+            "{e:?}"
+        );
+        // The registered worker is untouched.
+        assert_eq!(c.workers("sim-qwen").unwrap().len(), 1);
     }
 
     #[test]

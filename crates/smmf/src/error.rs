@@ -11,6 +11,13 @@ pub enum SmmfError {
     UnknownModel(String),
     /// The model exists but every worker is unhealthy/draining.
     NoHealthyWorker(String),
+    /// The model exists but no worker with this id serves it.
+    UnknownWorker {
+        /// Model looked up.
+        model: String,
+        /// Worker id that was not found.
+        worker: String,
+    },
     /// A worker failed while serving (simulated infrastructure fault).
     WorkerFailure {
         /// Worker that failed.
@@ -27,6 +34,24 @@ pub enum SmmfError {
         /// Last error seen.
         last: String,
     },
+    /// The request's simulated deadline budget ran out before (or while)
+    /// an attempt could complete.
+    DeadlineExceeded {
+        /// Model requested.
+        model: String,
+        /// The configured budget, simulated µs.
+        budget_us: u64,
+        /// Simulated µs already charged when the budget check failed.
+        spent_us: u64,
+    },
+    /// Admission control rejected the request: the model already has the
+    /// maximum number of requests in flight.
+    Overloaded {
+        /// Model requested.
+        model: String,
+        /// The configured in-flight limit.
+        limit: u64,
+    },
     /// A non-local worker was registered while privacy mode is Local.
     PrivacyViolation {
         /// Offending worker.
@@ -38,11 +63,33 @@ pub enum SmmfError {
     DuplicateWorker(String),
 }
 
+impl SmmfError {
+    /// Stable short name of the variant, used to aggregate error counts in
+    /// chaos-scenario reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SmmfError::UnknownModel(_) => "unknown_model",
+            SmmfError::NoHealthyWorker(_) => "no_healthy_worker",
+            SmmfError::UnknownWorker { .. } => "unknown_worker",
+            SmmfError::WorkerFailure { .. } => "worker_failure",
+            SmmfError::RetriesExhausted { .. } => "retries_exhausted",
+            SmmfError::DeadlineExceeded { .. } => "deadline_exceeded",
+            SmmfError::Overloaded { .. } => "overloaded",
+            SmmfError::PrivacyViolation { .. } => "privacy_violation",
+            SmmfError::Model(_) => "model",
+            SmmfError::DuplicateWorker(_) => "duplicate_worker",
+        }
+    }
+}
+
 impl fmt::Display for SmmfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SmmfError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
             SmmfError::NoHealthyWorker(m) => write!(f, "no healthy worker for model `{m}`"),
+            SmmfError::UnknownWorker { model, worker } => {
+                write!(f, "model `{model}` has no worker `{worker}`")
+            }
             SmmfError::WorkerFailure { worker, cause } => {
                 write!(f, "worker `{worker}` failed: {cause}")
             }
@@ -53,6 +100,18 @@ impl fmt::Display for SmmfError {
             } => write!(
                 f,
                 "request to `{model}` failed after {attempts} attempt(s): {last}"
+            ),
+            SmmfError::DeadlineExceeded {
+                model,
+                budget_us,
+                spent_us,
+            } => write!(
+                f,
+                "deadline exceeded for `{model}`: spent {spent_us}µs of a {budget_us}µs budget"
+            ),
+            SmmfError::Overloaded { model, limit } => write!(
+                f,
+                "model `{model}` is overloaded: {limit} request(s) already in flight"
             ),
             SmmfError::PrivacyViolation { worker } => write!(
                 f,
@@ -90,6 +149,25 @@ mod tests {
         assert!(SmmfError::PrivacyViolation { worker: "w1".into() }
             .to_string()
             .contains("w1"));
+        assert!(SmmfError::UnknownWorker {
+            model: "m".into(),
+            worker: "w9".into()
+        }
+        .to_string()
+        .contains("w9"));
+        let d = SmmfError::DeadlineExceeded {
+            model: "m".into(),
+            budget_us: 100,
+            spent_us: 120,
+        }
+        .to_string();
+        assert!(d.contains("100") && d.contains("120"));
+        assert!(SmmfError::Overloaded {
+            model: "m".into(),
+            limit: 8
+        }
+        .to_string()
+        .contains('8'));
     }
 
     #[test]
@@ -98,5 +176,47 @@ mod tests {
         assert!(matches!(e, SmmfError::Model(_)));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let kinds = [
+            SmmfError::UnknownModel("m".into()).kind(),
+            SmmfError::NoHealthyWorker("m".into()).kind(),
+            SmmfError::UnknownWorker {
+                model: "m".into(),
+                worker: "w".into(),
+            }
+            .kind(),
+            SmmfError::WorkerFailure {
+                worker: "w".into(),
+                cause: "c".into(),
+            }
+            .kind(),
+            SmmfError::RetriesExhausted {
+                model: "m".into(),
+                attempts: 1,
+                last: "l".into(),
+            }
+            .kind(),
+            SmmfError::DeadlineExceeded {
+                model: "m".into(),
+                budget_us: 1,
+                spent_us: 2,
+            }
+            .kind(),
+            SmmfError::Overloaded {
+                model: "m".into(),
+                limit: 1,
+            }
+            .kind(),
+            SmmfError::PrivacyViolation { worker: "w".into() }.kind(),
+            SmmfError::Model(LlmError::EmptyPrompt).kind(),
+            SmmfError::DuplicateWorker("w".into()).kind(),
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len(), "kinds must be distinct");
     }
 }

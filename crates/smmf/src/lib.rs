@@ -24,6 +24,13 @@
 //!   [`router::RoutingPolicy`], retries on worker failure, and enforces the
 //!   [`privacy`] mode (local-only serving, the paper's data-privacy
 //!   guarantee).
+//! - **Resilience layer** ([`resilience`]) — per-worker circuit breakers,
+//!   exponential backoff with seeded jitter, per-request deadline budgets
+//!   in simulated µs, request hedging, load shedding, and a fallback model
+//!   tier. Fully deterministic: same seed, same decisions.
+//! - **Chaos harness** ([`chaos`]) — scripted fault schedules (crashes,
+//!   flaky replicas, latency spikes, mass outages) driven against a live
+//!   [`ApiServer`], reporting availability and goodput per scenario.
 //!
 //! ## Quickstart
 //!
@@ -37,16 +44,25 @@
 //! assert!(!out.text.is_empty());
 //! ```
 
+pub mod chaos;
 pub mod controller;
 pub mod error;
 pub mod privacy;
+pub mod resilience;
+pub mod rng;
 pub mod router;
 pub mod server;
 pub mod worker;
 
+pub use chaos::{Fault, Scenario, ScenarioReport};
 pub use controller::ModelController;
 pub use error::SmmfError;
 pub use privacy::{DeploymentMode, Locality};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, HedgeConfig, ResilienceConfig, ResilienceMetrics,
+    RetryConfig, ShedConfig,
+};
+pub use rng::SplitMix64;
 pub use router::RoutingPolicy;
 pub use server::ApiServer;
 pub use worker::{ModelWorker, WorkerHealth, WorkerId, WorkerStats};

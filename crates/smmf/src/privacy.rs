@@ -7,10 +7,8 @@
 //! [`DeploymentMode::Local`], registering any worker whose [`Locality`] is
 //! not `Local` is rejected, so no prompt can ever be routed off-machine.
 
-use serde::{Deserialize, Serialize};
-
 /// Where a worker physically runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Locality {
     /// Same machine / user-controlled environment.
     Local,
@@ -21,7 +19,7 @@ pub enum Locality {
 }
 
 /// The serving privacy posture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeploymentMode {
     /// Strict privacy: only [`Locality::Local`] workers may serve.
     Local,

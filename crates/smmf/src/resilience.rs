@@ -1,0 +1,560 @@
+//! The deterministic resilience layer around the SMMF serving path.
+//!
+//! The paper's deployment layer promises "stable and efficient model
+//! serving" (§2.3); its companion system paper stresses private serving
+//! that must survive replica failure. This module supplies the machinery a
+//! production serving tier needs, in fully simulated, seeded form so every
+//! outcome is exactly reproducible:
+//!
+//! - [`CircuitBreaker`] — per-worker Closed/Open/HalfOpen breaker over a
+//!   sliding outcome window. Open duration is measured in **simulated
+//!   microseconds** (the [`crate::ApiServer`] advances a simulated clock
+//!   by each attempt's modelled latency), and the cool-down is jittered
+//!   from a seeded stream so replicas don't re-arm in lockstep.
+//! - [`RetryConfig`] — exponential backoff with seeded jitter, a
+//!   per-failed-attempt latency charge, and attempted-worker exclusion so
+//!   failover never re-picks the replica that just failed.
+//! - Deadline budgets — each attempt (and each backoff pause) charges its
+//!   simulated cost against [`ResilienceConfig::deadline_budget_us`];
+//!   when the budget cannot cover another attempt the server returns
+//!   [`crate::SmmfError::DeadlineExceeded`] instead of burning attempts.
+//! - [`HedgeConfig`] — request hedging: when a response's simulated
+//!   latency exceeds the hedge delay, a second worker races the first and
+//!   the deterministic winner (by simulated completion time) is returned.
+//! - [`ShedConfig`] — bounded admission per model (load shedding), plus
+//!   [`ResilienceConfig::fallback_model`] for graceful degradation when a
+//!   primary tier has no admissible workers left.
+//!
+//! Everything here is plain `std`: no wall clock, no OS randomness, no
+//! external crates. That is what makes the chaos harness
+//! ([`crate::chaos`]) byte-for-byte reproducible.
+
+use std::collections::VecDeque;
+
+use crate::rng::SplitMix64;
+
+/// Circuit-breaker tuning. See [`CircuitBreaker`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding outcome-window length (most recent dispatches).
+    pub window: usize,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Trip when `failures / samples >=` this rate (e.g. `0.75`).
+    pub failure_rate_to_open: f64,
+    /// How long an open breaker stays open, simulated µs.
+    pub open_cooldown_us: u64,
+    /// Seeded jitter on the cool-down: each open episode lasts
+    /// `open_cooldown_us * (1 + U[0, jitter))` so replicas don't re-arm in
+    /// lockstep.
+    pub cooldown_jitter_frac: f64,
+    /// Consecutive half-open probe successes required to close; also the
+    /// maximum number of probe requests admitted while half-open.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            min_samples: 5,
+            failure_rate_to_open: 0.75,
+            open_cooldown_us: 400_000,
+            cooldown_jitter_frac: 0.25,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// Circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes are recorded in the sliding window.
+    Closed,
+    /// Tripped: no dispatches until the cool-down elapses.
+    Open,
+    /// Cool-down elapsed: a limited number of probe requests may flow;
+    /// their outcomes decide between Closed and Open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Per-worker circuit breaker (see module docs).
+///
+/// The breaker is driven entirely by the caller: [`CircuitBreaker::admits`]
+/// is consulted (read-only) when picking a worker,
+/// [`CircuitBreaker::on_dispatch`] consumes an admission (this is where
+/// Open→HalfOpen happens once the simulated cool-down has elapsed), and
+/// [`CircuitBreaker::record`] feeds back the outcome (Closed→Open on
+/// window failure rate; HalfOpen→Closed/Open on probe outcome).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Most recent dispatch outcomes, `true` = success.
+    window: VecDeque<bool>,
+    /// Simulated µs timestamp of the last Closed→Open / HalfOpen→Open.
+    opened_at_us: u64,
+    /// Jittered cool-down for the current open episode.
+    cooldown_us: u64,
+    probes_admitted: u32,
+    probe_successes: u32,
+    rng: SplitMix64,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// Breaker with a config and a seed for the cool-down jitter stream.
+    pub fn new(cfg: BreakerConfig, seed: u64) -> Self {
+        CircuitBreaker {
+            window: VecDeque::with_capacity(cfg.window),
+            cooldown_us: cfg.open_cooldown_us,
+            cfg,
+            state: BreakerState::Closed,
+            opened_at_us: 0,
+            probes_admitted: 0,
+            probe_successes: 0,
+            rng: SplitMix64::stream(seed, 2),
+            opens: 0,
+        }
+    }
+
+    /// Current state (Open does not flip to HalfOpen until a dispatch is
+    /// actually attempted after the cool-down, mirroring a real breaker
+    /// that transitions on the first post-cool-down request).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times this breaker has opened.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Would a dispatch at simulated time `now_us` be admitted? Read-only:
+    /// used to filter candidates without consuming half-open probe slots.
+    pub fn admits(&self, now_us: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => now_us >= self.opened_at_us.saturating_add(self.cooldown_us),
+            BreakerState::HalfOpen => self.probes_admitted < self.cfg.half_open_probes,
+        }
+    }
+
+    /// Consume the admission for an actual dispatch at `now_us`. An open
+    /// breaker whose cool-down has elapsed transitions to HalfOpen here;
+    /// half-open dispatches count against the probe budget.
+    pub fn on_dispatch(&mut self, now_us: u64) {
+        match self.state {
+            BreakerState::Closed => {}
+            BreakerState::Open => {
+                debug_assert!(self.admits(now_us), "dispatch through a closed gate");
+                self.state = BreakerState::HalfOpen;
+                self.probes_admitted = 1;
+                self.probe_successes = 0;
+            }
+            BreakerState::HalfOpen => {
+                self.probes_admitted += 1;
+            }
+        }
+    }
+
+    /// Record a dispatch outcome at simulated time `now_us`.
+    pub fn record(&mut self, success: bool, now_us: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                if self.window.len() == self.cfg.window {
+                    self.window.pop_front();
+                }
+                self.window.push_back(success);
+                let samples = self.window.len();
+                if samples >= self.cfg.min_samples.max(1) {
+                    let failures = self.window.iter().filter(|&&ok| !ok).count();
+                    if failures as f64 / samples as f64 >= self.cfg.failure_rate_to_open {
+                        self.open(now_us);
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if success {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.cfg.half_open_probes {
+                        self.state = BreakerState::Closed;
+                        self.window.clear();
+                    }
+                } else {
+                    self.open(now_us);
+                }
+            }
+            // A straggler outcome (e.g. a hedge completing after the
+            // breaker opened) carries no new information for an open gate.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn open(&mut self, now_us: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at_us = now_us;
+        let jitter = self.rng.gen_f64(self.cfg.cooldown_jitter_frac.max(0.0).min(4.0));
+        self.cooldown_us = (self.cfg.open_cooldown_us as f64 * (1.0 + jitter)) as u64;
+        self.probes_admitted = 0;
+        self.probe_successes = 0;
+        self.window.clear();
+        self.opens += 1;
+    }
+}
+
+/// Retry policy: attempts, exponential backoff with seeded jitter, and the
+/// simulated cost of a failed attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryConfig {
+    /// Upper bound on failover attempts per request (further bounded by
+    /// the number of distinct eligible workers when
+    /// [`RetryConfig::exclude_attempted`] is on).
+    pub max_attempts: usize,
+    /// Backoff before retry `n` (1-based) is
+    /// `min(base * 2^(n-1), max) * (1 + U[0, jitter))`, simulated µs.
+    pub base_backoff_us: u64,
+    /// Cap on the exponential backoff, simulated µs.
+    pub max_backoff_us: u64,
+    /// Seeded jitter fraction on each backoff pause.
+    pub jitter_frac: f64,
+    /// Simulated µs charged against the deadline budget by a failed
+    /// attempt (a connect-timeout-like cost; failures are never free).
+    pub failure_latency_us: u64,
+    /// Never re-dispatch to a worker already attempted for this request.
+    pub exclude_attempted: bool,
+}
+
+impl RetryConfig {
+    /// The seed serving loop's behaviour: four blind attempts, no backoff,
+    /// no exclusion, failures cost nothing.
+    pub fn legacy() -> Self {
+        RetryConfig {
+            max_attempts: 4,
+            base_backoff_us: 0,
+            max_backoff_us: 0,
+            jitter_frac: 0.0,
+            failure_latency_us: 0,
+            exclude_attempted: false,
+        }
+    }
+
+    /// Backoff before 1-based retry `attempt`, without jitter.
+    pub fn backoff_base_us(&self, attempt: usize) -> u64 {
+        if self.base_backoff_us == 0 || attempt == 0 {
+            return 0;
+        }
+        let shift = (attempt - 1).min(32) as u32;
+        self.base_backoff_us
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_us.max(self.base_backoff_us))
+    }
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 6,
+            base_backoff_us: 10_000,
+            max_backoff_us: 160_000,
+            jitter_frac: 0.1,
+            failure_latency_us: 5_000,
+            exclude_attempted: true,
+        }
+    }
+}
+
+/// Request hedging: race a second worker once the first is slow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgeConfig {
+    /// Fire the hedge when the primary's simulated latency exceeds this
+    /// (set it near an observed tail percentile, e.g. p95, of the
+    /// deployment's latency distribution).
+    pub delay_us: u64,
+}
+
+/// Load shedding: bounded admission per model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// Maximum requests in flight per model; further requests are
+    /// rejected with [`crate::SmmfError::Overloaded`].
+    pub max_inflight: u64,
+}
+
+/// The full resilience configuration threaded through
+/// [`crate::ApiServer::with_resilience`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResilienceConfig {
+    /// Per-worker circuit breakers (`None` = legacy consecutive-failure
+    /// health counter stays in charge).
+    pub breaker: Option<BreakerConfig>,
+    /// Retry/backoff policy.
+    pub retry: RetryConfig,
+    /// Per-request simulated deadline budget (`None` = unbounded).
+    pub deadline_budget_us: Option<u64>,
+    /// Request hedging (`None` = off).
+    pub hedge: Option<HedgeConfig>,
+    /// Load shedding (`None` = unbounded admission).
+    pub shed: Option<ShedConfig>,
+    /// Graceful degradation: when the primary model has no admissible
+    /// worker (all breakers open / everyone unhealthy) or exhausts its
+    /// retries, serve from this model instead.
+    pub fallback_model: Option<String>,
+}
+
+impl ResilienceConfig {
+    /// Everything off — byte-for-byte the seed serving behaviour
+    /// (fixed 4-attempt failover loop, legacy worker health counter).
+    pub fn disabled() -> Self {
+        ResilienceConfig {
+            breaker: None,
+            retry: RetryConfig::legacy(),
+            deadline_budget_us: None,
+            hedge: None,
+            shed: None,
+            fallback_model: None,
+        }
+    }
+
+    /// Every mechanism on with production-shaped defaults; the E2 chaos
+    /// sweep uses this as the "full" arm.
+    pub fn full() -> Self {
+        ResilienceConfig {
+            breaker: Some(BreakerConfig::default()),
+            retry: RetryConfig::default(),
+            deadline_budget_us: Some(1_500_000),
+            hedge: Some(HedgeConfig { delay_us: 120_000 }),
+            shed: Some(ShedConfig { max_inflight: 64 }),
+            fallback_model: None,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        if self.breaker.is_none()
+            && self.retry == RetryConfig::legacy()
+            && self.deadline_budget_us.is_none()
+            && self.hedge.is_none()
+            && self.shed.is_none()
+            && self.fallback_model.is_none()
+        {
+            "disabled"
+        } else {
+            "custom"
+        }
+    }
+}
+
+/// Counters the server keeps about resilience decisions (snapshot type;
+/// the live counters are atomics inside [`crate::ApiServer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceMetrics {
+    /// Requests admitted into the serving loop.
+    pub requests: u64,
+    /// Failed attempts that were retried on another worker.
+    pub retries: u64,
+    /// Backoff pauses taken.
+    pub backoffs: u64,
+    /// Total simulated µs spent in backoff.
+    pub backoff_us: u64,
+    /// Requests rejected because the deadline budget ran out.
+    pub deadline_exceeded: u64,
+    /// Requests rejected by admission control.
+    pub shed: u64,
+    /// Hedges fired.
+    pub hedges: u64,
+    /// Hedges whose second worker won the race.
+    pub hedge_wins: u64,
+    /// Requests served by the fallback model tier.
+    pub fallbacks: u64,
+    /// Circuit-breaker open transitions (summed over workers).
+    pub breaker_opens: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            min_samples: 4,
+            failure_rate_to_open: 0.75,
+            open_cooldown_us: 1_000,
+            cooldown_jitter_frac: 0.0, // exact cool-downs for these tests
+            half_open_probes: 2,
+        }
+    }
+
+    #[test]
+    fn closed_trips_on_window_failure_rate() {
+        let mut b = CircuitBreaker::new(cfg(), 0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // 3 successes, 1 failure: 25% < 75%, stays closed.
+        for ok in [true, true, true, false] {
+            b.record(ok, 0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Window slides to [true, false, false, false] → 75% ≥ 75% after
+        // two more failures.
+        b.record(false, 10);
+        assert_eq!(b.state(), BreakerState::Closed, "2/4 failures: not yet");
+        b.record(false, 20);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.admits(20), "freshly opened gate must deny");
+    }
+
+    #[test]
+    fn does_not_trip_below_min_samples() {
+        let mut b = CircuitBreaker::new(cfg(), 0);
+        b.record(false, 0);
+        b.record(false, 0);
+        b.record(false, 0);
+        assert_eq!(b.state(), BreakerState::Closed, "3 < min_samples=4");
+        b.record(false, 0);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_half_opens_after_simulated_cooldown() {
+        let mut b = CircuitBreaker::new(cfg(), 0);
+        for _ in 0..4 {
+            b.record(false, 100);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admits(100 + 999), "cool-down not elapsed");
+        assert!(b.admits(100 + 1_000), "cool-down elapsed");
+        // State only changes when a dispatch actually goes through.
+        assert_eq!(b.state(), BreakerState::Open);
+        b.on_dispatch(100 + 1_000);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_closes_on_probe_successes() {
+        let mut b = CircuitBreaker::new(cfg(), 0);
+        for _ in 0..4 {
+            b.record(false, 0);
+        }
+        b.on_dispatch(1_000);
+        b.record(true, 1_000);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "needs 2 successes");
+        assert!(b.admits(1_000), "second probe slot free");
+        b.on_dispatch(1_000);
+        b.record(true, 1_000);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A fresh window: one failure doesn't re-trip.
+        b.record(false, 1_100);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_reopens_on_probe_failure() {
+        let mut b = CircuitBreaker::new(cfg(), 0);
+        for _ in 0..4 {
+            b.record(false, 0);
+        }
+        b.on_dispatch(1_000);
+        b.record(false, 1_000);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert!(!b.admits(1_500), "new cool-down restarts at reopen time");
+        assert!(b.admits(2_000));
+    }
+
+    #[test]
+    fn half_open_probe_budget_is_bounded() {
+        let mut b = CircuitBreaker::new(cfg(), 0);
+        for _ in 0..4 {
+            b.record(false, 0);
+        }
+        b.on_dispatch(1_000); // probe 1
+        assert!(b.admits(1_000), "1 of 2 probe slots used");
+        b.on_dispatch(1_000); // probe 2
+        assert!(!b.admits(1_000), "probe budget exhausted");
+    }
+
+    #[test]
+    fn cooldown_jitter_is_seeded_and_bounded() {
+        let mut c = cfg();
+        c.cooldown_jitter_frac = 0.5;
+        let episode = |seed: u64| -> Vec<u64> {
+            let mut b = CircuitBreaker::new(c.clone(), seed);
+            let mut cooldowns = Vec::new();
+            for round in 0..5u64 {
+                let now = round * 100_000;
+                for _ in 0..4 {
+                    b.record(false, now);
+                }
+                cooldowns.push(b.cooldown_us);
+                // Force a pass through half-open so the next round can trip
+                // again from Closed.
+                let later = now + b.cooldown_us;
+                b.on_dispatch(later);
+                b.record(true, later);
+                b.on_dispatch(later);
+                b.record(true, later);
+            }
+            cooldowns
+        };
+        let a = episode(7);
+        assert_eq!(a, episode(7), "same seed, same jitter");
+        assert_ne!(a, episode(8), "different seed, different jitter");
+        for cd in &a {
+            assert!(
+                (1_000..1_500).contains(cd),
+                "jittered cool-down {cd} outside [base, base*1.5)"
+            );
+        }
+        // Jitter actually varies across episodes.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_capped() {
+        let r = RetryConfig {
+            max_attempts: 8,
+            base_backoff_us: 1_000,
+            max_backoff_us: 8_000,
+            jitter_frac: 0.0,
+            failure_latency_us: 0,
+            exclude_attempted: true,
+        };
+        assert_eq!(r.backoff_base_us(0), 0, "first attempt never waits");
+        assert_eq!(r.backoff_base_us(1), 1_000);
+        assert_eq!(r.backoff_base_us(2), 2_000);
+        assert_eq!(r.backoff_base_us(3), 4_000);
+        assert_eq!(r.backoff_base_us(4), 8_000);
+        assert_eq!(r.backoff_base_us(5), 8_000, "capped");
+        assert_eq!(r.backoff_base_us(64), 8_000, "huge attempts saturate");
+    }
+
+    #[test]
+    fn legacy_retry_is_inert() {
+        let r = RetryConfig::legacy();
+        assert_eq!(r.max_attempts, 4);
+        assert!(!r.exclude_attempted);
+        for attempt in 0..6 {
+            assert_eq!(r.backoff_base_us(attempt), 0);
+        }
+    }
+
+    #[test]
+    fn config_labels() {
+        assert_eq!(ResilienceConfig::disabled().label(), "disabled");
+        assert_eq!(ResilienceConfig::full().label(), "custom");
+        assert_eq!(ResilienceConfig::default().label(), "custom"); // default retry ≠ legacy but mechanisms off
+    }
+}

@@ -8,17 +8,13 @@
 //! middle ground).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
+use crate::rng::SplitMix64;
 use crate::worker::{ModelWorker, WorkerHealth};
 
 /// Routing policy selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingPolicy {
     /// Cycle through healthy workers.
     RoundRobin,
@@ -57,7 +53,7 @@ impl RoutingPolicy {
 pub struct Router {
     policy: RoutingPolicy,
     counter: AtomicU64,
-    rng: Mutex<StdRng>,
+    rng: Mutex<SplitMix64>,
 }
 
 impl Router {
@@ -66,7 +62,7 @@ impl Router {
         Router {
             policy,
             counter: AtomicU64::new(0),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: Mutex::new(SplitMix64::stream(seed, 1)),
         }
     }
 
@@ -91,10 +87,13 @@ impl Router {
             }
             RoutingPolicy::LeastLatency => healthy
                 .iter()
-                .min_by_key(|w| (w.stats().mean_latency_us(), w.id().to_string()))
+                .min_by(|a, b| {
+                    (a.stats().mean_latency_us(), a.id())
+                        .cmp(&(b.stats().mean_latency_us(), b.id()))
+                })
                 .unwrap(),
             RoutingPolicy::Random => {
-                let i = self.rng.lock().gen_range(0..healthy.len());
+                let i = self.rng.lock().expect("rng lock").gen_index(healthy.len());
                 healthy[i]
             }
             RoutingPolicy::Weighted => {
@@ -105,7 +104,11 @@ impl Router {
                     .map(|w| 1.0 / (1.0 + w.stats().mean_latency_us() as f64 / 1000.0))
                     .collect();
                 let total: f64 = weights.iter().sum();
-                let mut pick = self.rng.lock().gen_range(0.0..total.max(f64::MIN_POSITIVE));
+                let mut pick = self
+                    .rng
+                    .lock()
+                    .expect("rng lock")
+                    .gen_f64(total.max(f64::MIN_POSITIVE));
                 let mut idx = 0;
                 for (i, w) in weights.iter().enumerate() {
                     if pick < *w {
@@ -183,6 +186,15 @@ mod tests {
     }
 
     #[test]
+    fn least_latency_ties_break_by_worker_id() {
+        // Both cold (mean latency 0): the lexicographically smallest id
+        // must win deterministically, compared as &WorkerId, not String.
+        let ws = workers(3);
+        let r = Router::new(RoutingPolicy::LeastLatency, 0);
+        assert_eq!(r.pick(&ws).unwrap().id().to_string(), "w0");
+    }
+
+    #[test]
     fn random_is_seeded() {
         let ws = workers(4);
         let seq = |seed| -> Vec<String> {
@@ -204,8 +216,8 @@ mod tests {
 
     #[test]
     fn weighted_prefers_fast_workers() {
-        use dbgpt_llm::{SimLlm, SimModelSpec};
         use dbgpt_llm::latency::LatencyModel;
+        use dbgpt_llm::{SimLlm, SimModelSpec};
         // Two workers with very different latency profiles.
         let mk = |name: &str, decode_us: u64| {
             let mut spec = SimModelSpec::for_tests("m");
@@ -245,5 +257,42 @@ mod tests {
             (0..10).map(|_| r.pick(&ws).unwrap().id().to_string()).collect()
         };
         assert_eq!(seq(4), seq(4));
+    }
+
+    #[test]
+    fn weighted_all_cold_covers_every_worker() {
+        // All workers cold ⇒ all weights equal (1.0); the walk must reach
+        // every bucket, including the last one (which is only reachable
+        // via the `pick -= w; idx = i` arm of the loop).
+        let ws = workers(4);
+        let r = Router::new(RoutingPolicy::Weighted, 2);
+        let mut counts = [0usize; 4];
+        for _ in 0..400 {
+            let id = r.pick(&ws).unwrap().id().to_string();
+            let i: usize = id.trim_start_matches('w').parse().unwrap();
+            counts[i] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "equal weights must cover every worker, got {counts:?}"
+        );
+        // Roughly uniform: nobody hoards more than half the traffic.
+        assert!(counts.iter().all(|&c| c < 200), "skewed picks {counts:?}");
+    }
+
+    #[test]
+    fn weighted_single_worker_always_picked() {
+        // healthy.len() == 1: total == weight, every draw lands in the one
+        // bucket, and the idx fallback can never index out of bounds.
+        let ws = workers(1);
+        let r = Router::new(RoutingPolicy::Weighted, 3);
+        for _ in 0..100 {
+            assert_eq!(r.pick(&ws).unwrap().id().to_string(), "w0");
+        }
+        // Same once the worker is warm (non-unit weight).
+        ws[0].infer("warm up request", &GenerationParams::default()).unwrap();
+        for _ in 0..100 {
+            assert_eq!(r.pick(&ws).unwrap().id().to_string(), "w0");
+        }
     }
 }

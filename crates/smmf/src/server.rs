@@ -3,8 +3,21 @@
 //! "The deployment layer connects inference mechanisms with model serving
 //! capabilities, incorporating an API server and a model handler" (§2.3).
 //! [`ApiServer`] owns the controller and a router, and serves chat
-//! requests with automatic failover: when a worker fails, the request is
-//! retried on the remaining healthy workers before an error is returned.
+//! requests with automatic failover. On top of the basic retry loop sits
+//! the resilience layer ([`crate::resilience`]): per-worker circuit
+//! breakers, exponential backoff with seeded jitter, per-request deadline
+//! budgets measured in simulated µs, request hedging, load shedding, and
+//! an optional fallback model tier.
+//!
+//! Time here is **simulated**: the server keeps a monotonic µs clock that
+//! advances by each attempt's modelled latency (plus backoff pauses), and
+//! callers — the chaos harness in particular — advance it further to model
+//! request inter-arrival gaps. No wall clock is ever read, so a given
+//! seed reproduces every decision exactly.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use dbgpt_llm::catalog::{builtin_model, builtin_spec};
 use dbgpt_llm::{Completion, GenerationParams, SharedModel};
@@ -12,32 +25,90 @@ use dbgpt_llm::{Completion, GenerationParams, SharedModel};
 use crate::controller::ModelController;
 use crate::error::SmmfError;
 use crate::privacy::{DeploymentMode, Locality};
+use crate::resilience::{BreakerState, CircuitBreaker, ResilienceConfig, ResilienceMetrics};
+use crate::rng::SplitMix64;
 use crate::router::{Router, RoutingPolicy};
-use crate::worker::ModelWorker;
-
-/// Upper bound on failover attempts per request.
-const MAX_ATTEMPTS: usize = 4;
+use crate::worker::{ModelWorker, WorkerHealth, WorkerId};
 
 /// The SMMF API server (see module docs).
 pub struct ApiServer {
     controller: ModelController,
     router: Router,
+    resilience: ResilienceConfig,
+    seed: u64,
+    /// Simulated monotonic clock, µs.
+    clock_us: AtomicU64,
+    /// Per-worker circuit breakers, keyed `model/worker` (BTreeMap for
+    /// deterministic iteration in state listings).
+    breakers: Mutex<BTreeMap<String, CircuitBreaker>>,
+    /// Requests in flight per model (admission control).
+    inflight: Mutex<BTreeMap<String, u64>>,
+    /// Jitter stream for backoff pauses.
+    backoff_rng: Mutex<SplitMix64>,
+    m_requests: AtomicU64,
+    m_retries: AtomicU64,
+    m_backoffs: AtomicU64,
+    m_backoff_us: AtomicU64,
+    m_deadline_exceeded: AtomicU64,
+    m_shed: AtomicU64,
+    m_hedges: AtomicU64,
+    m_hedge_wins: AtomicU64,
+    m_fallbacks: AtomicU64,
+}
+
+/// RAII admission slot: decrements the model's in-flight count on drop.
+struct AdmissionGuard<'a> {
+    inflight: &'a Mutex<BTreeMap<String, u64>>,
+    model: String,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut m) = self.inflight.lock() {
+            if let Some(c) = m.get_mut(&self.model) {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
 }
 
 impl ApiServer {
-    /// Server with round-robin routing.
+    /// Server with round-robin routing and the resilience layer off
+    /// (seed-equivalent legacy behaviour).
     pub fn new(mode: DeploymentMode) -> Self {
-        ApiServer {
-            controller: ModelController::new(mode),
-            router: Router::new(RoutingPolicy::RoundRobin, 0),
-        }
+        Self::with_policy(mode, RoutingPolicy::RoundRobin, 0)
     }
 
-    /// Server with an explicit routing policy.
+    /// Server with an explicit routing policy; resilience layer off.
     pub fn with_policy(mode: DeploymentMode, policy: RoutingPolicy, seed: u64) -> Self {
+        Self::with_resilience(mode, policy, seed, ResilienceConfig::disabled())
+    }
+
+    /// Server with a routing policy and a full resilience configuration.
+    pub fn with_resilience(
+        mode: DeploymentMode,
+        policy: RoutingPolicy,
+        seed: u64,
+        resilience: ResilienceConfig,
+    ) -> Self {
         ApiServer {
             controller: ModelController::new(mode),
             router: Router::new(policy, seed),
+            resilience,
+            seed,
+            clock_us: AtomicU64::new(0),
+            breakers: Mutex::new(BTreeMap::new()),
+            inflight: Mutex::new(BTreeMap::new()),
+            backoff_rng: Mutex::new(SplitMix64::stream(seed, 3)),
+            m_requests: AtomicU64::new(0),
+            m_retries: AtomicU64::new(0),
+            m_backoffs: AtomicU64::new(0),
+            m_backoff_us: AtomicU64::new(0),
+            m_deadline_exceeded: AtomicU64::new(0),
+            m_shed: AtomicU64::new(0),
+            m_hedges: AtomicU64::new(0),
+            m_hedge_wins: AtomicU64::new(0),
+            m_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -49,6 +120,65 @@ impl ApiServer {
     /// Mutable controller access (worker lifecycle).
     pub fn controller_mut(&mut self) -> &mut ModelController {
         &mut self.controller
+    }
+
+    /// The active resilience configuration.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// Current simulated time, µs.
+    pub fn now_us(&self) -> u64 {
+        self.clock_us.load(Ordering::Relaxed)
+    }
+
+    /// Advance the simulated clock (the chaos harness uses this to model
+    /// request inter-arrival gaps; breaker cool-downs elapse against this
+    /// clock).
+    pub fn advance_clock(&self, us: u64) {
+        self.clock_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the resilience counters.
+    pub fn metrics(&self) -> ResilienceMetrics {
+        let breaker_opens = self
+            .breakers
+            .lock()
+            .expect("breakers lock")
+            .values()
+            .map(|b| b.opens())
+            .sum();
+        ResilienceMetrics {
+            requests: self.m_requests.load(Ordering::Relaxed),
+            retries: self.m_retries.load(Ordering::Relaxed),
+            backoffs: self.m_backoffs.load(Ordering::Relaxed),
+            backoff_us: self.m_backoff_us.load(Ordering::Relaxed),
+            deadline_exceeded: self.m_deadline_exceeded.load(Ordering::Relaxed),
+            shed: self.m_shed.load(Ordering::Relaxed),
+            hedges: self.m_hedges.load(Ordering::Relaxed),
+            hedge_wins: self.m_hedge_wins.load(Ordering::Relaxed),
+            fallbacks: self.m_fallbacks.load(Ordering::Relaxed),
+            breaker_opens,
+        }
+    }
+
+    /// Breaker state for one worker, if a breaker exists for it yet.
+    pub fn breaker_state(&self, model: &str, worker: &WorkerId) -> Option<BreakerState> {
+        self.breakers
+            .lock()
+            .expect("breakers lock")
+            .get(&breaker_key(model, worker))
+            .map(|b| b.state())
+    }
+
+    /// All breaker states, sorted by `model/worker` key.
+    pub fn breaker_states(&self) -> Vec<(String, BreakerState)> {
+        self.breakers
+            .lock()
+            .expect("breakers lock")
+            .iter()
+            .map(|(k, b)| (k.clone(), b.state()))
+            .collect()
     }
 
     /// Deploy `replicas` local workers of a built-in model. The hosted
@@ -66,7 +196,7 @@ impl ApiServer {
             let m = builtin_model(model).expect("spec exists so model exists");
             let worker =
                 ModelWorker::with_faults(format!("{model}-w{i}"), m, locality, 0.0, i as u64);
-            self.controller.register(worker)?;
+            self.register_worker(worker)?;
         }
         Ok(())
     }
@@ -77,31 +207,129 @@ impl ApiServer {
         let name = model.id().to_string();
         for i in 0..replicas.max(1) {
             let worker = ModelWorker::new(format!("{name}-w{i}"), model.clone());
-            self.controller.register(worker)?;
+            self.register_worker(worker)?;
         }
         Ok(())
     }
 
     /// Register a single pre-built worker (full control: locality, faults).
+    /// When a circuit breaker supervises the deployment, the worker's
+    /// legacy consecutive-failure health counter is switched off so
+    /// exactly one failure detector is in charge.
     pub fn register_worker(&mut self, worker: ModelWorker) -> Result<(), SmmfError> {
+        if self.resilience.breaker.is_some() {
+            worker.set_auto_unhealthy(false);
+        }
         self.controller.register(worker)
     }
 
-    /// Serve a chat request with failover.
+    /// Serve a chat request through the resilience pipeline: admission
+    /// control, then the primary model's failover loop, then — if the
+    /// primary tier is out of admissible workers or retries — the fallback
+    /// model, still under the same deadline budget.
     pub fn chat(
         &self,
         model: &str,
         prompt: &str,
         params: &GenerationParams,
     ) -> Result<Completion, SmmfError> {
+        let _slot = self.admit(model)?;
+        self.m_requests.fetch_add(1, Ordering::Relaxed);
+        let mut spent_us = 0u64;
+        let primary = self.serve_on(model, prompt, params, &mut spent_us);
+        match (&primary, &self.resilience.fallback_model) {
+            (
+                Err(SmmfError::NoHealthyWorker(_)) | Err(SmmfError::RetriesExhausted { .. }),
+                Some(fallback),
+            ) if fallback != model => {
+                self.m_fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.serve_on(fallback, prompt, params, &mut spent_us)
+            }
+            _ => primary,
+        }
+    }
+
+    /// Names of all deployed models.
+    pub fn models(&self) -> Vec<&str> {
+        self.controller.models()
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    /// Admission control: reserve an in-flight slot or shed the request.
+    fn admit(&self, model: &str) -> Result<Option<AdmissionGuard<'_>>, SmmfError> {
+        let Some(shed) = self.resilience.shed else {
+            return Ok(None);
+        };
+        let mut m = self.inflight.lock().expect("inflight lock");
+        let c = m.entry(model.to_string()).or_insert(0);
+        if *c >= shed.max_inflight {
+            self.m_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SmmfError::Overloaded {
+                model: model.to_string(),
+                limit: shed.max_inflight,
+            });
+        }
+        *c += 1;
+        Ok(Some(AdmissionGuard {
+            inflight: &self.inflight,
+            model: model.to_string(),
+        }))
+    }
+
+    /// The failover loop for one model tier. `spent_us` accumulates the
+    /// request's simulated cost across tiers (attempt latencies, failure
+    /// charges, backoff pauses) and is checked against the deadline
+    /// budget before every dispatch — an unaffordable attempt is never
+    /// started.
+    fn serve_on(
+        &self,
+        model: &str,
+        prompt: &str,
+        params: &GenerationParams,
+        spent_us: &mut u64,
+    ) -> Result<Completion, SmmfError> {
         let workers = self.controller.workers(model)?;
+        let retry = &self.resilience.retry;
+        let budget = self.resilience.deadline_budget_us;
+        let max_attempts = retry.max_attempts.min(workers.len().max(1));
+        let mut attempted: Vec<WorkerId> = Vec::new();
         let mut last: Option<SmmfError> = None;
-        for attempt in 0..MAX_ATTEMPTS.min(workers.len().max(1)) {
-            let worker = match self.router.pick(workers) {
+        for attempt in 0..max_attempts {
+            // Backoff before every retry (never before the first attempt).
+            if attempt > 0 {
+                let pause = self.jittered_backoff_us(attempt);
+                if pause > 0 {
+                    *spent_us += pause;
+                    self.advance_clock(pause);
+                    self.m_backoffs.fetch_add(1, Ordering::Relaxed);
+                    self.m_backoff_us.fetch_add(pause, Ordering::Relaxed);
+                }
+            }
+            // Deadline gate: don't start an attempt the budget can't cover.
+            if let Some(budget_us) = budget {
+                if *spent_us >= budget_us {
+                    self.m_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    return Err(SmmfError::DeadlineExceeded {
+                        model: model.to_string(),
+                        budget_us,
+                        spent_us: *spent_us,
+                    });
+                }
+            }
+            let now = self.now_us();
+            let candidates: Vec<Arc<ModelWorker>> = workers
+                .iter()
+                .filter(|w| !(retry.exclude_attempted && attempted.contains(w.id())))
+                .filter(|w| self.breaker_admits(model, w.id(), now))
+                .cloned()
+                .collect();
+            let worker = match self.router.pick(&candidates) {
                 Some(w) => w,
-                None => {
-                    // Everyone is out of rotation: run health checks, the
-                    // way a deployment's prober would, and retry once.
+                None if self.resilience.breaker.is_none() && !retry.exclude_attempted => {
+                    // Legacy path: everyone is out of rotation. Run health
+                    // checks, the way a deployment's prober would, and
+                    // retry once.
                     #[allow(clippy::unnecessary_fold)] // deliberate: probe every worker, no short-circuit
                     let any_revived = workers.iter().fold(false, |acc, w| w.probe() || acc);
                     match (any_revived, self.router.pick(workers)) {
@@ -113,32 +341,187 @@ impl ApiServer {
                         }
                     }
                 }
+                None => break, // every distinct worker attempted or gated off
             };
+            self.breaker_on_dispatch(model, worker.id(), now);
             match worker.infer(prompt, params) {
-                Ok(c) => return Ok(c),
+                Ok(c) => {
+                    let (c, effective_us) =
+                        self.maybe_hedge(model, workers, &attempted, &worker, c, prompt, params);
+                    self.breaker_record(model, worker.id(), true, now);
+                    *spent_us += effective_us;
+                    self.advance_clock(effective_us);
+                    // A success that lands after the deadline is still a
+                    // deadline miss from the caller's point of view.
+                    if let Some(budget_us) = budget {
+                        if *spent_us > budget_us {
+                            self.m_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                            return Err(SmmfError::DeadlineExceeded {
+                                model: model.to_string(),
+                                budget_us,
+                                spent_us: *spent_us,
+                            });
+                        }
+                    }
+                    return Ok(c);
+                }
                 Err(e @ SmmfError::Model(_)) => {
-                    // Caller error — failover cannot help.
+                    // Caller error — failover cannot help. The replica did
+                    // respond, so the breaker records a success (otherwise a
+                    // half-open probe slot would be consumed with no outcome).
+                    self.breaker_record(model, worker.id(), true, now);
                     return Err(e);
                 }
                 Err(e) => {
+                    // A failed attempt is never free: charge its simulated
+                    // cost (connect timeout / error turnaround).
+                    *spent_us += retry.failure_latency_us;
+                    self.advance_clock(retry.failure_latency_us);
+                    self.breaker_record(model, worker.id(), false, self.now_us());
+                    attempted.push(worker.id().clone());
+                    if attempt + 1 < max_attempts {
+                        self.m_retries.fetch_add(1, Ordering::Relaxed);
+                    }
                     last = Some(e);
-                    let _ = attempt;
                 }
             }
         }
-        Err(SmmfError::RetriesExhausted {
-            model: model.to_string(),
-            attempts: MAX_ATTEMPTS.min(workers.len().max(1)),
-            last: last
-                .map(|e| e.to_string())
-                .unwrap_or_else(|| "no workers".into()),
-        })
+        match last {
+            Some(e) => Err(SmmfError::RetriesExhausted {
+                model: model.to_string(),
+                attempts: attempted.len().max(1),
+                last: e.to_string(),
+            }),
+            // Zero dispatches happened: nothing was admissible.
+            None => Err(SmmfError::NoHealthyWorker(model.to_string())),
+        }
     }
 
-    /// Names of all deployed models.
-    pub fn models(&self) -> Vec<&str> {
-        self.controller.models()
+    /// Hedge a slow-but-successful response: when the primary's simulated
+    /// latency exceeds the hedge delay, race the fastest other admissible
+    /// worker and keep the deterministic winner (by simulated completion
+    /// time). Returns the winning completion and its effective latency.
+    #[allow(clippy::too_many_arguments)] // private plumbing, one call site
+    fn maybe_hedge(
+        &self,
+        model: &str,
+        workers: &[Arc<ModelWorker>],
+        attempted: &[WorkerId],
+        primary: &Arc<ModelWorker>,
+        c: Completion,
+        prompt: &str,
+        params: &GenerationParams,
+    ) -> (Completion, u64) {
+        let primary_us = c.simulated_latency_us;
+        let Some(hedge) = self.resilience.hedge else {
+            return (c, primary_us);
+        };
+        if primary_us <= hedge.delay_us {
+            return (c, primary_us);
+        }
+        let now = self.now_us();
+        let second = workers
+            .iter()
+            .filter(|w| w.id() != primary.id())
+            .filter(|w| w.health() == WorkerHealth::Healthy)
+            .filter(|w| !attempted.contains(w.id()))
+            .filter(|w| self.breaker_admits(model, w.id(), now))
+            .min_by(|a, b| {
+                (a.stats().mean_latency_us(), a.id()).cmp(&(b.stats().mean_latency_us(), b.id()))
+            });
+        let Some(second) = second else {
+            return (c, primary_us);
+        };
+        self.m_hedges.fetch_add(1, Ordering::Relaxed);
+        self.breaker_on_dispatch(model, second.id(), now);
+        match second.infer(prompt, params) {
+            Ok(mut hedged) => {
+                self.breaker_record(model, second.id(), true, now);
+                let hedged_us = hedge.delay_us + hedged.simulated_latency_us;
+                if hedged_us < primary_us {
+                    self.m_hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    hedged.simulated_latency_us = hedged_us;
+                    (hedged, hedged_us)
+                } else {
+                    (c, primary_us)
+                }
+            }
+            Err(_) => {
+                // The hedge lost outright; the primary result stands.
+                self.breaker_record(model, second.id(), false, now);
+                (c, primary_us)
+            }
+        }
     }
+
+    /// Backoff before 1-based retry `attempt`, with seeded jitter.
+    fn jittered_backoff_us(&self, attempt: usize) -> u64 {
+        let retry = &self.resilience.retry;
+        let base = retry.backoff_base_us(attempt);
+        if base == 0 {
+            return 0;
+        }
+        let jitter = self
+            .backoff_rng
+            .lock()
+            .expect("backoff rng lock")
+            .gen_f64(retry.jitter_frac.max(0.0));
+        (base as f64 * (1.0 + jitter)) as u64
+    }
+
+    fn breaker_admits(&self, model: &str, worker: &WorkerId, now_us: u64) -> bool {
+        let Some(cfg) = &self.resilience.breaker else {
+            return true;
+        };
+        let mut map = self.breakers.lock().expect("breakers lock");
+        let key = breaker_key(model, worker);
+        let seed = self.seed;
+        map.entry(key.clone())
+            .or_insert_with(|| CircuitBreaker::new(cfg.clone(), seed ^ fnv1a(&key)))
+            .admits(now_us)
+    }
+
+    fn breaker_on_dispatch(&self, model: &str, worker: &WorkerId, now_us: u64) {
+        if self.resilience.breaker.is_none() {
+            return;
+        }
+        if let Some(b) = self
+            .breakers
+            .lock()
+            .expect("breakers lock")
+            .get_mut(&breaker_key(model, worker))
+        {
+            b.on_dispatch(now_us);
+        }
+    }
+
+    fn breaker_record(&self, model: &str, worker: &WorkerId, success: bool, now_us: u64) {
+        if self.resilience.breaker.is_none() {
+            return;
+        }
+        if let Some(b) = self
+            .breakers
+            .lock()
+            .expect("breakers lock")
+            .get_mut(&breaker_key(model, worker))
+        {
+            b.record(success, now_us);
+        }
+    }
+}
+
+fn breaker_key(model: &str, worker: &WorkerId) -> String {
+    format!("{model}/{worker}")
+}
+
+/// FNV-1a over the breaker key: a deterministic per-worker seed salt.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl std::fmt::Debug for ApiServer {
@@ -146,6 +529,8 @@ impl std::fmt::Debug for ApiServer {
         f.debug_struct("ApiServer")
             .field("controller", &self.controller)
             .field("router", &self.router)
+            .field("resilience", &self.resilience.label())
+            .field("now_us", &self.now_us())
             .finish()
     }
 }
@@ -251,5 +636,287 @@ mod tests {
         s.deploy_model(custom, 3).unwrap();
         assert_eq!(s.controller().workers("my-finetune").unwrap().len(), 3);
         assert!(s.chat("my-finetune", "hello", &GenerationParams::default()).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use crate::resilience::{BreakerConfig, HedgeConfig, RetryConfig, ShedConfig};
+    use dbgpt_llm::catalog::builtin_model;
+
+    fn flaky(id: &str, rate: f64, seed: u64) -> ModelWorker {
+        ModelWorker::with_faults(
+            id,
+            builtin_model("sim-qwen").unwrap(),
+            Locality::Local,
+            rate,
+            seed,
+        )
+    }
+
+    /// Sum of (served + failed) over a model's workers = dispatches made.
+    fn dispatches(s: &ApiServer, model: &str) -> u64 {
+        s.controller()
+            .workers(model)
+            .unwrap()
+            .iter()
+            .map(|w| {
+                let st = w.stats();
+                st.served + st.failed
+            })
+            .sum()
+    }
+
+    #[test]
+    fn exhausted_deadline_rejects_without_dispatch() {
+        let mut cfg = ResilienceConfig::full();
+        cfg.deadline_budget_us = Some(0); // the budget is already gone
+        let mut s =
+            ApiServer::with_resilience(DeploymentMode::Local, RoutingPolicy::RoundRobin, 1, cfg);
+        s.deploy_builtin("sim-qwen", 2).unwrap();
+        let e = s.chat("sim-qwen", "hello", &GenerationParams::default()).unwrap_err();
+        assert!(matches!(e, SmmfError::DeadlineExceeded { spent_us: 0, .. }), "{e:?}");
+        assert_eq!(dispatches(&s, "sim-qwen"), 0, "no dispatch may start");
+        assert_eq!(s.metrics().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn deadline_budget_stops_failover_mid_request() {
+        // Every worker fails; each failed attempt costs 5ms. With a 12ms
+        // budget the third attempt is unaffordable (2×5ms + backoff ≥
+        // 12ms) and must not be dispatched.
+        let cfg = ResilienceConfig {
+            breaker: None,
+            retry: RetryConfig {
+                max_attempts: 8,
+                base_backoff_us: 1_000,
+                max_backoff_us: 4_000,
+                jitter_frac: 0.0,
+                failure_latency_us: 5_000,
+                exclude_attempted: true,
+            },
+            deadline_budget_us: Some(12_000),
+            hedge: None,
+            shed: None,
+            fallback_model: None,
+        };
+        let mut s =
+            ApiServer::with_resilience(DeploymentMode::Local, RoutingPolicy::RoundRobin, 1, cfg);
+        for i in 0..4 {
+            s.register_worker(flaky(&format!("bad{i}"), 1.0, i)).unwrap();
+        }
+        let e = s.chat("sim-qwen", "hello", &GenerationParams::default()).unwrap_err();
+        assert!(matches!(e, SmmfError::DeadlineExceeded { .. }), "{e:?}");
+        // Attempt 1 (5ms) + attempt 2 (5ms + 1ms backoff) = 11ms spent,
+        // then 2ms more backoff puts 13 ≥ 12: exactly 2 dispatches.
+        assert_eq!(dispatches(&s, "sim-qwen"), 2);
+    }
+
+    #[test]
+    fn late_success_is_still_a_deadline_miss() {
+        // A healthy worker whose latency exceeds the budget: the attempt
+        // runs (the server can't know the future), but the result is a
+        // DeadlineExceeded, not a success delivered after the caller gave up.
+        let cfg = ResilienceConfig {
+            deadline_budget_us: Some(1),
+            retry: RetryConfig::legacy(),
+            ..ResilienceConfig::disabled()
+        };
+        let mut s =
+            ApiServer::with_resilience(DeploymentMode::Local, RoutingPolicy::RoundRobin, 1, cfg);
+        s.deploy_builtin("sim-qwen", 1).unwrap();
+        let e = s.chat("sim-qwen", "hello", &GenerationParams::default()).unwrap_err();
+        assert!(matches!(e, SmmfError::DeadlineExceeded { budget_us: 1, .. }), "{e:?}");
+        assert_eq!(dispatches(&s, "sim-qwen"), 1);
+    }
+
+    #[test]
+    fn failover_never_redispatches_an_attempted_worker() {
+        let cfg = ResilienceConfig {
+            retry: RetryConfig {
+                max_attempts: 10, // far more than the worker count
+                base_backoff_us: 0,
+                max_backoff_us: 0,
+                jitter_frac: 0.0,
+                failure_latency_us: 0,
+                exclude_attempted: true,
+            },
+            ..ResilienceConfig::disabled()
+        };
+        let mut s =
+            ApiServer::with_resilience(DeploymentMode::Local, RoutingPolicy::RoundRobin, 1, cfg);
+        for i in 0..3 {
+            s.register_worker(flaky(&format!("bad{i}"), 1.0, i)).unwrap();
+        }
+        let e = s.chat("sim-qwen", "hello", &GenerationParams::default()).unwrap_err();
+        assert!(
+            matches!(e, SmmfError::RetriesExhausted { attempts: 3, .. }),
+            "each worker exactly once: {e:?}"
+        );
+        for w in s.controller().workers("sim-qwen").unwrap() {
+            assert_eq!(w.stats().failed, 1, "worker {} re-dispatched", w.id());
+        }
+    }
+
+    #[test]
+    fn breaker_opens_then_recovers_through_half_open() {
+        let cfg = ResilienceConfig {
+            breaker: Some(BreakerConfig {
+                window: 4,
+                min_samples: 4,
+                failure_rate_to_open: 0.75,
+                open_cooldown_us: 100_000,
+                cooldown_jitter_frac: 0.0,
+                half_open_probes: 2,
+            }),
+            retry: RetryConfig {
+                max_attempts: 1,
+                base_backoff_us: 0,
+                max_backoff_us: 0,
+                jitter_frac: 0.0,
+                failure_latency_us: 1_000,
+                exclude_attempted: true,
+            },
+            ..ResilienceConfig::disabled()
+        };
+        let mut s =
+            ApiServer::with_resilience(DeploymentMode::Local, RoutingPolicy::RoundRobin, 1, cfg);
+        s.register_worker(flaky("w0", 1.0, 7)).unwrap();
+        let wid = WorkerId::new("w0");
+        // Four failures trip the breaker.
+        for _ in 0..4 {
+            let _ = s.chat("sim-qwen", "hello", &GenerationParams::default());
+        }
+        assert_eq!(s.breaker_state("sim-qwen", &wid), Some(BreakerState::Open));
+        // While open: fail fast, no dispatch reaches the worker.
+        let before = dispatches(&s, "sim-qwen");
+        let e = s.chat("sim-qwen", "hello", &GenerationParams::default()).unwrap_err();
+        assert!(matches!(e, SmmfError::NoHealthyWorker(_)), "{e:?}");
+        assert_eq!(dispatches(&s, "sim-qwen"), before, "open gate must block");
+        // The replica recovers; simulated time passes the cool-down.
+        s.controller().workers("sim-qwen").unwrap()[0].set_failure_rate(0.0);
+        s.advance_clock(200_000);
+        assert!(s.chat("sim-qwen", "hello", &GenerationParams::default()).is_ok());
+        assert_eq!(
+            s.breaker_state("sim-qwen", &wid),
+            Some(BreakerState::HalfOpen),
+            "one probe success of two"
+        );
+        assert!(s.chat("sim-qwen", "hello", &GenerationParams::default()).is_ok());
+        assert_eq!(s.breaker_state("sim-qwen", &wid), Some(BreakerState::Closed));
+        assert_eq!(s.metrics().breaker_opens, 1);
+    }
+
+    #[test]
+    fn fallback_model_serves_when_primary_tier_is_down() {
+        use dbgpt_llm::{SimLlm, SimModelSpec};
+        use std::sync::Arc;
+        let cfg = ResilienceConfig {
+            retry: RetryConfig {
+                max_attempts: 4,
+                base_backoff_us: 0,
+                max_backoff_us: 0,
+                jitter_frac: 0.0,
+                failure_latency_us: 0,
+                exclude_attempted: true,
+            },
+            fallback_model: Some("tiny-fallback".into()),
+            ..ResilienceConfig::disabled()
+        };
+        let mut s =
+            ApiServer::with_resilience(DeploymentMode::Local, RoutingPolicy::RoundRobin, 1, cfg);
+        s.register_worker(flaky("dead0", 1.0, 0)).unwrap();
+        s.register_worker(flaky("dead1", 1.0, 1)).unwrap();
+        let tiny: dbgpt_llm::SharedModel =
+            Arc::new(SimLlm::with_default_skills(SimModelSpec::for_tests("tiny-fallback")));
+        s.deploy_model(tiny, 1).unwrap();
+        let out = s.chat("sim-qwen", "hello", &GenerationParams::default()).unwrap();
+        assert_eq!(out.model, "tiny-fallback", "degraded tier must answer");
+        assert_eq!(s.metrics().fallbacks, 1);
+    }
+
+    #[test]
+    fn shedding_rejects_beyond_the_inflight_limit() {
+        let cfg = ResilienceConfig {
+            shed: Some(ShedConfig { max_inflight: 0 }),
+            ..ResilienceConfig::disabled()
+        };
+        let mut s =
+            ApiServer::with_resilience(DeploymentMode::Local, RoutingPolicy::RoundRobin, 1, cfg);
+        s.deploy_builtin("sim-qwen", 1).unwrap();
+        let e = s.chat("sim-qwen", "hello", &GenerationParams::default()).unwrap_err();
+        assert!(matches!(e, SmmfError::Overloaded { limit: 0, .. }), "{e:?}");
+        assert_eq!(s.metrics().shed, 1);
+        assert_eq!(dispatches(&s, "sim-qwen"), 0);
+    }
+
+    #[test]
+    fn shedding_slot_is_released_after_each_request() {
+        let cfg = ResilienceConfig {
+            shed: Some(ShedConfig { max_inflight: 1 }),
+            ..ResilienceConfig::disabled()
+        };
+        let mut s =
+            ApiServer::with_resilience(DeploymentMode::Local, RoutingPolicy::RoundRobin, 1, cfg);
+        s.deploy_builtin("sim-qwen", 1).unwrap();
+        // Sequential requests each fit in the single slot.
+        for _ in 0..5 {
+            assert!(s.chat("sim-qwen", "hello", &GenerationParams::default()).is_ok());
+        }
+        assert_eq!(s.metrics().shed, 0);
+    }
+
+    #[test]
+    fn hedge_rescues_a_slow_primary() {
+        let cfg = ResilienceConfig {
+            hedge: Some(HedgeConfig { delay_us: 50_000 }),
+            ..ResilienceConfig::disabled()
+        };
+        let mut s =
+            ApiServer::with_resilience(DeploymentMode::Local, RoutingPolicy::LeastLatency, 1, cfg);
+        s.deploy_builtin("sim-qwen", 2).unwrap();
+        // Spike replica w0 (least-latency picks it first: both cold, id order).
+        s.controller().workers("sim-qwen").unwrap()[0].set_latency_factor(100.0);
+        let out = s.chat("sim-qwen", "hello there", &GenerationParams::default()).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.hedges, 1);
+        assert_eq!(m.hedge_wins, 1, "the healthy replica must win the race");
+        // Winner's effective latency = hedge delay + its own latency, far
+        // below the spiked primary's.
+        let fast = s.controller().workers("sim-qwen").unwrap()[1].stats().mean_latency_us();
+        assert_eq!(out.simulated_latency_us, 50_000 + fast);
+    }
+
+    #[test]
+    fn same_seed_same_outcomes() {
+        let run = |seed: u64| {
+            // Full mechanisms minus the deadline budget: models with large
+            // simulated latencies would otherwise turn every outcome into
+            // DeadlineExceeded and mask the seed-dependence this asserts.
+            let mut cfg = ResilienceConfig::full();
+            cfg.deadline_budget_us = None;
+            let mut s = ApiServer::with_resilience(
+                DeploymentMode::Local,
+                RoutingPolicy::Weighted,
+                seed,
+                cfg,
+            );
+            for i in 0..3 {
+                s.register_worker(flaky(&format!("w{i}"), 0.5, seed + i)).unwrap();
+            }
+            let mut outcomes = Vec::new();
+            for _ in 0..40 {
+                s.advance_clock(10_000);
+                outcomes.push(
+                    s.chat("sim-qwen", "hello", &GenerationParams::default())
+                        .map(|c| c.simulated_latency_us)
+                        .map_err(|e| e.kind()),
+                );
+            }
+            (outcomes, s.metrics())
+        };
+        assert_eq!(run(11), run(11), "same seed must replay identically");
+        assert_ne!(run(11).0, run(12).0, "different seed must differ");
     }
 }

@@ -1,0 +1,120 @@
+//! Chaos-harness integration tests: the acceptance criteria of the
+//! resilience layer, exercised end to end through [`dbgpt_smmf::chaos`].
+
+use dbgpt_smmf::chaos::{full_with_fallback, run_scenario, Scenario};
+use dbgpt_smmf::{ResilienceConfig, RoutingPolicy};
+
+/// The headline acceptance criterion: a fleet where every replica fails
+/// 30% of requests, 500 requests, full resilience — availability must be
+/// at least 99% and strictly better than the resilience-disabled
+/// baseline under the same seed.
+#[test]
+fn flaky_fleet_500_full_resilience_hits_99_percent() {
+    let sc = Scenario::flaky(500, 0.3);
+    let disabled = run_scenario(
+        &sc,
+        RoutingPolicy::RoundRobin,
+        &ResilienceConfig::disabled(),
+        "disabled",
+        42,
+    );
+    let full = run_scenario(&sc, RoutingPolicy::RoundRobin, &full_with_fallback(), "full", 42);
+    assert!(
+        full.availability() >= 0.99,
+        "full resilience availability {:.4} < 0.99",
+        full.availability()
+    );
+    assert!(
+        full.availability() > disabled.availability(),
+        "full {:.4} must strictly exceed disabled {:.4}",
+        full.availability(),
+        disabled.availability()
+    );
+}
+
+/// Same seed ⇒ byte-identical reports, across the whole scenario suite
+/// and every routing policy.
+#[test]
+fn reports_are_byte_identical_for_the_same_seed() {
+    let sweep = || -> Vec<String> {
+        let mut out = Vec::new();
+        for sc in Scenario::suite(80) {
+            for &policy in RoutingPolicy::ALL {
+                for (cfg, label) in [
+                    (ResilienceConfig::disabled(), "disabled"),
+                    (full_with_fallback(), "full"),
+                ] {
+                    out.push(run_scenario(&sc, policy, &cfg, label, 42).to_json());
+                }
+            }
+        }
+        out
+    };
+    assert_eq!(sweep(), sweep());
+}
+
+/// Two replicas crash for half the run: the breaker fences them off and
+/// the survivors carry the load; after restoration they re-enter through
+/// half-open probes.
+#[test]
+fn crash_scenario_full_resilience_stays_available() {
+    let sc = Scenario::crash(300);
+    let rep = run_scenario(&sc, RoutingPolicy::RoundRobin, &full_with_fallback(), "full", 42);
+    assert!(rep.availability() >= 0.99, "availability {:.4}", rep.availability());
+    assert!(rep.metrics.breaker_opens > 0, "breakers never fenced the crashed replicas");
+}
+
+/// Mass outage: with the fallback tier the system degrades gracefully
+/// instead of going dark, and recovers once the primary tier returns.
+#[test]
+fn mass_outage_degrades_to_fallback_then_recovers() {
+    let sc = Scenario::outage_recovery(300);
+    let full = run_scenario(&sc, RoutingPolicy::RoundRobin, &full_with_fallback(), "full", 42);
+    let disabled = run_scenario(
+        &sc,
+        RoutingPolicy::RoundRobin,
+        &ResilienceConfig::disabled(),
+        "disabled",
+        42,
+    );
+    assert!(full.metrics.fallbacks > 0, "outage never reached the fallback tier");
+    assert!(
+        full.availability() > disabled.availability(),
+        "full {:.4} vs disabled {:.4}",
+        full.availability(),
+        disabled.availability()
+    );
+    assert!(full.availability() >= 0.95, "availability {:.4}", full.availability());
+    // The tail of the run is served by the recovered primary tier again:
+    // the last requests' latency is primary-tier latency, not fallback.
+    assert!(full.latency_max_us >= dbgpt_smmf::chaos::PRIMARY_LATENCY_US);
+}
+
+/// A latency-spiked replica is raced by a hedge and the deterministic
+/// winner keeps tail latency bounded.
+#[test]
+fn latency_spike_tail_is_bounded_by_hedging() {
+    let sc = Scenario::latency_spike(300);
+    let full = run_scenario(&sc, RoutingPolicy::RoundRobin, &full_with_fallback(), "full", 42);
+    let disabled = run_scenario(
+        &sc,
+        RoutingPolicy::RoundRobin,
+        &ResilienceConfig::disabled(),
+        "disabled",
+        42,
+    );
+    assert!(full.metrics.hedge_wins > 0);
+    assert!(
+        full.latency_max_us < disabled.latency_max_us,
+        "hedged tail {} must beat unhedged {}",
+        full.latency_max_us,
+        disabled.latency_max_us
+    );
+    // Goodput (SLO-conforming successes) is where hedging pays off.
+    assert!(
+        full.goodput() > disabled.goodput(),
+        "full goodput {:.4} vs disabled {:.4}",
+        full.goodput(),
+        disabled.goodput()
+    );
+}
