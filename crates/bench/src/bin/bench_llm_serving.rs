@@ -1,0 +1,283 @@
+//! Continuous-batching serving sweep for the SMMF path (E8).
+//!
+//! Drives `ApiServer::chat_many` over a workload of chat requests that
+//! share a system/ICL-style prompt prefix — the dominant prompt shape in
+//! production serving — across batch size × prefix-share × prefix-cache
+//! on/off, with the sequential path (`EngineConfig::disabled()`) as the
+//! baseline, then emits `results/BENCH_llm_serving.json`. Everything runs
+//! on the simulated µs clock, so the numbers are exactly reproducible.
+//! The run asserts:
+//!
+//! - per-request completions byte-identical to the sequential path for
+//!   every configuration;
+//! - batched simulated throughput ≥ sequential for every enabled config,
+//!   and ≥ 3× for the batched+cached high-prefix-share configs;
+//! - a nonzero prefix-cache hit rate whenever the cache is on;
+//! - byte-identical JSON rows for a repeated tuple (determinism gate).
+//!
+//! ```text
+//! cargo run -p dbgpt-bench --release --bin bench_llm_serving            # 120 requests/config
+//! cargo run -p dbgpt-bench --release --bin bench_llm_serving -- --smoke # 24 requests, CI gate
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+
+use dbgpt_llm::{Completion, GenerationParams};
+use dbgpt_smmf::{ApiServer, DeploymentMode, EngineConfig, ResilienceConfig, RoutingPolicy};
+
+/// Seed for every run in the sweep.
+const SEED: u64 = 42;
+
+/// Batch sizes swept (1 = continuous batching with a single slot).
+const BATCHES: [usize; 4] = [1, 4, 8, 16];
+
+/// Token budget generous enough that the request cap, not the budget, is
+/// the binding constraint at every swept batch size.
+const BATCH_TOKENS: usize = 1 << 15;
+
+/// Prefix-cache capacity when the cache is on.
+const CACHE_TOKENS: usize = 1 << 16;
+
+/// A prefix-share level: how much of each prompt is the shared prefix.
+struct Share {
+    name: &'static str,
+    shared_words: usize,
+    unique_words: usize,
+}
+
+const SHARES: [Share; 2] = [
+    Share { name: "low", shared_words: 12, unique_words: 48 },
+    Share { name: "high", shared_words: 80, unique_words: 8 },
+];
+
+/// Deterministic filler vocabulary for synthetic prompts.
+const WORDS: [&str; 12] = [
+    "schema", "index", "join", "query", "rows", "plan", "scan", "cost", "merge", "sort",
+    "filter", "group",
+];
+
+/// `requests` chat prompts: one shared system prefix per share level, a
+/// unique per-request suffix — the chat-template/ICL prefix shape the
+/// radix cache exists for.
+fn workload(requests: usize, share: &Share) -> Vec<(String, GenerationParams)> {
+    let shared: Vec<&str> = (0..share.shared_words).map(|i| WORDS[i % WORDS.len()]).collect();
+    let system = format!("### Task: chat\nYou are DB-GPT. {}", shared.join(" "));
+    (0..requests)
+        .map(|r| {
+            let unique: Vec<&str> = (0..share.unique_words)
+                .map(|i| WORDS[(i * 7 + r) % WORDS.len()])
+                .collect();
+            (
+                format!("{system}\nUser question {r}: {}", unique.join(" ")),
+                GenerationParams::default(),
+            )
+        })
+        .collect()
+}
+
+/// One sim-qwen replica behind the given engine configuration. A single
+/// worker keeps the swept batch size the only concurrency knob.
+fn server(engine: EngineConfig) -> ApiServer {
+    let mut s = ApiServer::with_engine(
+        DeploymentMode::Local,
+        RoutingPolicy::RoundRobin,
+        SEED,
+        ResilienceConfig::disabled(),
+        engine,
+    );
+    s.deploy_builtin("sim-qwen", 1).expect("deploy sim-qwen");
+    s
+}
+
+/// Measured outcome of one (share, batch, cache) cell.
+struct Cell {
+    completions: Vec<Completion>,
+    makespan_us: u64,
+    prompt_tokens: u64,
+    completion_tokens: u64,
+    hit_tokens: u64,
+    lookup_tokens: u64,
+}
+
+fn run_cell(jobs: &[(String, GenerationParams)], engine: EngineConfig) -> Cell {
+    let s = server(engine);
+    let completions: Vec<Completion> = s
+        .chat_many("sim-qwen", jobs)
+        .into_iter()
+        .map(|r| r.expect("fault-free deployment"))
+        .collect();
+    let (mut prompt_tokens, mut completion_tokens) = (0u64, 0u64);
+    for c in &completions {
+        prompt_tokens += c.usage.prompt_tokens as u64;
+        completion_tokens += c.usage.completion_tokens as u64;
+    }
+    let (hit_tokens, lookup_tokens) = s
+        .prefix_cache_stats()
+        .iter()
+        .fold((0, 0), |(h, l), (_, st)| (h + st.hit_tokens, l + st.lookup_tokens));
+    Cell {
+        completions,
+        makespan_us: s.now_us(),
+        prompt_tokens,
+        completion_tokens,
+        hit_tokens,
+        lookup_tokens,
+    }
+}
+
+/// One result row, serialized as a stable JSON object.
+fn row_json(share: &str, batch: usize, cache: bool, requests: usize, cell: &Cell, baseline_us: u64) -> String {
+    let tokens = cell.prompt_tokens + cell.completion_tokens;
+    let throughput = tokens as f64 * 1e6 / cell.makespan_us as f64;
+    let speedup = baseline_us as f64 / cell.makespan_us as f64;
+    let hit_rate = if cell.lookup_tokens == 0 {
+        0.0
+    } else {
+        cell.hit_tokens as f64 / cell.lookup_tokens as f64
+    };
+    format!(
+        "{{\"share\": \"{share}\", \"batch\": {batch}, \"cache\": {cache}, \
+         \"requests\": {requests}, \"prompt_tokens\": {}, \"completion_tokens\": {}, \
+         \"cached_hit_tokens\": {}, \"hit_rate\": {hit_rate:.4}, \
+         \"makespan_us\": {}, \"throughput_tok_per_s\": {throughput:.1}, \
+         \"speedup_vs_sequential\": {speedup:.3}}}",
+        cell.prompt_tokens, cell.completion_tokens, cell.hit_tokens, cell.makespan_us,
+    )
+}
+
+/// The sweep, callable from `main` (and reusable from harnesses).
+pub fn run(smoke: bool, out_path: &str) {
+    let (requests, mode) = if smoke { (24usize, "smoke") } else { (120usize, "full") };
+    println!("BENCH llm serving ({mode})");
+    println!("  {requests} requests/config, seed = {SEED}, simulated clock (deterministic)");
+
+    // Determinism gate: the same tuple twice must yield byte-identical rows.
+    {
+        let jobs = workload(requests, &SHARES[1]);
+        let cfg = EngineConfig::full()
+            .with_batch_requests(4)
+            .with_batch_tokens(BATCH_TOKENS)
+            .with_prefix_cache(CACHE_TOKENS);
+        let a = row_json("high", 4, true, requests, &run_cell(&jobs, cfg), 1);
+        let b = row_json("high", 4, true, requests, &run_cell(&jobs, cfg), 1);
+        assert_eq!(a, b, "serving runs must be reproducible");
+    }
+
+    println!(
+        "\n  {:<6} {:>5} {:>6} | {:>12} {:>9} {:>12} {:>8}",
+        "share", "batch", "cache", "makespan ms", "hit rate", "tok/s", "speedup"
+    );
+    println!("  {}", "-".repeat(70));
+
+    let mut rows: Vec<String> = Vec::new();
+    for share in &SHARES {
+        let jobs = workload(requests, share);
+        // Sequential/uncached baseline: the engine-disabled path, i.e.
+        // exactly today's ApiServer::chat loop.
+        let baseline = run_cell(&jobs, EngineConfig::disabled());
+        println!(
+            "  {:<6} {:>5} {:>6} | {:>12.1} {:>9.4} {:>12.1} {:>8.3}",
+            share.name,
+            "seq",
+            "-",
+            baseline.makespan_us as f64 / 1000.0,
+            0.0,
+            (baseline.prompt_tokens + baseline.completion_tokens) as f64 * 1e6
+                / baseline.makespan_us as f64,
+            1.0,
+        );
+        rows.push(row_json(share.name, 0, false, requests, &baseline, baseline.makespan_us));
+        for &batch in &BATCHES {
+            for cache in [false, true] {
+                let cfg = EngineConfig::full()
+                    .with_batch_requests(batch)
+                    .with_batch_tokens(BATCH_TOKENS)
+                    .with_prefix_cache(if cache { CACHE_TOKENS } else { 0 });
+                let cell = run_cell(&jobs, cfg);
+                assert_eq!(
+                    cell.completions, baseline.completions,
+                    "{}/b{batch}/cache={cache}: batched completions must be \
+                     byte-identical to the sequential path",
+                    share.name
+                );
+                assert!(
+                    cell.makespan_us <= baseline.makespan_us,
+                    "{}/b{batch}/cache={cache}: batched makespan {}µs exceeds \
+                     sequential {}µs",
+                    share.name, cell.makespan_us, baseline.makespan_us
+                );
+                if cache {
+                    assert!(
+                        cell.hit_tokens > 0,
+                        "{}/b{batch}: prefix cache saw no hits",
+                        share.name
+                    );
+                }
+                let speedup = baseline.makespan_us as f64 / cell.makespan_us as f64;
+                if cache && batch >= 8 && share.name == "high" {
+                    assert!(
+                        speedup >= 3.0,
+                        "{}/b{batch}/cached: speedup {speedup:.2} below the 3x bar",
+                        share.name
+                    );
+                }
+                println!(
+                    "  {:<6} {:>5} {:>6} | {:>12.1} {:>9.4} {:>12.1} {:>8.3}",
+                    share.name,
+                    batch,
+                    if cache { "on" } else { "off" },
+                    cell.makespan_us as f64 / 1000.0,
+                    if cell.lookup_tokens == 0 {
+                        0.0
+                    } else {
+                        cell.hit_tokens as f64 / cell.lookup_tokens as f64
+                    },
+                    (cell.prompt_tokens + cell.completion_tokens) as f64 * 1e6
+                        / cell.makespan_us as f64,
+                    speedup,
+                );
+                rows.push(row_json(share.name, batch, cache, requests, &cell, baseline.makespan_us));
+            }
+        }
+    }
+
+    let mut json = String::with_capacity(rows.len() * 256);
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"llm_serving\",\n  \"mode\": \"{mode}\",\n  \
+         \"generated_by\": \"cargo run -p dbgpt-bench --release --bin bench_llm_serving\",\n  \
+         \"seed\": {SEED},\n  \"requests_per_config\": {requests},\n  \
+         \"model\": \"sim-qwen\",\n  \
+         \"note\": \"batch=0 rows are the sequential (engine-disabled) baseline; \
+all completions byte-identical across rows\",\n  \
+         \"runs\": [\n"
+    );
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(row);
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    fs::create_dir_all("results").ok();
+    fs::write(out_path, json).expect("write results file");
+    println!("\n  byte-identity + throughput + cache-hit gates passed");
+    println!("  wrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone());
+    let out_path = out_override.unwrap_or_else(|| {
+        if smoke {
+            "results/BENCH_llm_serving_smoke.json".to_string()
+        } else {
+            "results/BENCH_llm_serving.json".to_string()
+        }
+    });
+    run(smoke, &out_path);
+}

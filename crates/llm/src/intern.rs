@@ -1,0 +1,179 @@
+//! The token-ID layer: a shared vocabulary interning stream chunks to
+//! `u32` ids.
+//!
+//! Serving-path components (the batch engine, the prefix cache) want to
+//! compare and hash prompt prefixes millions of times. Re-walking strings
+//! for every comparison is the seed behaviour this layer replaces: a prompt
+//! is encoded to a `Vec<u32>` **once** ([`Tokenizer::encode_ids`]) and every
+//! later operation — prefix matching, cache keys, batching budgets — works
+//! on machine words.
+//!
+//! Ids intern *stream chunks* (whitespace glued to the following billable
+//! token, exactly the unit the streaming API emits), so an id sequence is
+//! fully reversible: [`Tokenizer::decode_ids`] reproduces the original text
+//! byte for byte, which is what lets a streaming decoder emit interned
+//! completions without keeping the source string around.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use crate::tokenizer::Tokenizer;
+
+/// A shared, append-only vocabulary mapping chunk strings to dense `u32`
+/// ids. Thread-safe and cheap to clone (clones share the same table).
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    inner: Arc<RwLock<VocabInner>>,
+}
+
+#[derive(Debug, Default)]
+struct VocabInner {
+    map: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Vocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Vocab::default()
+    }
+
+    /// Intern `chunk`, returning its stable id. Ids are dense and assigned
+    /// in first-seen order, so two `Vocab`s fed the same chunk sequence
+    /// assign identical ids (determinism across runs).
+    pub fn intern(&self, chunk: &str) -> u32 {
+        if let Some(&id) = self.inner.read().expect("vocab lock").map.get(chunk) {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("vocab lock");
+        // Re-check: another writer may have interned it between locks.
+        if let Some(&id) = inner.map.get(chunk) {
+            return id;
+        }
+        let id = inner.strings.len() as u32;
+        let s: Arc<str> = Arc::from(chunk);
+        inner.strings.push(s.clone());
+        inner.map.insert(s, id);
+        id
+    }
+
+    /// Resolve an id back to its chunk text, or `None` for unknown ids.
+    pub fn resolve(&self, id: u32) -> Option<Arc<str>> {
+        self.inner
+            .read()
+            .expect("vocab lock")
+            .strings
+            .get(id as usize)
+            .cloned()
+    }
+
+    /// Number of distinct chunks interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("vocab lock").strings.len()
+    }
+
+    /// Is the vocabulary empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Tokenizer {
+    /// Encode `text` into interned chunk ids (one id per billable token,
+    /// plus at most one trailing-whitespace id). The prompt is walked
+    /// exactly once; everything downstream operates on the id sequence.
+    pub fn encode_ids(&self, text: &str, vocab: &Vocab) -> Vec<u32> {
+        self.chunks(text).map(|c| vocab.intern(c)).collect()
+    }
+
+    /// Decode an id sequence back to text. Unknown ids are skipped (they
+    /// cannot occur for sequences produced by [`Tokenizer::encode_ids`]
+    /// against the same vocabulary).
+    pub fn decode_ids(&self, ids: &[u32], vocab: &Vocab) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if let Some(s) = vocab.resolve(id) {
+                out.push_str(&s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let v = Vocab::new();
+        let a = v.intern("hello");
+        let b = v.intern(" world");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(v.intern("hello"), a);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.resolve(a).unwrap().as_ref(), "hello");
+        assert!(v.resolve(99).is_none());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tk = Tokenizer::new();
+        let v = Vocab::new();
+        for text in [
+            "SELECT name, total FROM orders WHERE region = 'EMEA';",
+            "  leading and trailing  ",
+            "多语言 mixed 文本!",
+            "",
+        ] {
+            let ids = tk.encode_ids(text, &v);
+            assert_eq!(tk.decode_ids(&ids, &v), text, "roundtrip for {text:?}");
+        }
+    }
+
+    #[test]
+    fn id_count_tracks_billable_tokens() {
+        let tk = Tokenizer::new();
+        let v = Vocab::new();
+        // No trailing whitespace: ids == billable tokens.
+        let ids = tk.encode_ids("a b c", &v);
+        assert_eq!(ids.len(), tk.count("a b c"));
+        // Trailing whitespace adds exactly one reversibility id.
+        let ids = tk.encode_ids("a b c  ", &v);
+        assert_eq!(ids.len(), tk.count("a b c  ") + 1);
+    }
+
+    #[test]
+    fn shared_prefixes_share_ids() {
+        let tk = Tokenizer::new();
+        let v = Vocab::new();
+        let a = tk.encode_ids("system: be helpful. user: q one", &v);
+        let b = tk.encode_ids("system: be helpful. user: q two", &v);
+        let common = a.iter().zip(&b).take_while(|(x, y)| x == y).count();
+        // Everything up to the divergent last token is id-identical.
+        assert!(common >= a.len() - 2, "common={common} of {}", a.len());
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let v = Vocab::new();
+        let v2 = v.clone();
+        let id = v.intern("shared");
+        assert_eq!(v2.intern("shared"), id);
+        assert_eq!(v2.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let tk = Tokenizer::new();
+        let mk = || {
+            let v = Vocab::new();
+            (
+                tk.encode_ids("one two three", &v),
+                tk.encode_ids("one two four", &v),
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+}

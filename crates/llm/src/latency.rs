@@ -40,6 +40,33 @@ impl LatencyModel {
         self.base_us + self.prefill_us_per_token * prompt_tokens as u64
     }
 
+    /// Prefill cost (base + per-token prefill) with the first
+    /// `cached_prefix_tokens` discounted — they were prefilled by an
+    /// earlier request sharing the prefix, so only the divergent suffix is
+    /// computed. `Usage` accounting is unaffected: caching changes time,
+    /// not billing.
+    pub fn prefill_us(&self, prompt_tokens: usize, cached_prefix_tokens: usize) -> u64 {
+        let uncached = prompt_tokens.saturating_sub(cached_prefix_tokens);
+        self.base_us + self.prefill_us_per_token * uncached as u64
+    }
+
+    /// [`LatencyModel::ttft_us`] with a cached prefix discounted.
+    pub fn ttft_cached_us(&self, prompt_tokens: usize, cached_prefix_tokens: usize) -> u64 {
+        self.prefill_us(prompt_tokens, cached_prefix_tokens)
+    }
+
+    /// [`LatencyModel::request_us`] with a cached prefix discounted from
+    /// the prefill phase.
+    pub fn request_cached_us(
+        &self,
+        prompt_tokens: usize,
+        cached_prefix_tokens: usize,
+        completion_tokens: usize,
+    ) -> u64 {
+        self.prefill_us(prompt_tokens, cached_prefix_tokens)
+            + self.decode_us_per_token * completion_tokens as u64
+    }
+
     /// Simulated decode throughput in tokens/second (0 if free).
     pub fn decode_tokens_per_sec(&self) -> f64 {
         if self.decode_us_per_token == 0 {
@@ -88,6 +115,24 @@ mod tests {
             decode_us_per_token: 1000,
         };
         assert_eq!(m.ttft_us(7), 170);
+    }
+
+    #[test]
+    fn cached_prefix_discounts_prefill_only() {
+        let m = LatencyModel {
+            base_us: 100,
+            prefill_us_per_token: 10,
+            decode_us_per_token: 1000,
+        };
+        // No cache hit: identical to the uncached formulas.
+        assert_eq!(m.prefill_us(7, 0), m.ttft_us(7));
+        assert_eq!(m.request_cached_us(5, 0, 2), m.request_us(5, 2));
+        // Full hit: only base remains of the prefill phase.
+        assert_eq!(m.prefill_us(7, 7), 100);
+        // Partial hit discounts exactly the cached tokens.
+        assert_eq!(m.request_us(10, 3) - m.request_cached_us(10, 4, 3), 40);
+        // Over-long cached prefix saturates instead of underflowing.
+        assert_eq!(m.prefill_us(3, 99), 100);
     }
 
     #[test]

@@ -25,7 +25,14 @@
 //!
 //! ## Crate map
 //!
-//! - [`tokenizer`] — whitespace/punctuation tokenizer with token accounting.
+//! - [`tokenizer`] — whitespace/punctuation tokenizer with token accounting,
+//!   built on non-allocating token/chunk iterators.
+//! - [`intern`] — the token-ID layer: a shared [`Vocab`] interning stream
+//!   chunks to `u32` ids (`encode_ids`/`decode_ids`, fully reversible).
+//! - [`prefix`] — radix prefix cache over id sequences with LRU eviction
+//!   and per-node hit accounting (simulated KV-prefix reuse).
+//! - [`engine`] — [`BatchEngine`], the continuous-batching scheduler the
+//!   SMMF serving path dispatches through.
 //! - [`types`] — [`GenerationParams`], [`Completion`], [`Usage`].
 //! - [`chat`] — chat messages and prompt-format rendering.
 //! - [`model`] — the [`LanguageModel`] trait and [`ModelId`] newtype.
@@ -33,8 +40,9 @@
 //! - [`skills`] — built-in skills (planner, extractive QA, summarise, …).
 //! - [`sim`] — [`SimLlm`], the simulated model runtime, plus its spec.
 //! - [`catalog`] — the built-in model zoo (`proxy-gpt`, `sim-qwen`, …).
-//! - [`stream`] — token streaming.
-//! - [`latency`] — the simulated latency model used by SMMF benchmarks.
+//! - [`stream`] — lazy token streaming.
+//! - [`latency`] — the simulated latency model used by SMMF benchmarks,
+//!   with cached-prefix-aware prefill costs.
 //!
 //! ## Quickstart
 //!
@@ -52,9 +60,12 @@
 
 pub mod catalog;
 pub mod chat;
+pub mod engine;
 pub mod error;
+pub mod intern;
 pub mod latency;
 pub mod model;
+pub mod prefix;
 pub mod sim;
 pub mod skill;
 pub mod skills;
@@ -64,8 +75,12 @@ pub mod types;
 
 pub use catalog::builtin_model;
 pub use chat::{ChatMessage, ChatRequest, PromptFormat, Role};
+pub use engine::{BatchEngine, EngineConfig, EngineRun, ScheduledCompletion};
 pub use error::LlmError;
+pub use intern::Vocab;
+pub use latency::LatencyModel;
 pub use model::{LanguageModel, ModelId, SharedModel};
+pub use prefix::{PrefixCache, PrefixCacheStats};
 pub use sim::{SimLlm, SimModelSpec};
 pub use skill::{PromptSkill, SkillContext};
 pub use stream::TokenStream;

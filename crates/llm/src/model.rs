@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::chat::{ChatRequest, PromptFormat};
 use crate::error::LlmError;
+use crate::latency::LatencyModel;
 use crate::stream::TokenStream;
 use crate::types::{Completion, GenerationParams};
 
@@ -53,6 +54,13 @@ pub trait LanguageModel: Send + Sync {
 
     /// Chat template the model was trained with.
     fn prompt_format(&self) -> PromptFormat;
+
+    /// The model's serving-cost self-description, used by schedulers (the
+    /// batch engine, SMMF benchmarks) to simulate prefill/decode time.
+    /// Defaults to free for backends that don't model latency.
+    fn latency_model(&self) -> LatencyModel {
+        LatencyModel::ZERO
+    }
 
     /// Generate a completion for a raw prompt.
     fn generate(&self, prompt: &str, params: &GenerationParams) -> Result<Completion, LlmError>;

@@ -1,0 +1,375 @@
+//! Radix prefix cache over interned token-id sequences.
+//!
+//! Chat-template headers, system prompts and few-shot ICL examples make the
+//! prompts that reach the serving path massively prefix-shared: hundreds of
+//! requests differ only in their final user turn. A real inference server
+//! exploits that with KV-prefix caching — the shared prefix is prefilled
+//! once and later requests skip straight to their divergent suffix. This
+//! module is the simulated equivalent: a compressed radix trie over the
+//! `u32` id sequences produced by [`crate::intern`], with per-node hit
+//! accounting and LRU eviction under a token capacity.
+//!
+//! [`BatchEngine`](crate::engine::BatchEngine) consults the cache at
+//! admission: the longest cached prefix is discounted from the request's
+//! simulated prefill time ([`crate::latency::LatencyModel::prefill_us`]),
+//! while `Usage` still bills the full prompt — caching changes *time*, not
+//! *accounting*.
+
+use std::collections::BTreeMap;
+
+/// Counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixCacheStats {
+    /// Prefix lookups performed.
+    pub lookups: u64,
+    /// Total tokens across all looked-up sequences.
+    pub lookup_tokens: u64,
+    /// Tokens satisfied by a cached prefix.
+    pub hit_tokens: u64,
+    /// Tokens newly inserted into the trie.
+    pub inserted_tokens: u64,
+    /// Tokens removed by LRU eviction.
+    pub evicted_tokens: u64,
+}
+
+impl PrefixCacheStats {
+    /// Fraction of looked-up tokens served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookup_tokens == 0 {
+            return 0.0;
+        }
+        self.hit_tokens as f64 / self.lookup_tokens as f64
+    }
+}
+
+/// One trie node: a compressed edge of token ids plus children keyed by
+/// their edge's first id.
+#[derive(Debug)]
+struct Node {
+    /// Ids on the edge from the parent to this node (root: empty).
+    edge: Vec<u32>,
+    /// Children, keyed by the first id of the child's edge (BTreeMap for
+    /// deterministic iteration).
+    children: BTreeMap<u32, usize>,
+    parent: usize,
+    /// Lookups whose match traversed this node's full edge.
+    hits: u64,
+    /// Logical tick of the last lookup/insert that touched this node.
+    last_used: u64,
+}
+
+/// The radix prefix cache (see module docs). Capacity `0` disables it:
+/// every lookup misses and inserts are no-ops.
+#[derive(Debug)]
+pub struct PrefixCache {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    capacity_tokens: usize,
+    cached_tokens: usize,
+    tick: u64,
+    stats: PrefixCacheStats,
+}
+
+const ROOT: usize = 0;
+
+impl PrefixCache {
+    /// A cache holding at most `capacity_tokens` tokens (`0` = disabled).
+    pub fn new(capacity_tokens: usize) -> Self {
+        PrefixCache {
+            nodes: vec![Node {
+                edge: Vec::new(),
+                children: BTreeMap::new(),
+                parent: ROOT,
+                hits: 0,
+                last_used: 0,
+            }],
+            free: Vec::new(),
+            capacity_tokens,
+            cached_tokens: 0,
+            tick: 0,
+            stats: PrefixCacheStats::default(),
+        }
+    }
+
+    /// Is the cache switched off (capacity 0)?
+    pub fn is_disabled(&self) -> bool {
+        self.capacity_tokens == 0
+    }
+
+    /// Tokens currently stored in the trie.
+    pub fn cached_tokens(&self) -> usize {
+        self.cached_tokens
+    }
+
+    /// Live node count (excluding the root).
+    pub fn nodes(&self) -> usize {
+        self.nodes.len() - 1 - self.free.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PrefixCacheStats {
+        self.stats
+    }
+
+    /// Length (in tokens) of the longest cached prefix of `ids`, bumping
+    /// recency along the matched path and hit counters on fully-matched
+    /// nodes.
+    pub fn longest_prefix(&mut self, ids: &[u32]) -> usize {
+        self.stats.lookups += 1;
+        self.stats.lookup_tokens += ids.len() as u64;
+        if self.is_disabled() {
+            return 0;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let mut node = ROOT;
+        let mut matched = 0usize;
+        while matched < ids.len() {
+            let Some(&child) = self.nodes[node].children.get(&ids[matched]) else {
+                break;
+            };
+            let edge_len = self.nodes[child].edge.len();
+            let mut k = 0usize;
+            while k < edge_len && matched + k < ids.len() && self.nodes[child].edge[k] == ids[matched + k]
+            {
+                k += 1;
+            }
+            self.nodes[child].last_used = tick;
+            matched += k;
+            if k < edge_len {
+                break; // diverged (or ran out of query) mid-edge
+            }
+            self.nodes[child].hits += 1;
+            node = child;
+        }
+        self.stats.hit_tokens += matched as u64;
+        matched
+    }
+
+    /// Insert `ids` into the trie (splitting edges as needed), then evict
+    /// least-recently-used leaves until the token capacity holds.
+    pub fn insert(&mut self, ids: &[u32]) {
+        if self.is_disabled() || ids.is_empty() {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let mut node = ROOT;
+        let mut pos = 0usize;
+        while pos < ids.len() {
+            match self.nodes[node].children.get(&ids[pos]).copied() {
+                None => {
+                    // Fresh suffix: one new leaf holds the whole remainder.
+                    let rest: Vec<u32> = ids[pos..].to_vec();
+                    self.stats.inserted_tokens += rest.len() as u64;
+                    self.cached_tokens += rest.len();
+                    let leaf = self.alloc(Node {
+                        edge: rest,
+                        children: BTreeMap::new(),
+                        parent: node,
+                        hits: 0,
+                        last_used: tick,
+                    });
+                    self.nodes[node].children.insert(ids[pos], leaf);
+                    break;
+                }
+                Some(child) => {
+                    let edge_len = self.nodes[child].edge.len();
+                    let mut k = 0usize;
+                    while k < edge_len
+                        && pos + k < ids.len()
+                        && self.nodes[child].edge[k] == ids[pos + k]
+                    {
+                        k += 1;
+                    }
+                    self.nodes[child].last_used = tick;
+                    if k == edge_len {
+                        // Full edge consumed; descend.
+                        node = child;
+                        pos += k;
+                    } else {
+                        // Split `child` at offset k: mid holds edge[..k].
+                        let tail: Vec<u32> = self.nodes[child].edge.split_off(k);
+                        let head = std::mem::take(&mut self.nodes[child].edge);
+                        let mid = self.alloc(Node {
+                            edge: head,
+                            children: BTreeMap::new(),
+                            parent: node,
+                            hits: self.nodes[child].hits,
+                            last_used: tick,
+                        });
+                        self.nodes[child].edge = tail;
+                        self.nodes[child].parent = mid;
+                        let tail_first = self.nodes[child].edge[0];
+                        self.nodes[mid].children.insert(tail_first, child);
+                        self.nodes[node].children.insert(ids[pos], mid);
+                        node = mid;
+                        pos += k;
+                        // Loop continues: the remainder (if any) now misses
+                        // under `mid` and lands in the None arm.
+                    }
+                }
+            }
+        }
+        self.evict_to_capacity();
+    }
+
+    /// Convenience for the serving path: longest cached prefix, then
+    /// insert. Returns the prefix length.
+    pub fn admit(&mut self, ids: &[u32]) -> usize {
+        let hit = self.longest_prefix(ids);
+        self.insert(ids);
+        hit
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Evict least-recently-used leaves (oldest tick first, lowest index on
+    /// ties) until `cached_tokens <= capacity_tokens`.
+    fn evict_to_capacity(&mut self) {
+        while self.cached_tokens > self.capacity_tokens {
+            let mut victim: Option<(u64, usize)> = None;
+            for i in 1..self.nodes.len() {
+                if self.free.contains(&i) || !self.nodes[i].children.is_empty() {
+                    continue;
+                }
+                let key = (self.nodes[i].last_used, i);
+                if victim.map_or(true, |v| key < v) {
+                    victim = Some(key);
+                }
+            }
+            let Some((_, leaf)) = victim else { break };
+            let parent = self.nodes[leaf].parent;
+            let first = self.nodes[leaf].edge[0];
+            self.nodes[parent].children.remove(&first);
+            let freed = self.nodes[leaf].edge.len();
+            self.cached_tokens -= freed;
+            self.stats.evicted_tokens += freed as u64;
+            self.nodes[leaf].edge = Vec::new();
+            self.free.push(leaf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cache_misses() {
+        let mut c = PrefixCache::new(1024);
+        assert_eq!(c.longest_prefix(&[1, 2, 3]), 0);
+        assert_eq!(c.stats().hit_tokens, 0);
+        assert_eq!(c.stats().lookup_tokens, 3);
+    }
+
+    #[test]
+    fn full_and_partial_prefix_hits() {
+        let mut c = PrefixCache::new(1024);
+        c.insert(&[1, 2, 3, 4]);
+        assert_eq!(c.longest_prefix(&[1, 2, 3, 4]), 4);
+        assert_eq!(c.longest_prefix(&[1, 2, 3, 4, 5, 6]), 4);
+        assert_eq!(c.longest_prefix(&[1, 2, 9]), 2);
+        assert_eq!(c.longest_prefix(&[9, 9]), 0);
+        assert_eq!(c.cached_tokens(), 4);
+    }
+
+    #[test]
+    fn insert_splits_shared_edges() {
+        let mut c = PrefixCache::new(1024);
+        c.insert(&[1, 2, 3, 4]);
+        c.insert(&[1, 2, 7, 8]);
+        // Shared [1,2] + branches [3,4] and [7,8]: 6 tokens total.
+        assert_eq!(c.cached_tokens(), 6);
+        assert_eq!(c.longest_prefix(&[1, 2, 3, 4]), 4);
+        assert_eq!(c.longest_prefix(&[1, 2, 7, 8]), 4);
+        assert_eq!(c.longest_prefix(&[1, 2]), 2);
+    }
+
+    #[test]
+    fn reinserting_is_free() {
+        let mut c = PrefixCache::new(1024);
+        c.insert(&[5, 6, 7]);
+        let before = c.stats().inserted_tokens;
+        c.insert(&[5, 6, 7]);
+        assert_eq!(c.stats().inserted_tokens, before);
+        assert_eq!(c.cached_tokens(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let mut c = PrefixCache::new(4);
+        c.insert(&[1, 2]);
+        c.insert(&[3, 4]);
+        assert_eq!(c.cached_tokens(), 4);
+        // Touch [1,2] so [3,4] is the LRU leaf.
+        assert_eq!(c.longest_prefix(&[1, 2]), 2);
+        c.insert(&[5, 6]);
+        assert!(c.cached_tokens() <= 4);
+        assert_eq!(c.longest_prefix(&[1, 2]), 2, "recently used survives");
+        assert_eq!(c.longest_prefix(&[3, 4]), 0, "LRU leaf evicted");
+        assert_eq!(c.longest_prefix(&[5, 6]), 2, "new entry cached");
+        assert_eq!(c.stats().evicted_tokens, 2);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let mut c = PrefixCache::new(0);
+        c.insert(&[1, 2, 3]);
+        assert_eq!(c.longest_prefix(&[1, 2, 3]), 0);
+        assert_eq!(c.cached_tokens(), 0);
+        assert_eq!(c.nodes(), 0);
+    }
+
+    #[test]
+    fn hit_accounting_per_node() {
+        let mut c = PrefixCache::new(1024);
+        c.insert(&[1, 2, 3]);
+        for _ in 0..3 {
+            c.longest_prefix(&[1, 2, 3]);
+        }
+        let s = c.stats();
+        assert_eq!(s.lookups, 3);
+        assert_eq!(s.hit_tokens, 9);
+        assert!((s.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_then_reinsert_reuses_nodes() {
+        let mut c = PrefixCache::new(2);
+        c.insert(&[1, 2]);
+        c.insert(&[3, 4]); // evicts [1,2]
+        assert_eq!(c.cached_tokens(), 2);
+        let nodes_before = c.nodes();
+        c.insert(&[5, 6]); // evicts [3,4], reuses the freed slot
+        assert_eq!(c.nodes(), nodes_before);
+        assert_eq!(c.longest_prefix(&[5, 6]), 2);
+    }
+
+    #[test]
+    fn deep_shared_prefix_chain() {
+        let mut c = PrefixCache::new(1 << 16);
+        let base: Vec<u32> = (0..100).collect();
+        for tail in 0..10u32 {
+            let mut ids = base.clone();
+            ids.push(1000 + tail);
+            c.insert(&ids);
+        }
+        // 100 shared + 10 distinct tails.
+        assert_eq!(c.cached_tokens(), 110);
+        let mut probe = base.clone();
+        probe.push(2000);
+        assert_eq!(c.longest_prefix(&probe), 100);
+    }
+}

@@ -125,15 +125,15 @@ impl SimLlm {
             seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        let chunks = self.tokenizer.stream_chunks(text);
         let mut out = String::with_capacity(text.len());
-        for chunk in chunks {
+        // Lazy chunk walk: no per-chunk String allocation.
+        for chunk in self.tokenizer.chunks(text) {
             if rng.gen_bool(p_corrupt.min(1.0)) {
                 match rng.gen_range(0..3u8) {
                     0 => continue,                       // drop token
                     1 => {
-                        out.push_str(&chunk);
-                        out.push_str(&chunk);            // stutter
+                        out.push_str(chunk);
+                        out.push_str(chunk);             // stutter
                     }
                     _ => {
                         // Garble: replace the word part with a filler.
@@ -144,7 +144,7 @@ impl SimLlm {
                     }
                 }
             } else {
-                out.push_str(&chunk);
+                out.push_str(chunk);
             }
         }
         out
@@ -162,6 +162,10 @@ impl LanguageModel for SimLlm {
 
     fn prompt_format(&self) -> PromptFormat {
         self.spec.prompt_format
+    }
+
+    fn latency_model(&self) -> LatencyModel {
+        self.spec.latency
     }
 
     fn generate(&self, prompt: &str, params: &GenerationParams) -> Result<Completion, LlmError> {

@@ -4,6 +4,12 @@
 //! consumes operators that yield data piece by piece. [`TokenStream`] is the
 //! substrate for both: an iterator over completion chunks that also carries
 //! the final [`Completion`] metadata once drained.
+//!
+//! The stream is **lazy**: it keeps the completion text and a byte cursor,
+//! and finds each chunk boundary on demand via
+//! [`Tokenizer::chunks`](crate::tokenizer::Tokenizer::chunks) — no
+//! `Vec<String>` of every chunk is ever materialised (the seed
+//! implementation allocated one per completion).
 
 use crate::tokenizer::Tokenizer;
 use crate::types::{Completion, FinishReason, Usage};
@@ -13,7 +19,12 @@ use crate::types::{Completion, FinishReason, Usage};
 /// Concatenating every yielded chunk reproduces `completion().text` exactly.
 #[derive(Debug, Clone)]
 pub struct TokenStream {
-    chunks: std::vec::IntoIter<String>,
+    text: String,
+    /// Byte offset of the first unyielded chunk.
+    cursor: usize,
+    /// Chunks not yet yielded (counted once at construction, O(n) scan,
+    /// zero allocation).
+    remaining: usize,
     finish_reason: FinishReason,
     usage: Usage,
     model: String,
@@ -24,15 +35,16 @@ pub struct TokenStream {
 impl TokenStream {
     /// Build a stream that replays an already-finished completion.
     pub fn from_completion(completion: Completion) -> Self {
-        let tokenizer = Tokenizer::new();
-        let chunks = tokenizer.stream_chunks(&completion.text);
+        let remaining = Tokenizer::new().chunks(&completion.text).count();
         TokenStream {
-            chunks: chunks.into_iter(),
+            cursor: 0,
+            remaining,
             finish_reason: completion.finish_reason,
             usage: completion.usage,
             model: completion.model,
             simulated_latency_us: completion.simulated_latency_us,
             yielded: 0,
+            text: completion.text,
         }
     }
 
@@ -43,7 +55,7 @@ impl TokenStream {
 
     /// Chunks remaining.
     pub fn remaining(&self) -> usize {
-        self.chunks.len()
+        self.remaining
     }
 
     /// Why the underlying generation stopped.
@@ -61,23 +73,15 @@ impl TokenStream {
         &self.model
     }
 
-    /// Drain the stream and reassemble the full [`Completion`].
+    /// Drain the stream and reassemble the full [`Completion`] (containing
+    /// whatever text had not been yielded yet).
     pub fn into_completion(self) -> Completion {
-        let usage = self.usage;
-        let finish_reason = self.finish_reason;
-        let model = self.model.clone();
-        let simulated_latency_us = self.simulated_latency_us;
-        let mut text = String::new();
-        let already: Vec<String> = self.chunks.collect();
-        for c in already {
-            text.push_str(&c);
-        }
         Completion {
-            text,
-            finish_reason,
-            usage,
-            model,
-            simulated_latency_us,
+            text: self.text[self.cursor..].to_string(),
+            finish_reason: self.finish_reason,
+            usage: self.usage,
+            model: self.model,
+            simulated_latency_us: self.simulated_latency_us,
         }
     }
 }
@@ -86,15 +90,17 @@ impl Iterator for TokenStream {
     type Item = String;
 
     fn next(&mut self) -> Option<String> {
-        let n = self.chunks.next();
-        if n.is_some() {
-            self.yielded += 1;
-        }
-        n
+        let chunk = Tokenizer::new().chunks(&self.text[self.cursor..]).next()?;
+        let len = chunk.len();
+        let out = chunk.to_string();
+        self.cursor += len;
+        self.yielded += 1;
+        self.remaining -= 1;
+        Some(out)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.chunks.size_hint()
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -152,5 +158,27 @@ mod tests {
     fn empty_completion_streams_nothing() {
         let mut s = TokenStream::from_completion(completion(""));
         assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn lazy_chunks_match_eager_stream_chunks() {
+        for text in [
+            "hello world, this is  DB-GPT!",
+            "  leading",
+            "trailing  ",
+            "多语言 support",
+        ] {
+            let lazy: Vec<String> =
+                TokenStream::from_completion(completion(text)).collect();
+            assert_eq!(lazy, Tokenizer::new().stream_chunks(text), "for {text:?}");
+        }
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut s = TokenStream::from_completion(completion("a b c d"));
+        assert_eq!(s.size_hint(), (4, Some(4)));
+        s.next();
+        assert_eq!(s.size_hint(), (3, Some(3)));
     }
 }

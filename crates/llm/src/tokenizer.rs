@@ -6,6 +6,16 @@
 //! token, and (c) produces counts that grow linearly with text length so the
 //! context-window and latency models behave realistically. A
 //! word-and-punctuation tokenizer satisfies all three.
+//!
+//! The hot paths (`count`, `truncate`, chunking for streams, id encoding)
+//! all run over two non-allocating iterators:
+//!
+//! - [`TokenIter`] yields [`Token`] slices (word / punct / whitespace run);
+//! - [`ChunkIter`] yields *stream chunks*: contiguous slices pairing each
+//!   billable token with the whitespace that precedes it, so concatenating
+//!   the chunks reproduces the input byte for byte. Chunks are also the
+//!   unit of the token-ID layer ([`crate::intern`]) and of the prefix cache
+//!   ([`crate::prefix`]).
 
 /// A borrowed token: either a word, a punctuation mark, or whitespace run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +38,100 @@ pub struct Token<'a> {
     pub kind: TokenKind,
 }
 
+/// Non-allocating iterator over the tokens of a text (see [`Tokenizer::tokens`]).
+#[derive(Debug, Clone)]
+pub struct TokenIter<'a> {
+    text: &'a str,
+    /// Byte offset of the next unread character.
+    pos: usize,
+}
+
+impl<'a> TokenIter<'a> {
+    fn new(text: &'a str) -> Self {
+        TokenIter { text, pos: 0 }
+    }
+
+    /// Byte offset just past the last yielded token.
+    fn offset(&self) -> usize {
+        self.pos
+    }
+}
+
+impl<'a> Iterator for TokenIter<'a> {
+    type Item = Token<'a>;
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        let rest = &self.text[self.pos..];
+        let mut chars = rest.char_indices();
+        let (_, first) = chars.next()?;
+        let start = self.pos;
+        let (len, kind) = if first.is_whitespace() {
+            let mut len = first.len_utf8();
+            for (i, c) in chars {
+                if c.is_whitespace() {
+                    len = i + c.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            (len, TokenKind::Space)
+        } else if is_cjk(first) {
+            (first.len_utf8(), TokenKind::Word)
+        } else if first.is_alphanumeric() || first == '_' {
+            let mut len = first.len_utf8();
+            for (i, c) in chars {
+                if (c.is_alphanumeric() || c == '_') && !is_cjk(c) {
+                    len = i + c.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            (len, TokenKind::Word)
+        } else {
+            (first.len_utf8(), TokenKind::Punct)
+        };
+        self.pos += len;
+        Some(Token {
+            text: &self.text[start..start + len],
+            kind,
+        })
+    }
+}
+
+/// Non-allocating iterator over stream chunks (see [`Tokenizer::chunks`]).
+///
+/// Each chunk is a contiguous slice of the input: the whitespace run (if
+/// any) preceding one billable token, plus that token — or, as a final
+/// chunk, a trailing whitespace run. Concatenating every chunk reproduces
+/// the input exactly, and the number of non-trailing-space chunks equals
+/// [`Tokenizer::count`].
+#[derive(Debug, Clone)]
+pub struct ChunkIter<'a> {
+    tokens: TokenIter<'a>,
+}
+
+impl<'a> Iterator for ChunkIter<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let text = self.tokens.text;
+        let start = self.tokens.offset();
+        loop {
+            match self.tokens.next() {
+                Some(t) if t.kind == TokenKind::Space => continue,
+                Some(_) => return Some(&text[start..self.tokens.offset()]),
+                None => {
+                    // Trailing whitespace (if any) becomes the last chunk.
+                    if self.tokens.offset() > start {
+                        return Some(&text[start..self.tokens.offset()]);
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}
+
 /// The tokenizer. Stateless; all methods take `&self` so it can be shared.
 #[derive(Debug, Clone, Default)]
 pub struct Tokenizer;
@@ -38,97 +142,42 @@ impl Tokenizer {
         Tokenizer
     }
 
+    /// Iterate the tokens of `text` without allocating.
+    pub fn tokens<'a>(&self, text: &'a str) -> TokenIter<'a> {
+        TokenIter::new(text)
+    }
+
+    /// Iterate the stream chunks of `text` without allocating (whitespace
+    /// attached to the following billable token; see [`ChunkIter`]).
+    pub fn chunks<'a>(&self, text: &'a str) -> ChunkIter<'a> {
+        ChunkIter {
+            tokens: TokenIter::new(text),
+        }
+    }
+
     /// Tokenize `text` into word / punctuation / whitespace tokens.
     ///
     /// CJK ideographs are split one-per-token (like real BPE vocabularies,
     /// which rarely merge Chinese characters), which matters for the
     /// multilingual paths in the application layer.
     pub fn tokenize<'a>(&self, text: &'a str) -> Vec<Token<'a>> {
-        let mut tokens = Vec::with_capacity(text.len() / 4 + 1);
-        let mut chars = text.char_indices().peekable();
-        while let Some((start, c)) = chars.next() {
-            if c.is_whitespace() {
-                let mut end = start + c.len_utf8();
-                while let Some(&(i, nc)) = chars.peek() {
-                    if nc.is_whitespace() {
-                        end = i + nc.len_utf8();
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                tokens.push(Token {
-                    text: &text[start..end],
-                    kind: TokenKind::Space,
-                });
-            } else if is_cjk(c) {
-                tokens.push(Token {
-                    text: &text[start..start + c.len_utf8()],
-                    kind: TokenKind::Word,
-                });
-            } else if c.is_alphanumeric() || c == '_' {
-                let mut end = start + c.len_utf8();
-                while let Some(&(i, nc)) = chars.peek() {
-                    if (nc.is_alphanumeric() || nc == '_') && !is_cjk(nc) {
-                        end = i + nc.len_utf8();
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                tokens.push(Token {
-                    text: &text[start..end],
-                    kind: TokenKind::Word,
-                });
-            } else {
-                tokens.push(Token {
-                    text: &text[start..start + c.len_utf8()],
-                    kind: TokenKind::Punct,
-                });
-            }
-        }
-        tokens
+        self.tokens(text).collect()
     }
 
     /// Count the *billable* tokens in `text` (words + punctuation; whitespace
     /// is free, matching how BPE folds spaces into word tokens).
     pub fn count(&self, text: &str) -> usize {
-        self.tokenize(text)
-            .iter()
+        self.tokens(text)
             .filter(|t| t.kind != TokenKind::Space)
             .count()
     }
 
     /// Split a completion into the chunks emitted by the streaming API:
     /// whitespace is attached to the following token so concatenating the
-    /// chunks reproduces the original text exactly.
+    /// chunks reproduces the original text exactly. Allocates one `String`
+    /// per chunk; prefer [`Tokenizer::chunks`] on hot paths.
     pub fn stream_chunks(&self, text: &str) -> Vec<String> {
-        let tokens = self.tokenize(text);
-        let mut chunks = Vec::with_capacity(tokens.len());
-        let mut pending_space: Option<&str> = None;
-        for t in tokens {
-            match t.kind {
-                TokenKind::Space => {
-                    // Merge consecutive whitespace into the pending prefix.
-                    pending_space = Some(match pending_space {
-                        None => t.text,
-                        Some(_) => t.text, // runs are already merged by tokenize
-                    });
-                }
-                _ => {
-                    let mut s = String::with_capacity(t.text.len() + 1);
-                    if let Some(sp) = pending_space.take() {
-                        s.push_str(sp);
-                    }
-                    s.push_str(t.text);
-                    chunks.push(s);
-                }
-            }
-        }
-        if let Some(sp) = pending_space {
-            chunks.push(sp.to_string());
-        }
-        chunks
+        self.chunks(text).map(str::to_string).collect()
     }
 
     /// Truncate `text` to at most `max_tokens` billable tokens, preserving
@@ -136,19 +185,17 @@ impl Tokenizer {
     /// number of billable tokens kept.
     pub fn truncate(&self, text: &str, max_tokens: usize) -> (String, usize) {
         let mut kept = 0usize;
-        let mut pos = 0usize;
         // Byte offset just past the last billable token we kept; trailing
         // whitespace is never included in a truncated prefix.
         let mut cut = 0usize;
-        for t in self.tokenize(text) {
-            let at_limit = kept == max_tokens;
-            if t.kind != TokenKind::Space && at_limit {
-                return (text[..cut].to_string(), kept);
-            }
-            pos += t.text.len();
+        let mut tokens = self.tokens(text);
+        while let Some(t) = tokens.next() {
             if t.kind != TokenKind::Space {
+                if kept == max_tokens {
+                    return (text[..cut].to_string(), kept);
+                }
                 kept += 1;
-                cut = pos;
+                cut = tokens.offset();
             }
         }
         (text.to_string(), kept)
@@ -223,6 +270,28 @@ mod tests {
             let rebuilt: String = chunks.concat();
             assert_eq!(rebuilt, text, "roundtrip failed for {text:?}");
         }
+    }
+
+    #[test]
+    fn chunk_iter_is_borrowed_and_matches_stream_chunks() {
+        let text = "  SELECT a, b  FROM 订单 WHERE x_1 > 3;  ";
+        let lazy: Vec<&str> = tk().chunks(text).collect();
+        let eager = tk().stream_chunks(text);
+        assert_eq!(lazy, eager.iter().map(String::as_str).collect::<Vec<_>>());
+        // Every chunk except a trailing all-whitespace one carries exactly
+        // one billable token.
+        let billable = lazy
+            .iter()
+            .filter(|c| !c.chars().all(char::is_whitespace))
+            .count();
+        assert_eq!(billable, tk().count(text));
+    }
+
+    #[test]
+    fn token_iter_matches_tokenize() {
+        let text = "mixed 文本 with_punct! and  spaces";
+        let lazy: Vec<Token> = tk().tokens(text).collect();
+        assert_eq!(lazy, tk().tokenize(text));
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   [`router::RoutingPolicy`], retries on worker failure, and enforces the
 //!   [`privacy`] mode (local-only serving, the paper's data-privacy
 //!   guarantee).
+//! - **Batched dispatch** ([`server::ApiServer::chat_many`]) — an optional
+//!   continuous-batching mode: jobs routed to the same worker share decode
+//!   steps in a per-worker [`dbgpt_llm::engine::BatchEngine`] with a radix
+//!   prefix cache, compressing simulated serving time while keeping every
+//!   completion byte-identical to the sequential path. Off by default
+//!   ([`dbgpt_llm::engine::EngineConfig::disabled`]).
 //! - **Resilience layer** ([`resilience`]) — per-worker circuit breakers,
 //!   exponential backoff with seeded jitter, per-request deadline budgets
 //!   in simulated µs, request hedging, load shedding, and a fallback model
@@ -56,6 +62,7 @@ pub mod worker;
 
 pub use chaos::{Fault, Scenario, ScenarioReport};
 pub use controller::ModelController;
+pub use dbgpt_llm::engine::EngineConfig;
 pub use error::SmmfError;
 pub use privacy::{DeploymentMode, Locality};
 pub use resilience::{

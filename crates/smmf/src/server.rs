@@ -20,6 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use dbgpt_llm::catalog::{builtin_model, builtin_spec};
+use dbgpt_llm::engine::{BatchEngine, EngineConfig};
+use dbgpt_llm::prefix::PrefixCacheStats;
 use dbgpt_llm::{Completion, GenerationParams, SharedModel};
 
 use crate::controller::ModelController;
@@ -35,6 +37,7 @@ pub struct ApiServer {
     controller: ModelController,
     router: Router,
     resilience: ResilienceConfig,
+    engine: EngineConfig,
     seed: u64,
     /// Simulated monotonic clock, µs.
     clock_us: AtomicU64,
@@ -45,6 +48,10 @@ pub struct ApiServer {
     inflight: Mutex<BTreeMap<String, u64>>,
     /// Jitter stream for backoff pauses.
     backoff_rng: Mutex<SplitMix64>,
+    /// Per-worker batch engines, created lazily on first batched dispatch
+    /// and keyed `model/worker` (each replica has its own KV-prefix cache,
+    /// like a real serving process).
+    engines: Mutex<BTreeMap<String, BatchEngine>>,
     m_requests: AtomicU64,
     m_retries: AtomicU64,
     m_backoffs: AtomicU64,
@@ -84,22 +91,39 @@ impl ApiServer {
         Self::with_resilience(mode, policy, seed, ResilienceConfig::disabled())
     }
 
-    /// Server with a routing policy and a full resilience configuration.
+    /// Server with a routing policy and a full resilience configuration;
+    /// the batch engine stays off.
     pub fn with_resilience(
         mode: DeploymentMode,
         policy: RoutingPolicy,
         seed: u64,
         resilience: ResilienceConfig,
     ) -> Self {
+        Self::with_engine(mode, policy, seed, resilience, EngineConfig::disabled())
+    }
+
+    /// Full construction: routing policy, resilience configuration, and a
+    /// batch-engine configuration for [`ApiServer::chat_many`]. With
+    /// `EngineConfig::disabled()` every request — including `chat_many`
+    /// jobs — takes exactly the sequential [`ApiServer::chat`] path.
+    pub fn with_engine(
+        mode: DeploymentMode,
+        policy: RoutingPolicy,
+        seed: u64,
+        resilience: ResilienceConfig,
+        engine: EngineConfig,
+    ) -> Self {
         ApiServer {
             controller: ModelController::new(mode),
             router: Router::new(policy, seed),
             resilience,
+            engine,
             seed,
             clock_us: AtomicU64::new(0),
             breakers: Mutex::new(BTreeMap::new()),
             inflight: Mutex::new(BTreeMap::new()),
             backoff_rng: Mutex::new(SplitMix64::stream(seed, 3)),
+            engines: Mutex::new(BTreeMap::new()),
             m_requests: AtomicU64::new(0),
             m_retries: AtomicU64::new(0),
             m_backoffs: AtomicU64::new(0),
@@ -125,6 +149,22 @@ impl ApiServer {
     /// The active resilience configuration.
     pub fn resilience(&self) -> &ResilienceConfig {
         &self.resilience
+    }
+
+    /// The active batch-engine configuration.
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.engine
+    }
+
+    /// Prefix-cache counters of every batch engine spun up so far, sorted
+    /// by `model/worker` key (empty until the first batched dispatch).
+    pub fn prefix_cache_stats(&self) -> Vec<(String, PrefixCacheStats)> {
+        self.engines
+            .lock()
+            .expect("engines lock")
+            .iter()
+            .map(|(k, e)| (k.clone(), e.cache_stats()))
+            .collect()
     }
 
     /// Current simulated time, µs.
@@ -249,12 +289,116 @@ impl ApiServer {
         }
     }
 
+    /// Serve a batch of chat requests against one model.
+    ///
+    /// With the engine disabled (the default) this is exactly a loop over
+    /// [`ApiServer::chat`] — same outputs, same clock advance, same
+    /// metrics, byte for byte. With the engine enabled, each job is routed
+    /// to a worker and inferred there as usual (fault injection, worker
+    /// stats and breaker accounting all still apply), but *timing* is
+    /// scheduled by that worker's [`BatchEngine`]: concurrent jobs share
+    /// decode steps, shared prompt prefixes hit the worker's radix cache,
+    /// and the server clock advances by the longest per-worker makespan
+    /// instead of the sum of sequential latencies. Completion contents are
+    /// byte-identical either way. Results come back in job order.
+    pub fn chat_many(
+        &self,
+        model: &str,
+        jobs: &[(String, GenerationParams)],
+    ) -> Vec<Result<Completion, SmmfError>> {
+        if !self.engine.enabled {
+            return jobs
+                .iter()
+                .map(|(prompt, params)| self.chat(model, prompt, params))
+                .collect();
+        }
+        self.chat_many_batched(model, jobs)
+    }
+
     /// Names of all deployed models.
     pub fn models(&self) -> Vec<&str> {
         self.controller.models()
     }
 
     // ---- internals -----------------------------------------------------
+
+    /// The engine-enabled half of [`ApiServer::chat_many`] (see its docs).
+    fn chat_many_batched(
+        &self,
+        model: &str,
+        jobs: &[(String, GenerationParams)],
+    ) -> Vec<Result<Completion, SmmfError>> {
+        let workers = match self.controller.workers(model) {
+            Ok(w) => w,
+            Err(_) => {
+                return jobs
+                    .iter()
+                    .map(|_| Err(SmmfError::UnknownModel(model.to_string())))
+                    .collect();
+            }
+        };
+        let mut out: Vec<Option<Result<Completion, SmmfError>>> = vec![None; jobs.len()];
+        let mut engines = self.engines.lock().expect("engines lock");
+        // Worker key → the (engine request id, job index) pairs routed to it.
+        let mut routed: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+        let now = self.now_us();
+        for (job_idx, (prompt, params)) in jobs.iter().enumerate() {
+            self.m_requests.fetch_add(1, Ordering::Relaxed);
+            let candidates: Vec<Arc<ModelWorker>> = workers
+                .iter()
+                .filter(|w| w.health() == WorkerHealth::Healthy)
+                .filter(|w| self.breaker_admits(model, w.id(), now))
+                .cloned()
+                .collect();
+            let Some(worker) = self.router.pick(&candidates) else {
+                out[job_idx] = Some(Err(SmmfError::NoHealthyWorker(model.to_string())));
+                continue;
+            };
+            self.breaker_on_dispatch(model, worker.id(), now);
+            // The worker produces the completion with the caller's exact
+            // (prompt, params) — batching never changes content, and
+            // fault injection / worker stats behave as in the chat path.
+            match worker.infer(prompt, params) {
+                Ok(c) => {
+                    self.breaker_record(model, worker.id(), true, now);
+                    let key = breaker_key(model, worker.id());
+                    let engine = engines.entry(key.clone()).or_insert_with(|| {
+                        BatchEngine::for_model(worker.model().clone(), self.engine)
+                    });
+                    let req_id = engine.submit_completed(prompt.clone(), Ok(c));
+                    routed.entry(key).or_default().push((req_id, job_idx));
+                }
+                Err(e) => {
+                    // Model-level rejections count as breaker successes
+                    // (the replica responded), infrastructure faults don't.
+                    let responded = matches!(e, SmmfError::Model(_));
+                    self.breaker_record(model, worker.id(), responded, self.now_us());
+                    out[job_idx] = Some(Err(e));
+                }
+            }
+        }
+        // Drain each touched engine. Workers decode in parallel, so the
+        // server clock advances by the *longest* per-worker makespan.
+        let mut max_makespan_us = 0u64;
+        for (key, ids) in routed {
+            let engine = engines.get_mut(&key).expect("engine was just touched");
+            if engine.clock_us() < now {
+                engine.advance_clock(now - engine.clock_us());
+            }
+            let (scheduled, run) = engine.run();
+            max_makespan_us = max_makespan_us.max(run.makespan_us);
+            let mut by_id: BTreeMap<usize, _> =
+                scheduled.into_iter().map(|s| (s.id, s)).collect();
+            for (req_id, job_idx) in ids {
+                let s = by_id.remove(&req_id).expect("engine returned every request");
+                out[job_idx] = Some(s.result.map_err(SmmfError::Model));
+            }
+        }
+        self.advance_clock(max_makespan_us);
+        out.into_iter()
+            .map(|o| o.expect("every job resolved"))
+            .collect()
+    }
 
     /// Admission control: reserve an in-flight slot or shed the request.
     fn admit(&self, model: &str) -> Result<Option<AdmissionGuard<'_>>, SmmfError> {
@@ -530,6 +674,7 @@ impl std::fmt::Debug for ApiServer {
             .field("controller", &self.controller)
             .field("router", &self.router)
             .field("resilience", &self.resilience.label())
+            .field("engine", &self.engine)
             .field("now_us", &self.now_us())
             .finish()
     }
@@ -918,5 +1063,120 @@ mod resilience_tests {
         };
         assert_eq!(run(11), run(11), "same seed must replay identically");
         assert_ne!(run(11).0, run(12).0, "different seed must differ");
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use dbgpt_llm::engine::EngineConfig;
+
+    fn jobs(n: usize) -> Vec<(String, GenerationParams)> {
+        let system = "### Task: chat\nYou are DB-GPT, a data analysis copilot \
+                      serving the analytics team. Answer precisely.";
+        (0..n)
+            .map(|i| {
+                (
+                    format!("{system}\nUser question {i}: explain join ordering"),
+                    GenerationParams::default(),
+                )
+            })
+            .collect()
+    }
+
+    fn server_with(engine: EngineConfig) -> ApiServer {
+        let mut s = ApiServer::with_engine(
+            DeploymentMode::Local,
+            RoutingPolicy::RoundRobin,
+            1,
+            ResilienceConfig::disabled(),
+            engine,
+        );
+        s.deploy_builtin("sim-qwen", 2).unwrap();
+        s
+    }
+
+    #[test]
+    fn disabled_engine_chat_many_is_the_sequential_path_byte_for_byte() {
+        let batch = server_with(EngineConfig::disabled());
+        let type_check: &EngineConfig = batch.engine_config();
+        assert!(!type_check.enabled);
+        let seq = server_with(EngineConfig::disabled());
+        let js = jobs(6);
+        let many = batch.chat_many("sim-qwen", &js);
+        let one_by_one: Vec<_> = js
+            .iter()
+            .map(|(p, params)| seq.chat("sim-qwen", p, params))
+            .collect();
+        assert_eq!(many, one_by_one, "disabled engine must change nothing");
+        assert_eq!(batch.now_us(), seq.now_us(), "same clock advance");
+        assert_eq!(batch.metrics(), seq.metrics());
+        assert!(batch.prefix_cache_stats().is_empty(), "no engine spun up");
+    }
+
+    #[test]
+    fn batched_chat_many_keeps_completions_and_compresses_time() {
+        let batched = server_with(EngineConfig::full());
+        let sequential = server_with(EngineConfig::disabled());
+        let js = jobs(8);
+        let fast = batched.chat_many("sim-qwen", &js);
+        let slow = sequential.chat_many("sim-qwen", &js);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(
+                f.as_ref().unwrap(),
+                s.as_ref().unwrap(),
+                "batching must never change completion content"
+            );
+        }
+        assert!(
+            batched.now_us() < sequential.now_us(),
+            "batched makespan {}µs must beat sequential {}µs",
+            batched.now_us(),
+            sequential.now_us()
+        );
+        let hit_tokens: u64 = batched
+            .prefix_cache_stats()
+            .iter()
+            .map(|(_, st)| st.hit_tokens)
+            .sum();
+        assert!(hit_tokens > 0, "shared prompt prefixes must hit the cache");
+    }
+
+    #[test]
+    fn batched_model_errors_pass_through_in_job_order() {
+        let s = server_with(EngineConfig::full());
+        let mut js = jobs(3);
+        js.insert(1, ("   ".to_string(), GenerationParams::default()));
+        let out = s.chat_many("sim-qwen", &js);
+        assert_eq!(out.len(), 4);
+        assert!(matches!(out[1], Err(SmmfError::Model(_))));
+        for (i, r) in out.iter().enumerate() {
+            if i != 1 {
+                assert!(r.is_ok(), "job {i} should succeed: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_unknown_model_rejects_every_job() {
+        let s = server_with(EngineConfig::full());
+        let out = s.chat_many("ghost", &jobs(2));
+        assert_eq!(out.len(), 2);
+        for r in out {
+            assert!(matches!(r, Err(SmmfError::UnknownModel(_))));
+        }
+    }
+
+    #[test]
+    fn batched_dispatch_is_deterministic() {
+        let run = || {
+            let s = server_with(EngineConfig::full());
+            let out = s.chat_many("sim-qwen", &jobs(6));
+            (
+                out.into_iter().map(|r| r.unwrap().text).collect::<Vec<_>>(),
+                s.now_us(),
+            )
+        };
+        assert_eq!(run(), run(), "same seed, same batch, same schedule");
     }
 }
