@@ -76,12 +76,18 @@ impl HistoryArchive {
     }
 
     /// Append one message (written through to disk when durable).
+    ///
+    /// Disk append and in-memory push happen inside one critical section
+    /// (the messages lock): releasing the file lock before taking the
+    /// messages lock would let a racing writer interleave, so a `replay`
+    /// could observe a different order on disk than in memory.
     pub fn record(&self, msg: AgentMessage) -> Result<(), AgentError> {
+        let mut messages = self.messages.lock();
         if let Some(f) = &self.file {
             let mut f = f.lock();
             writeln!(f, "{}", msg.to_jsonl()).map_err(|e| AgentError::Archive(e.to_string()))?;
         }
-        self.messages.lock().push(msg);
+        messages.push(msg);
         Ok(())
     }
 
@@ -226,6 +232,42 @@ mod tests {
         .unwrap();
         let a = HistoryArchive::at_path(&path).unwrap();
         assert_eq!(a.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_disk_order_matches_memory_order() {
+        use std::sync::Arc;
+        let dir =
+            std::env::temp_dir().join(format!("dbgpt-archive-race-{}", std::process::id()));
+        let path = dir.join("h.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let a = Arc::new(HistoryArchive::at_path(&path).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    a.record(msg(i, &format!("c{t}"), "x", "y")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // `by_agent("x")` matches every message and preserves stored order.
+        let memory_order: Vec<(String, u64)> = a
+            .by_agent("x")
+            .iter()
+            .map(|m| (m.conversation.clone(), m.seq))
+            .collect();
+        assert_eq!(a.replay().unwrap(), 200);
+        let disk_order: Vec<(String, u64)> = a
+            .by_agent("x")
+            .iter()
+            .map(|m| (m.conversation.clone(), m.seq))
+            .collect();
+        assert_eq!(memory_order, disk_order, "disk and memory must agree on order");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -179,7 +179,18 @@ impl Scheduler {
                     handles.push((node, Some(h)));
                 }
                 for (node, h) in handles {
-                    results.push((node, h.map(|h| h.join().expect("operator panicked"))));
+                    // A panicking operator must surface as an Execution
+                    // error, not unwind the scheduler: joining every handle
+                    // first also lets sibling operators run to completion.
+                    let joined = h.map(|h| {
+                        h.join().unwrap_or_else(|payload| {
+                            Err(AwelError::Execution {
+                                node: dag.node_name(node).to_string(),
+                                cause: panic_cause(payload),
+                            })
+                        })
+                    });
+                    results.push((node, joined));
                 }
             });
             for (node, result) in results {
@@ -239,6 +250,17 @@ impl Scheduler {
     }
 }
 
+/// Best-effort message from a thread panic payload.
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("operator panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("operator panicked: {s}")
+    } else {
+        "operator panicked".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +275,38 @@ mod tests {
             .edge("inc", "double")
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn async_panicking_operator_is_an_error_not_a_crash() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let sibling_ran = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&sibling_ran);
+        let dag = DagBuilder::new("boom")
+            .node("src", ops::identity())
+            .node("explode", ops::map(|_| panic!("kaboom")))
+            .node("steady", ops::map(move |v| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                v.clone()
+            }))
+            .edge("src", "explode")
+            .edge("src", "steady")
+            .build()
+            .unwrap();
+        let err = Scheduler::new()
+            .run(&dag, json!(1), ExecutionMode::Async)
+            .unwrap_err();
+        match err {
+            AwelError::Execution { node, cause } => {
+                assert_eq!(node, "explode");
+                assert!(cause.contains("kaboom"), "payload surfaced: {cause}");
+            }
+            other => panic!("expected Execution error, got {other:?}"),
+        }
+        // The sibling on the same level still ran to completion.
+        assert_eq!(sibling_ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -26,6 +26,9 @@
 
 use std::collections::VecDeque;
 
+use dbgpt_obs::metrics::COUNT_BUCKETS;
+use dbgpt_obs::{Obs, Span};
+
 use crate::error::LlmError;
 use crate::intern::Vocab;
 use crate::latency::LatencyModel;
@@ -202,6 +205,7 @@ pub struct BatchEngine {
     clock_us: u64,
     queue: VecDeque<Pending>,
     next_id: usize,
+    obs: Obs,
 }
 
 impl BatchEngine {
@@ -227,9 +231,21 @@ impl BatchEngine {
             clock_us: 0,
             queue: VecDeque::new(),
             next_id: 0,
+            obs: Obs::disabled(),
             config: effective,
             model,
         }
+    }
+
+    /// Attach an observability handle; drains then record spans and
+    /// metrics. The default handle is disabled and records nothing.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The engine's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Build an engine using the model's own latency self-description.
@@ -303,8 +319,20 @@ impl BatchEngine {
     /// persists across runs (so later batches hit prefixes warmed by
     /// earlier ones).
     pub fn run(&mut self) -> (Vec<ScheduledCompletion>, EngineRun) {
+        self.run_traced(None)
+    }
+
+    /// Like [`BatchEngine::run`], recording the drain as a child of
+    /// `parent` when that span is live (otherwise the drain becomes its
+    /// own trace if this engine's [`Obs`] is enabled, or records nothing).
+    pub fn run_traced(&mut self, parent: Option<&Span>) -> (Vec<ScheduledCompletion>, EngineRun) {
         let max_requests = self.config.max_batch_requests.max(1);
         let started = self.clock_us;
+        let span = match parent {
+            Some(p) => p.child("llm.engine.run", started),
+            None => self.obs.span("llm.engine.run", started),
+        };
+        let cache_before = self.cache.stats();
         let mut now = self.clock_us;
         let mut inflight: Vec<InFlight> = Vec::new();
         let mut inflight_tokens = 0usize;
@@ -362,6 +390,12 @@ impl BatchEngine {
                 run.cached_prompt_tokens += cached as u64;
                 run.sequential_us += completion.simulated_latency_us;
                 inflight_tokens += footprint;
+                if span.is_recording() {
+                    span.event(
+                        now,
+                        format!("admit id={} cached={cached} footprint={footprint}", p.id),
+                    );
+                }
                 inflight.push(InFlight {
                     id: p.id,
                     remaining: completion.usage.completion_tokens,
@@ -418,12 +452,14 @@ impl BatchEngine {
             // ---- one decode step: every prefilled request emits a token -
             run.steps += 1;
             now += self.latency.decode_us_per_token;
+            let mut decoding = 0u64;
             let mut i = 0;
             while i < inflight.len() {
                 if inflight[i].prefill_done_us > step_start {
                     i += 1;
                     continue;
                 }
+                decoding += 1;
                 if inflight[i].first_token_us.is_none() {
                     inflight[i].first_token_us = Some(now);
                 }
@@ -432,6 +468,7 @@ impl BatchEngine {
                     let r = inflight.swap_remove(i);
                     inflight_tokens -= r.footprint;
                     run.succeeded += 1;
+                    self.obs.observe("llm.engine.batched_latency_us", now - r.admitted_us);
                     out.push(ScheduledCompletion {
                         id: r.id,
                         admitted_us: r.admitted_us,
@@ -445,12 +482,54 @@ impl BatchEngine {
                     i += 1;
                 }
             }
+            self.obs
+                .observe_with("llm.engine.batch_occupancy", COUNT_BUCKETS, decoding);
         }
 
         self.clock_us = now;
         run.finished_us = now;
         run.makespan_us = now - started;
         out.sort_by_key(|c| c.id);
+
+        self.obs.counter("llm.engine.runs", 1);
+        self.obs.counter("llm.engine.steps", run.steps);
+        self.obs.counter("llm.engine.succeeded", run.succeeded);
+        self.obs.counter("llm.engine.failed", run.failed);
+        self.obs.counter("llm.engine.prompt_tokens", run.prompt_tokens);
+        self.obs
+            .counter("llm.engine.completion_tokens", run.completion_tokens);
+        self.obs
+            .counter("llm.engine.cached_prompt_tokens", run.cached_prompt_tokens);
+        self.obs.observe("llm.engine.makespan_us", run.makespan_us);
+        let cache_after = self.cache.stats();
+        self.obs.counter(
+            "llm.prefix_cache.lookups",
+            cache_after.lookups - cache_before.lookups,
+        );
+        self.obs.counter(
+            "llm.prefix_cache.lookup_tokens",
+            cache_after.lookup_tokens - cache_before.lookup_tokens,
+        );
+        self.obs.counter(
+            "llm.prefix_cache.hit_tokens",
+            cache_after.hit_tokens - cache_before.hit_tokens,
+        );
+        self.obs.counter(
+            "llm.prefix_cache.inserted_tokens",
+            cache_after.inserted_tokens - cache_before.inserted_tokens,
+        );
+        self.obs.counter(
+            "llm.prefix_cache.evicted_tokens",
+            cache_after.evicted_tokens - cache_before.evicted_tokens,
+        );
+        if span.is_recording() {
+            span.attr("steps", run.steps);
+            span.attr("max_inflight", run.max_inflight);
+            span.attr("succeeded", run.succeeded);
+            span.attr("failed", run.failed);
+            span.attr("cached_prompt_tokens", run.cached_prompt_tokens);
+        }
+        span.end(now);
         (out, run)
     }
 }
@@ -631,6 +710,40 @@ mod tests {
             second.cached_prompt_tokens > 0,
             "cache must persist across runs"
         );
+    }
+
+    #[test]
+    fn obs_off_is_identical_and_on_is_deterministic() {
+        use dbgpt_obs::ObsConfig;
+        let go = |cfg: ObsConfig| {
+            let model = timed_model("obs");
+            let mut eng =
+                BatchEngine::for_model(model, EngineConfig::full().with_batch_requests(3));
+            let obs = Obs::new(cfg);
+            eng.set_obs(obs.clone());
+            for p in prompts() {
+                eng.submit(p, GenerationParams::default());
+            }
+            let (outs, run) = eng.run();
+            let shape: Vec<_> = outs
+                .iter()
+                .map(|s| (s.id, s.result.clone(), s.admitted_us, s.finished_us))
+                .collect();
+            (shape, run, obs)
+        };
+        let (off, off_run, off_obs) = go(ObsConfig::disabled());
+        let (on, on_run, on_obs) = go(ObsConfig::enabled(7));
+        assert_eq!(off, on, "tracing must not change scheduling");
+        assert_eq!(off_run, on_run);
+        assert_eq!(off_obs.span_count(), 0);
+        assert_eq!(off_obs.metrics_json(), Obs::disabled().metrics_json());
+        assert!(on_obs.span_count() >= 1, "drain span recorded");
+        assert!(on_obs.counter_value("llm.engine.steps") > 0);
+        assert!(on_obs.counter_value("llm.prefix_cache.lookup_tokens") > 0);
+        // Two identical traced runs dump byte-identical artifacts.
+        let (_, _, again) = go(ObsConfig::enabled(7));
+        assert_eq!(on_obs.trace_json(), again.trace_json());
+        assert_eq!(on_obs.metrics_json(), again.metrics_json());
     }
 
     #[test]

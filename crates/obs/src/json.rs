@@ -1,0 +1,161 @@
+//! A tiny deterministic JSON writer.
+//!
+//! `serde_json` would work, but the whole point of this crate is that a
+//! trace dump is a *stable artifact*: byte-identical across runs, diffable
+//! in CI, committable under `results/`. Hand-writing the serializer keeps
+//! the crate dependency-free and makes the byte layout explicit — keys are
+//! emitted in the order the caller provides (callers use `BTreeMap`s or
+//! fixed field orders), numbers are integers or shortest-form floats, and
+//! strings are escaped per RFC 8259.
+
+use std::fmt::Write;
+
+/// Escape and double-quote `s` into `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Write an `f64` deterministically: integers without a fraction are
+/// printed as `N.0`, everything else through Rust's shortest round-trip
+/// formatting (stable for a given value).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{:.1}", v);
+    } else {
+        let _ = write!(out, "{}", v);
+    }
+}
+
+/// A growing JSON object literal: `{"k":v,...}` with caller-ordered keys.
+pub struct ObjWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjWriter {
+    /// Start an object.
+    pub fn new() -> Self {
+        ObjWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_str(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str_field(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        write_str(&mut self.buf, v);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64_field(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64_field(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field.
+    pub fn f64_field(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        write_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Add a field whose value is already-serialized JSON.
+    pub fn raw_field(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Close the object and return the JSON string.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for ObjWriter {
+    fn default() -> Self {
+        ObjWriter::new()
+    }
+}
+
+/// Serialize a list of already-serialized JSON values as an array.
+pub fn array_of(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_stable() {
+        let mut s = String::new();
+        write_f64(&mut s, 2.0);
+        assert_eq!(s, "2.0");
+        let mut s = String::new();
+        write_f64(&mut s, 0.125);
+        assert_eq!(s, "0.125");
+    }
+
+    #[test]
+    fn object_field_order_is_caller_order() {
+        let mut o = ObjWriter::new();
+        o.str_field("b", "x").u64_field("a", 7).f64_field("r", 0.5);
+        assert_eq!(o.finish(), "{\"b\":\"x\",\"a\":7,\"r\":0.5}");
+    }
+
+    #[test]
+    fn arrays_join_raw_items() {
+        assert_eq!(array_of(["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(array_of(Vec::<String>::new()), "[]");
+    }
+}

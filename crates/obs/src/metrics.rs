@@ -1,0 +1,324 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Modeled on the serving metrics a vLLM-style inference server exports
+//! (request latency, queue wait, batch occupancy, cache hit rate), but
+//! fully deterministic: histograms use *fixed* bucket bounds chosen at
+//! first touch, every map is a `BTreeMap`, and [`Metrics::snapshot`]
+//! serializes to byte-stable JSON with sorted keys.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json::{array_of, write_str, ObjWriter};
+
+/// Default histogram bounds for simulated-latency observations, µs.
+/// (Upper bounds; one implicit overflow bucket follows the last bound.)
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+];
+
+/// Default bounds for small-integer observations (batch occupancy, queue
+/// depth, candidate counts).
+pub const COUNT_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 1024];
+
+/// A fixed-bucket histogram with running count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets; the last catches values above every bound.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Histogram over ascending upper `bounds` (plus an overflow bucket).
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1); the
+    /// recorded max for the overflow bucket, 0 when empty. Deterministic
+    /// (bucket-resolution) rather than exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() { self.bounds[i] } else { self.max };
+            }
+        }
+        self.max
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = ObjWriter::new();
+        o.raw_field(
+            "bounds",
+            &array_of(self.bounds.iter().map(|b| b.to_string())),
+        )
+        .raw_field(
+            "counts",
+            &array_of(self.counts.iter().map(|c| c.to_string())),
+        )
+        .u64_field("count", self.count)
+        .u64_field("sum", self.sum)
+        .u64_field("min", if self.count == 0 { 0 } else { self.min })
+        .u64_field("max", self.max)
+        .f64_field("mean", self.mean());
+        o.finish()
+    }
+}
+
+/// An immutable copy of one histogram (see [`Metrics::snapshot`]).
+pub type HistogramSnapshot = Histogram;
+
+/// The registry (see module docs). All methods take `&self`; interior
+/// mutexes keep it shareable behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, i64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Add `delta` to counter `name` (created at 0 on first touch).
+    pub fn counter(&self, name: &str, delta: u64) {
+        let mut m = self.counters.lock().expect("counters lock");
+        match m.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                m.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("counters lock")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge(&self, name: &str, value: i64) {
+        self.gauges
+            .lock()
+            .expect("gauges lock")
+            .insert(name.to_string(), value);
+    }
+
+    /// Record `v` into histogram `name` with the default latency buckets.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.observe_with(name, LATENCY_BUCKETS_US, v);
+    }
+
+    /// Record `v` into histogram `name`; `bounds` apply on first touch
+    /// (later calls reuse the existing buckets, whatever they were).
+    pub fn observe_with(&self, name: &str, bounds: &[u64], v: u64) {
+        let mut m = self.histograms.lock().expect("histograms lock");
+        match m.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.observe(v);
+                m.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().expect("counters lock").clone(),
+            gauges: self.gauges.lock().expect("gauges lock").clone(),
+            histograms: self.histograms.lock().expect("histograms lock").clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry; serializes deterministically
+/// (sorted names, fixed field order).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Deterministic JSON: `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::from("{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                counters.push(',');
+            }
+            write_str(&mut counters, k);
+            counters.push(':');
+            counters.push_str(&v.to_string());
+        }
+        counters.push('}');
+        let mut gauges = String::from("{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                gauges.push(',');
+            }
+            write_str(&mut gauges, k);
+            gauges.push(':');
+            gauges.push_str(&v.to_string());
+        }
+        gauges.push('}');
+        let mut hists = String::from("{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                hists.push(',');
+            }
+            write_str(&mut hists, k);
+            hists.push(':');
+            hists.push_str(&h.to_json());
+        }
+        hists.push('}');
+        let mut o = ObjWriter::new();
+        o.raw_field("counters", &counters)
+            .raw_field("gauges", &gauges)
+            .raw_field("histograms", &hists);
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let m = Metrics::new();
+        m.counter("a", 1);
+        m.counter("a", 2);
+        m.counter("b", 5);
+        assert_eq!(m.counter_value("a"), 3);
+        assert_eq!(m.counter_value("b"), 5);
+        assert_eq!(m.counter_value("ghost"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 99, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5 + 10 + 11 + 99 + 5000);
+        // Buckets: <=10 gets {5, 10}; <=100 gets {11, 99}; <=1000 none; overflow {5000}.
+        assert_eq!(h.counts, vec![2, 2, 0, 1]);
+        assert_eq!(h.min, 5);
+        assert_eq!(h.max, 5000);
+        assert_eq!(h.quantile(0.5), 100, "p50 lands in the <=100 bucket");
+        assert_eq!(h.quantile(1.0), 5000, "p100 reports the true max");
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let h = Histogram::new(LATENCY_BUCKETS_US);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.to_json().contains("\"count\":0"));
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let m = Metrics::new();
+        m.counter("z.last", 1);
+        m.counter("a.first", 2);
+        m.gauge("g", -3);
+        m.observe_with("h", &[1, 2], 2);
+        let a = m.snapshot().to_json();
+        let b = m.snapshot().to_json();
+        assert_eq!(a, b);
+        let za = a.find("z.last").unwrap();
+        let aa = a.find("a.first").unwrap();
+        assert!(aa < za, "keys must serialize sorted");
+        assert!(a.contains("\"gauges\":{\"g\":-3}"));
+        assert!(a.contains("\"bounds\":[1,2]"));
+    }
+
+    #[test]
+    fn observe_with_keeps_first_bounds() {
+        let m = Metrics::new();
+        m.observe_with("h", &[10], 3);
+        m.observe_with("h", &[99999], 20); // bounds ignored after first touch
+        let snap = m.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.counts, vec![1, 1]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Text rendering of trace trees — the debugging view.
+//!
+//! Given the flat [`SpanRecord`] list a tracer dumps, reassemble each
+//! trace into its tree and print it with box-drawing guides, durations,
+//! attributes inline and events as timestamped leaf lines:
+//!
+//! ```text
+//! trace 1b2e000000000001 · smmf.chat · 71530us
+//! smmf.chat [0..71530us] model=sim-qwen outcome=ok
+//! ├─ smmf.attempt [0..71530us] worker=sim-qwen-w0 outcome=ok
+//! │  ├─ @50000us hedge fired: primary exceeded 50000us
+//! │  └─ smmf.hedge [50000..71530us] worker=sim-qwen-w1 outcome=win
+//! └─ ...
+//! ```
+//!
+//! Rendering is a pure function of the records, so it inherits their
+//! determinism.
+
+use crate::trace::{SpanId, SpanRecord};
+
+/// Render every trace found in `spans`, in dump order, separated by a
+/// blank line.
+pub fn render_all(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    let mut roots: Vec<SpanId> = spans
+        .iter()
+        .filter(|s| s.parent.is_none())
+        .map(|s| s.id)
+        .collect();
+    roots.dedup();
+    for (i, root) in roots.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render_trace(spans, *root));
+    }
+    out
+}
+
+/// Render one trace tree rooted at span id `trace`. Returns a note line
+/// when the trace id is unknown.
+pub fn render_trace(spans: &[SpanRecord], trace: SpanId) -> String {
+    let Some(root) = spans.iter().find(|s| s.id == trace) else {
+        return format!("trace {trace:016x}: no finished spans\n");
+    };
+    let mut out = format!(
+        "trace {:016x} · {} · {}us\n",
+        root.trace,
+        root.name,
+        root.duration_us()
+    );
+    render_node(spans, root, "", "", &mut out);
+    out
+}
+
+/// One node line plus its interleaved events and children.
+fn render_node(
+    spans: &[SpanRecord],
+    node: &SpanRecord,
+    head_prefix: &str,
+    tail_prefix: &str,
+    out: &mut String,
+) {
+    out.push_str(head_prefix);
+    out.push_str(&node.name);
+    out.push_str(&format!(" [{}..{}us]", node.start_us, node.end_us));
+    for (k, v) in &node.attrs {
+        out.push_str(&format!(" {k}={v}"));
+    }
+    out.push('\n');
+
+    // Children sorted by (start, id) — stable however ends interleaved.
+    let mut children: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.parent == Some(node.id))
+        .collect();
+    children.sort_by_key(|s| (s.start_us, s.id));
+
+    // Events and children merge into one timeline, events first on ties.
+    enum Line<'a> {
+        Event(&'a (u64, String)),
+        Child(&'a SpanRecord),
+    }
+    let mut lines: Vec<(u64, u8, Line)> = Vec::new();
+    for e in &node.events {
+        lines.push((e.0, 0, Line::Event(e)));
+    }
+    for c in children {
+        lines.push((c.start_us, 1, Line::Child(c)));
+    }
+    lines.sort_by_key(|(at, kind, l)| {
+        (
+            *at,
+            *kind,
+            match l {
+                Line::Event(_) => 0,
+                Line::Child(c) => c.id,
+            },
+        )
+    });
+
+    let n = lines.len();
+    for (i, (_, _, line)) in lines.into_iter().enumerate() {
+        let last = i + 1 == n;
+        let (branch, cont) = if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
+        match line {
+            Line::Event((at, msg)) => {
+                out.push_str(tail_prefix);
+                out.push_str(branch);
+                out.push_str(&format!("@{at}us {msg}\n"));
+            }
+            Line::Child(c) => {
+                render_node(
+                    spans,
+                    c,
+                    &format!("{tail_prefix}{branch}"),
+                    &format!("{tail_prefix}{cont}"),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Obs, ObsConfig};
+
+    fn sample() -> (Obs, SpanId) {
+        let obs = Obs::new(ObsConfig::enabled(5));
+        let root = obs.span("smmf.chat", 0);
+        root.attr("model", "sim-qwen");
+        let attempt = root.child("smmf.attempt", 0);
+        attempt.attr("worker", "w0");
+        attempt.event(50, "hedge fired");
+        let hedge = attempt.child("smmf.hedge", 50);
+        hedge.attr("worker", "w1");
+        hedge.end(80);
+        attempt.end(90);
+        root.end(100);
+        let id = root.id().unwrap();
+        (obs, id)
+    }
+
+    #[test]
+    fn renders_tree_with_guides_attrs_events() {
+        let (obs, id) = sample();
+        let text = obs.render_trace(id);
+        assert!(text.contains("smmf.chat [0..100us] model=sim-qwen"));
+        assert!(text.contains("└─ smmf.attempt [0..90us] worker=w0"));
+        assert!(text.contains("├─ @50us hedge fired"));
+        assert!(text.contains("└─ smmf.hedge [50..80us] worker=w1"));
+        // Nested child is indented under the attempt.
+        assert!(text.contains("   └─ smmf.hedge"));
+    }
+
+    #[test]
+    fn unknown_trace_is_reported_not_paniced() {
+        let (obs, _) = sample();
+        assert!(obs.render_trace(0xdead).contains("no finished spans"));
+    }
+
+    #[test]
+    fn render_all_covers_every_trace() {
+        let (obs, _) = sample();
+        let r2 = obs.span("rag.retrieve", 1);
+        r2.end(2);
+        let all = obs.render_traces();
+        assert!(all.contains("smmf.chat"));
+        assert!(all.contains("rag.retrieve"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = {
+            let (obs, id) = sample();
+            obs.render_trace(id)
+        };
+        let b = {
+            let (obs, id) = sample();
+            obs.render_trace(id)
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -8,6 +8,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dbgpt_obs::metrics::COUNT_BUCKETS;
+use dbgpt_obs::Obs;
+
 use crate::chunker::{Chunk, Chunker, ChunkingStrategy};
 use crate::document::Document;
 use crate::embedding::{Embedder, HashEmbedder};
@@ -42,6 +45,10 @@ pub struct KnowledgeBase {
     /// Scan tuning for every retrieval; defaults to auto-parallel above
     /// the crossover size, so existing callers speed up with no changes.
     config: RetrievalConfig,
+    /// Tracing + metrics handle; disabled (free) by default. Retrieval has
+    /// no simulated clock, so spans are timestamped with [`Obs::tick`]
+    /// logical ticks — still byte-identical across identical runs.
+    obs: Obs,
 }
 
 impl KnowledgeBase {
@@ -64,6 +71,7 @@ impl KnowledgeBase {
             graph: GraphIndex::new(),
             documents: HashMap::new(),
             config: RetrievalConfig::default(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -71,6 +79,23 @@ impl KnowledgeBase {
     pub fn with_retrieval_config(mut self, config: RetrievalConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Attach an observability handle, builder style.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Attach an observability handle in place (e.g. to share one [`Obs`]
+    /// across the serving path and the knowledge base).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The observability handle (disabled unless one was attached).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Override the retrieval scan tuning in place.
@@ -146,51 +171,92 @@ impl KnowledgeBase {
     }
 
     /// Retrieve the top-k chunks for a query under a strategy.
+    ///
+    /// Spans are opened only in this sequential orchestration — never
+    /// inside the threaded scan workers — so trace dumps stay
+    /// deterministic even when the flat scan fans out across threads.
     pub fn retrieve(
         &self,
         query: &str,
         k: usize,
         strategy: RetrievalStrategy,
     ) -> Vec<RetrievedChunk> {
+        let span = self.obs.span("rag.retrieve", self.obs.tick());
+        if span.is_recording() {
+            span.attr("strategy", strategy.name());
+            span.attr("k", k);
+        }
+        self.obs.counter("rag.queries", 1);
+        self.obs
+            .counter("rag.chunks_scanned", self.chunks.len() as u64);
         let ids_scores: Vec<(usize, f64)> = match strategy {
-            RetrievalStrategy::Vector => self
-                .vectors
-                .search_flat_with(&self.embedder.embed(query), k, &self.config)
-                .into_iter()
-                .map(|(i, s)| (i, s as f64))
-                .collect(),
-            RetrievalStrategy::VectorApprox => self
-                .vectors
-                .search_ivf_with(&self.embedder.embed(query), k, 4, &self.config)
-                .into_iter()
-                .map(|(i, s)| (i, s as f64))
-                .collect(),
-            RetrievalStrategy::Keyword => self.inverted.search(query, k),
-            RetrievalStrategy::Graph => self.graph.search(query, k),
+            RetrievalStrategy::Vector => {
+                let stage = span.child("rag.scan.vector", self.obs.tick());
+                let r = self
+                    .vectors
+                    .search_flat_with(&self.embedder.embed(query), k, &self.config)
+                    .into_iter()
+                    .map(|(i, s)| (i, s as f64))
+                    .collect();
+                stage.end(self.obs.tick());
+                r
+            }
+            RetrievalStrategy::VectorApprox => {
+                let stage = span.child("rag.scan.ivf", self.obs.tick());
+                let r = self
+                    .vectors
+                    .search_ivf_with(&self.embedder.embed(query), k, 4, &self.config)
+                    .into_iter()
+                    .map(|(i, s)| (i, s as f64))
+                    .collect();
+                stage.end(self.obs.tick());
+                r
+            }
+            RetrievalStrategy::Keyword => {
+                let stage = span.child("rag.scan.keyword", self.obs.tick());
+                let r = self.inverted.search(query, k);
+                stage.end(self.obs.tick());
+                r
+            }
+            RetrievalStrategy::Graph => {
+                let stage = span.child("rag.scan.graph", self.obs.tick());
+                let r = self.graph.search(query, k);
+                stage.end(self.obs.tick());
+                r
+            }
             RetrievalStrategy::Hybrid => {
                 let q = self.embedder.embed(query);
+                let stage = span.child("rag.scan.vector", self.obs.tick());
                 let vector: Vec<usize> = self
                     .vectors
                     .search_flat_with(&q, k * 2, &self.config)
                     .into_iter()
                     .map(|(i, _)| i)
                     .collect();
+                stage.end(self.obs.tick());
+                let stage = span.child("rag.scan.keyword", self.obs.tick());
                 let keyword: Vec<usize> = self
                     .inverted
                     .search(query, k * 2)
                     .into_iter()
                     .map(|(i, _)| i)
                     .collect();
+                stage.end(self.obs.tick());
+                let stage = span.child("rag.scan.graph", self.obs.tick());
                 let graph: Vec<usize> = self
                     .graph
                     .search(query, k * 2)
                     .into_iter()
                     .map(|(i, _)| i)
                     .collect();
-                reciprocal_rank_fusion(&[vector, keyword, graph], k)
+                stage.end(self.obs.tick());
+                let stage = span.child("rag.fuse", self.obs.tick());
+                let r = reciprocal_rank_fusion(&[vector, keyword, graph], k);
+                stage.end(self.obs.tick());
+                r
             }
         };
-        ids_scores
+        let out: Vec<RetrievedChunk> = ids_scores
             .into_iter()
             .filter_map(|(i, score)| {
                 self.chunks.get(i).map(|chunk| RetrievedChunk {
@@ -198,7 +264,14 @@ impl KnowledgeBase {
                     score,
                 })
             })
-            .collect()
+            .collect();
+        if self.obs.is_enabled() {
+            self.obs
+                .observe_with("rag.hits", COUNT_BUCKETS, out.len() as u64);
+            span.attr("hits", out.len());
+            span.end(self.obs.tick());
+        }
+        out
     }
 }
 
@@ -336,6 +409,76 @@ mod tests {
 
         let kb2 = KnowledgeBase::with_defaults().with_retrieval_config(forced_parallel);
         assert_eq!(kb2.retrieval_config(), forced_parallel);
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use dbgpt_obs::ObsConfig;
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::with_defaults();
+        kb.add_text("awel", "AWEL composes agents into directed acyclic graphs.");
+        kb.add_text("smmf", "SMMF keeps model serving private and local.");
+        kb
+    }
+
+    #[test]
+    fn default_retrieval_records_nothing() {
+        let kb = kb();
+        kb.retrieve("model serving", 2, RetrievalStrategy::Hybrid);
+        assert!(!kb.obs().is_enabled());
+        assert_eq!(kb.obs().span_count(), 0);
+        assert_eq!(kb.obs().metrics_json(), Obs::disabled().metrics_json());
+    }
+
+    #[test]
+    fn retrieval_spans_cover_every_hybrid_stage() {
+        let kb = kb().with_obs(Obs::new(ObsConfig::enabled(5)));
+        let hits = kb.retrieve("model serving", 2, RetrievalStrategy::Hybrid);
+        assert!(!hits.is_empty());
+        let spans = kb.obs().finished_spans();
+        let root = spans.iter().find(|r| r.name == "rag.retrieve").expect("root");
+        assert_eq!(root.attr("strategy"), Some("hybrid"));
+        assert_eq!(root.attr("hits"), Some(hits.len().to_string()).as_deref());
+        for stage in ["rag.scan.vector", "rag.scan.keyword", "rag.scan.graph", "rag.fuse"] {
+            let s = spans.iter().find(|r| r.name == stage).unwrap_or_else(|| {
+                panic!("missing stage span {stage}")
+            });
+            assert_eq!(s.parent, Some(root.id), "{stage} must nest under the root");
+        }
+        assert_eq!(kb.obs().counter_value("rag.queries"), 1);
+        assert_eq!(
+            kb.obs().counter_value("rag.chunks_scanned"),
+            kb.chunk_count() as u64
+        );
+    }
+
+    #[test]
+    fn observed_retrieval_is_unchanged_and_deterministic() {
+        let plain = kb();
+        let run = || {
+            let observed = kb().with_obs(Obs::new(ObsConfig::enabled(9)));
+            let mut all = Vec::new();
+            for &strategy in RetrievalStrategy::ALL {
+                all.push(observed.retrieve("model serving", 2, strategy));
+            }
+            (all, observed.obs().trace_json(), observed.obs().metrics_json())
+        };
+        let (a, trace_a, metrics_a) = run();
+        let (b, trace_b, metrics_b) = run();
+        for (hits, &strategy) in a.iter().zip(RetrievalStrategy::ALL) {
+            assert_eq!(
+                hits,
+                &plain.retrieve("model serving", 2, strategy),
+                "observability must not change {} results",
+                strategy.name()
+            );
+        }
+        assert_eq!(a, b);
+        assert_eq!(trace_a, trace_b, "same seed, same trace bytes");
+        assert_eq!(metrics_a, metrics_b);
     }
 }
 

@@ -45,6 +45,12 @@
 //!   and is threaded through [`KnowledgeBase`], so `retrieve` /
 //!   `retrieve_reranked` callers get the speedup with no code changes.
 //!
+//! Retrieval is also observable: attach a [`dbgpt_obs::Obs`] handle via
+//! [`KnowledgeBase::set_obs`] and every `retrieve` records a
+//! `rag.retrieve` span with per-stage scan children plus query/scan-volume
+//! counters — timestamped with logical ticks, deterministic across runs,
+//! and free when no handle is attached (the default).
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -37,6 +37,11 @@
 //! - **Chaos harness** ([`chaos`]) — scripted fault schedules (crashes,
 //!   flaky replicas, latency spikes, mass outages) driven against a live
 //!   [`ApiServer`], reporting availability and goodput per scenario.
+//! - **Observability** ([`server::ApiServer::with_observability`]) — the
+//!   paper's "unified management perspective … monitoring": deterministic
+//!   request traces (chat → attempt → hedge → engine drain) and serving
+//!   metrics via [`dbgpt_obs`], timestamped on the simulated clock. Off
+//!   (and free) by default; byte-identical hot path when disabled.
 //!
 //! ## Quickstart
 //!

@@ -14,6 +14,15 @@
 //! callers — the chaos harness in particular — advance it further to model
 //! request inter-arrival gaps. No wall clock is ever read, so a given
 //! seed reproduces every decision exactly.
+//!
+//! Built with [`ApiServer::with_observability`], the server additionally
+//! records a deterministic trace per request (`smmf.chat` root span,
+//! attempt/hedge children, engine-drain spans under `chat_many`) and
+//! mirrors its resilience counters into a [`dbgpt_obs`] metrics registry
+//! — timestamped on the same simulated clock, so dumps are byte-identical
+//! across identical runs. Every other constructor passes
+//! [`ObsConfig::disabled`], which keeps the hot path byte-for-byte
+//! identical to the uninstrumented server.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +32,7 @@ use dbgpt_llm::catalog::{builtin_model, builtin_spec};
 use dbgpt_llm::engine::{BatchEngine, EngineConfig};
 use dbgpt_llm::prefix::PrefixCacheStats;
 use dbgpt_llm::{Completion, GenerationParams, SharedModel};
+use dbgpt_obs::{Obs, ObsConfig, Span};
 
 use crate::controller::ModelController;
 use crate::error::SmmfError;
@@ -52,6 +62,10 @@ pub struct ApiServer {
     /// and keyed `model/worker` (each replica has its own KV-prefix cache,
     /// like a real serving process).
     engines: Mutex<BTreeMap<String, BatchEngine>>,
+    /// Tracing + metrics handle; disabled (free) unless the server was
+    /// built with [`ApiServer::with_observability`]. Spans use the
+    /// simulated µs clock, so dumps are byte-identical across runs.
+    obs: Obs,
     m_requests: AtomicU64,
     m_retries: AtomicU64,
     m_backoffs: AtomicU64,
@@ -113,6 +127,23 @@ impl ApiServer {
         resilience: ResilienceConfig,
         engine: EngineConfig,
     ) -> Self {
+        Self::with_observability(mode, policy, seed, resilience, engine, ObsConfig::disabled())
+    }
+
+    /// Everything, plus observability. With [`ObsConfig::enabled`] the
+    /// server opens a `smmf.chat` / `smmf.chat_many` root span per request
+    /// (attempt, hedge and engine-drain child spans below it) and mirrors
+    /// the resilience counters into the metrics registry. With
+    /// [`ObsConfig::disabled`] — what every other constructor passes — the
+    /// hot path is byte-for-byte identical to the uninstrumented server.
+    pub fn with_observability(
+        mode: DeploymentMode,
+        policy: RoutingPolicy,
+        seed: u64,
+        resilience: ResilienceConfig,
+        engine: EngineConfig,
+        obs: ObsConfig,
+    ) -> Self {
         ApiServer {
             controller: ModelController::new(mode),
             router: Router::new(policy, seed),
@@ -124,6 +155,7 @@ impl ApiServer {
             inflight: Mutex::new(BTreeMap::new()),
             backoff_rng: Mutex::new(SplitMix64::stream(seed, 3)),
             engines: Mutex::new(BTreeMap::new()),
+            obs: Obs::new(obs),
             m_requests: AtomicU64::new(0),
             m_retries: AtomicU64::new(0),
             m_backoffs: AtomicU64::new(0),
@@ -154,6 +186,13 @@ impl ApiServer {
     /// The active batch-engine configuration.
     pub fn engine_config(&self) -> &EngineConfig {
         &self.engine
+    }
+
+    /// The observability handle: traces and metrics accumulate here when
+    /// the server was built with [`ApiServer::with_observability`];
+    /// otherwise it is the free disabled handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Prefix-cache counters of every batch engine spun up so far, sorted
@@ -273,17 +312,54 @@ impl ApiServer {
         prompt: &str,
         params: &GenerationParams,
     ) -> Result<Completion, SmmfError> {
+        let started_us = self.now_us();
+        let span = self.obs.span("smmf.chat", started_us);
+        span.attr("model", model);
+        let result = self.chat_inner(model, prompt, params, &span);
+        if self.obs.is_enabled() {
+            match &result {
+                Ok(_) => {
+                    self.obs.counter("smmf.requests_ok", 1);
+                    span.attr("outcome", "ok");
+                }
+                Err(e) => {
+                    self.obs.counter("smmf.requests_err", 1);
+                    span.attr("outcome", e.kind());
+                }
+            }
+            let now = self.now_us();
+            self.obs
+                .observe("smmf.request_latency_us", now.saturating_sub(started_us));
+            span.end(now);
+        }
+        result
+    }
+
+    /// [`ApiServer::chat`] minus the root span bookkeeping (so the span
+    /// also covers shed rejections and the fallback tier).
+    fn chat_inner(
+        &self,
+        model: &str,
+        prompt: &str,
+        params: &GenerationParams,
+        span: &Span,
+    ) -> Result<Completion, SmmfError> {
         let _slot = self.admit(model)?;
         self.m_requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("smmf.requests", 1);
         let mut spent_us = 0u64;
-        let primary = self.serve_on(model, prompt, params, &mut spent_us);
+        let primary = self.serve_on(model, prompt, params, &mut spent_us, span);
         match (&primary, &self.resilience.fallback_model) {
             (
                 Err(SmmfError::NoHealthyWorker(_)) | Err(SmmfError::RetriesExhausted { .. }),
                 Some(fallback),
             ) if fallback != model => {
                 self.m_fallbacks.fetch_add(1, Ordering::Relaxed);
-                self.serve_on(fallback, prompt, params, &mut spent_us)
+                self.obs.counter("smmf.fallbacks", 1);
+                if span.is_recording() {
+                    span.event(self.now_us(), format!("fallback tier: {model} -> {fallback}"));
+                }
+                self.serve_on(fallback, prompt, params, &mut spent_us, span)
             }
             _ => primary,
         }
@@ -328,9 +404,17 @@ impl ApiServer {
         model: &str,
         jobs: &[(String, GenerationParams)],
     ) -> Vec<Result<Completion, SmmfError>> {
+        let started_us = self.now_us();
+        let span = self.obs.span("smmf.chat_many", started_us);
+        if span.is_recording() {
+            span.attr("model", model);
+            span.attr("jobs", jobs.len());
+        }
         let workers = match self.controller.workers(model) {
             Ok(w) => w,
             Err(_) => {
+                span.attr("outcome", "unknown_model");
+                span.end(self.now_us());
                 return jobs
                     .iter()
                     .map(|_| Err(SmmfError::UnknownModel(model.to_string())))
@@ -344,6 +428,7 @@ impl ApiServer {
         let now = self.now_us();
         for (job_idx, (prompt, params)) in jobs.iter().enumerate() {
             self.m_requests.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter("smmf.requests", 1);
             let candidates: Vec<Arc<ModelWorker>> = workers
                 .iter()
                 .filter(|w| w.health() == WorkerHealth::Healthy)
@@ -363,7 +448,9 @@ impl ApiServer {
                     self.breaker_record(model, worker.id(), true, now);
                     let key = breaker_key(model, worker.id());
                     let engine = engines.entry(key.clone()).or_insert_with(|| {
-                        BatchEngine::for_model(worker.model().clone(), self.engine)
+                        let mut e = BatchEngine::for_model(worker.model().clone(), self.engine);
+                        e.set_obs(self.obs.clone());
+                        e
                     });
                     let req_id = engine.submit_completed(prompt.clone(), Ok(c));
                     routed.entry(key).or_default().push((req_id, job_idx));
@@ -385,7 +472,7 @@ impl ApiServer {
             if engine.clock_us() < now {
                 engine.advance_clock(now - engine.clock_us());
             }
-            let (scheduled, run) = engine.run();
+            let (scheduled, run) = engine.run_traced(Some(&span));
             max_makespan_us = max_makespan_us.max(run.makespan_us);
             let mut by_id: BTreeMap<usize, _> =
                 scheduled.into_iter().map(|s| (s.id, s)).collect();
@@ -395,6 +482,13 @@ impl ApiServer {
             }
         }
         self.advance_clock(max_makespan_us);
+        if self.obs.is_enabled() {
+            self.obs.observe("smmf.chat_many.makespan_us", max_makespan_us);
+            let ok = out.iter().filter(|o| matches!(o, Some(Ok(_)))).count();
+            span.attr("ok", ok);
+            span.attr("err", jobs.len() - ok);
+            span.end(self.now_us());
+        }
         out.into_iter()
             .map(|o| o.expect("every job resolved"))
             .collect()
@@ -409,6 +503,7 @@ impl ApiServer {
         let c = m.entry(model.to_string()).or_insert(0);
         if *c >= shed.max_inflight {
             self.m_shed.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter("smmf.shed", 1);
             return Err(SmmfError::Overloaded {
                 model: model.to_string(),
                 limit: shed.max_inflight,
@@ -432,6 +527,7 @@ impl ApiServer {
         prompt: &str,
         params: &GenerationParams,
         spent_us: &mut u64,
+        parent: &Span,
     ) -> Result<Completion, SmmfError> {
         let workers = self.controller.workers(model)?;
         let retry = &self.resilience.retry;
@@ -448,12 +544,27 @@ impl ApiServer {
                     self.advance_clock(pause);
                     self.m_backoffs.fetch_add(1, Ordering::Relaxed);
                     self.m_backoff_us.fetch_add(pause, Ordering::Relaxed);
+                    self.obs.counter("smmf.backoffs", 1);
+                    self.obs.counter("smmf.backoff_us", pause);
+                    if parent.is_recording() {
+                        parent.event(
+                            self.now_us(),
+                            format!("backoff {pause}us before attempt {}", attempt + 1),
+                        );
+                    }
                 }
             }
             // Deadline gate: don't start an attempt the budget can't cover.
             if let Some(budget_us) = budget {
                 if *spent_us >= budget_us {
                     self.m_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    self.obs.counter("smmf.deadline_exceeded", 1);
+                    if parent.is_recording() {
+                        parent.event(
+                            self.now_us(),
+                            format!("deadline gate on {model}: spent {spent_us}us >= budget {budget_us}us"),
+                        );
+                    }
                     return Err(SmmfError::DeadlineExceeded {
                         model: model.to_string(),
                         budget_us,
@@ -487,19 +598,31 @@ impl ApiServer {
                 }
                 None => break, // every distinct worker attempted or gated off
             };
+            let aspan = parent.child("smmf.attempt", now);
+            if aspan.is_recording() {
+                aspan.attr("model", model);
+                aspan.attr("worker", worker.id());
+                aspan.attr("attempt", attempt + 1);
+            }
             self.breaker_on_dispatch(model, worker.id(), now);
             match worker.infer(prompt, params) {
                 Ok(c) => {
-                    let (c, effective_us) =
-                        self.maybe_hedge(model, workers, &attempted, &worker, c, prompt, params);
+                    let (c, effective_us) = self
+                        .maybe_hedge(model, workers, &attempted, &worker, c, prompt, params, &aspan);
                     self.breaker_record(model, worker.id(), true, now);
                     *spent_us += effective_us;
                     self.advance_clock(effective_us);
+                    if aspan.is_recording() {
+                        aspan.attr("latency_us", effective_us);
+                    }
                     // A success that lands after the deadline is still a
                     // deadline miss from the caller's point of view.
                     if let Some(budget_us) = budget {
                         if *spent_us > budget_us {
                             self.m_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                            self.obs.counter("smmf.deadline_exceeded", 1);
+                            aspan.attr("outcome", "deadline_exceeded");
+                            aspan.end(self.now_us());
                             return Err(SmmfError::DeadlineExceeded {
                                 model: model.to_string(),
                                 budget_us,
@@ -507,6 +630,8 @@ impl ApiServer {
                             });
                         }
                     }
+                    aspan.attr("outcome", "ok");
+                    aspan.end(self.now_us());
                     return Ok(c);
                 }
                 Err(e @ SmmfError::Model(_)) => {
@@ -514,6 +639,8 @@ impl ApiServer {
                     // respond, so the breaker records a success (otherwise a
                     // half-open probe slot would be consumed with no outcome).
                     self.breaker_record(model, worker.id(), true, now);
+                    aspan.attr("outcome", e.kind());
+                    aspan.end(self.now_us());
                     return Err(e);
                 }
                 Err(e) => {
@@ -525,7 +652,10 @@ impl ApiServer {
                     attempted.push(worker.id().clone());
                     if attempt + 1 < max_attempts {
                         self.m_retries.fetch_add(1, Ordering::Relaxed);
+                        self.obs.counter("smmf.retries", 1);
                     }
+                    aspan.attr("outcome", e.kind());
+                    aspan.end(self.now_us());
                     last = Some(e);
                 }
             }
@@ -555,6 +685,7 @@ impl ApiServer {
         c: Completion,
         prompt: &str,
         params: &GenerationParams,
+        parent: &Span,
     ) -> (Completion, u64) {
         let primary_us = c.simulated_latency_us;
         let Some(hedge) = self.resilience.hedge else {
@@ -577,25 +708,40 @@ impl ApiServer {
             return (c, primary_us);
         };
         self.m_hedges.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("smmf.hedges", 1);
+        let hspan = parent.child("smmf.hedge", now);
+        if hspan.is_recording() {
+            hspan.attr("worker", second.id());
+            hspan.attr("primary_latency_us", primary_us);
+        }
         self.breaker_on_dispatch(model, second.id(), now);
-        match second.infer(prompt, params) {
+        let outcome = match second.infer(prompt, params) {
             Ok(mut hedged) => {
                 self.breaker_record(model, second.id(), true, now);
                 let hedged_us = hedge.delay_us + hedged.simulated_latency_us;
+                if hspan.is_recording() {
+                    hspan.attr("hedged_latency_us", hedged_us);
+                }
                 if hedged_us < primary_us {
                     self.m_hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    self.obs.counter("smmf.hedge_wins", 1);
+                    hspan.attr("outcome", "win");
                     hedged.simulated_latency_us = hedged_us;
                     (hedged, hedged_us)
                 } else {
+                    hspan.attr("outcome", "lose");
                     (c, primary_us)
                 }
             }
             Err(_) => {
                 // The hedge lost outright; the primary result stands.
                 self.breaker_record(model, second.id(), false, now);
+                hspan.attr("outcome", "failed");
                 (c, primary_us)
             }
-        }
+        };
+        hspan.end(now);
+        outcome
     }
 
     /// Backoff before 1-based retry `attempt`, with seeded jitter.
@@ -635,7 +781,9 @@ impl ApiServer {
             .expect("breakers lock")
             .get_mut(&breaker_key(model, worker))
         {
+            let before = b.state();
             b.on_dispatch(now_us);
+            self.note_breaker_transition(before, b.state());
         }
     }
 
@@ -649,8 +797,25 @@ impl ApiServer {
             .expect("breakers lock")
             .get_mut(&breaker_key(model, worker))
         {
+            let before = b.state();
             b.record(success, now_us);
+            self.note_breaker_transition(before, b.state());
         }
+    }
+
+    /// Mirror circuit-breaker state changes into the metrics registry
+    /// (a no-op branch when observability is off).
+    fn note_breaker_transition(&self, before: BreakerState, after: BreakerState) {
+        if before == after || !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.counter("smmf.breaker.transitions", 1);
+        let name = match after {
+            BreakerState::Closed => "smmf.breaker.closed",
+            BreakerState::Open => "smmf.breaker.opened",
+            BreakerState::HalfOpen => "smmf.breaker.half_open",
+        };
+        self.obs.counter(name, 1);
     }
 }
 
@@ -1178,5 +1343,130 @@ mod engine_tests {
             )
         };
         assert_eq!(run(), run(), "same seed, same batch, same schedule");
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use crate::resilience::HedgeConfig;
+    use dbgpt_llm::engine::EngineConfig;
+
+    fn observed(resilience: ResilienceConfig, engine: EngineConfig) -> ApiServer {
+        let mut s = ApiServer::with_observability(
+            DeploymentMode::Local,
+            RoutingPolicy::LeastLatency,
+            1,
+            resilience,
+            engine,
+            ObsConfig::enabled(42),
+        );
+        s.deploy_builtin("sim-qwen", 2).unwrap();
+        s
+    }
+
+    #[test]
+    fn default_constructors_keep_observability_off() {
+        let mut s = ApiServer::new(DeploymentMode::Local);
+        s.deploy_builtin("sim-qwen", 1).unwrap();
+        s.chat("sim-qwen", "hello", &GenerationParams::default()).unwrap();
+        assert!(!s.obs().is_enabled());
+        assert_eq!(s.obs().span_count(), 0);
+        assert_eq!(s.obs().metrics_json(), Obs::disabled().metrics_json());
+    }
+
+    #[test]
+    fn chat_records_a_root_span_with_attempt_children() {
+        let s = observed(ResilienceConfig::disabled(), EngineConfig::disabled());
+        s.chat("sim-qwen", "hello world", &GenerationParams::default()).unwrap();
+        let spans = s.obs().finished_spans();
+        let root = spans.iter().find(|r| r.name == "smmf.chat").expect("root span");
+        assert_eq!(root.attr("model"), Some("sim-qwen"));
+        assert_eq!(root.attr("outcome"), Some("ok"));
+        let attempt = spans.iter().find(|r| r.name == "smmf.attempt").expect("attempt");
+        assert_eq!(attempt.parent, Some(root.id));
+        assert_eq!(attempt.attr("outcome"), Some("ok"));
+        assert_eq!(s.obs().counter_value("smmf.requests"), 1);
+        assert_eq!(s.obs().counter_value("smmf.requests_ok"), 1);
+    }
+
+    #[test]
+    fn hedge_span_and_mirrored_counters() {
+        let cfg = ResilienceConfig {
+            hedge: Some(HedgeConfig { delay_us: 50_000 }),
+            ..ResilienceConfig::disabled()
+        };
+        let s = observed(cfg, EngineConfig::disabled());
+        s.controller().workers("sim-qwen").unwrap()[0].set_latency_factor(100.0);
+        s.chat("sim-qwen", "hello there", &GenerationParams::default()).unwrap();
+        let spans = s.obs().finished_spans();
+        let hedge = spans.iter().find(|r| r.name == "smmf.hedge").expect("hedge span");
+        assert_eq!(hedge.attr("outcome"), Some("win"));
+        let attempt = spans.iter().find(|r| r.name == "smmf.attempt").unwrap();
+        assert_eq!(hedge.parent, Some(attempt.id));
+        let m = s.metrics();
+        assert_eq!(s.obs().counter_value("smmf.hedges"), m.hedges);
+        assert_eq!(s.obs().counter_value("smmf.hedge_wins"), m.hedge_wins);
+    }
+
+    #[test]
+    fn chat_many_span_parents_the_engine_drain() {
+        let s = observed(ResilienceConfig::disabled(), EngineConfig::full());
+        let jobs: Vec<(String, GenerationParams)> = (0..4)
+            .map(|i| (format!("shared prefix, question {i}"), GenerationParams::default()))
+            .collect();
+        for r in s.chat_many("sim-qwen", &jobs) {
+            r.unwrap();
+        }
+        let spans = s.obs().finished_spans();
+        let root = spans.iter().find(|r| r.name == "smmf.chat_many").expect("root");
+        assert_eq!(root.attr("ok"), Some("4"));
+        let drain = spans.iter().find(|r| r.name == "llm.engine.run").expect("drain");
+        assert_eq!(drain.parent, Some(root.id));
+        assert_eq!(s.obs().counter_value("smmf.requests"), 4);
+        assert!(s.obs().counter_value("llm.engine.succeeded") >= 4);
+    }
+
+    #[test]
+    fn enabled_observability_never_changes_outcomes_or_the_clock() {
+        let run = |obs: ObsConfig| {
+            let mut s = ApiServer::with_observability(
+                DeploymentMode::Local,
+                RoutingPolicy::Weighted,
+                9,
+                ResilienceConfig::full(),
+                EngineConfig::disabled(),
+                obs,
+            );
+            s.deploy_builtin("sim-qwen", 3).unwrap();
+            let mut outcomes = Vec::new();
+            for _ in 0..25 {
+                s.advance_clock(5_000);
+                outcomes.push(
+                    s.chat("sim-qwen", "hello", &GenerationParams::default())
+                        .map(|c| c.text)
+                        .map_err(|e| e.kind()),
+                );
+            }
+            (outcomes, s.now_us(), s.metrics())
+        };
+        assert_eq!(
+            run(ObsConfig::disabled()),
+            run(ObsConfig::enabled(7)),
+            "observability must be invisible to request semantics"
+        );
+    }
+
+    #[test]
+    fn two_enabled_runs_dump_identical_bytes() {
+        let run = || {
+            let s = observed(ResilienceConfig::full(), EngineConfig::disabled());
+            for _ in 0..10 {
+                s.advance_clock(3_000);
+                let _ = s.chat("sim-qwen", "hello", &GenerationParams::default());
+            }
+            (s.obs().trace_json(), s.obs().metrics_json())
+        };
+        assert_eq!(run(), run(), "same seed must dump byte-identical traces");
     }
 }

@@ -28,14 +28,25 @@ pub fn spec_from_result(
             DataType::Int | DataType::Float
         )
     };
+    // A column is an id only when named exactly `id` or suffixed `_id` —
+    // a bare `ends_with("id")` would disqualify `paid`, `humid`, `valid`.
+    let is_id = |i: &usize| {
+        let name = &cols[*i].name;
+        name == "id" || name.ends_with("_id")
+    };
     let value_idx = (0..cols.len())
         .filter(numeric)
-        .find(|i| !cols[*i].name.ends_with("id"))
+        .find(|i| !is_id(i))
         .or_else(|| (0..cols.len()).find(numeric))
         .ok_or(VisError::NoValueColumn)?;
 
     let mut spec = ChartSpec::new(chart_type, title).with_value_label(cols[value_idx].name.clone());
     for (ri, row) in result.rows.iter().enumerate() {
+        // A NULL value is unknown, not zero: charting it as 0.0 invents a
+        // data point. Skip the row instead.
+        let Some(value) = row[value_idx].as_f64() else {
+            continue;
+        };
         let label = match label_idx {
             Some(li) => match &row[li] {
                 Value::Null => "unknown".to_string(),
@@ -43,7 +54,6 @@ pub fn spec_from_result(
             },
             None => format!("#{}", ri + 1),
         };
-        let value = row[value_idx].as_f64().unwrap_or(0.0);
         spec.points.push(crate::chart::DataPoint { label, value });
     }
     Ok(spec)
@@ -145,6 +155,41 @@ mod tests {
             spec_from_columns(&result(), ChartType::Bar, "t", "ghost", "id"),
             Err(VisError::ColumnNotFound(_))
         ));
+    }
+
+    #[test]
+    fn value_column_merely_ending_in_id_is_not_an_id() {
+        // `paid` ends with "id" but is a real value column; only exact `id`
+        // or an `_id` suffix mark id columns.
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE inv (id INT, vendor TEXT, paid FLOAT)").unwrap();
+        e.execute("INSERT INTO inv VALUES (1, 'acme', 120.5), (2, 'zeta', 80.0)").unwrap();
+        let r = e.execute("SELECT id, vendor, paid FROM inv ORDER BY id").unwrap();
+        let spec = spec_from_result(&r, ChartType::Bar, "t").unwrap();
+        assert_eq!(spec.value_label, "paid");
+        assert_eq!(spec.points[0].value, 120.5);
+    }
+
+    #[test]
+    fn underscore_id_suffix_still_skipped() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE o (vendor_id INT, total FLOAT)").unwrap();
+        e.execute("INSERT INTO o VALUES (7, 10.0)").unwrap();
+        let r = e.execute("SELECT vendor_id, total FROM o").unwrap();
+        let spec = spec_from_result(&r, ChartType::Bar, "t").unwrap();
+        assert_eq!(spec.value_label, "total");
+    }
+
+    #[test]
+    fn null_values_are_skipped_not_charted_as_zero() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE t (c TEXT, v INT)").unwrap();
+        e.execute("INSERT INTO t VALUES ('a', 3), ('b', NULL), ('c', 5)").unwrap();
+        let r = e.execute("SELECT c, v FROM t").unwrap();
+        let spec = spec_from_result(&r, ChartType::Bar, "t").unwrap();
+        let labels: Vec<&str> = spec.points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["a", "c"], "NULL row dropped, not zeroed");
+        assert!(spec.points.iter().all(|p| p.value != 0.0));
     }
 
     #[test]
