@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use dbgpt_llm::{Completion, GenerationParams, SharedModel};
+use dbgpt_obs::Span;
 use dbgpt_smmf::ApiServer;
 
 use crate::error::AgentError;
@@ -54,6 +55,34 @@ impl LlmClient {
         match self {
             LlmClient::Direct(m) => Ok(m.generate(prompt, params)?),
             LlmClient::Smmf { server, model } => Ok(server.chat(model, prompt, params)?),
+        }
+    }
+
+    /// Traced [`LlmClient::complete`]: the SMMF route joins its `smmf.chat`
+    /// span (and everything under it) to `parent`; direct access records a
+    /// flat `llm.generate` child. Byte-identical to the untraced path when
+    /// `parent` is not recording.
+    pub fn complete_under(
+        &self,
+        prompt: &str,
+        params: &GenerationParams,
+        parent: &Span,
+    ) -> Result<Completion, AgentError> {
+        if !parent.is_recording() {
+            return self.complete(prompt, params);
+        }
+        match self {
+            LlmClient::Direct(m) => {
+                let span = parent.child("llm.generate", parent.tick());
+                span.attr("model", m.id());
+                let res = m.generate(prompt, params);
+                span.attr("outcome", if res.is_ok() { "ok" } else { "error" });
+                span.end(parent.tick());
+                Ok(res?)
+            }
+            LlmClient::Smmf { server, model } => {
+                Ok(server.chat_under(model, prompt, params, parent)?)
+            }
         }
     }
 }

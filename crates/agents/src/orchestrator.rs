@@ -13,6 +13,7 @@ use std::sync::Arc;
 use serde_json::{json, Value};
 
 use dbgpt_llm::skills::planner::PlanStep;
+use dbgpt_obs::{Obs, Span};
 
 use crate::agent::{AgentContext, AgentReply, SharedAgent, TaskRequest};
 use crate::client::LlmClient;
@@ -43,6 +44,7 @@ pub struct Orchestrator {
     planner: PlannerAgent,
     conversation_counter: AtomicU64,
     seed: u64,
+    obs: Obs,
 }
 
 impl Orchestrator {
@@ -64,12 +66,20 @@ impl Orchestrator {
             planner: PlannerAgent::new(),
             conversation_counter: AtomicU64::new(0),
             seed: 42,
+            obs: Obs::disabled(),
         }
     }
 
     /// Override the deterministic seed used for model calls.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Record `agents.goal` / `agents.plan` / `agents.step` /
+    /// `agents.aggregate` spans and an `agents.messages` counter on `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -93,12 +103,49 @@ impl Orchestrator {
 
     /// Execute a goal end to end.
     pub fn execute_goal(&mut self, goal: &str) -> Result<TaskReport, AgentError> {
+        self.execute_goal_under(goal, &Span::noop())
+    }
+
+    /// Execute a goal, joining the `agents.goal` span to `parent` when it
+    /// is recording (else rooting it on this orchestrator's own handle).
+    /// Byte-identical to [`Orchestrator::execute_goal`] when neither
+    /// records.
+    pub fn execute_goal_under(
+        &mut self,
+        goal: &str,
+        parent: &Span,
+    ) -> Result<TaskReport, AgentError> {
+        let span = if parent.is_recording() {
+            parent.child("agents.goal", parent.tick())
+        } else if self.obs.is_enabled() {
+            self.obs.span("agents.goal", self.obs.tick())
+        } else {
+            Span::noop()
+        };
+        let res = self.execute_goal_inner(goal, &span);
+        match &res {
+            Ok(r) => {
+                span.attr("outcome", "ok");
+                span.attr("steps", r.step_results.len());
+            }
+            Err(_) => span.attr("outcome", "error"),
+        }
+        span.end(span.tick());
+        res
+    }
+
+    fn execute_goal_inner(&mut self, goal: &str, span: &Span) -> Result<TaskReport, AgentError> {
         let conv = format!(
             "conv-{}",
             self.conversation_counter.fetch_add(1, Ordering::Relaxed)
         );
+        span.attr("conversation", &conv);
+        let obs = span.handle();
+        obs.counter("agents.goals", 1);
         let mut seq = 0u64;
+        let record_obs = obs.clone();
         let mut record = |from: &str, to: &str, kind: MessageKind, content: Value| {
+            record_obs.counter("agents.messages", 1);
             let msg = AgentMessage {
                 seq,
                 conversation: conv.clone(),
@@ -121,7 +168,19 @@ impl Orchestrator {
         record("user", "planner", MessageKind::Goal, json!(goal))?;
 
         // 2. Plan.
-        let plan = self.planner.plan(goal, &ctx)?;
+        let plan_span = span.child("agents.plan", span.tick());
+        let plan = match self.planner.plan(goal, &ctx) {
+            Ok(plan) => {
+                plan_span.attr("steps", plan.len());
+                plan_span.end(span.tick());
+                plan
+            }
+            Err(e) => {
+                plan_span.attr("outcome", "error");
+                plan_span.end(span.tick());
+                return Err(e);
+            }
+        };
         record(
             "planner",
             "orchestrator",
@@ -150,6 +209,10 @@ impl Orchestrator {
                 step: step.clone(),
                 prior_results: prior.clone(),
             };
+            let step_span = span.child("agents.step", span.tick());
+            step_span.attr("step", step.id);
+            step_span.attr("role", &step.agent);
+            step_span.attr("agent", agent.name());
             record(
                 "orchestrator",
                 agent.name(),
@@ -162,6 +225,7 @@ impl Orchestrator {
             let reply = match agent.handle(&task, &ctx) {
                 Ok(r) => r,
                 Err(first) => {
+                    step_span.event(span.tick(), format!("attempt 1 failed: {first}"));
                     record(
                         agent.name(),
                         "orchestrator",
@@ -173,19 +237,24 @@ impl Orchestrator {
                         archive: self.archive.clone(),
                         seed: self.seed.wrapping_add(1),
                     };
-                    agent.handle(&task, &retry_ctx).map_err(|e| {
-                        let _ = record(
-                            agent.name(),
-                            "orchestrator",
-                            MessageKind::Error,
-                            json!(e.to_string()),
-                        );
-                        AgentError::StepFailed {
-                            step: step.id,
-                            role: step.agent.clone(),
-                            cause: e.to_string(),
+                    match agent.handle(&task, &retry_ctx) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            let _ = record(
+                                agent.name(),
+                                "orchestrator",
+                                MessageKind::Error,
+                                json!(e.to_string()),
+                            );
+                            step_span.attr("outcome", "error");
+                            step_span.end(span.tick());
+                            return Err(AgentError::StepFailed {
+                                step: step.id,
+                                role: step.agent.clone(),
+                                cause: e.to_string(),
+                            });
                         }
-                    })?
+                    }
                 }
             };
             record(
@@ -194,6 +263,8 @@ impl Orchestrator {
                 MessageKind::Result,
                 json!({"summary": reply.summary, "content": reply.content}),
             )?;
+            step_span.attr("outcome", "ok");
+            step_span.end(span.tick());
             prior.push(json!({"summary": reply.summary, "content": reply.content}));
             step_results.push(reply);
         }
@@ -217,11 +288,24 @@ impl Orchestrator {
             step: agg_step,
             prior_results: prior,
         };
-        let final_report = aggregator.handle(&task, &ctx).map_err(|e| AgentError::StepFailed {
-            step: task.step.id,
-            role: "aggregator".into(),
-            cause: e.to_string(),
-        })?;
+        let agg_span = span.child("agents.aggregate", span.tick());
+        agg_span.attr("inputs", task.prior_results.len());
+        let final_report = match aggregator.handle(&task, &ctx) {
+            Ok(r) => {
+                agg_span.attr("outcome", "ok");
+                agg_span.end(span.tick());
+                r
+            }
+            Err(e) => {
+                agg_span.attr("outcome", "error");
+                agg_span.end(span.tick());
+                return Err(AgentError::StepFailed {
+                    step: task.step.id,
+                    role: "aggregator".into(),
+                    cause: e.to_string(),
+                });
+            }
+        };
         record(
             "aggregator",
             "user",

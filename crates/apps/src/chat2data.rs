@@ -5,6 +5,7 @@
 //! small result sets are summarised inline, and the machinery (SQL, row
 //! data) is still available in the reply for the front-end.
 
+use dbgpt_obs::Span;
 use serde::Serialize;
 use serde_json::{json, Value};
 
@@ -36,6 +37,39 @@ impl Chat2Data {
 
     /// Handle one question.
     pub fn ask(&self, question: &str) -> Result<Chat2DataReply, AppError> {
+        self.ask_under(question, &Span::noop())
+    }
+
+    /// Handle one question under a caller span: records an `app.chat2data`
+    /// span (child of `parent` when it is recording, else rooted on the
+    /// context's own handle) with the Text-to-SQL and SQL-engine stages as
+    /// children. Byte-identical to [`Chat2Data::ask`] when nothing records.
+    pub fn ask_under(&self, question: &str, parent: &Span) -> Result<Chat2DataReply, AppError> {
+        let span = if parent.is_recording() {
+            parent.child("app.chat2data", parent.tick())
+        } else if self.ctx.obs.is_enabled() {
+            self.ctx.obs.span("app.chat2data", self.ctx.obs.tick())
+        } else {
+            return self.ask_inner(question, &Span::noop());
+        };
+        let obs = span.handle();
+        obs.counter("app.chat2data.requests", 1);
+        let res = self.ask_inner(question, &span);
+        match &res {
+            Ok(r) => {
+                span.attr("outcome", "ok");
+                span.attr("rows", r.data.as_array().map(|a| a.len()).unwrap_or(0));
+            }
+            Err(_) => {
+                span.attr("outcome", "error");
+                obs.counter("app.chat2data.errors", 1);
+            }
+        }
+        span.end(span.tick());
+        res
+    }
+
+    fn ask_inner(&self, question: &str, span: &Span) -> Result<Chat2DataReply, AppError> {
         let question = question.trim();
         if question.is_empty() {
             return Err(AppError::BadInput("empty question".into()));
@@ -44,50 +78,52 @@ impl Chat2Data {
         if ddl.is_empty() {
             return Err(AppError::BadInput("database has no tables".into()));
         }
-        let sql = self.ctx.t2s.generate_sql(&ddl, question)?;
-        let result = self.ctx.engine.write().execute(&sql)?;
-
-        // JSON rows.
-        let cols = result.column_names().iter().map(|c| c.to_string()).collect::<Vec<_>>();
-        let data: Vec<Value> = result
-            .rows
-            .iter()
-            .map(|r| {
-                let mut obj = serde_json::Map::new();
-                for (c, v) in cols.iter().zip(r.values()) {
-                    obj.insert(c.clone(), json!(v.to_string()));
-                }
-                Value::Object(obj)
-            })
-            .collect();
-
-        let answer = match (result.rows.len(), cols.len()) {
-            (0, _) => "No matching data was found.".to_string(),
-            (1, 1) => format!("The answer is {}.", result.rows[0][0]),
-            (1, _) => {
-                let pairs: Vec<String> = cols
-                    .iter()
-                    .zip(result.rows[0].values())
-                    .map(|(c, v)| format!("{c} = {v}"))
-                    .collect();
-                format!("Found one row: {}.", pairs.join(", "))
-            }
-            (n, 2) if n <= 6 => {
-                let pairs: Vec<String> = result
-                    .rows
-                    .iter()
-                    .map(|r| format!("{}: {}", r[0], r[1]))
-                    .collect();
-                format!("Here is the breakdown — {}.", pairs.join("; "))
-            }
-            (n, _) => format!("Found {n} matching rows."),
-        };
-        Ok(Chat2DataReply {
-            answer,
-            sql,
-            data: Value::Array(data),
-        })
+        let sql = self.ctx.t2s.generate_sql_traced(&ddl, question, span)?;
+        let result = self.ctx.engine.write().execute_traced(&sql, span)?;
+        let (answer, data) = summarize_result(&result);
+        Ok(Chat2DataReply { answer, sql, data })
     }
+}
+
+/// Sentence-form answer plus labelled JSON rows for a query result. Shared
+/// by the direct [`Chat2Data`] path and the AWEL pipeline's execute stage,
+/// so both render identical replies.
+pub(crate) fn summarize_result(result: &dbgpt_sqlengine::QueryResult) -> (String, Value) {
+    let cols = result.column_names().iter().map(|c| c.to_string()).collect::<Vec<_>>();
+    let data: Vec<Value> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let mut obj = serde_json::Map::new();
+            for (c, v) in cols.iter().zip(r.values()) {
+                obj.insert(c.clone(), json!(v.to_string()));
+            }
+            Value::Object(obj)
+        })
+        .collect();
+
+    let answer = match (result.rows.len(), cols.len()) {
+        (0, _) => "No matching data was found.".to_string(),
+        (1, 1) => format!("The answer is {}.", result.rows[0][0]),
+        (1, _) => {
+            let pairs: Vec<String> = cols
+                .iter()
+                .zip(result.rows[0].values())
+                .map(|(c, v)| format!("{c} = {v}"))
+                .collect();
+            format!("Found one row: {}.", pairs.join(", "))
+        }
+        (n, 2) if n <= 6 => {
+            let pairs: Vec<String> = result
+                .rows
+                .iter()
+                .map(|r| format!("{}: {}", r[0], r[1]))
+                .collect();
+            format!("Here is the breakdown — {}.", pairs.join("; "))
+        }
+        (n, _) => format!("Found {n} matching rows."),
+    };
+    (answer, Value::Array(data))
 }
 
 #[cfg(test)]

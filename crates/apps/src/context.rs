@@ -11,6 +11,7 @@ use parking_lot::RwLock;
 
 use dbgpt_agents::LlmClient;
 use dbgpt_llm::catalog::builtin_model;
+use dbgpt_obs::Obs;
 use dbgpt_rag::KnowledgeBase;
 use dbgpt_sqlengine::Engine;
 use dbgpt_text2sql::Text2SqlModel;
@@ -26,6 +27,9 @@ pub struct AppContext {
     pub kb: Arc<RwLock<KnowledgeBase>>,
     /// The Text-to-SQL model (base or fine-tuned).
     pub t2s: Text2SqlModel,
+    /// Observability handle (disabled by default): apps root their request
+    /// spans here when no caller span is propagated in.
+    pub obs: Obs,
 }
 
 impl AppContext {
@@ -37,12 +41,22 @@ impl AppContext {
             engine: Arc::new(RwLock::new(Engine::new())),
             kb: Arc::new(RwLock::new(KnowledgeBase::with_defaults())),
             t2s: Text2SqlModel::base(),
+            obs: Obs::disabled(),
         }
     }
 
     /// Replace the model client, builder style.
     pub fn with_llm(mut self, llm: LlmClient) -> Self {
         self.llm = llm;
+        self
+    }
+
+    /// Attach an observability handle, builder style. Also points the
+    /// knowledge base at the same handle so RAG spans and app spans land
+    /// in one tracer.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.kb.write().set_obs(obs.clone());
+        self.obs = obs;
         self
     }
 

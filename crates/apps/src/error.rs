@@ -17,6 +17,8 @@ pub enum AppError {
     Vis(String),
     /// Multi-agent execution failed.
     Agent(String),
+    /// An AWEL workflow run failed.
+    Workflow(String),
     /// Input was empty or unusable.
     BadInput(String),
 }
@@ -30,6 +32,7 @@ impl fmt::Display for AppError {
             AppError::Rag(m) => write!(f, "rag: {m}"),
             AppError::Vis(m) => write!(f, "vis: {m}"),
             AppError::Agent(m) => write!(f, "agent: {m}"),
+            AppError::Workflow(m) => write!(f, "workflow: {m}"),
             AppError::BadInput(m) => write!(f, "bad input: {m}"),
         }
     }
@@ -65,6 +68,11 @@ impl From<dbgpt_vis::VisError> for AppError {
 impl From<dbgpt_agents::AgentError> for AppError {
     fn from(e: dbgpt_agents::AgentError) -> Self {
         AppError::Agent(e.to_string())
+    }
+}
+impl From<dbgpt_awel::AwelError> for AppError {
+    fn from(e: dbgpt_awel::AwelError) -> Self {
+        AppError::Workflow(e.to_string())
     }
 }
 

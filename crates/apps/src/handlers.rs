@@ -10,6 +10,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde_json::{json, Value};
 
+use dbgpt_obs::Span;
 use dbgpt_server::{AppHandler, Server, ServerError, Session};
 
 use crate::analysis::GenerativeAnalyzer;
@@ -62,6 +63,23 @@ impl AppHandler for Chat2DataHandler {
             Some(rendered),
         ))
     }
+    fn handle_traced(
+        &self,
+        input: &str,
+        _params: &Value,
+        _session: &Session,
+        span: &Span,
+    ) -> Result<(Value, Option<String>), ServerError> {
+        let r = self
+            .0
+            .ask_under(input, span)
+            .map_err(|e| ServerError::Handler(e.to_string()))?;
+        let rendered = r.answer.clone();
+        Ok((
+            serde_json::to_value(r).expect("reply serializes"),
+            Some(rendered),
+        ))
+    }
 }
 
 /// Chat2Viz handler (renders SVG).
@@ -100,6 +118,23 @@ impl AppHandler for KbqaHandler {
         _session: &Session,
     ) -> Result<(Value, Option<String>), ServerError> {
         let r = self.0.ask(input).map_err(|e| ServerError::Handler(e.to_string()))?;
+        let rendered = r.answer.clone();
+        Ok((
+            serde_json::to_value(r).expect("reply serializes"),
+            Some(rendered),
+        ))
+    }
+    fn handle_traced(
+        &self,
+        input: &str,
+        _params: &Value,
+        _session: &Session,
+        span: &Span,
+    ) -> Result<(Value, Option<String>), ServerError> {
+        let r = self
+            .0
+            .ask_under(input, span)
+            .map_err(|e| ServerError::Handler(e.to_string()))?;
         let rendered = r.answer.clone();
         Ok((
             serde_json::to_value(r).expect("reply serializes"),
@@ -157,8 +192,10 @@ impl AppHandler for ForecastHandler {
 }
 
 /// Build a fully wired server over one context: all six apps registered.
+/// The context's observability handle carries over, so `server.request`
+/// spans parent the app/engine spans of instrumented apps.
 pub fn build_server(ctx: &AppContext) -> Server {
-    let mut server = Server::new();
+    let mut server = Server::with_obs(ctx.obs.clone());
     server.register(Arc::new(Chat2DbHandler(Chat2Db::new(ctx.clone()))));
     server.register(Arc::new(Chat2DataHandler(Chat2Data::new(ctx.clone()))));
     server.register(Arc::new(Chat2VizHandler(Chat2Viz::new(ctx.clone()))));

@@ -8,6 +8,7 @@
 use serde::Serialize;
 
 use dbgpt_llm::GenerationParams;
+use dbgpt_obs::Span;
 use dbgpt_rag::{IclBuilder, RetrievalStrategy};
 
 use crate::context::AppContext;
@@ -65,15 +66,47 @@ impl KnowledgeQa {
 
     /// Answer a question from the knowledge base.
     pub fn ask(&self, question: &str) -> Result<KbqaReply, AppError> {
+        self.ask_under(question, &Span::noop())
+    }
+
+    /// Answer under a caller span: records an `app.kbqa` span with the RAG
+    /// retrieval and model completion joined as children. Byte-identical
+    /// to [`KnowledgeQa::ask`] when nothing records.
+    pub fn ask_under(&self, question: &str, parent: &Span) -> Result<KbqaReply, AppError> {
+        let span = if parent.is_recording() {
+            parent.child("app.kbqa", parent.tick())
+        } else if self.ctx.obs.is_enabled() {
+            self.ctx.obs.span("app.kbqa", self.ctx.obs.tick())
+        } else {
+            return self.ask_inner(question, &Span::noop());
+        };
+        let obs = span.handle();
+        obs.counter("app.kbqa.requests", 1);
+        let res = self.ask_inner(question, &span);
+        match &res {
+            Ok(r) => {
+                span.attr("outcome", "ok");
+                span.attr("chunks", r.chunks_used);
+            }
+            Err(_) => {
+                span.attr("outcome", "error");
+                obs.counter("app.kbqa.errors", 1);
+            }
+        }
+        span.end(span.tick());
+        res
+    }
+
+    fn ask_inner(&self, question: &str, span: &Span) -> Result<KbqaReply, AppError> {
         let question = question.trim();
         if question.is_empty() {
             return Err(AppError::BadInput("empty question".into()));
         }
         let kb = self.ctx.kb.read();
         let hits = if self.rerank {
-            kb.retrieve_reranked(question, self.top_k, self.strategy)
+            kb.retrieve_reranked_under(question, self.top_k, self.strategy, span)
         } else {
-            kb.retrieve(question, self.top_k, self.strategy)
+            kb.retrieve_under(question, self.top_k, self.strategy, span)
         };
         drop(kb);
         let mut sources: Vec<String> = Vec::new();
@@ -86,7 +119,7 @@ impl KnowledgeQa {
         let completion = self
             .ctx
             .llm
-            .complete(&prompt, &GenerationParams::default())
+            .complete_under(&prompt, &GenerationParams::default(), span)
             .map_err(|e| AppError::Llm(e.to_string()))?;
         Ok(KbqaReply {
             answer: completion.text,

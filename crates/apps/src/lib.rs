@@ -28,6 +28,9 @@
 //!   text standardisation, numeric recovery, imputation, deduplication.
 //! - [`awel_bridge`] — "AWEL models each agent as a distinct operator"
 //!   (§2.4): wrap agents as AWEL operators and compile plans into DAGs.
+//! - [`pipeline`] — Chat2Data as a five-stage AWEL workflow whose
+//!   operators join retrieval, Text-to-SQL, execution and narration spans
+//!   into one end-to-end trace.
 //! - [`intent`] — multilingual (en/zh) intent detection that routes a raw
 //!   utterance to the right app.
 //! - [`context`] — the shared resource bundle (model client, SQL engine,
@@ -48,6 +51,7 @@ pub mod forecast;
 pub mod handlers;
 pub mod intent;
 pub mod kbqa;
+pub mod pipeline;
 
 pub use analysis::{AnalysisReport, GenerativeAnalyzer};
 pub use awel_bridge::{agent_operator, analysis_workflow};
@@ -61,3 +65,4 @@ pub use error::AppError;
 pub use forecast::{ForecastAgent, Forecaster};
 pub use intent::{detect_intent, Intent};
 pub use kbqa::KnowledgeQa;
+pub use pipeline::{Chat2DataPipeline, PipelineReply};

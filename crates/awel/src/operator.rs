@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use dbgpt_obs::Span;
 use serde_json::Value;
 
 use crate::error::AwelError;
@@ -38,6 +39,15 @@ pub trait Operator: Send + Sync {
     /// receive the trigger input instead — the scheduler passes it as the
     /// single element of `inputs`).
     fn run(&self, inputs: &[Value]) -> Result<OpOutput, AwelError>;
+
+    /// Execute with the scheduler's per-node span. Operators that call
+    /// into other instrumented subsystems (SMMF, the SQL engine, RAG)
+    /// override this to join their spans to the workflow trace; the
+    /// default ignores the span and delegates to [`Operator::run`], so
+    /// plain operators behave identically traced or not.
+    fn run_traced(&self, inputs: &[Value], _span: &Span) -> Result<OpOutput, AwelError> {
+        self.run(inputs)
+    }
 }
 
 /// Shared operator handle.

@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use dbgpt_obs::{Obs, Span};
 use serde_json::Value;
 
 use crate::dag::{Dag, NodeId};
@@ -68,12 +69,27 @@ impl RunResult {
 
 /// The DAG scheduler.
 #[derive(Debug, Clone, Default)]
-pub struct Scheduler;
+pub struct Scheduler {
+    obs: Obs,
+}
 
 impl Scheduler {
-    /// Create a scheduler.
+    /// Create a scheduler (observability disabled).
     pub fn new() -> Self {
-        Scheduler
+        Scheduler {
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Create a scheduler that records an `awel.dag` span per run and an
+    /// `awel.op` child span per executed node on `obs`.
+    pub fn with_obs(obs: Obs) -> Self {
+        Scheduler { obs }
+    }
+
+    /// The scheduler's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Run once in batch mode with `trigger` as the root input.
@@ -83,10 +99,61 @@ impl Scheduler {
 
     /// Run once in the given mode.
     pub fn run(&self, dag: &Dag, trigger: Value, mode: ExecutionMode) -> Result<RunResult, AwelError> {
-        match mode {
-            ExecutionMode::Batch => self.run_sequential(dag, trigger),
-            ExecutionMode::Async => self.run_parallel(dag, trigger),
+        self.run_under(dag, trigger, mode, &Span::noop())
+    }
+
+    /// Run once, joining the `awel.dag` span to `parent` when that parent
+    /// is recording (else rooting it on this scheduler's own handle).
+    /// Spans use logical ticks from the owning tracer; in [`ExecutionMode::Async`]
+    /// the coordinator thread assigns per-op start/end ticks in node order,
+    /// so the dump stays deterministic (operators that trace *internally*
+    /// should run in batch mode for cross-run byte identity).
+    pub fn run_under(
+        &self,
+        dag: &Dag,
+        trigger: Value,
+        mode: ExecutionMode,
+        parent: &Span,
+    ) -> Result<RunResult, AwelError> {
+        let span = if parent.is_recording() {
+            parent.child("awel.dag", parent.tick())
+        } else if self.obs.is_enabled() {
+            self.obs.span("awel.dag", self.obs.tick())
+        } else {
+            return match mode {
+                ExecutionMode::Batch => self.run_sequential(dag, trigger, &Span::noop()),
+                ExecutionMode::Async => self.run_parallel(dag, trigger, &Span::noop()),
+            };
+        };
+        let obs = span.handle();
+        span.attr("dag", dag.name());
+        span.attr(
+            "mode",
+            match mode {
+                ExecutionMode::Batch => "batch",
+                ExecutionMode::Async => "async",
+            },
+        );
+        span.attr("nodes", dag.node_count().to_string());
+        obs.counter("awel.runs", 1);
+        let res = match mode {
+            ExecutionMode::Batch => self.run_sequential(dag, trigger, &span),
+            ExecutionMode::Async => self.run_parallel(dag, trigger, &span),
+        };
+        match &res {
+            Ok(r) => {
+                span.attr("outcome", "ok");
+                span.attr("ops_run", r.outputs.len().to_string());
+                obs.counter("awel.ops_run", r.outputs.len() as u64);
+                obs.counter("awel.ops_skipped", r.skipped.len() as u64);
+            }
+            Err(_) => {
+                span.attr("outcome", "error");
+                obs.counter("awel.errors", 1);
+            }
         }
+        span.end(span.tick());
+        res
     }
 
     /// Stream mode: push each event through the DAG; collect each event's
@@ -96,13 +163,23 @@ impl Scheduler {
         dag: &Dag,
         events: impl IntoIterator<Item = Value>,
     ) -> Result<Vec<RunResult>, AwelError> {
+        self.run_stream_under(dag, events, &Span::noop())
+    }
+
+    /// Stream mode with trace propagation: one `awel.dag` span per event.
+    pub fn run_stream_under(
+        &self,
+        dag: &Dag,
+        events: impl IntoIterator<Item = Value>,
+        parent: &Span,
+    ) -> Result<Vec<RunResult>, AwelError> {
         events
             .into_iter()
-            .map(|e| self.run_sequential(dag, e))
+            .map(|e| self.run_under(dag, e, ExecutionMode::Batch, parent))
             .collect()
     }
 
-    fn run_sequential(&self, dag: &Dag, trigger: Value) -> Result<RunResult, AwelError> {
+    fn run_sequential(&self, dag: &Dag, trigger: Value, span: &Span) -> Result<RunResult, AwelError> {
         // delivered[node] = values delivered along its in-edges (in edge order).
         let n = dag.node_count();
         let mut delivered: Vec<Vec<Value>> = vec![Vec::new(); n];
@@ -122,13 +199,27 @@ impl Scheduler {
             if !is_root && inputs.is_empty() {
                 continue;
             }
-            let out = dag.operator(node).run(&inputs).map_err(|e| match e {
-                AwelError::Execution { cause, .. } => AwelError::Execution {
-                    node: dag.node_name(node).to_string(),
-                    cause,
-                },
-                other => other,
-            })?;
+            let op_span = span.child("awel.op", span.tick());
+            op_span.attr("node", dag.node_name(node));
+            op_span.attr("id", node.to_string());
+            op_span.attr("op", dag.operator(node).op_name());
+            let out = match dag.operator(node).run_traced(&inputs, &op_span) {
+                Ok(out) => {
+                    op_span.end(span.tick());
+                    out
+                }
+                Err(e) => {
+                    op_span.attr("outcome", "error");
+                    op_span.end(span.tick());
+                    return Err(match e {
+                        AwelError::Execution { cause, .. } => AwelError::Execution {
+                            node: dag.node_name(node).to_string(),
+                            cause,
+                        },
+                        other => other,
+                    });
+                }
+            };
             ran[node] = true;
             // Deliver downstream.
             for edge in dag.out_edges(node) {
@@ -150,7 +241,7 @@ impl Scheduler {
         Ok(self.collect(dag, ran, outputs))
     }
 
-    fn run_parallel(&self, dag: &Dag, trigger: Value) -> Result<RunResult, AwelError> {
+    fn run_parallel(&self, dag: &Dag, trigger: Value, span: &Span) -> Result<RunResult, AwelError> {
         let n = dag.node_count();
         let mut delivered: Vec<Vec<Value>> = vec![Vec::new(); n];
         let mut ran = vec![false; n];
@@ -175,20 +266,33 @@ impl Scheduler {
                         continue;
                     }
                     let op = dag.operator(node).clone();
-                    let h = scope.spawn(move || op.run(&inputs));
-                    handles.push((node, Some(h)));
+                    // Span ticks are assigned here, on the coordinator
+                    // thread, in node order — the parallel joins stay
+                    // deterministic in the dump.
+                    let op_span = span.child("awel.op", span.tick());
+                    op_span.attr("node", dag.node_name(node));
+                    op_span.attr("id", node);
+                    op_span.attr("op", op.op_name());
+                    let thread_span = op_span.clone();
+                    let h = scope.spawn(move || op.run_traced(&inputs, &thread_span));
+                    handles.push((node, Some((h, op_span))));
                 }
                 for (node, h) in handles {
                     // A panicking operator must surface as an Execution
                     // error, not unwind the scheduler: joining every handle
                     // first also lets sibling operators run to completion.
-                    let joined = h.map(|h| {
-                        h.join().unwrap_or_else(|payload| {
+                    let joined = h.map(|(h, op_span)| {
+                        let r = h.join().unwrap_or_else(|payload| {
                             Err(AwelError::Execution {
                                 node: dag.node_name(node).to_string(),
                                 cause: panic_cause(payload),
                             })
-                        })
+                        });
+                        if r.is_err() {
+                            op_span.attr("outcome", "error");
+                        }
+                        op_span.end(span.tick());
+                        r
                     });
                     results.push((node, joined));
                 }

@@ -26,6 +26,7 @@ use std::fs;
 use std::time::Instant;
 
 use dbgpt_llm::GenerationParams;
+use dbgpt_obs::render::render_metrics;
 use dbgpt_obs::ObsConfig;
 use dbgpt_rag::knowledge::KnowledgeBase;
 use dbgpt_rag::retriever::RetrievalStrategy;
@@ -114,10 +115,21 @@ pub fn run(smoke: bool, out_path: &str) {
     assert_eq!(sem_off, sem_on, "enabled observability changed the workload");
     assert_eq!(s_off.obs().span_count(), 0, "disabled obs must record nothing");
 
-    // Gate 2: enabled runs are deterministic, byte for byte.
+    // Gate 2: enabled runs are deterministic, byte for byte — the trace
+    // dump, the metrics snapshot (JSON and rendered table), and the
+    // snapshot structure itself.
     let (_, s_on2, _) = run_workload(chats, batch, ObsConfig::enabled(SEED));
     assert_eq!(s_on.obs().trace_json(), s_on2.obs().trace_json(), "trace dumps must be reproducible");
     assert_eq!(s_on.obs().metrics_json(), s_on2.obs().metrics_json(), "metric snapshots must be reproducible");
+    assert_eq!(s_on.obs().metrics_snapshot(), s_on2.obs().metrics_snapshot(), "snapshot structures must match");
+    assert_eq!(
+        render_metrics(&s_on.obs().metrics_snapshot()),
+        render_metrics(&s_on2.obs().metrics_snapshot()),
+        "rendered metric tables must be reproducible"
+    );
+    for q in ["\"p50\":", "\"p90\":", "\"p99\":"] {
+        assert!(s_on.obs().metrics_json().contains(q), "snapshot JSON must carry {q} quantiles");
+    }
 
     // Overhead: wall-clock per request, disabled vs enabled. Printed only;
     // the committed JSON stays deterministic.

@@ -32,7 +32,13 @@
 //!   with a deterministic-JSON [`Metrics::snapshot`].
 //! - [`render`] — a text renderer that prints a trace tree for any
 //!   request, the debugging view for "why was this request hedged /
-//!   retried / batched / degraded?".
+//!   retried / batched / degraded?", plus a metrics table with
+//!   p50/p90/p99 quantiles.
+//! - [`Profile`] — a deterministic flamegraph profiler: folded stacks,
+//!   per-name self/total-time hotspots, critical-path extraction.
+//! - [`SloEngine`] — declarative latency/error objectives evaluated with
+//!   multi-window burn-rate rules over metrics snapshots, emitting a
+//!   byte-reproducible alert log.
 //!
 //! ## Quickstart
 //!
@@ -56,8 +62,12 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod render;
+pub mod slo;
 pub mod trace;
 
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use profile::{CriticalHop, CriticalPath, HotSpot, Profile};
+pub use slo::{Alert, BurnRule, Objective, SloDef, SloEngine};
 pub use trace::{Obs, ObsConfig, Span, SpanId, SpanRecord};

@@ -82,12 +82,48 @@ impl Histogram {
         self.sum
     }
 
+    /// Smallest observed value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
     /// Mean observed value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
         self.sum as f64 / self.count as f64
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations provably `<= threshold` at bucket resolution: the sum
+    /// of counts in buckets whose upper bound is within the threshold.
+    /// This is the "good event" count an SLO latency objective needs.
+    pub fn count_le(&self, threshold: u64) -> u64 {
+        self.bounds
+            .iter()
+            .zip(&self.counts)
+            .filter(|(b, _)| **b <= threshold)
+            .map(|(_, c)| *c)
+            .sum()
     }
 
     /// Upper bound of the bucket containing quantile `q` (0..=1); the
@@ -122,7 +158,10 @@ impl Histogram {
         .u64_field("sum", self.sum)
         .u64_field("min", if self.count == 0 { 0 } else { self.min })
         .u64_field("max", self.max)
-        .f64_field("mean", self.mean());
+        .f64_field("mean", self.mean())
+        .u64_field("p50", self.quantile(0.50))
+        .u64_field("p90", self.quantile(0.90))
+        .u64_field("p99", self.quantile(0.99));
         o.finish()
     }
 }
@@ -310,6 +349,42 @@ mod tests {
         assert!(aa < za, "keys must serialize sorted");
         assert!(a.contains("\"gauges\":{\"g\":-3}"));
         assert!(a.contains("\"bounds\":[1,2]"));
+    }
+
+    #[test]
+    fn count_le_sums_buckets_within_the_threshold() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 99, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count_le(10), 2, "{{5,10}} land in the <=10 bucket");
+        assert_eq!(h.count_le(100), 4);
+        assert_eq!(h.count_le(1000), 4, "nothing in (100,1000]");
+        assert_eq!(h.count_le(9), 0, "threshold below the first bound proves nothing");
+        assert_eq!(h.count() - h.count_le(100), 1, "one observation over a 100us target");
+    }
+
+    #[test]
+    fn histogram_json_pins_quantile_bytes() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [5, 20, 20, 200] {
+            h.observe(v);
+        }
+        assert_eq!(
+            h.to_json(),
+            "{\"bounds\":[10,100],\"counts\":[1,2,1],\"count\":4,\"sum\":245,\
+             \"min\":5,\"max\":200,\"mean\":61.25,\"p50\":100,\"p90\":200,\"p99\":200}"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_json_quantiles_are_zero() {
+        let h = Histogram::new(&[10]);
+        assert_eq!(
+            h.to_json(),
+            "{\"bounds\":[10],\"counts\":[0,0],\"count\":0,\"sum\":0,\
+             \"min\":0,\"max\":0,\"mean\":0.0,\"p50\":0,\"p90\":0,\"p99\":0}"
+        );
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Deterministic flamegraph profiler over finished span trees.
+//!
+//! [`Profile::from_spans`] folds a tracer's finished [`SpanRecord`] list
+//! into Brendan-Gregg-style folded stacks (`root;awel.op;smmf.chat 1234`,
+//! one line per unique stack, value = accumulated *self* time), aggregates
+//! self/total time per span name, and extracts the critical path of a
+//! trace — the chain of maximal-duration children from the root down —
+//! with percentage attribution. Everything is a pure function of the
+//! records, so the outputs inherit the tracer's byte-determinism.
+//!
+//! Clock domains: spans carry whatever clock their recorder used
+//! (simulated µs in SMMF/the batch engine, logical ticks elsewhere), so a
+//! cross-crate trace can mix units. Self time saturates at zero when a
+//! child's clock outruns its parent's, and critical-path percentages are
+//! computed hop-to-parent and capped at 100 — deterministic either way.
+
+use std::collections::BTreeMap;
+
+use crate::json::{array_of, ObjWriter};
+use crate::trace::{SpanId, SpanRecord};
+
+/// Aggregated timing for one span name across a profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotSpot {
+    /// Span name (e.g. `smmf.attempt`).
+    pub name: String,
+    /// Number of finished spans with this name.
+    pub count: u64,
+    /// Sum of span durations, children included.
+    pub total_us: u64,
+    /// Sum of self time: duration minus the durations of direct children
+    /// (saturating — overlapping parallel children can exceed the parent).
+    pub self_us: u64,
+}
+
+/// One hop on a critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalHop {
+    /// Span name.
+    pub name: String,
+    /// Span id.
+    pub id: SpanId,
+    /// Span start timestamp (its recorder's clock).
+    pub start_us: u64,
+    /// Span end timestamp.
+    pub end_us: u64,
+    /// Span duration.
+    pub duration_us: u64,
+    /// Share of the parent hop's duration, percent, capped at 100
+    /// (100 for the root).
+    pub pct_of_parent: f64,
+}
+
+/// The critical path of one trace: from the root, repeatedly descend into
+/// the longest-duration child (ties: earliest start, then lowest id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Root span id of the trace.
+    pub trace: SpanId,
+    /// Hops from the root down to the deepest span on the path.
+    pub hops: Vec<CriticalHop>,
+}
+
+impl CriticalPath {
+    /// Text rendering, one hop per line with indentation and attribution.
+    pub fn render(&self) -> String {
+        let mut out = format!("critical path · trace {:016x}\n", self.trace);
+        for (depth, h) in self.hops.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{} [{}..{}us] {}us ({:.1}% of parent)\n",
+                "  ".repeat(depth),
+                h.name,
+                h.start_us,
+                h.end_us,
+                h.duration_us,
+                h.pct_of_parent,
+            ));
+        }
+        out
+    }
+}
+
+/// A folded profile over a set of finished spans (see module docs).
+#[derive(Debug, Clone)]
+pub struct Profile {
+    stacks: BTreeMap<String, u64>,
+    hotspots: Vec<HotSpot>,
+    spans: Vec<SpanRecord>,
+}
+
+impl Profile {
+    /// Fold `spans` (any tracer dump; multiple traces welcome) into a
+    /// profile. Orphans (parent not in the set) are treated as roots.
+    pub fn from_spans(spans: &[SpanRecord]) -> Profile {
+        let mut sorted: Vec<SpanRecord> = spans.to_vec();
+        sorted.sort_by_key(|s| (s.trace, s.start_us, s.id));
+
+        let present: BTreeMap<SpanId, usize> =
+            sorted.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        let mut children: BTreeMap<SpanId, Vec<usize>> = BTreeMap::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in sorted.iter().enumerate() {
+            match s.parent.filter(|p| present.contains_key(p)) {
+                Some(p) => children.entry(p).or_default().push(i),
+                None => roots.push(i),
+            }
+        }
+
+        let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+        let mut agg: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        // Explicit stack: (index, folded path including this span).
+        let mut todo: Vec<(usize, String)> = roots
+            .iter()
+            .rev()
+            .map(|&i| (i, sorted[i].name.clone()))
+            .collect();
+        while let Some((i, path)) = todo.pop() {
+            let s = &sorted[i];
+            let kids = children.get(&s.id);
+            let child_total: u64 = kids
+                .map(|c| c.iter().map(|&j| sorted[j].duration_us()).sum())
+                .unwrap_or(0);
+            let self_us = s.duration_us().saturating_sub(child_total);
+            *stacks.entry(path.clone()).or_insert(0) += self_us;
+            let e = agg.entry(s.name.as_str()).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += s.duration_us();
+            e.2 += self_us;
+            if let Some(kids) = kids {
+                for &j in kids.iter().rev() {
+                    todo.push((j, format!("{path};{}", sorted[j].name)));
+                }
+            }
+        }
+
+        let mut hotspots: Vec<HotSpot> = agg
+            .into_iter()
+            .map(|(name, (count, total_us, self_us))| HotSpot {
+                name: name.to_string(),
+                count,
+                total_us,
+                self_us,
+            })
+            .collect();
+        hotspots.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+
+        Profile {
+            stacks,
+            hotspots,
+            spans: sorted,
+        }
+    }
+
+    /// Folded flamegraph text: one `stack;path self_us` line per unique
+    /// stack, sorted by stack string — feedable to any flamegraph tool.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, v) in &self.stacks {
+            out.push_str(&format!("{stack} {v}\n"));
+        }
+        out
+    }
+
+    /// Per-span-name aggregates, sorted by self time descending (ties:
+    /// name ascending).
+    pub fn hotspots(&self) -> &[HotSpot] {
+        &self.hotspots
+    }
+
+    /// Fixed-width text table of [`Profile::hotspots`].
+    pub fn hotspot_table(&self) -> String {
+        let mut out = format!(
+            "{:<28} {:>7} {:>12} {:>12}\n",
+            "span", "count", "total_us", "self_us"
+        );
+        for h in &self.hotspots {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>12} {:>12}\n",
+                h.name, h.count, h.total_us, h.self_us
+            ));
+        }
+        out
+    }
+
+    /// Critical path of the trace rooted at span id `trace` (`None` if the
+    /// root is not in this profile).
+    pub fn critical_path(&self, trace: SpanId) -> Option<CriticalPath> {
+        let mut cur = self.spans.iter().find(|s| s.id == trace)?;
+        let mut hops = vec![CriticalHop {
+            name: cur.name.clone(),
+            id: cur.id,
+            start_us: cur.start_us,
+            end_us: cur.end_us,
+            duration_us: cur.duration_us(),
+            pct_of_parent: 100.0,
+        }];
+        loop {
+            let next = self
+                .spans
+                .iter()
+                .filter(|s| s.parent == Some(cur.id))
+                .max_by(|a, b| {
+                    a.duration_us()
+                        .cmp(&b.duration_us())
+                        .then(b.start_us.cmp(&a.start_us))
+                        .then(b.id.cmp(&a.id))
+                });
+            let Some(next) = next else { break };
+            let parent_us = cur.duration_us();
+            let pct = if parent_us == 0 {
+                100.0
+            } else {
+                (100.0 * next.duration_us() as f64 / parent_us as f64).min(100.0)
+            };
+            hops.push(CriticalHop {
+                name: next.name.clone(),
+                id: next.id,
+                start_us: next.start_us,
+                end_us: next.end_us,
+                duration_us: next.duration_us(),
+                pct_of_parent: pct,
+            });
+            cur = next;
+        }
+        Some(CriticalPath { trace, hops })
+    }
+
+    /// Deterministic JSON: `{"stacks":[...],"hotspots":[...]}`.
+    pub fn to_json(&self) -> String {
+        let stacks = array_of(self.stacks.iter().map(|(stack, v)| {
+            let mut o = ObjWriter::new();
+            o.str_field("stack", stack).u64_field("self_us", *v);
+            o.finish()
+        }));
+        let hotspots = array_of(self.hotspots.iter().map(|h| {
+            let mut o = ObjWriter::new();
+            o.str_field("name", &h.name)
+                .u64_field("count", h.count)
+                .u64_field("total_us", h.total_us)
+                .u64_field("self_us", h.self_us);
+            o.finish()
+        }));
+        let mut o = ObjWriter::new();
+        o.raw_field("stacks", &stacks).raw_field("hotspots", &hotspots);
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Obs, ObsConfig};
+
+    /// root [0..100] with a [0..30] (child a1 [0..10]) and b [30..90].
+    fn sample() -> (Obs, SpanId) {
+        let obs = Obs::new(ObsConfig::enabled(9));
+        let root = obs.span("root", 0);
+        let a = root.child("a", 0);
+        let a1 = a.child("a1", 0);
+        a1.end(10);
+        a.end(30);
+        let b = root.child("b", 30);
+        b.end(90);
+        root.end(100);
+        (obs, root.id().unwrap())
+    }
+
+    #[test]
+    fn folded_stacks_accumulate_self_time() {
+        let (obs, _) = sample();
+        let p = Profile::from_spans(&obs.finished_spans());
+        // root: 100 - (30 + 60) = 10; a: 30 - 10 = 20; a1: 10; b: 60.
+        assert_eq!(p.folded(), "root 10\nroot;a 20\nroot;a;a1 10\nroot;b 60\n");
+    }
+
+    #[test]
+    fn self_time_saturates_when_children_overlap() {
+        let obs = Obs::new(ObsConfig::enabled(1));
+        let root = obs.span("r", 0);
+        let a = root.child("a", 0);
+        a.end(80);
+        let b = root.child("b", 0); // overlaps a: 80 + 80 > 100
+        b.end(80);
+        root.end(100);
+        let p = Profile::from_spans(&obs.finished_spans());
+        assert!(p.folded().contains("r 0\n"), "self time saturates at zero");
+    }
+
+    #[test]
+    fn hotspots_sort_by_self_time_then_name() {
+        let (obs, _) = sample();
+        let p = Profile::from_spans(&obs.finished_spans());
+        let names: Vec<&str> = p.hotspots().iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["b", "a", "a1", "root"]);
+        let b = &p.hotspots()[0];
+        assert_eq!((b.count, b.total_us, b.self_us), (1, 60, 60));
+        assert!(p.hotspot_table().starts_with("span"));
+    }
+
+    #[test]
+    fn critical_path_descends_longest_children() {
+        let (obs, root) = sample();
+        let p = Profile::from_spans(&obs.finished_spans());
+        let cp = p.critical_path(root).unwrap();
+        let names: Vec<&str> = cp.hops.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["root", "b"], "b (60us) beats a (30us)");
+        assert_eq!(cp.hops[1].pct_of_parent, 60.0);
+        assert!(cp.render().starts_with("critical path"));
+        assert!(p.critical_path(0xdead).is_none());
+    }
+
+    #[test]
+    fn critical_path_ties_break_on_start_then_id() {
+        let obs = Obs::new(ObsConfig::enabled(1));
+        let root = obs.span("r", 0);
+        let late = root.child("late", 10);
+        late.end(40);
+        let early = root.child("early", 0);
+        early.end(30);
+        root.end(50);
+        let p = Profile::from_spans(&obs.finished_spans());
+        let cp = p.critical_path(root.id().unwrap()).unwrap();
+        assert_eq!(cp.hops[1].name, "early", "equal 30us durations: earliest start wins");
+    }
+
+    #[test]
+    fn profile_outputs_are_deterministic() {
+        let run = || {
+            let (obs, root) = sample();
+            let p = Profile::from_spans(&obs.finished_spans());
+            (p.folded(), p.to_json(), p.critical_path(root).unwrap().render())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -16,7 +16,48 @@
 //! Rendering is a pure function of the records, so it inherits their
 //! determinism.
 
+use crate::metrics::MetricsSnapshot;
 use crate::trace::{SpanId, SpanRecord};
+
+/// Render a metrics snapshot as a fixed-width text table: counters and
+/// gauges as `name value` lines, histograms with count/mean and the
+/// p50/p90/p99 quantiles. Deterministic: `BTreeMap` iteration order and
+/// fixed number formatting.
+pub fn render_metrics(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<38} {v:>12}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges\n");
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<38} {v:>12}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms\n");
+        out.push_str(&format!(
+            "  {:<30} {:>8} {:>11} {:>9} {:>9} {:>9} {:>9}\n",
+            "name", "count", "mean", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &snap.histograms {
+            out.push_str(&format!(
+                "  {:<30} {:>8} {:>11.1} {:>9} {:>9} {:>9} {:>9}\n",
+                name,
+                h.count(),
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max(),
+            ));
+        }
+    }
+    out
+}
 
 /// Render every trace found in `spans`, in dump order, separated by a
 /// blank line.
@@ -173,6 +214,32 @@ mod tests {
         let all = obs.render_traces();
         assert!(all.contains("smmf.chat"));
         assert!(all.contains("rag.retrieve"));
+    }
+
+    #[test]
+    fn metrics_table_pins_its_bytes() {
+        let m = crate::metrics::Metrics::new();
+        m.counter("smmf.requests", 26);
+        m.gauge("queue.depth", -2);
+        m.observe_with("lat_us", &[100, 1000], 50);
+        m.observe_with("lat_us", &[100, 1000], 400);
+        m.observe_with("lat_us", &[100, 1000], 5000);
+        let text = render_metrics(&m.snapshot());
+        assert_eq!(
+            text,
+            "counters\n\
+             \x20 smmf.requests                                    26\n\
+             gauges\n\
+             \x20 queue.depth                                      -2\n\
+             histograms\n\
+             \x20 name                              count        mean       p50       p90       p99       max\n\
+             \x20 lat_us                                3      1816.7      1000      5000      5000      5000\n"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_metrics(&MetricsSnapshot::default()), "");
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! Declarative SLOs with multi-window burn-rate alerts.
+//!
+//! An [`SloDef`] states an objective over named metrics — a latency
+//! histogram must keep a quantile under a target, or an error/total
+//! counter pair must stay under an error budget. The [`SloEngine`]
+//! consumes a time-ordered series of *cumulative* metrics snapshots
+//! (exactly what [`crate::Obs::metrics_snapshot`] yields) and evaluates
+//! Google-SRE-style multi-window burn-rate rules on the deltas: an alert
+//! fires when both a short and a long trailing window burn the error
+//! budget faster than a threshold multiple of the sustainable rate, and
+//! resolves when they stop. Windows are measured in snapshots, burn rates
+//! in fixed two-decimal formatting — the alert log is byte-reproducible.
+
+use crate::json::{array_of, ObjWriter};
+use crate::metrics::MetricsSnapshot;
+
+/// What one SLO protects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// Quantile `quantile` of histogram `histogram` stays at or under
+    /// `target_us`; the implied error budget is `1 - quantile` (p99 → 1%).
+    /// "Bad" events are observations over the target, counted at bucket
+    /// resolution via [`crate::Histogram::count_le`].
+    LatencyQuantile {
+        /// Histogram metric name.
+        histogram: String,
+        /// Target quantile in (0, 1), e.g. 0.99.
+        quantile: f64,
+        /// Latency target for that quantile (same unit the histogram
+        /// observes; a bucket upper bound makes the count exact).
+        target_us: u64,
+    },
+    /// Ratio of counter `errors` to counter `total` stays under `budget`.
+    ErrorRate {
+        /// Error-count counter name.
+        errors: String,
+        /// Total-count counter name.
+        total: String,
+        /// Allowed bad fraction, e.g. 0.05.
+        budget: f64,
+    },
+}
+
+/// A named objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloDef {
+    /// Objective name as it appears in alerts and reports.
+    pub name: String,
+    /// The protected objective.
+    pub objective: Objective,
+}
+
+impl SloDef {
+    /// A latency-quantile objective.
+    pub fn latency(name: &str, histogram: &str, quantile: f64, target_us: u64) -> Self {
+        SloDef {
+            name: name.to_string(),
+            objective: Objective::LatencyQuantile {
+                histogram: histogram.to_string(),
+                quantile,
+                target_us,
+            },
+        }
+    }
+
+    /// An error-rate objective.
+    pub fn error_rate(name: &str, errors: &str, total: &str, budget: f64) -> Self {
+        SloDef {
+            name: name.to_string(),
+            objective: Objective::ErrorRate {
+                errors: errors.to_string(),
+                total: total.to_string(),
+                budget,
+            },
+        }
+    }
+
+    /// The error budget as a fraction of events.
+    pub fn budget(&self) -> f64 {
+        match &self.objective {
+            Objective::LatencyQuantile { quantile, .. } => (1.0 - quantile).max(1e-9),
+            Objective::ErrorRate { budget, .. } => budget.max(1e-9),
+        }
+    }
+
+    /// Cumulative `(bad, total)` event counts in `snap` (0, 0 when the
+    /// metric has not been touched yet).
+    fn totals(&self, snap: &MetricsSnapshot) -> (u64, u64) {
+        match &self.objective {
+            Objective::LatencyQuantile {
+                histogram,
+                target_us,
+                ..
+            } => match snap.histograms.get(histogram) {
+                Some(h) => (h.count().saturating_sub(h.count_le(*target_us)), h.count()),
+                None => (0, 0),
+            },
+            Objective::ErrorRate { errors, total, .. } => (
+                snap.counters.get(errors).copied().unwrap_or(0),
+                snap.counters.get(total).copied().unwrap_or(0),
+            ),
+        }
+    }
+}
+
+/// One burn-rate rule: alert when both the short and the long trailing
+/// window burn the budget at `>= threshold`× the sustainable rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRule {
+    /// Rule name as it appears in alerts (`fast`, `slow`, ...).
+    pub name: String,
+    /// Short window length, in snapshots.
+    pub short_windows: usize,
+    /// Long window length, in snapshots (the short window guards against
+    /// alerting on long-ago burn; the long one against flapping).
+    pub long_windows: usize,
+    /// Burn-rate multiple that trips the rule.
+    pub threshold: f64,
+}
+
+impl BurnRule {
+    /// The classic fast/slow pair, in snapshot-window units: `fast` pages
+    /// on a sharp spike (1/6-snapshot windows at 8×), `slow` catches
+    /// sustained burn (6/24 at 2×).
+    pub fn classic() -> Vec<BurnRule> {
+        vec![
+            BurnRule {
+                name: "fast".to_string(),
+                short_windows: 1,
+                long_windows: 6,
+                threshold: 8.0,
+            },
+            BurnRule {
+                name: "slow".to_string(),
+                short_windows: 6,
+                long_windows: 24,
+                threshold: 2.0,
+            },
+        ]
+    }
+}
+
+/// One alert-state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Snapshot timestamp at which the transition happened.
+    pub at_us: u64,
+    /// Objective name.
+    pub slo: String,
+    /// Rule name.
+    pub rule: String,
+    /// `true` on fire, `false` on resolve.
+    pub firing: bool,
+    /// Short-window burn rate at the transition.
+    pub burn_short: f64,
+    /// Long-window burn rate at the transition.
+    pub burn_long: f64,
+}
+
+impl Alert {
+    /// The deterministic log line for this transition.
+    pub fn line(&self) -> String {
+        format!(
+            "@{}us slo={} rule={} {} burn_short={:.2} burn_long={:.2}",
+            self.at_us,
+            self.slo,
+            self.rule,
+            if self.firing { "FIRING" } else { "resolved" },
+            self.burn_short,
+            self.burn_long,
+        )
+    }
+
+    /// Deterministic JSON with a fixed field order.
+    pub fn to_json(&self) -> String {
+        let mut o = ObjWriter::new();
+        o.u64_field("at_us", self.at_us)
+            .str_field("slo", &self.slo)
+            .str_field("rule", &self.rule)
+            .str_field("state", if self.firing { "firing" } else { "resolved" })
+            .raw_field("burn_short", &format!("{:.2}", self.burn_short))
+            .raw_field("burn_long", &format!("{:.2}", self.burn_long));
+        o.finish()
+    }
+}
+
+/// The evaluator (see module docs). Feed it cumulative snapshots in time
+/// order; read back transitions, the current state table and the log.
+#[derive(Debug, Clone)]
+pub struct SloEngine {
+    defs: Vec<SloDef>,
+    rules: Vec<BurnRule>,
+    /// `series[def][snapshot]` — cumulative (bad, total) per objective.
+    series: Vec<Vec<(u64, u64)>>,
+    /// `firing[def * rules.len() + rule]`.
+    firing: Vec<bool>,
+    /// Last evaluated burn rates, same indexing as `firing`.
+    burns: Vec<(f64, f64)>,
+    alerts: Vec<Alert>,
+    last_at_us: u64,
+}
+
+impl SloEngine {
+    /// Engine over `defs` with the [`BurnRule::classic`] rule pair.
+    pub fn new(defs: Vec<SloDef>) -> Self {
+        SloEngine::with_rules(defs, BurnRule::classic())
+    }
+
+    /// Engine with explicit rules.
+    pub fn with_rules(defs: Vec<SloDef>, rules: Vec<BurnRule>) -> Self {
+        let n = defs.len() * rules.len();
+        SloEngine {
+            series: vec![Vec::new(); defs.len()],
+            firing: vec![false; n],
+            burns: vec![(0.0, 0.0); n],
+            defs,
+            rules,
+            alerts: Vec::new(),
+            last_at_us: 0,
+        }
+    }
+
+    /// The configured objectives.
+    pub fn defs(&self) -> &[SloDef] {
+        &self.defs
+    }
+
+    /// Burn rate over the last `windows` snapshots of objective `def`:
+    /// (bad delta / total delta) / budget. 0 when nothing happened.
+    fn window_burn(&self, def: usize, windows: usize) -> f64 {
+        let s = &self.series[def];
+        let n = s.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let cur = s[n - 1];
+        // Before enough history exists, the window reaches back to an
+        // implicit all-zero origin snapshot.
+        let base = if n > windows { s[n - 1 - windows] } else { (0, 0) };
+        let bad = cur.0.saturating_sub(base.0);
+        let total = cur.1.saturating_sub(base.1);
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.defs[def].budget()
+    }
+
+    /// Ingest the cumulative snapshot taken at `at_us`, re-evaluate every
+    /// rule, and append any state transitions to the alert log. Returns
+    /// the number of transitions this snapshot caused.
+    pub fn push_snapshot(&mut self, at_us: u64, snap: &MetricsSnapshot) -> usize {
+        self.last_at_us = at_us;
+        for (d, def) in self.defs.iter().enumerate() {
+            let t = def.totals(snap);
+            self.series[d].push(t);
+        }
+        let mut transitions = 0;
+        for d in 0..self.defs.len() {
+            for (r, rule) in self.rules.iter().enumerate() {
+                let burn_short = self.window_burn(d, rule.short_windows);
+                let burn_long = self.window_burn(d, rule.long_windows);
+                let idx = d * self.rules.len() + r;
+                self.burns[idx] = (burn_short, burn_long);
+                let now = burn_short >= rule.threshold && burn_long >= rule.threshold;
+                if now != self.firing[idx] {
+                    self.firing[idx] = now;
+                    self.alerts.push(Alert {
+                        at_us,
+                        slo: self.defs[d].name.clone(),
+                        rule: rule.name.clone(),
+                        firing: now,
+                        burn_short,
+                        burn_long,
+                    });
+                    transitions += 1;
+                }
+            }
+        }
+        transitions
+    }
+
+    /// Every state transition so far, in evaluation order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Number of (slo, rule) pairs currently firing.
+    pub fn firing_count(&self) -> usize {
+        self.firing.iter().filter(|f| **f).count()
+    }
+
+    /// The alert log: one [`Alert::line`] per transition.
+    pub fn alert_log(&self) -> String {
+        let mut out = String::new();
+        for a in &self.alerts {
+            out.push_str(&a.line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deterministic JSON array of every transition.
+    pub fn alert_log_json(&self) -> String {
+        array_of(self.alerts.iter().map(|a| a.to_json()))
+    }
+
+    /// Current state table: one line per (slo, rule) with the latest burn
+    /// rates — the "SLO report" view.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "{:<26} {:<6} {:>10} {:>10} {:>9}\n",
+            "slo", "rule", "burn_short", "burn_long", "state"
+        );
+        for (d, def) in self.defs.iter().enumerate() {
+            for (r, rule) in self.rules.iter().enumerate() {
+                let idx = d * self.rules.len() + r;
+                out.push_str(&format!(
+                    "{:<26} {:<6} {:>10.2} {:>10.2} {:>9}\n",
+                    def.name,
+                    rule.name,
+                    self.burns[idx].0,
+                    self.burns[idx].1,
+                    if self.firing[idx] { "FIRING" } else { "ok" },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    /// One latency objective over a live registry; drive it with `good`
+    /// (50us) and `bad` (50_000us) observations against a 1_000us p90
+    /// target and a single tight rule.
+    fn engine() -> SloEngine {
+        SloEngine::with_rules(
+            vec![SloDef::latency("req_p90_1ms", "lat_us", 0.90, 1_000)],
+            vec![BurnRule {
+                name: "fast".to_string(),
+                short_windows: 1,
+                long_windows: 2,
+                threshold: 5.0,
+            }],
+        )
+    }
+
+    #[test]
+    fn alert_fires_on_a_latency_spike_and_resolves_after() {
+        let m = Metrics::new();
+        let mut e = engine();
+        // Two healthy windows: 10 good observations each.
+        for w in 0..2u64 {
+            for _ in 0..10 {
+                m.observe_with("lat_us", &[1_000, 10_000], 50);
+            }
+            assert_eq!(e.push_snapshot(1_000 * (w + 1), &m.snapshot()), 0);
+        }
+        assert_eq!(e.firing_count(), 0);
+        // A spike window: every request blows the target. Bad fraction 1.0
+        // against a 0.1 budget → burn 10 ≥ 5 on both windows.
+        for _ in 0..10 {
+            m.observe_with("lat_us", &[1_000, 10_000], 50_000);
+        }
+        assert_eq!(e.push_snapshot(3_000, &m.snapshot()), 1);
+        assert_eq!(e.firing_count(), 1);
+        // Recovery: two good windows flush the long window; resolves.
+        for w in 0..2u64 {
+            for _ in 0..10 {
+                m.observe_with("lat_us", &[1_000, 10_000], 50);
+            }
+            e.push_snapshot(4_000 + 1_000 * w, &m.snapshot());
+        }
+        assert_eq!(e.firing_count(), 0);
+        let log = e.alert_log();
+        assert!(log.contains("@3000us slo=req_p90_1ms rule=fast FIRING burn_short=10.00"));
+        assert!(log.contains("resolved"));
+        assert_eq!(e.alerts().len(), 2, "one fire + one resolve");
+    }
+
+    #[test]
+    fn error_rate_objective_counts_counters() {
+        let m = Metrics::new();
+        let mut e = SloEngine::with_rules(
+            vec![SloDef::error_rate("err_budget", "errs", "reqs", 0.05)],
+            vec![BurnRule {
+                name: "fast".to_string(),
+                short_windows: 1,
+                long_windows: 1,
+                threshold: 4.0,
+            }],
+        );
+        m.counter("reqs", 10);
+        e.push_snapshot(1, &m.snapshot());
+        assert_eq!(e.firing_count(), 0, "no errors, no burn");
+        m.counter("reqs", 10);
+        m.counter("errs", 5); // window bad fraction 0.5 / budget 0.05 = 10×
+        e.push_snapshot(2, &m.snapshot());
+        assert_eq!(e.firing_count(), 1);
+    }
+
+    #[test]
+    fn missing_metrics_burn_nothing() {
+        let m = Metrics::new();
+        let mut e = engine();
+        assert_eq!(e.push_snapshot(1, &m.snapshot()), 0);
+        assert_eq!(e.firing_count(), 0);
+        assert_eq!(e.alert_log(), "");
+        assert_eq!(e.alert_log_json(), "[]");
+    }
+
+    #[test]
+    fn log_and_report_are_byte_deterministic() {
+        let run = || {
+            let m = Metrics::new();
+            let mut e = engine();
+            for _ in 0..10 {
+                m.observe_with("lat_us", &[1_000, 10_000], 50_000);
+            }
+            e.push_snapshot(1_000, &m.snapshot());
+            (e.alert_log(), e.alert_log_json(), e.report())
+        };
+        let (log_a, json_a, rep_a) = run();
+        assert_eq!((log_a.clone(), json_a.clone(), rep_a.clone()), run());
+        assert!(rep_a.contains("FIRING"));
+        assert!(json_a.contains("\"state\":\"firing\""));
+    }
+
+    #[test]
+    fn burn_windows_reach_back_to_a_zero_origin() {
+        // First-ever snapshot already carries burn (delta against zero).
+        let m = Metrics::new();
+        let mut e = engine();
+        for _ in 0..10 {
+            m.observe_with("lat_us", &[1_000, 10_000], 50_000);
+        }
+        assert_eq!(e.push_snapshot(1, &m.snapshot()), 1, "fires on the first window");
+    }
+}

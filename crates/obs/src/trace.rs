@@ -403,6 +403,25 @@ impl Span {
         }
     }
 
+    /// Next value of the owning tracer's logical tick clock (see
+    /// [`Obs::tick`]); 0 for a no-op span. Lets a callee timestamp child
+    /// spans given only a `&Span`.
+    pub fn tick(&self) -> u64 {
+        match &self.inner {
+            Some(si) => si.obs.ticks.fetch_add(1, Ordering::Relaxed) + 1,
+            None => 0,
+        }
+    }
+
+    /// An [`Obs`] handle onto the tracer that owns this span (a disabled
+    /// handle for a no-op span) — lets a callee record counters and
+    /// histograms given only a `&Span`.
+    pub fn handle(&self) -> Obs {
+        Obs {
+            inner: self.inner.as_ref().map(|si| Arc::clone(&si.obs)),
+        }
+    }
+
     /// Record a key-value attribute. The value is only formatted when the
     /// span is live, so disabled paths pay one branch.
     pub fn attr(&self, key: &str, value: impl std::fmt::Display) {

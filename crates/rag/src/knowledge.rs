@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dbgpt_obs::metrics::COUNT_BUCKETS;
-use dbgpt_obs::Obs;
+use dbgpt_obs::{Obs, Span};
 
 use crate::chunker::{Chunk, Chunker, ChunkingStrategy};
 use crate::document::Document;
@@ -182,6 +182,50 @@ impl KnowledgeBase {
         strategy: RetrievalStrategy,
     ) -> Vec<RetrievedChunk> {
         let span = self.obs.span("rag.retrieve", self.obs.tick());
+        self.retrieve_with_span(query, k, strategy, span)
+    }
+
+    /// [`KnowledgeBase::retrieve`], but the `rag.retrieve` span joins
+    /// `parent`'s trace (when the parent is recording) instead of opening
+    /// its own — how an app-layer request root absorbs retrieval spans.
+    /// Share one handle via [`KnowledgeBase::set_obs`] so the counters
+    /// land in the same registry.
+    pub fn retrieve_under(
+        &self,
+        query: &str,
+        k: usize,
+        strategy: RetrievalStrategy,
+        parent: &Span,
+    ) -> Vec<RetrievedChunk> {
+        let span = if parent.is_recording() {
+            parent.child("rag.retrieve", parent.tick())
+        } else {
+            self.obs.span("rag.retrieve", self.obs.tick())
+        };
+        self.retrieve_with_span(query, k, strategy, span)
+    }
+
+    /// [`KnowledgeBase::retrieve_reranked`] under a parent span.
+    pub fn retrieve_reranked_under(
+        &self,
+        query: &str,
+        k: usize,
+        strategy: RetrievalStrategy,
+        parent: &Span,
+    ) -> Vec<RetrievedChunk> {
+        let candidates = self.retrieve_under(query, k * 3, strategy, parent);
+        crate::rerank::rerank(query, candidates, k)
+    }
+
+    /// Shared body of the `retrieve*` entry points, under an already-open
+    /// span (stage children are timestamped on the span's tick clock).
+    fn retrieve_with_span(
+        &self,
+        query: &str,
+        k: usize,
+        strategy: RetrievalStrategy,
+        span: Span,
+    ) -> Vec<RetrievedChunk> {
         if span.is_recording() {
             span.attr("strategy", strategy.name());
             span.attr("k", k);
@@ -191,68 +235,68 @@ impl KnowledgeBase {
             .counter("rag.chunks_scanned", self.chunks.len() as u64);
         let ids_scores: Vec<(usize, f64)> = match strategy {
             RetrievalStrategy::Vector => {
-                let stage = span.child("rag.scan.vector", self.obs.tick());
+                let stage = span.child("rag.scan.vector", span.tick());
                 let r = self
                     .vectors
                     .search_flat_with(&self.embedder.embed(query), k, &self.config)
                     .into_iter()
                     .map(|(i, s)| (i, s as f64))
                     .collect();
-                stage.end(self.obs.tick());
+                stage.end(span.tick());
                 r
             }
             RetrievalStrategy::VectorApprox => {
-                let stage = span.child("rag.scan.ivf", self.obs.tick());
+                let stage = span.child("rag.scan.ivf", span.tick());
                 let r = self
                     .vectors
                     .search_ivf_with(&self.embedder.embed(query), k, 4, &self.config)
                     .into_iter()
                     .map(|(i, s)| (i, s as f64))
                     .collect();
-                stage.end(self.obs.tick());
+                stage.end(span.tick());
                 r
             }
             RetrievalStrategy::Keyword => {
-                let stage = span.child("rag.scan.keyword", self.obs.tick());
+                let stage = span.child("rag.scan.keyword", span.tick());
                 let r = self.inverted.search(query, k);
-                stage.end(self.obs.tick());
+                stage.end(span.tick());
                 r
             }
             RetrievalStrategy::Graph => {
-                let stage = span.child("rag.scan.graph", self.obs.tick());
+                let stage = span.child("rag.scan.graph", span.tick());
                 let r = self.graph.search(query, k);
-                stage.end(self.obs.tick());
+                stage.end(span.tick());
                 r
             }
             RetrievalStrategy::Hybrid => {
                 let q = self.embedder.embed(query);
-                let stage = span.child("rag.scan.vector", self.obs.tick());
+                let stage = span.child("rag.scan.vector", span.tick());
                 let vector: Vec<usize> = self
                     .vectors
                     .search_flat_with(&q, k * 2, &self.config)
                     .into_iter()
                     .map(|(i, _)| i)
                     .collect();
-                stage.end(self.obs.tick());
-                let stage = span.child("rag.scan.keyword", self.obs.tick());
+                stage.end(span.tick());
+                let stage = span.child("rag.scan.keyword", span.tick());
                 let keyword: Vec<usize> = self
                     .inverted
                     .search(query, k * 2)
                     .into_iter()
                     .map(|(i, _)| i)
                     .collect();
-                stage.end(self.obs.tick());
-                let stage = span.child("rag.scan.graph", self.obs.tick());
+                stage.end(span.tick());
+                let stage = span.child("rag.scan.graph", span.tick());
                 let graph: Vec<usize> = self
                     .graph
                     .search(query, k * 2)
                     .into_iter()
                     .map(|(i, _)| i)
                     .collect();
-                stage.end(self.obs.tick());
-                let stage = span.child("rag.fuse", self.obs.tick());
+                stage.end(span.tick());
+                let stage = span.child("rag.fuse", span.tick());
                 let r = reciprocal_rank_fusion(&[vector, keyword, graph], k);
-                stage.end(self.obs.tick());
+                stage.end(span.tick());
                 r
             }
         };
@@ -268,8 +312,10 @@ impl KnowledgeBase {
         if self.obs.is_enabled() {
             self.obs
                 .observe_with("rag.hits", COUNT_BUCKETS, out.len() as u64);
+        }
+        if span.is_recording() {
             span.attr("hits", out.len());
-            span.end(self.obs.tick());
+            span.end(span.tick());
         }
         out
     }

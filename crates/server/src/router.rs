@@ -12,6 +12,7 @@ use std::sync::Arc;
 use serde_json::Value;
 
 use dbgpt_llm::ChatMessage;
+use dbgpt_obs::{Obs, Span};
 
 use crate::error::ServerError;
 use crate::protocol::{decode_frame, encode_frame, Request, Response, Status};
@@ -30,6 +31,20 @@ pub trait AppHandler: Send + Sync {
         params: &Value,
         session: &Session,
     ) -> Result<(Value, Option<String>), ServerError>;
+
+    /// Handle one input under the server's per-request span. Handlers
+    /// whose apps are instrumented override this to join app/engine spans
+    /// to the request trace; the default ignores the span and delegates to
+    /// [`AppHandler::handle`].
+    fn handle_traced(
+        &self,
+        input: &str,
+        params: &Value,
+        session: &Session,
+        _span: &Span,
+    ) -> Result<(Value, Option<String>), ServerError> {
+        self.handle(input, params, session)
+    }
 }
 
 /// Shared handler.
@@ -39,6 +54,7 @@ pub type SharedHandler = Arc<dyn AppHandler>;
 pub struct Server {
     sessions: SessionManager,
     handlers: BTreeMap<String, SharedHandler>,
+    obs: Obs,
 }
 
 impl Server {
@@ -47,7 +63,29 @@ impl Server {
         Server {
             sessions: SessionManager::new(),
             handlers: BTreeMap::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Empty server recording `server.request` spans and per-app/status
+    /// counters on `obs`.
+    pub fn with_obs(obs: Obs) -> Self {
+        Server {
+            sessions: SessionManager::new(),
+            handlers: BTreeMap::new(),
+            obs,
+        }
+    }
+
+    /// Replace the observability handle (e.g. after [`Server::new`] via a
+    /// builder that only later learns about it).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The server's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Register a handler under its app name.
@@ -72,6 +110,39 @@ impl Server {
 
     /// Handle a request struct (the non-frame path).
     pub fn handle(&self, request: &Request) -> Response {
+        self.handle_under(request, &Span::noop())
+    }
+
+    /// Handle a request under a caller span (e.g. a TCP connection span):
+    /// records a `server.request` span with app/status attributes plus
+    /// `server.requests`, `server.cmd.<app>` and `server.status.*`
+    /// counters. Byte-identical to [`Server::handle`] when nothing records.
+    pub fn handle_under(&self, request: &Request, parent: &Span) -> Response {
+        let span = if parent.is_recording() {
+            parent.child("server.request", parent.tick())
+        } else if self.obs.is_enabled() {
+            self.obs.span("server.request", self.obs.tick())
+        } else {
+            return self.handle_inner(request, &Span::noop());
+        };
+        let obs = span.handle();
+        span.attr("app", &request.app);
+        span.attr("id", request.id);
+        obs.counter("server.requests", 1);
+        obs.counter(&format!("server.cmd.{}", request.app), 1);
+        let resp = self.handle_inner(request, &span);
+        let status = match resp.status {
+            Status::Ok => "ok",
+            Status::BadRequest => "bad_request",
+            Status::Error => "error",
+        };
+        span.attr("status", status);
+        obs.counter(&format!("server.status.{status}"), 1);
+        span.end(span.tick());
+        resp
+    }
+
+    fn handle_inner(&self, request: &Request, span: &Span) -> Response {
         let handler = match self.handlers.get(&request.app) {
             Some(h) => h.clone(),
             None => {
@@ -95,7 +166,7 @@ impl Server {
                 Err(e) => return Response::error(request.id, Status::BadRequest, e.to_string()),
             }
         };
-        match handler.handle(&request.input, &request.params, &session) {
+        match handler.handle_traced(&request.input, &request.params, &session, span) {
             Ok((content, rendered)) => {
                 // Persist the turn for real sessions.
                 if !request.session.is_empty() {
@@ -122,9 +193,19 @@ impl Server {
     /// Handle a binary frame and produce a response frame (the external
     /// "HTTP" path).
     pub fn handle_frame(&self, frame: &[u8]) -> bytes::Bytes {
+        self.handle_frame_under(frame, &Span::noop())
+    }
+
+    /// Frame path under a caller span, counting `server.frames` and
+    /// `server.frame_errors`.
+    pub fn handle_frame_under(&self, frame: &[u8], parent: &Span) -> bytes::Bytes {
+        self.obs.counter("server.frames", 1);
         match decode_frame::<Request>(frame) {
-            Ok((request, _)) => encode_frame(&self.handle(&request)),
-            Err(e) => encode_frame(&Response::error(0, Status::BadRequest, e.to_string())),
+            Ok((request, _)) => encode_frame(&self.handle_under(&request, parent)),
+            Err(e) => {
+                self.obs.counter("server.frame_errors", 1);
+                encode_frame(&Response::error(0, Status::BadRequest, e.to_string()))
+            }
         }
     }
 }

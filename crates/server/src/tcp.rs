@@ -105,11 +105,25 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
 }
 
 fn handle_connection(mut stream: TcpStream, server: Arc<Server>) -> std::io::Result<()> {
+    // One `server.conn` span per connection; each frame's `server.request`
+    // span nests under it. Noop (and branch-free downstream) when the
+    // server has no observability attached.
+    let obs = server.obs().clone();
+    let span = if obs.is_enabled() {
+        obs.counter("server.connections", 1);
+        obs.span("server.conn", obs.tick())
+    } else {
+        dbgpt_obs::Span::noop()
+    };
+    let mut frames = 0u64;
     while let Some(frame) = read_frame(&mut stream)? {
-        let response = server.handle_frame(&frame);
+        let response = server.handle_frame_under(&frame, &span);
+        frames += 1;
         stream.write_all(&response)?;
         stream.flush()?;
     }
+    span.attr("frames", frames);
+    span.end(span.tick());
     Ok(())
 }
 

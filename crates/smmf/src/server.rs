@@ -195,6 +195,13 @@ impl ApiServer {
         &self.obs
     }
 
+    /// Replace the observability handle — used to share one tracer and
+    /// metrics registry across the whole stack (server layer, apps, AWEL,
+    /// serving) so cross-crate spans land in one trace store.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
     /// Prefix-cache counters of every batch engine spun up so far, sorted
     /// by `model/worker` key (empty until the first batched dispatch).
     pub fn prefix_cache_stats(&self) -> Vec<(String, PrefixCacheStats)> {
@@ -314,19 +321,53 @@ impl ApiServer {
     ) -> Result<Completion, SmmfError> {
         let started_us = self.now_us();
         let span = self.obs.span("smmf.chat", started_us);
+        self.chat_with_span(model, prompt, params, span, started_us)
+    }
+
+    /// [`ApiServer::chat`], but the `smmf.chat` span joins `parent`'s
+    /// trace instead of opening a new one (when the parent is recording) —
+    /// how an app-layer request root absorbs the serving spans. Callers
+    /// that want counters too should share one handle via
+    /// [`ApiServer::set_obs`].
+    pub fn chat_under(
+        &self,
+        model: &str,
+        prompt: &str,
+        params: &GenerationParams,
+        parent: &Span,
+    ) -> Result<Completion, SmmfError> {
+        let started_us = self.now_us();
+        let span = if parent.is_recording() {
+            parent.child("smmf.chat", started_us)
+        } else {
+            self.obs.span("smmf.chat", started_us)
+        };
+        self.chat_with_span(model, prompt, params, span, started_us)
+    }
+
+    /// Shared tail of [`ApiServer::chat`] / [`ApiServer::chat_under`]:
+    /// run the pipeline under `span`, record outcome and latency.
+    fn chat_with_span(
+        &self,
+        model: &str,
+        prompt: &str,
+        params: &GenerationParams,
+        span: Span,
+        started_us: u64,
+    ) -> Result<Completion, SmmfError> {
         span.attr("model", model);
         let result = self.chat_inner(model, prompt, params, &span);
-        if self.obs.is_enabled() {
-            match &result {
-                Ok(_) => {
-                    self.obs.counter("smmf.requests_ok", 1);
-                    span.attr("outcome", "ok");
-                }
-                Err(e) => {
-                    self.obs.counter("smmf.requests_err", 1);
-                    span.attr("outcome", e.kind());
-                }
+        match &result {
+            Ok(_) => {
+                self.obs.counter("smmf.requests_ok", 1);
+                span.attr("outcome", "ok");
             }
+            Err(e) => {
+                self.obs.counter("smmf.requests_err", 1);
+                span.attr("outcome", e.kind());
+            }
+        }
+        if self.obs.is_enabled() || span.is_recording() {
             let now = self.now_us();
             self.obs
                 .observe("smmf.request_latency_us", now.saturating_sub(started_us));

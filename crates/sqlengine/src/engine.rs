@@ -2,6 +2,8 @@
 
 use std::sync::Arc;
 
+use dbgpt_obs::Span;
+
 use crate::catalog::Database;
 use crate::error::SqlError;
 use crate::exec::execute_plan;
@@ -125,6 +127,82 @@ impl Engine {
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, SqlError> {
         let stmt = parse(sql)?;
+        self.run_statement(stmt)
+    }
+
+    /// [`Engine::execute`] with `sql.parse` / `sql.plan` / `sql.exec`
+    /// stage spans joined to `parent`'s trace, row counts as attributes.
+    /// With a non-recording parent this is exactly [`Engine::execute`].
+    pub fn execute_traced(&mut self, sql: &str, parent: &Span) -> Result<QueryResult, SqlError> {
+        if !parent.is_recording() {
+            return self.execute(sql);
+        }
+        let obs = parent.handle();
+        let span = parent.child("sql.execute", parent.tick());
+        obs.counter("sql.statements", 1);
+        let parse_span = span.child("sql.parse", span.tick());
+        let parsed = parse(sql);
+        parse_span.end(span.tick());
+        let stmt = match parsed {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                obs.counter("sql.errors", 1);
+                span.attr("outcome", "parse_error");
+                span.end(span.tick());
+                return Err(e);
+            }
+        };
+        let result = match stmt {
+            // SELECT splits into plan + exec stages; everything else is
+            // one exec stage around the statement runner.
+            Statement::Select(sel) => {
+                let plan_span = span.child("sql.plan", span.tick());
+                let plan = Planner::new(&self.db)
+                    .plan_select(&sel)
+                    .and_then(|p| self.optimizer.optimize(p));
+                plan_span.end(span.tick());
+                plan.and_then(|plan| {
+                    let exec_span = span.child("sql.exec", span.tick());
+                    let batch = execute_plan(&plan, &self.db);
+                    if let Ok(b) = &batch {
+                        exec_span.attr("rows", b.rows.len());
+                    }
+                    exec_span.end(span.tick());
+                    batch.map(|batch| QueryResult {
+                        schema: batch.schema,
+                        rows: batch.rows,
+                        rows_affected: 0,
+                    })
+                })
+            }
+            other => {
+                let exec_span = span.child("sql.exec", span.tick());
+                let r = self.run_statement(other);
+                if let Ok(q) = &r {
+                    exec_span.attr("rows_affected", q.rows_affected);
+                }
+                exec_span.end(span.tick());
+                r
+            }
+        };
+        match &result {
+            Ok(q) => {
+                span.attr("rows", q.rows.len());
+                span.attr("rows_affected", q.rows_affected);
+                obs.counter("sql.rows_out", q.rows.len() as u64);
+            }
+            Err(_) => {
+                obs.counter("sql.errors", 1);
+                span.attr("outcome", "error");
+            }
+        }
+        span.end(span.tick());
+        result
+    }
+
+    /// Run one already-parsed statement (the shared tail of
+    /// [`Engine::execute`] and [`Engine::execute_traced`]).
+    fn run_statement(&mut self, stmt: Statement) -> Result<QueryResult, SqlError> {
         match stmt {
             Statement::CreateTable {
                 name,
