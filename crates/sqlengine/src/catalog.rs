@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use crate::col::ColumnTable;
 use crate::error::SqlError;
 use crate::row::Row;
 use crate::schema::{Schema, SchemaRef};
@@ -53,6 +54,10 @@ pub struct Table {
     /// Index name → column position (for `DROP INDEX name ON table`).
     index_names: HashMap<String, usize>,
     indexes_stale: bool,
+    /// Columnar mirror of `rows`, maintained on insert and dropped on
+    /// in-place mutation (like indexes, but rebuilt on demand by the
+    /// vectorized executor rather than lazily here).
+    columnar: Option<ColumnTable>,
 }
 
 impl Table {
@@ -65,6 +70,7 @@ impl Table {
             indexes: HashMap::new(),
             index_names: HashMap::new(),
             indexes_stale: false,
+            columnar: None,
         }
     }
 
@@ -90,8 +96,74 @@ impl Table {
                 idx.entries.entry(row[col].group_key()).or_default().push(pos);
             }
         }
+        if let Some(ct) = &mut self.columnar {
+            ct.append_row(&row);
+        }
         self.rows.push(row);
         Ok(())
+    }
+
+    /// Bulk append: coerce and validate every row first, then append them
+    /// all (no partial inserts on error). One index/columnar maintenance
+    /// pass instead of per-row work — the CSV/bench ingest path.
+    pub fn insert_rows(&mut self, rows: Vec<Vec<Value>>) -> Result<usize, SqlError> {
+        let mut coerced = Vec::with_capacity(rows.len());
+        for values in rows {
+            if values.len() != self.schema.len() {
+                return Err(SqlError::Execution(format!(
+                    "table `{}` has {} columns but {} values were supplied",
+                    self.name,
+                    self.schema.len(),
+                    values.len()
+                )));
+            }
+            let mut row = Vec::with_capacity(values.len());
+            for (v, c) in values.into_iter().zip(self.schema.columns()) {
+                row.push(v.coerce_to(c.data_type)?);
+            }
+            coerced.push(Row::new(row));
+        }
+        let n = coerced.len();
+        if !self.indexes_stale {
+            let base = self.rows.len();
+            for (&col, idx) in self.indexes.iter_mut() {
+                for (i, row) in coerced.iter().enumerate() {
+                    idx.entries
+                        .entry(row[col].group_key())
+                        .or_default()
+                        .push(base + i);
+                }
+            }
+        }
+        if let Some(ct) = &mut self.columnar {
+            for row in &coerced {
+                ct.append_row(row);
+            }
+        }
+        self.rows.reserve(n);
+        self.rows.extend(coerced);
+        Ok(n)
+    }
+
+    /// The columnar mirror, if present and in sync with `rows`. The row
+    /// count guard catches direct `rows` mutation that bypassed the
+    /// maintenance hooks.
+    pub fn columnar(&self) -> Option<&ColumnTable> {
+        self.columnar
+            .as_ref()
+            .filter(|ct| ct.rows() == self.rows.len())
+    }
+
+    /// Build (or rebuild) the columnar mirror from row storage if it is
+    /// absent or out of sync.
+    pub fn refresh_columnar(&mut self) {
+        let fresh = self
+            .columnar
+            .as_ref()
+            .is_some_and(|ct| ct.rows() == self.rows.len());
+        if !fresh {
+            self.columnar = Some(ColumnTable::from_rows(&self.rows, self.schema.len()));
+        }
     }
 
     /// Create a named hash index on `column`. Re-creating under the same
@@ -158,11 +230,15 @@ impl Table {
         self.indexes.get(&col)
     }
 
-    /// Mark indexes stale after in-place mutation (UPDATE/DELETE).
+    /// Mark indexes stale after in-place mutation (UPDATE/DELETE). The
+    /// columnar mirror is dropped unconditionally: unlike indexes its row
+    /// count can stay equal under UPDATE, so a staleness flag alone would
+    /// not catch the change.
     pub fn mark_indexes_stale(&mut self) {
         if !self.indexes.is_empty() {
             self.indexes_stale = true;
         }
+        self.columnar = None;
     }
 
     /// Rebuild any stale indexes now (optional; lookups do this lazily).
@@ -342,6 +418,66 @@ mod tests {
         // NULL passes.
         t.insert_row(vec![Value::Null, Value::Null]).unwrap();
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn insert_rows_bulk_matches_per_row() {
+        let mut a = Table::new("t", schema());
+        let mut b = Table::new("t", schema());
+        let rows: Vec<Vec<Value>> = (0..5)
+            .map(|i| vec![Value::Int(i), Value::Text(format!("r{i}"))])
+            .collect();
+        for r in rows.clone() {
+            a.insert_row(r).unwrap();
+        }
+        assert_eq!(b.insert_rows(rows).unwrap(), 5);
+        assert_eq!(a.rows, b.rows);
+        // Atomic: a bad row rejects the whole batch.
+        let bad = vec![
+            vec![Value::Int(9), Value::Text("ok".into())],
+            vec![Value::Int(10)],
+        ];
+        assert!(b.insert_rows(bad).is_err());
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn insert_rows_maintains_indexes() {
+        let mut t = Table::new("t", schema());
+        t.create_index("i", "name").unwrap();
+        t.insert_rows(vec![
+            vec![Value::Int(1), Value::Text("a".into())],
+            vec![Value::Int(2), Value::Text("a".into())],
+            vec![Value::Int(3), Value::Text("b".into())],
+        ])
+        .unwrap();
+        let idx = t.index(1).unwrap();
+        assert_eq!(idx.lookup(&Value::Text("a".into())), &[0, 1]);
+    }
+
+    #[test]
+    fn columnar_cache_lifecycle() {
+        let mut t = Table::new("t", schema());
+        t.insert_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        assert!(t.columnar().is_none()); // not built yet
+        t.refresh_columnar();
+        assert_eq!(t.columnar().unwrap().rows(), 1);
+        // Maintained incrementally across both insert paths.
+        t.insert_row(vec![Value::Int(2), Value::Null]).unwrap();
+        t.insert_rows(vec![vec![Value::Int(3), Value::Text("c".into())]])
+            .unwrap();
+        let ct = t.columnar().unwrap();
+        assert_eq!(ct.rows(), 3);
+        assert_eq!(ct.chunks()[0].row(2), t.rows[2]);
+        // In-place mutation drops the cache even without an index.
+        t.mark_indexes_stale();
+        assert!(t.columnar().is_none());
+        // Direct row mutation is caught by the row-count guard.
+        t.refresh_columnar();
+        t.rows.push(Row::new(vec![Value::Int(4), Value::Null]));
+        assert!(t.columnar().is_none());
+        t.refresh_columnar();
+        assert_eq!(t.columnar().unwrap().rows(), 4);
     }
 
     #[test]

@@ -151,15 +151,18 @@ pub fn load_csv(db: &mut Database, name: &str, text: &str) -> Result<usize, SqlE
     db.drop_table(name, true)?;
     db.create_table(name, Schema::new(columns)?, false)?;
     let table = db.table_mut(name)?;
-    for r in &records {
-        let vals: Vec<Value> = r
-            .iter()
-            .zip(&types)
-            .map(|(c, t)| cell_to_value(c, *t))
-            .collect();
-        table.insert_row(vals)?;
-    }
-    Ok(records.len())
+    // One bulk append instead of per-row inserts: a single validation +
+    // index/columnar maintenance pass over the whole file.
+    let rows: Vec<Vec<Value>> = records
+        .iter()
+        .map(|r| {
+            r.iter()
+                .zip(&types)
+                .map(|(c, t)| cell_to_value(c, *t))
+                .collect()
+        })
+        .collect();
+    table.insert_rows(rows)
 }
 
 /// Export a table back to CSV text.

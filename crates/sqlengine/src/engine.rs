@@ -6,9 +6,10 @@ use dbgpt_obs::Span;
 
 use crate::catalog::Database;
 use crate::error::SqlError;
-use crate::exec::execute_plan;
+use crate::exec::vectorized::{execute_plan_columnar_with_stats, ExecStats};
+use crate::exec::{execute_plan, ExecConfig, ExecMode};
 use crate::parser::{parse, Statement};
-use crate::plan::logical::Planner;
+use crate::plan::logical::{LogicalPlan, Planner};
 use crate::plan::optimizer::Optimizer;
 use crate::row::Row;
 use crate::schema::{Column, Schema, SchemaRef};
@@ -95,14 +96,16 @@ impl QueryResult {
 pub struct Engine {
     db: Database,
     optimizer: Optimizer,
+    exec: ExecConfig,
 }
 
 impl Engine {
-    /// Empty engine with the optimizer on.
+    /// Empty engine with the optimizer on and the row executor (default).
     pub fn new() -> Self {
         Engine {
             db: Database::new(),
             optimizer: Optimizer::new(),
+            exec: ExecConfig::default(),
         }
     }
 
@@ -111,6 +114,53 @@ impl Engine {
         Engine {
             db: Database::new(),
             optimizer,
+            exec: ExecConfig::default(),
+        }
+    }
+
+    /// Engine with a custom executor selection.
+    pub fn with_exec(exec: ExecConfig) -> Self {
+        Engine {
+            db: Database::new(),
+            optimizer: Optimizer::new(),
+            exec,
+        }
+    }
+
+    /// Switch executor at runtime (queries only; DML is unaffected).
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// The current executor selection.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
+    }
+
+    /// Make sure every table a plan scans has a fresh columnar mirror, so
+    /// the vectorized executor does not rebuild them per query.
+    fn refresh_scan_caches(&mut self, plan: &LogicalPlan) {
+        let mut tables = Vec::new();
+        collect_scan_tables(plan, &mut tables);
+        for name in tables {
+            if let Ok(t) = self.db.table_mut(&name) {
+                t.refresh_columnar();
+            }
+        }
+    }
+
+    /// Execute an optimized SELECT plan with the configured executor.
+    fn run_plan(
+        &mut self,
+        plan: &LogicalPlan,
+        stats: &mut ExecStats,
+    ) -> Result<crate::row::RowBatch, SqlError> {
+        match self.exec.mode {
+            ExecMode::Row => execute_plan(plan, &self.db),
+            ExecMode::Columnar => {
+                self.refresh_scan_caches(plan);
+                execute_plan_columnar_with_stats(plan, &self.db, stats)
+            }
         }
     }
 
@@ -163,9 +213,16 @@ impl Engine {
                 plan_span.end(span.tick());
                 plan.and_then(|plan| {
                     let exec_span = span.child("sql.exec", span.tick());
-                    let batch = execute_plan(&plan, &self.db);
+                    let mut stats = ExecStats::default();
+                    let batch = self.run_plan(&plan, &mut stats);
                     if let Ok(b) = &batch {
                         exec_span.attr("rows", b.rows.len());
+                    }
+                    if self.exec.mode == ExecMode::Columnar {
+                        exec_span.attr("chunks", stats.chunks);
+                        exec_span.attr("rows_scanned", stats.rows_scanned);
+                        obs.counter("sql.chunks_scanned", stats.chunks);
+                        obs.counter("sql.rows_scanned", stats.rows_scanned);
                     }
                     exec_span.end(span.tick());
                     batch.map(|batch| QueryResult {
@@ -334,7 +391,8 @@ impl Engine {
             Statement::Select(sel) => {
                 let plan = Planner::new(&self.db).plan_select(&sel)?;
                 let plan = self.optimizer.optimize(plan)?;
-                let batch = execute_plan(&plan, &self.db)?;
+                let mut stats = ExecStats::default();
+                let batch = self.run_plan(&plan, &mut stats)?;
                 Ok(QueryResult {
                     schema: batch.schema,
                     rows: batch.rows,
@@ -361,6 +419,30 @@ impl Engine {
                 "EXPLAIN supports SELECT only, got {other:?}"
             ))),
         }
+    }
+}
+
+/// Names of the tables a plan's scans touch.
+fn collect_scan_tables(plan: &LogicalPlan, out: &mut Vec<String>) {
+    match plan {
+        LogicalPlan::Scan { table, .. } => out.push(table.clone()),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Strip { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Limit { input, .. } => collect_scan_tables(input, out),
+        LogicalPlan::Join { left, right, .. } => {
+            collect_scan_tables(left, out);
+            collect_scan_tables(right, out);
+        }
+        LogicalPlan::Union { inputs, .. } => {
+            for i in inputs {
+                collect_scan_tables(i, out);
+            }
+        }
+        LogicalPlan::Values { .. } => {}
     }
 }
 
@@ -603,6 +685,68 @@ mod union_tests {
         raw.execute("INSERT INTO a VALUES (1, 'one'), (2, 'two'), (3, 'three')").unwrap();
         raw.execute("INSERT INTO b VALUES (2, 'two'), (4, 'four')").unwrap();
         assert_eq!(opt.execute(sql).unwrap().rows, raw.execute(sql).unwrap().rows);
+    }
+}
+
+#[cfg(test)]
+mod columnar_engine_tests {
+    use super::*;
+
+    fn pair() -> (Engine, Engine) {
+        let mut row = Engine::new();
+        let mut col = Engine::with_exec(ExecConfig::columnar());
+        for e in [&mut row, &mut col] {
+            e.execute("CREATE TABLE t (id INT, grp TEXT, v FLOAT)").unwrap();
+            e.execute(
+                "INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', 2.5), \
+                 (3, 'a', 3.5), (4, NULL, NULL)",
+            )
+            .unwrap();
+        }
+        (row, col)
+    }
+
+    #[test]
+    fn columnar_engine_matches_row_engine_through_dml() {
+        let (mut row, mut col) = pair();
+        let check = |row: &mut Engine, col: &mut Engine, sql: &str| {
+            let a = row.execute(sql).unwrap();
+            let b = col.execute(sql).unwrap();
+            assert_eq!(a.rows, b.rows, "{sql}");
+        };
+        check(&mut row, &mut col, "SELECT grp, COUNT(*), SUM(v) FROM t GROUP BY grp ORDER BY grp");
+        // DML through both engines, cache invalidation included.
+        for e in [&mut row, &mut col] {
+            e.execute("UPDATE t SET v = v * 2 WHERE id > 2").unwrap();
+            e.execute("DELETE FROM t WHERE id = 1").unwrap();
+            e.execute("INSERT INTO t VALUES (5, 'c', 9.0)").unwrap();
+        }
+        check(&mut row, &mut col, "SELECT id, grp, v FROM t ORDER BY id");
+        check(&mut row, &mut col, "SELECT grp FROM t WHERE v > 4 ORDER BY id");
+    }
+
+    #[test]
+    fn exec_config_is_switchable() {
+        let (_, mut col) = pair();
+        assert_eq!(col.exec_config(), ExecConfig::columnar());
+        let a = col.execute("SELECT COUNT(*) FROM t").unwrap();
+        col.set_exec_config(ExecConfig::row());
+        let b = col.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn traced_columnar_exec_reports_scan_counters() {
+        use dbgpt_obs::{Obs, ObsConfig};
+        let (_, mut col) = pair();
+        let obs = Obs::new(ObsConfig::enabled(7));
+        let root = obs.span("request", obs.tick());
+        let r = col
+            .execute_traced("SELECT COUNT(*) FROM t", &root)
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(4));
+        assert_eq!(obs.counter_value("sql.rows_scanned"), 4);
+        assert_eq!(obs.counter_value("sql.chunks_scanned"), 1);
     }
 }
 

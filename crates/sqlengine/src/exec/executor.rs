@@ -284,15 +284,16 @@ fn index_candidates(
 }
 
 /// Equi-join key pairs extracted from an ON conjunction, plus the residual
-/// predicate that must still be evaluated per candidate pair.
-struct JoinKeys {
-    left_exprs: Vec<Expr>,
-    right_exprs: Vec<Expr>,
-    residual: Option<Expr>,
+/// predicate that must still be evaluated per candidate pair. Shared with
+/// the vectorized executor so both pick the same physical join.
+pub(super) struct JoinKeys {
+    pub(super) left_exprs: Vec<Expr>,
+    pub(super) right_exprs: Vec<Expr>,
+    pub(super) residual: Option<Expr>,
 }
 
 /// Pull `l.x = r.y` style conjuncts out of `on`.
-fn extract_equi_keys(on: &Expr, lschema: &SchemaRef, rschema: &SchemaRef) -> JoinKeys {
+pub(super) fn extract_equi_keys(on: &Expr, lschema: &SchemaRef, rschema: &SchemaRef) -> JoinKeys {
     fn bound_by(e: &Expr, schema: &SchemaRef) -> bool {
         let mut cols = Vec::new();
         e.referenced_columns(&mut cols);

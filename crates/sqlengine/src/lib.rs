@@ -14,6 +14,26 @@
 //!     ──executor──▶ rows
 //! ```
 //!
+//! ## Execution: row and columnar
+//!
+//! Two physical executors interpret the same logical plans, selected per
+//! engine via [`exec::ExecConfig`]:
+//!
+//! - **Row** (default): the original row-at-a-time interpreter. Every
+//!   operator pulls `Vec<Row>` from its child and evaluates expressions
+//!   one row at a time.
+//! - **Columnar** ([`exec::ExecConfig::columnar`]): a vectorized batch
+//!   pipeline. The catalog keeps a column-chunked mirror of each table
+//!   ([`col::ColumnTable`]: typed [`col::ColumnVec`]s with null bitmaps
+//!   in [`col::CHUNK_ROWS`]-row [`col::Chunk`]s). Scans stream chunks,
+//!   predicates evaluate whole chunks at once ([`expr::Expr::eval_batch`])
+//!   into selection vectors, aggregation folds typed columns directly
+//!   ([`exec::Accumulator::update_col`]), and joins hash on vectorized
+//!   key columns. Results are identical to the row executor — enforced
+//!   by a randomized differential property test — at a multiple of its
+//!   scan/filter/aggregate throughput (see `results/BENCH_sql_columnar
+//!   .json`).
+//!
 //! ## Supported SQL
 //!
 //! - DDL: `CREATE TABLE`, `DROP TABLE`
@@ -37,6 +57,7 @@
 //! ```
 
 pub mod catalog;
+pub mod col;
 pub mod csv;
 pub mod engine;
 pub mod error;
@@ -51,6 +72,7 @@ pub mod value;
 
 pub use catalog::Database;
 pub use engine::{Engine, QueryResult};
+pub use exec::{ExecConfig, ExecMode};
 pub use error::SqlError;
 pub use row::Row;
 pub use schema::{Column, Schema};

@@ -1,4 +1,10 @@
-//! Rows and row batches.
+//! Rows and row batches — the row-major data representation.
+//!
+//! [`Row`] is the engine's interchange format: DML, the row executor, and
+//! [`crate::engine::QueryResult`] all traffic in rows. The vectorized
+//! executor uses the column-major counterpart in [`crate::col`]
+//! ([`crate::col::Chunk`]/[`crate::col::ColumnTable`]) internally and
+//! converts back to rows at the result boundary.
 
 use std::ops::Index;
 
