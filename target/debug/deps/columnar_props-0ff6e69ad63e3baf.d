@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/columnar_props-0ff6e69ad63e3baf.d: crates/sqlengine/tests/columnar_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcolumnar_props-0ff6e69ad63e3baf.rmeta: crates/sqlengine/tests/columnar_props.rs Cargo.toml
+
+crates/sqlengine/tests/columnar_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

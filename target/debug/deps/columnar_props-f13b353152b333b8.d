@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/columnar_props-f13b353152b333b8.d: crates/sqlengine/tests/columnar_props.rs
+
+/root/repo/target/debug/deps/columnar_props-f13b353152b333b8: crates/sqlengine/tests/columnar_props.rs
+
+crates/sqlengine/tests/columnar_props.rs:

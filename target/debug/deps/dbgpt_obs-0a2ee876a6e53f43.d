@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dbgpt_obs-0a2ee876a6e53f43.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libdbgpt_obs-0a2ee876a6e53f43.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/render.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/trace.rs:

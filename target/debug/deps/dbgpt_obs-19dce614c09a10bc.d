@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dbgpt_obs-19dce614c09a10bc.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdbgpt_obs-19dce614c09a10bc.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/render.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

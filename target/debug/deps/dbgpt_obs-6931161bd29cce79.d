@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dbgpt_obs-6931161bd29cce79.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libdbgpt_obs-6931161bd29cce79.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libdbgpt_obs-6931161bd29cce79.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/render.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/dbgpt_sqlengine-1ca171ec9ab0d941.d: crates/sqlengine/src/lib.rs crates/sqlengine/src/catalog.rs crates/sqlengine/src/col.rs crates/sqlengine/src/csv.rs crates/sqlengine/src/engine.rs crates/sqlengine/src/error.rs crates/sqlengine/src/exec/mod.rs crates/sqlengine/src/exec/aggregate.rs crates/sqlengine/src/exec/executor.rs crates/sqlengine/src/exec/vectorized.rs crates/sqlengine/src/expr.rs crates/sqlengine/src/lexer.rs crates/sqlengine/src/parser.rs crates/sqlengine/src/plan/mod.rs crates/sqlengine/src/plan/logical.rs crates/sqlengine/src/plan/optimizer.rs crates/sqlengine/src/row.rs crates/sqlengine/src/schema.rs crates/sqlengine/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdbgpt_sqlengine-1ca171ec9ab0d941.rmeta: crates/sqlengine/src/lib.rs crates/sqlengine/src/catalog.rs crates/sqlengine/src/col.rs crates/sqlengine/src/csv.rs crates/sqlengine/src/engine.rs crates/sqlengine/src/error.rs crates/sqlengine/src/exec/mod.rs crates/sqlengine/src/exec/aggregate.rs crates/sqlengine/src/exec/executor.rs crates/sqlengine/src/exec/vectorized.rs crates/sqlengine/src/expr.rs crates/sqlengine/src/lexer.rs crates/sqlengine/src/parser.rs crates/sqlengine/src/plan/mod.rs crates/sqlengine/src/plan/logical.rs crates/sqlengine/src/plan/optimizer.rs crates/sqlengine/src/row.rs crates/sqlengine/src/schema.rs crates/sqlengine/src/value.rs Cargo.toml
+
+crates/sqlengine/src/lib.rs:
+crates/sqlengine/src/catalog.rs:
+crates/sqlengine/src/col.rs:
+crates/sqlengine/src/csv.rs:
+crates/sqlengine/src/engine.rs:
+crates/sqlengine/src/error.rs:
+crates/sqlengine/src/exec/mod.rs:
+crates/sqlengine/src/exec/aggregate.rs:
+crates/sqlengine/src/exec/executor.rs:
+crates/sqlengine/src/exec/vectorized.rs:
+crates/sqlengine/src/expr.rs:
+crates/sqlengine/src/lexer.rs:
+crates/sqlengine/src/parser.rs:
+crates/sqlengine/src/plan/mod.rs:
+crates/sqlengine/src/plan/logical.rs:
+crates/sqlengine/src/plan/optimizer.rs:
+crates/sqlengine/src/row.rs:
+crates/sqlengine/src/schema.rs:
+crates/sqlengine/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-13b835ce29982178.d: .scratch/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-13b835ce29982178.rmeta: .scratch/stubs/proptest/src/lib.rs
+
+.scratch/stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-269888e047d6a742.d: .scratch/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-269888e047d6a742.rlib: .scratch/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-269888e047d6a742.rmeta: .scratch/stubs/proptest/src/lib.rs
+
+.scratch/stubs/proptest/src/lib.rs:

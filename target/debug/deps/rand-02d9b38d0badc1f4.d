@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-02d9b38d0badc1f4.d: .scratch/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-02d9b38d0badc1f4.rmeta: .scratch/stubs/rand/src/lib.rs
+
+.scratch/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d099c2f6df3139c7.d: .scratch/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d099c2f6df3139c7.rlib: .scratch/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d099c2f6df3139c7.rmeta: .scratch/stubs/rand/src/lib.rs
+
+.scratch/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-5babb7163b6e3cce.d: .scratch/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5babb7163b6e3cce.rlib: .scratch/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-5babb7163b6e3cce.rmeta: .scratch/stubs/serde/src/lib.rs
+
+.scratch/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-ed127a4685ee7743.d: .scratch/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ed127a4685ee7743.rmeta: .scratch/stubs/serde/src/lib.rs
+
+.scratch/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-c1b9b5c747e9fe7f.d: .scratch/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-c1b9b5c747e9fe7f.so: .scratch/stubs/serde_derive/src/lib.rs
+
+.scratch/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-2ed5c1aea5e4b198.d: .scratch/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-2ed5c1aea5e4b198.rmeta: .scratch/stubs/serde_json/src/lib.rs
+
+.scratch/stubs/serde_json/src/lib.rs:

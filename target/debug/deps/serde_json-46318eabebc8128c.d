@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-46318eabebc8128c.d: .scratch/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-46318eabebc8128c.rlib: .scratch/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-46318eabebc8128c.rmeta: .scratch/stubs/serde_json/src/lib.rs
+
+.scratch/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["dbgpt_sqlengine"];
+//{"start":21,"fragment_lengths":[17]}

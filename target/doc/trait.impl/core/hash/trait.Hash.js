@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dbgpt_sqlengine",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"dbgpt_sqlengine/value/enum.DataType.html\" title=\"enum dbgpt_sqlengine::value::DataType\">DataType</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"dbgpt_sqlengine/value/enum.GroupKey.html\" title=\"enum dbgpt_sqlengine::value::GroupKey\">GroupKey</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[567]}

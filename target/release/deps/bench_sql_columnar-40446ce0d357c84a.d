@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sql_columnar-40446ce0d357c84a.d: .scratch/harness/../../crates/bench/src/bin/bench_sql_columnar.rs
+
+/root/repo/target/release/deps/bench_sql_columnar-40446ce0d357c84a: .scratch/harness/../../crates/bench/src/bin/bench_sql_columnar.rs
+
+.scratch/harness/../../crates/bench/src/bin/bench_sql_columnar.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_sql_columnar-b21145f2276a9986.d: .scratch/harness/../../crates/bench/src/bin/bench_sql_columnar.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_sql_columnar-b21145f2276a9986.rmeta: .scratch/harness/../../crates/bench/src/bin/bench_sql_columnar.rs Cargo.toml
+
+.scratch/harness/../../crates/bench/src/bin/bench_sql_columnar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/dbgpt_llm-2392dc10a5aa6bbd.d: crates/llm/src/lib.rs crates/llm/src/catalog.rs crates/llm/src/chat.rs crates/llm/src/engine.rs crates/llm/src/error.rs crates/llm/src/intern.rs crates/llm/src/latency.rs crates/llm/src/model.rs crates/llm/src/prefix.rs crates/llm/src/sim.rs crates/llm/src/skill.rs crates/llm/src/skills/mod.rs crates/llm/src/skills/extractive_qa.rs crates/llm/src/skills/generic.rs crates/llm/src/skills/planner.rs crates/llm/src/skills/summarize.rs crates/llm/src/skills/translate.rs crates/llm/src/stream.rs crates/llm/src/tokenizer.rs crates/llm/src/types.rs
+
+/root/repo/target/release/deps/libdbgpt_llm-2392dc10a5aa6bbd.rlib: crates/llm/src/lib.rs crates/llm/src/catalog.rs crates/llm/src/chat.rs crates/llm/src/engine.rs crates/llm/src/error.rs crates/llm/src/intern.rs crates/llm/src/latency.rs crates/llm/src/model.rs crates/llm/src/prefix.rs crates/llm/src/sim.rs crates/llm/src/skill.rs crates/llm/src/skills/mod.rs crates/llm/src/skills/extractive_qa.rs crates/llm/src/skills/generic.rs crates/llm/src/skills/planner.rs crates/llm/src/skills/summarize.rs crates/llm/src/skills/translate.rs crates/llm/src/stream.rs crates/llm/src/tokenizer.rs crates/llm/src/types.rs
+
+/root/repo/target/release/deps/libdbgpt_llm-2392dc10a5aa6bbd.rmeta: crates/llm/src/lib.rs crates/llm/src/catalog.rs crates/llm/src/chat.rs crates/llm/src/engine.rs crates/llm/src/error.rs crates/llm/src/intern.rs crates/llm/src/latency.rs crates/llm/src/model.rs crates/llm/src/prefix.rs crates/llm/src/sim.rs crates/llm/src/skill.rs crates/llm/src/skills/mod.rs crates/llm/src/skills/extractive_qa.rs crates/llm/src/skills/generic.rs crates/llm/src/skills/planner.rs crates/llm/src/skills/summarize.rs crates/llm/src/skills/translate.rs crates/llm/src/stream.rs crates/llm/src/tokenizer.rs crates/llm/src/types.rs
+
+crates/llm/src/lib.rs:
+crates/llm/src/catalog.rs:
+crates/llm/src/chat.rs:
+crates/llm/src/engine.rs:
+crates/llm/src/error.rs:
+crates/llm/src/intern.rs:
+crates/llm/src/latency.rs:
+crates/llm/src/model.rs:
+crates/llm/src/prefix.rs:
+crates/llm/src/sim.rs:
+crates/llm/src/skill.rs:
+crates/llm/src/skills/mod.rs:
+crates/llm/src/skills/extractive_qa.rs:
+crates/llm/src/skills/generic.rs:
+crates/llm/src/skills/planner.rs:
+crates/llm/src/skills/summarize.rs:
+crates/llm/src/skills/translate.rs:
+crates/llm/src/stream.rs:
+crates/llm/src/tokenizer.rs:
+crates/llm/src/types.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dbgpt_obs-129f3c4f9cc99301.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libdbgpt_obs-129f3c4f9cc99301.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libdbgpt_obs-129f3c4f9cc99301.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/render.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dbgpt_obs-d4f9a178738fd1ce.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libdbgpt_obs-d4f9a178738fd1ce.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/render.rs crates/obs/src/slo.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/render.rs:
+crates/obs/src/slo.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-61a692dc3f61fb48.d: .scratch/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-61a692dc3f61fb48.rlib: .scratch/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-61a692dc3f61fb48.rmeta: .scratch/stubs/parking_lot/src/lib.rs
+
+.scratch/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e83853ff7e8c11e8.d: .scratch/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e83853ff7e8c11e8.rlib: .scratch/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e83853ff7e8c11e8.rmeta: .scratch/stubs/rand/src/lib.rs
+
+.scratch/stubs/rand/src/lib.rs:

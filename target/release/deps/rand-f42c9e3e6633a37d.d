@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-f42c9e3e6633a37d.d: .scratch/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f42c9e3e6633a37d.rmeta: .scratch/stubs/rand/src/lib.rs
+
+.scratch/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-33f597b3a48f98dc.d: .scratch/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-33f597b3a48f98dc.rlib: .scratch/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-33f597b3a48f98dc.rmeta: .scratch/stubs/serde/src/lib.rs
+
+.scratch/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-80b5afc5b4a27292.d: .scratch/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-80b5afc5b4a27292.rmeta: .scratch/stubs/serde/src/lib.rs
+
+.scratch/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-0ea4fe9e3125710c.d: .scratch/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-0ea4fe9e3125710c.so: .scratch/stubs/serde_derive/src/lib.rs
+
+.scratch/stubs/serde_derive/src/lib.rs:

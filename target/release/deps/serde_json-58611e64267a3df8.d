@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-58611e64267a3df8.d: .scratch/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-58611e64267a3df8.rmeta: .scratch/stubs/serde_json/src/lib.rs
+
+.scratch/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-c1f77c0e9d982d29.d: .scratch/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c1f77c0e9d982d29.rlib: .scratch/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-c1f77c0e9d982d29.rmeta: .scratch/stubs/serde_json/src/lib.rs
+
+.scratch/stubs/serde_json/src/lib.rs:
