@@ -1,0 +1,295 @@
+//! Sharded multi-tenant cluster sweep (E12): replication + failover +
+//! admission control under chaos, gated on SLOs.
+//!
+//! Five scenarios against `dbgpt-cluster`, all on the simulated clock:
+//!
+//! 1. `single_node_identity` — 1 node, no replication, no metering: must
+//!    match the single-server path outcome-for-outcome.
+//! 2. `replicated_failover` — 5 nodes × R=3, failover on, a
+//!    non-overlapping crash → partition → slow-node schedule. Gate:
+//!    ≥99.9% availability, zero acked loss, no replica divergence.
+//! 3. `no_failover` — the same chaos with failover off. Gate: availability
+//!    measurably below scenario 2 (the failover payoff).
+//! 4. `hot_tenant_admission` — Zipf-skewed overload with per-tenant
+//!    buckets + bounded fair queue. Gate: well-behaved tenants' p99
+//!    within SLO while the hot tenant is throttled.
+//! 5. `hot_tenant_no_admission` — the control arm: same overload,
+//!    metering off. Gate: well-behaved p99 blows the SLO (the damage
+//!    admission prevents is real).
+//!
+//! The run asserts byte-identical reports for a repeated scenario, then
+//! writes `results/BENCH_cluster.json`.
+//!
+//! ```text
+//! cargo run -p dbgpt-bench --release --bin bench_cluster            # 2000 requests/scenario
+//! cargo run -p dbgpt-bench --release --bin bench_cluster -- --smoke # 300 requests, CI gate
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+
+use dbgpt_cluster::scenario::{
+    run_cluster_scenario, run_single_server_baseline, ClusterReport, ClusterScenario,
+};
+use dbgpt_cluster::{AdmissionConfig, ClusterConfig, TrafficConfig};
+use dbgpt_smmf::{NodeFault, NodeFaultEvent, NodeSchedule};
+
+/// Seed for every run in the sweep.
+const SEED: u64 = 42;
+/// Latency SLO for every scenario (µs).
+const SLO_US: u64 = 200_000;
+
+/// Non-overlapping chaos: crash node 1, heal, partition node 2 away,
+/// heal, slow node 3 by 4×, restore — windows sized as fractions of the
+/// run's expected span so smoke and full runs see the same shape. No
+/// two faults overlap, so R=3 always keeps a majority serving.
+fn chaos_schedule(span_us: u64) -> NodeSchedule {
+    let f = |x: f64| (span_us as f64 * x) as u64;
+    NodeSchedule {
+        name: "crash-partition-slow",
+        events: vec![
+            NodeFaultEvent {
+                at_us: f(0.15),
+                fault: NodeFault::CrashNode { node: 1 },
+            },
+            NodeFaultEvent {
+                at_us: f(0.35),
+                fault: NodeFault::RestartNode { node: 1 },
+            },
+            NodeFaultEvent {
+                at_us: f(0.45),
+                fault: NodeFault::Partition { minority: vec![2] },
+            },
+            NodeFaultEvent {
+                at_us: f(0.60),
+                fault: NodeFault::HealPartition,
+            },
+            NodeFaultEvent {
+                at_us: f(0.70),
+                fault: NodeFault::SlowNode {
+                    node: 3,
+                    factor: 4.0,
+                },
+            },
+            NodeFaultEvent {
+                at_us: f(0.85),
+                fault: NodeFault::SlowNode {
+                    node: 3,
+                    factor: 1.0,
+                },
+            },
+        ],
+    }
+}
+
+fn print_report(r: &ClusterReport) {
+    println!(
+        "  {:<22} {:>2}x{} {:<9} | {:>7.3}% {:>6} {:>6} {:>9.1} {:>9.1} | fo {:>2} loss {}",
+        r.name,
+        r.nodes,
+        r.replication,
+        r.admission,
+        100.0 * r.availability,
+        r.throttled,
+        r.failed,
+        r.well_p99_us as f64 / 1000.0,
+        r.latency_max_us as f64 / 1000.0,
+        r.failovers,
+        r.tenants - r.durable_tenants,
+    );
+}
+
+/// The sweep, callable from `main` (and reusable from harnesses).
+pub fn run(smoke: bool, out_path: &str) {
+    let (requests, mode) = if smoke { (300usize, "smoke") } else { (2000usize, "full") };
+    let tenants = 8usize;
+    println!("BENCH cluster ({mode})");
+    println!("  {requests} requests/scenario, {tenants} tenants, seed = {SEED}, simulated clock");
+
+    let standard = TrafficConfig::standard(requests, tenants, SEED);
+    let hot = TrafficConfig::hot_tenant(requests, tenants, SEED);
+    let span_us = requests as u64 * standard.mean_gap_us;
+
+    let identity_scn = ClusterScenario {
+        name: "single_node_identity".into(),
+        traffic: standard.clone(),
+        cluster: ClusterConfig::single_node(SEED),
+        schedule: NodeSchedule::healthy(),
+        snapshot_every_us: 1_000_000,
+        slo_us: SLO_US,
+        profile_requests: 0,
+    };
+    let replicated_scn = ClusterScenario {
+        name: "replicated_failover".into(),
+        traffic: standard.clone(),
+        cluster: ClusterConfig::replicated(5, 3, SEED),
+        schedule: chaos_schedule(span_us),
+        snapshot_every_us: 1_000_000,
+        slo_us: SLO_US,
+        profile_requests: 64,
+    };
+    let no_failover_scn = ClusterScenario {
+        name: "no_failover".into(),
+        cluster: ClusterConfig {
+            failover: false,
+            ..ClusterConfig::replicated(5, 3, SEED)
+        },
+        profile_requests: 0,
+        ..replicated_scn.clone()
+    };
+    let admission_scn = ClusterScenario {
+        name: "hot_tenant_admission".into(),
+        traffic: hot.clone(),
+        cluster: ClusterConfig {
+            admission: AdmissionConfig::metered(10.0, 3.0, 150_000),
+            ..ClusterConfig::replicated(4, 2, SEED)
+        },
+        schedule: NodeSchedule::healthy(),
+        snapshot_every_us: 1_000_000,
+        slo_us: SLO_US,
+        profile_requests: 0,
+    };
+    let unmetered_scn = ClusterScenario {
+        name: "hot_tenant_no_admission".into(),
+        cluster: ClusterConfig {
+            admission: AdmissionConfig::unmetered_queueing(),
+            ..ClusterConfig::replicated(4, 2, SEED)
+        },
+        ..admission_scn.clone()
+    };
+
+    // Determinism gate: the same scenario twice must be byte-identical.
+    {
+        let a = run_cluster_scenario(&replicated_scn);
+        let b = run_cluster_scenario(&replicated_scn);
+        assert_eq!(
+            a.report.to_json(),
+            b.report.to_json(),
+            "cluster runs must be reproducible"
+        );
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.folded, b.folded);
+    }
+
+    println!(
+        "\n  {:<22} {:>6} {:<9} | {:>8} {:>6} {:>6} {:>9} {:>9} | failover/loss",
+        "scenario", "topo", "admission", "avail", "shed", "fail", "wellp99ms", "max ms"
+    );
+    println!("  {}", "-".repeat(100));
+
+    // 1. Identity: the 1-node cluster must equal the single-server path.
+    let identity = run_cluster_scenario(&identity_scn);
+    let baseline = run_single_server_baseline(&identity_scn.traffic, SEED);
+    assert_eq!(
+        identity.outcomes, baseline,
+        "single-node cluster diverged from the single-server path"
+    );
+    print_report(&identity.report);
+
+    // 2. Replication + failover under chaos.
+    let replicated = run_cluster_scenario(&replicated_scn);
+    print_report(&replicated.report);
+    let rep = &replicated.report;
+    assert!(
+        rep.availability >= 0.999,
+        "replicated+failover availability {:.4} < 0.999",
+        rep.availability
+    );
+    assert_eq!(rep.durable_tenants, rep.tenants, "acked ops were lost");
+    assert_eq!(rep.divergent_replicas, 0, "replicas diverged");
+    assert!(rep.failovers > 0, "chaos must exercise failover");
+    assert!(rep.catchup_ops > 0, "recovery must exercise catch-up");
+    assert!(rep.folded_stacks > 0, "profiling must capture stacks");
+
+    // 3. Same chaos, failover off: measurably degraded.
+    let no_failover = run_cluster_scenario(&no_failover_scn);
+    print_report(&no_failover.report);
+    assert!(
+        no_failover.report.availability < rep.availability - 0.005,
+        "no-failover availability {:.4} not measurably below {:.4}",
+        no_failover.report.availability,
+        rep.availability
+    );
+    assert!(
+        no_failover.report.alerts_fired > 0,
+        "SLO burn-rate alerts must fire when the cluster degrades"
+    );
+    assert_eq!(
+        no_failover.report.divergent_replicas, 0,
+        "even a degraded cluster must not diverge"
+    );
+
+    // 4. Admission keeps well-behaved tenants inside the SLO while the
+    //    hot tenant is throttled.
+    let admitted = run_cluster_scenario(&admission_scn);
+    print_report(&admitted.report);
+    assert!(
+        admitted.report.well_p99_us <= SLO_US,
+        "well-behaved p99 {}us blew the {}us SLO despite admission",
+        admitted.report.well_p99_us,
+        SLO_US
+    );
+    assert!(
+        admitted.report.throttled > 0,
+        "the hot tenant must actually be throttled"
+    );
+    assert_eq!(admitted.report.failed, 0, "healthy cluster must not fail");
+
+    // 5. Control arm: without metering the same overload starves others.
+    let unmetered = run_cluster_scenario(&unmetered_scn);
+    print_report(&unmetered.report);
+    assert!(
+        unmetered.report.well_p99_us > SLO_US,
+        "without admission well-behaved p99 {}us should blow the SLO",
+        unmetered.report.well_p99_us
+    );
+    assert_eq!(unmetered.report.throttled, 0, "control arm sheds nothing");
+
+    let runs = [
+        &identity.report,
+        &replicated.report,
+        &no_failover.report,
+        &admitted.report,
+        &unmetered.report,
+    ];
+    let mut json = String::with_capacity(4096);
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"cluster\",\n  \"mode\": \"{mode}\",\n  \
+         \"generated_by\": \"cargo run -p dbgpt-bench --release --bin bench_cluster\",\n  \
+         \"seed\": {SEED},\n  \"requests_per_scenario\": {requests},\n  \
+         \"tenants\": {tenants},\n  \"slo_us\": {SLO_US},\n  \
+         \"gates\": {{\n    \"identity_vs_single_server\": \"byte-identical\",\n    \
+         \"replicated_availability_min\": 0.999,\n    \
+         \"acked_loss\": 0,\n    \
+         \"well_behaved_p99_within_slo_under_admission\": true\n  }},\n  \
+         \"runs\": [\n"
+    );
+    for (i, rep) in runs.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&rep.to_json());
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    fs::create_dir_all("results").ok();
+    fs::write(out_path, json).expect("write results file");
+    println!("\n  determinism + availability + admission gates passed");
+    println!("  wrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone());
+    let out_path = out_override.unwrap_or_else(|| {
+        if smoke {
+            "results/BENCH_cluster_smoke.json".to_string()
+        } else {
+            "results/BENCH_cluster.json".to_string()
+        }
+    });
+    run(smoke, &out_path);
+}

@@ -1,0 +1,215 @@
+//! Open-loop multi-tenant traffic generation.
+//!
+//! The generator produces an arrival schedule up front — an *open loop*:
+//! arrival times never react to service times, which is what makes
+//! overload visible (queues grow; a closed loop would politely back off).
+//!
+//! - **Inter-arrival gaps** are bounded-Pareto distributed (heavy tail,
+//!   capped at `tail_cap × mean`), scaled to a configured mean gap.
+//! - **Tenant choice** is Zipf-distributed over `tenants` ranks, so rank
+//!   0 is the hot tenant and the tail is long.
+//!
+//! Both draws come from independent [`SplitMix64`] streams of one seed,
+//! so the schedule is byte-reproducible and the two choices don't
+//! interfere: changing the skew never perturbs the arrival times.
+
+use dbgpt_server::protocol::Request;
+use dbgpt_smmf::SplitMix64;
+
+/// Traffic shape: how many requests, from whom, how bursty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Total requests to generate.
+    pub requests: usize,
+    /// Number of tenants (Zipf ranks).
+    pub tenants: usize,
+    /// Zipf exponent: 0 = uniform, ~1 = classic web skew, ≥2 = one
+    /// dominant hot tenant.
+    pub zipf_s: f64,
+    /// Mean inter-arrival gap in simulated µs.
+    pub mean_gap_us: u64,
+    /// Pareto tail index α (> 1 so the mean exists; smaller = heavier).
+    pub pareto_alpha: f64,
+    /// Gap cap as a multiple of the mean (bounded Pareto).
+    pub tail_cap: f64,
+    /// Seed for both RNG streams.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// A moderate default: web-like skew, mildly heavy-tailed gaps.
+    pub fn standard(requests: usize, tenants: usize, seed: u64) -> Self {
+        TrafficConfig {
+            requests,
+            tenants: tenants.max(1),
+            zipf_s: 1.1,
+            mean_gap_us: 50_000,
+            pareto_alpha: 1.5,
+            tail_cap: 20.0,
+            seed,
+        }
+    }
+
+    /// One dominant hot tenant (rank 0 draws the bulk of traffic) at a
+    /// higher offered rate — the admission-control stress shape.
+    pub fn hot_tenant(requests: usize, tenants: usize, seed: u64) -> Self {
+        TrafficConfig {
+            zipf_s: 2.5,
+            mean_gap_us: 20_000,
+            ..TrafficConfig::standard(requests, tenants, seed)
+        }
+    }
+}
+
+/// One request in the schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Global sequence number (0-based).
+    pub seq: u64,
+    /// Absolute simulated arrival time (µs).
+    pub at_us: u64,
+    /// Tenant rank (0 = hottest under skew).
+    pub tenant: usize,
+    /// The request prompt.
+    pub prompt: String,
+}
+
+/// Tenant id string for a rank — the ring's shard key.
+pub fn tenant_key(rank: usize) -> String {
+    format!("tenant-{rank:03}")
+}
+
+impl Arrival {
+    /// The wire-level request for this arrival: a server-layer
+    /// [`Request`] carrying the tenant in `params.tenant` — what a
+    /// front door would decode before handing the cluster a shard key.
+    pub fn to_request(&self) -> Request {
+        Request::new(self.seq, "chat2data", self.prompt.clone())
+            .with_tenant(tenant_key(self.tenant))
+    }
+}
+
+/// Generate the full arrival schedule for `cfg`. Deterministic in `cfg`.
+pub fn generate(cfg: &TrafficConfig) -> Vec<Arrival> {
+    let mut gap_rng = SplitMix64::stream(cfg.seed, 1);
+    let mut tenant_rng = SplitMix64::stream(cfg.seed, 2);
+
+    // Zipf CDF over ranks 1..=tenants with exponent s.
+    let weights: Vec<f64> = (1..=cfg.tenants)
+        .map(|k| 1.0 / (k as f64).powf(cfg.zipf_s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+
+    // Bounded Pareto over [x_m, cap]; scale x_m so the (untruncated)
+    // mean α·x_m/(α-1) matches the configured mean gap.
+    let alpha = cfg.pareto_alpha.max(1.01);
+    let x_m = cfg.mean_gap_us as f64 * (alpha - 1.0) / alpha;
+    let cap = cfg.mean_gap_us as f64 * cfg.tail_cap;
+
+    let mut at_us = 0u64;
+    let mut arrivals = Vec::with_capacity(cfg.requests);
+    for seq in 0..cfg.requests as u64 {
+        let u = gap_rng.next_f64().max(1e-12);
+        let gap = (x_m * u.powf(-1.0 / alpha)).min(cap).max(1.0) as u64;
+        at_us += gap;
+
+        let mut pick = tenant_rng.next_f64() * total;
+        let mut tenant = cfg.tenants - 1;
+        for (k, w) in weights.iter().enumerate() {
+            if pick < *w {
+                tenant = k;
+                break;
+            }
+            pick -= w;
+        }
+
+        let prompt = format!(
+            "[{}] request {}: summarize activity and store an audit row",
+            tenant_key(tenant),
+            seq
+        );
+        arrivals.push(Arrival {
+            seq,
+            at_us,
+            tenant,
+            prompt,
+        });
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_frame_through_the_server_protocol() {
+        use dbgpt_server::protocol::{decode_frame, encode_frame, Request};
+        let arrivals = generate(&TrafficConfig::standard(10, 4, 13));
+        for a in &arrivals {
+            let frame = encode_frame(&a.to_request());
+            let (back, used): (Request, usize) = decode_frame(&frame).unwrap();
+            assert_eq!(used, frame.len());
+            assert_eq!(back.tenant(), Some(tenant_key(a.tenant).as_str()));
+            assert_eq!(back.input, a.prompt);
+            assert_eq!(back.id, a.seq);
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let cfg = TrafficConfig::standard(200, 8, 42);
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = TrafficConfig::standard(200, 8, 43);
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn arrival_times_are_strictly_increasing() {
+        let arrivals = generate(&TrafficConfig::standard(500, 4, 7));
+        for w in arrivals.windows(2) {
+            assert!(w[0].at_us < w[1].at_us);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_rank_zero() {
+        let cfg = TrafficConfig::hot_tenant(2000, 8, 11);
+        let arrivals = generate(&cfg);
+        let hot = arrivals.iter().filter(|a| a.tenant == 0).count();
+        assert!(
+            hot > arrivals.len() / 2,
+            "hot tenant drew only {hot}/{}",
+            arrivals.len()
+        );
+        // But the tail is populated too.
+        let distinct: std::collections::BTreeSet<_> =
+            arrivals.iter().map(|a| a.tenant).collect();
+        assert!(distinct.len() >= 4, "only {} tenants hit", distinct.len());
+    }
+
+    #[test]
+    fn mean_gap_lands_near_target() {
+        let cfg = TrafficConfig::standard(4000, 4, 3);
+        let arrivals = generate(&cfg);
+        let mean = arrivals.last().unwrap().at_us / arrivals.len() as u64;
+        let target = cfg.mean_gap_us;
+        assert!(
+            mean > target / 2 && mean < target * 2,
+            "mean gap {mean} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn gaps_are_heavy_tailed_but_bounded() {
+        let cfg = TrafficConfig::standard(4000, 4, 9);
+        let arrivals = generate(&cfg);
+        let gaps: Vec<u64> = std::iter::once(arrivals[0].at_us)
+            .chain(arrivals.windows(2).map(|w| w[1].at_us - w[0].at_us))
+            .collect();
+        let cap = (cfg.mean_gap_us as f64 * cfg.tail_cap) as u64;
+        assert!(gaps.iter().all(|&g| g <= cap));
+        let big = gaps.iter().filter(|&&g| g > 3 * cfg.mean_gap_us).count();
+        assert!(big > 0, "no tail events in 4000 draws");
+    }
+}

@@ -1,0 +1,124 @@
+//! Failover tests (ISSUE satellite): a primary crash mid-run loses no
+//! acknowledged write, the recovered cluster's state matches an
+//! unfaulted run, and report generation is byte-identical across runs.
+
+use dbgpt_smmf::{NodeFault, NodeFaultEvent, NodeSchedule};
+
+use dbgpt_cluster::scenario::{run_cluster_scenario, ClusterScenario};
+use dbgpt_cluster::{ClusterConfig, TrafficConfig};
+
+fn scn(name: &str, schedule: NodeSchedule, failover: bool) -> ClusterScenario {
+    ClusterScenario {
+        name: name.into(),
+        traffic: TrafficConfig::standard(400, 8, 1234),
+        cluster: ClusterConfig {
+            failover,
+            ..ClusterConfig::replicated(5, 3, 1234)
+        },
+        schedule,
+        snapshot_every_us: 2_000_000,
+        slo_us: 200_000,
+        profile_requests: 0,
+    }
+}
+
+/// Crash node 1 a third of the way in, restart it at two thirds. The
+/// arrival schedule for 400 requests at ~50ms mean spans ~20s.
+fn crash_schedule() -> NodeSchedule {
+    NodeSchedule::crash_restart(1, 7_000_000, 14_000_000)
+}
+
+#[test]
+fn primary_crash_loses_no_acked_write() {
+    let r = run_cluster_scenario(&scn("crash", crash_schedule(), true));
+    // Every arrival acked (failover skips the dead node, R=3 keeps
+    // quorum), and every tenant's full acked log survived on a serving
+    // replica without end-of-run repair.
+    assert_eq!(r.report.failed, 0, "failover must mask the crash");
+    assert_eq!(r.report.ok, r.report.requests);
+    assert_eq!(r.report.durable_tenants, r.report.tenants);
+    assert_eq!(r.report.divergent_replicas, 0);
+    assert_eq!(r.report.acked_ops, r.report.ok);
+    // The restarted node replayed what it missed.
+    assert!(r.report.catchup_ops > 0, "restart must trigger catch-up");
+    assert!(r.report.failovers > 0, "crash must trigger an election");
+}
+
+#[test]
+fn recovered_state_matches_unfaulted_run() {
+    let faulted = run_cluster_scenario(&scn("crash", crash_schedule(), true));
+    let clean = run_cluster_scenario(&scn("crash", NodeSchedule::healthy(), true));
+    // Same arrivals, zero failures on both sides → identical acked op
+    // logs → identical converged shard state, fault or no fault.
+    assert_eq!(faulted.report.acked_ops, clean.report.acked_ops);
+    assert_eq!(
+        faulted.report.state_fingerprint, clean.report.state_fingerprint,
+        "recovered state must equal the unfaulted run's state"
+    );
+}
+
+#[test]
+fn without_failover_the_same_schedule_degrades() {
+    let with = run_cluster_scenario(&scn("crash", crash_schedule(), true));
+    let without = run_cluster_scenario(&scn("crash", crash_schedule(), false));
+    assert_eq!(with.report.failed, 0);
+    assert!(
+        without.report.failed > 0,
+        "requests to the dead primary must fail without failover"
+    );
+    assert!(without.report.availability < with.report.availability);
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    let a = run_cluster_scenario(&scn("crash", crash_schedule(), true));
+    let b = run_cluster_scenario(&scn("crash", crash_schedule(), true));
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.folded, b.folded);
+}
+
+#[test]
+fn partition_heals_without_divergence() {
+    // One node partitioned away for a window: its shards keep quorum
+    // (2 of 3), the minority node misses ops, then catches up on heal.
+    let schedule = NodeSchedule::partition(vec![2], 5_000_000, 12_000_000);
+    let r = run_cluster_scenario(&scn("partition", schedule, true));
+    assert_eq!(r.report.failed, 0, "majority side must keep serving");
+    assert_eq!(r.report.divergent_replicas, 0);
+    assert_eq!(r.report.durable_tenants, r.report.tenants);
+    assert!(r.report.catchup_ops > 0, "minority must replay missed ops");
+}
+
+#[test]
+fn combined_chaos_stays_consistent() {
+    // The smmf combined schedule overlaps a crash with a partition —
+    // quorum is lost for shards touching both nodes, so some requests
+    // fail even with failover; consistency must still hold.
+    let schedule = NodeSchedule::combined(1, 2, 3, 4_000_000);
+    let r = run_cluster_scenario(&scn("combined", schedule, true));
+    assert_eq!(r.report.divergent_replicas, 0);
+    assert_eq!(r.report.durable_tenants, r.report.tenants);
+    let failed_frac = r.report.failed as f64 / r.report.requests as f64;
+    assert!(
+        failed_frac < 0.5,
+        "failover should mask most of the chaos ({failed_frac})"
+    );
+}
+
+#[test]
+fn acked_loss_is_zero_even_when_the_crash_is_permanent() {
+    // Crash with no restart: the surviving replicas must already hold
+    // every acked op (quorum ack), no catch-up from the victim needed.
+    let schedule = NodeSchedule {
+        name: "permacrash",
+        events: vec![NodeFaultEvent {
+            at_us: 7_000_000,
+            fault: NodeFault::CrashNode { node: 1 },
+        }],
+    };
+    let r = run_cluster_scenario(&scn("permacrash", schedule, true));
+    assert_eq!(r.report.failed, 0);
+    assert_eq!(r.report.durable_tenants, r.report.tenants);
+    assert_eq!(r.report.divergent_replicas, 0);
+}

@@ -1,0 +1,74 @@
+//! Identity gate (ISSUE acceptance criterion): a healthy 1-node cluster
+//! with replication and admission disabled must produce results
+//! identical to the single-server path — the cluster layer costs
+//! nothing until its features are turned on.
+
+use dbgpt_smmf::NodeSchedule;
+
+use dbgpt_cluster::scenario::{
+    run_cluster_scenario, run_single_server_baseline, ClusterScenario,
+};
+use dbgpt_cluster::{ClusterConfig, Outcome, TrafficConfig};
+
+fn identity_scenario(requests: usize, tenants: usize, seed: u64) -> ClusterScenario {
+    ClusterScenario {
+        name: "single-node-identity".into(),
+        traffic: TrafficConfig::standard(requests, tenants, seed),
+        cluster: ClusterConfig::single_node(seed),
+        schedule: NodeSchedule::healthy(),
+        snapshot_every_us: 0,
+        slo_us: 200_000,
+        profile_requests: 0,
+    }
+}
+
+#[test]
+fn single_node_cluster_matches_single_server_byte_for_byte() {
+    for seed in [7u64, 42, 20240808] {
+        let scn = identity_scenario(300, 6, seed);
+        let cluster = run_cluster_scenario(&scn);
+        let baseline = run_single_server_baseline(&scn.traffic, seed);
+        assert_eq!(
+            cluster.outcomes, baseline,
+            "seed {seed}: cluster path diverged from the single-server path"
+        );
+    }
+}
+
+#[test]
+fn identity_holds_per_request_not_just_in_aggregate() {
+    let scn = identity_scenario(200, 4, 99);
+    let cluster = run_cluster_scenario(&scn);
+    let baseline = run_single_server_baseline(&scn.traffic, 99);
+    for (c, b) in cluster.outcomes.iter().zip(&baseline) {
+        assert_eq!(c.seq, b.seq);
+        assert_eq!(c.at_us, b.at_us);
+        assert_eq!(c.tenant, b.tenant);
+        assert_eq!(c.node, b.node);
+        assert_eq!(c.outcome, b.outcome, "request {} diverged", c.seq);
+    }
+    // And the run itself is clean: every request acked at base latency.
+    assert!(cluster
+        .outcomes
+        .iter()
+        .all(|o| matches!(o.outcome, Outcome::Ok { .. })));
+}
+
+#[test]
+fn identity_report_is_reproducible() {
+    let a = run_cluster_scenario(&identity_scenario(150, 4, 5));
+    let b = run_cluster_scenario(&identity_scenario(150, 4, 5));
+    assert_eq!(a.report.to_json(), b.report.to_json());
+}
+
+#[test]
+fn turning_features_on_departs_from_the_baseline_visibly() {
+    // Sanity check that the identity above is not vacuous: replication
+    // adds its ack overhead, so latencies must differ once R > 1.
+    let scn = identity_scenario(100, 4, 3);
+    let mut replicated = scn.clone();
+    replicated.cluster = ClusterConfig::replicated(3, 3, 3);
+    let base = run_single_server_baseline(&scn.traffic, 3);
+    let repl = run_cluster_scenario(&replicated);
+    assert_ne!(repl.outcomes, base, "replication overhead must be visible");
+}

@@ -1,0 +1,79 @@
+//! Property tests for the consistent-hash ring (ISSUE satellite):
+//! deterministic lookups, bounded key movement on membership change,
+//! and duplicate-free replica sets.
+
+use dbgpt_cluster::ring::HashRing;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same membership + same key → same replica set, always.
+    #[test]
+    fn lookups_deterministic(nodes in 1usize..12, vnodes in 1usize..128, key in "t[a-z0-9]{1,12}") {
+        let a = HashRing::with_nodes(nodes, vnodes);
+        let b = HashRing::with_nodes(nodes, vnodes);
+        prop_assert_eq!(a.replicas(&key, 3), b.replicas(&key, 3));
+        prop_assert_eq!(a.primary(&key), b.primary(&key));
+    }
+
+    /// Replica sets never contain a node twice and are capped by the
+    /// membership size.
+    #[test]
+    fn replicas_distinct(nodes in 1usize..10, r in 1usize..6, key in "k[a-z0-9]{1,10}") {
+        let ring = HashRing::with_nodes(nodes, 48);
+        let reps = ring.replicas(&key, r);
+        prop_assert_eq!(reps.len(), r.min(nodes));
+        let uniq: std::collections::BTreeSet<_> = reps.iter().collect();
+        prop_assert_eq!(uniq.len(), reps.len(), "duplicates in {:?}", reps);
+    }
+
+    /// Adding node N to an N-node ring moves roughly K/(N+1) of K keys,
+    /// and every moved key moves TO the new node (bounded movement).
+    #[test]
+    fn bounded_movement_on_add(nodes in 2usize..9, salt in 0u64..1000) {
+        let keys: Vec<String> = (0..600).map(|k| format!("tenant-{salt}-{k}")).collect();
+        let mut ring = HashRing::with_nodes(nodes, 64);
+        let before: Vec<_> = keys.iter().map(|k| ring.primary(k).unwrap()).collect();
+        ring.add_node(nodes);
+        let after: Vec<_> = keys.iter().map(|k| ring.primary(k).unwrap()).collect();
+        let moved = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        let ideal = keys.len() / (nodes + 1);
+        // Allow 3× vnode variance over the ideal share, but never a
+        // wholesale reshuffle.
+        prop_assert!(moved <= ideal * 3 + 20, "moved {} of {}, ideal {}", moved, keys.len(), ideal);
+        for (i, (a, b)) in before.iter().zip(&after).enumerate() {
+            if a != b {
+                prop_assert_eq!(*b, nodes, "key {} moved to an old node {}->{}", i, a, b);
+            }
+        }
+    }
+
+    /// Removing a node only reassigns that node's keys.
+    #[test]
+    fn removal_moves_only_owned_keys(nodes in 3usize..9, victim_salt in 0u64..100) {
+        let mut ring = HashRing::with_nodes(nodes, 64);
+        let victim = (victim_salt as usize) % nodes;
+        let keys: Vec<String> = (0..400).map(|k| format!("s{victim_salt}-{k}")).collect();
+        let before: Vec<_> = keys.iter().map(|k| ring.primary(k).unwrap()).collect();
+        ring.remove_node(victim);
+        let after: Vec<_> = keys.iter().map(|k| ring.primary(k).unwrap()).collect();
+        for (i, (a, b)) in before.iter().zip(&after).enumerate() {
+            if *a != victim {
+                prop_assert_eq!(a, b, "key {} moved although its owner survived", i);
+            } else {
+                prop_assert!(*b != victim, "key {} still on removed node", i);
+            }
+        }
+    }
+
+    /// The first replica is the primary, and growing r only appends.
+    #[test]
+    fn replica_prefix_stability(nodes in 2usize..8, key in "p[a-z0-9]{1,8}") {
+        let ring = HashRing::with_nodes(nodes, 32);
+        let r1 = ring.replicas(&key, 1);
+        let r2 = ring.replicas(&key, 2);
+        prop_assert_eq!(Some(r1[0]), ring.primary(&key));
+        prop_assert_eq!(&r2[..1], &r1[..]);
+    }
+}

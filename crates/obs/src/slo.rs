@@ -284,6 +284,17 @@ impl SloEngine {
         &self.alerts
     }
 
+    /// Number of resolve transitions recorded so far.
+    pub fn resolved_count(&self) -> usize {
+        self.alerts.iter().filter(|a| !a.firing).count()
+    }
+
+    /// Number of fire transitions recorded so far (an alert that fires,
+    /// resolves, and fires again counts twice).
+    pub fn fired_count(&self) -> usize {
+        self.alerts.iter().filter(|a| a.firing).count()
+    }
+
     /// Number of (slo, rule) pairs currently firing.
     pub fn firing_count(&self) -> usize {
         self.firing.iter().filter(|f| **f).count()

@@ -108,6 +108,35 @@ impl KnowledgeBase {
         self.config
     }
 
+    /// Order-sensitive FNV-1a digest of the ingested corpus: chunk texts
+    /// in ingestion order plus the document table (sorted by id). Two
+    /// knowledge bases that applied the same ingest operations in the same
+    /// order have equal fingerprints, which is what the cluster layer uses
+    /// to prove a replica's KB shard matches its primary after failover.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for chunk in &self.chunks {
+            eat(chunk.document_id.as_bytes());
+            eat(&chunk.index.to_le_bytes());
+            eat(chunk.text.as_bytes());
+        }
+        let mut ids: Vec<(&String, &usize)> = self.documents.iter().collect();
+        ids.sort();
+        for (id, n) in ids {
+            eat(id.as_bytes());
+            eat(&n.to_le_bytes());
+        }
+        h
+    }
+
     /// Ingest a document into all three indexes. Returns chunks created.
     pub fn add_document(&mut self, doc: Document) -> Result<usize, RagError> {
         if self.documents.contains_key(&doc.id) {

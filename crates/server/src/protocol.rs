@@ -48,6 +48,28 @@ impl Request {
             params: Value::Null,
         }
     }
+
+    /// Attach a tenant id in `params.tenant` (builder style). Multi-tenant
+    /// front doors — the cluster gateway — shard and meter by this key.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        let t = Value::String(tenant.into());
+        match &mut self.params {
+            Value::Object(m) => {
+                m.insert("tenant".to_string(), t);
+            }
+            _ => {
+                let mut m = serde_json::Map::new();
+                m.insert("tenant".to_string(), t);
+                self.params = Value::Object(m);
+            }
+        }
+        self
+    }
+
+    /// The tenant id from `params.tenant`, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.params.get("tenant").and_then(|v| v.as_str())
+    }
 }
 
 /// A response to one request.

@@ -313,6 +313,164 @@ impl ScenarioReport {
     }
 }
 
+/// Apply one worker-level fault to a tier's replicas. Public so higher
+/// layers (the cluster simulation) can reuse the same fault vocabulary on
+/// their per-node deployments.
+pub fn apply_fault(fault: &Fault, workers: &[Arc<ModelWorker>]) {
+    apply(fault, workers)
+}
+
+/// A node-level fault for multi-node cluster simulations. Worker-level
+/// faults ([`Fault`]) degrade replicas *inside* one deployment; these
+/// degrade whole nodes, which is the failure domain that replication and
+/// failover exist to absorb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeFault {
+    /// Hard-crash a node: every shard primary on it needs failover, every
+    /// request routed to it fails until restart.
+    CrashNode {
+        /// Cluster node index.
+        node: usize,
+    },
+    /// Bring a crashed node back (it must catch up before serving).
+    RestartNode {
+        /// Cluster node index.
+        node: usize,
+    },
+    /// Multiply a node's serving latency (`1.0` restores it) — the
+    /// slow-node / gray-failure case.
+    SlowNode {
+        /// Cluster node index.
+        node: usize,
+        /// Latency multiplier.
+        factor: f64,
+    },
+    /// Network partition: the listed nodes can only reach each other;
+    /// everyone else forms the majority side.
+    Partition {
+        /// The minority side of the split.
+        minority: Vec<usize>,
+    },
+    /// Heal any active partition.
+    HealPartition,
+}
+
+/// A node fault scheduled at a simulated timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeFaultEvent {
+    /// Fire before the first request arriving at or after this time.
+    pub at_us: u64,
+    /// What happens.
+    pub fault: NodeFault,
+}
+
+/// A scripted node-level chaos schedule for a cluster scenario.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeSchedule {
+    /// Schedule name (stable; used in report keys).
+    pub name: &'static str,
+    /// Events sorted by `at_us`.
+    pub events: Vec<NodeFaultEvent>,
+}
+
+impl NodeSchedule {
+    /// No node faults at all.
+    pub fn healthy() -> Self {
+        NodeSchedule {
+            name: "healthy",
+            events: Vec::new(),
+        }
+    }
+
+    /// Crash `node` at `at_us`, restart it at `restart_us`.
+    pub fn crash_restart(node: usize, at_us: u64, restart_us: u64) -> Self {
+        NodeSchedule {
+            name: "crash_restart",
+            events: vec![
+                NodeFaultEvent {
+                    at_us,
+                    fault: NodeFault::CrashNode { node },
+                },
+                NodeFaultEvent {
+                    at_us: restart_us,
+                    fault: NodeFault::RestartNode { node },
+                },
+            ],
+        }
+    }
+
+    /// Partition `minority` away from the rest between `at_us` and
+    /// `heal_us`.
+    pub fn partition(minority: Vec<usize>, at_us: u64, heal_us: u64) -> Self {
+        NodeSchedule {
+            name: "partition",
+            events: vec![
+                NodeFaultEvent {
+                    at_us,
+                    fault: NodeFault::Partition { minority },
+                },
+                NodeFaultEvent {
+                    at_us: heal_us,
+                    fault: NodeFault::HealPartition,
+                },
+            ],
+        }
+    }
+
+    /// Slow `node` by `factor` between `at_us` and `restore_us`.
+    pub fn slow_node(node: usize, factor: f64, at_us: u64, restore_us: u64) -> Self {
+        NodeSchedule {
+            name: "slow_node",
+            events: vec![
+                NodeFaultEvent {
+                    at_us,
+                    fault: NodeFault::SlowNode { node, factor },
+                },
+                NodeFaultEvent {
+                    at_us: restore_us,
+                    fault: NodeFault::SlowNode { node, factor: 1.0 },
+                },
+            ],
+        }
+    }
+
+    /// Compound schedule: crash one node, partition another away, and slow
+    /// a third — the full drill a resilient cluster should survive.
+    pub fn combined(crash_node: usize, partition_node: usize, slow: usize, base_us: u64) -> Self {
+        NodeSchedule {
+            name: "combined",
+            events: vec![
+                NodeFaultEvent {
+                    at_us: base_us,
+                    fault: NodeFault::SlowNode { node: slow, factor: 4.0 },
+                },
+                NodeFaultEvent {
+                    at_us: base_us * 2,
+                    fault: NodeFault::CrashNode { node: crash_node },
+                },
+                NodeFaultEvent {
+                    at_us: base_us * 3,
+                    fault: NodeFault::Partition {
+                        minority: vec![partition_node],
+                    },
+                },
+                NodeFaultEvent {
+                    at_us: base_us * 4,
+                    fault: NodeFault::HealPartition,
+                },
+                NodeFaultEvent {
+                    at_us: base_us * 5,
+                    fault: NodeFault::RestartNode { node: crash_node },
+                },
+                NodeFaultEvent {
+                    at_us: base_us * 5,
+                    fault: NodeFault::SlowNode { node: slow, factor: 1.0 },
+                },
+            ],
+        }
+    }
+}
+
 fn apply(fault: &Fault, workers: &[Arc<ModelWorker>]) {
     match fault {
         Fault::Crash { worker } => workers[*worker].crash(),

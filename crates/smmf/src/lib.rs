@@ -65,7 +65,7 @@ pub mod router;
 pub mod server;
 pub mod worker;
 
-pub use chaos::{Fault, Scenario, ScenarioReport};
+pub use chaos::{Fault, NodeFault, NodeFaultEvent, NodeSchedule, Scenario, ScenarioReport};
 pub use controller::ModelController;
 pub use dbgpt_llm::engine::EngineConfig;
 pub use error::SmmfError;

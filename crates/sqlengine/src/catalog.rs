@@ -334,6 +334,37 @@ impl Database {
         self.tables.len()
     }
 
+    /// Order-sensitive FNV-1a digest of the whole catalog: table names,
+    /// column schemas, and every row's values in storage order. Replicated
+    /// catalogs that applied the same DDL/DML in the same order hash
+    /// identically — the cluster layer compares these digests to prove a
+    /// replica's SQL shard converged with its primary after failover.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (name, table) in &self.tables {
+            eat(name.as_bytes());
+            for col in table.schema.columns() {
+                eat(col.name.as_bytes());
+                eat(format!("{:?}", col.data_type).as_bytes());
+            }
+            for row in &table.rows {
+                for v in row.values() {
+                    eat(v.to_string().as_bytes());
+                }
+                eat(b"|");
+            }
+        }
+        h
+    }
+
     /// Render the full schema as `CREATE TABLE`-style DDL — the schema
     /// context that Text-to-SQL prompts embed.
     pub fn schema_ddl(&self) -> String {

@@ -1,0 +1,196 @@
+//! Vendored, offline, API-compatible subset of `criterion`.
+//!
+//! Runs each benchmark routine a small fixed number of iterations and
+//! prints a single mean-time line per benchmark — enough to execute the
+//! workspace's `benches/` targets and eyeball relative costs, without
+//! upstream's statistics, plotting, or CLI. Timings come from
+//! `std::time::Instant` and are **not** part of any determinism gate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const ITERS: u32 = 10;
+
+/// How `iter_batched` amortizes setup (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per allocation.
+    PerIteration,
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier (`criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = ITERS;
+    }
+
+    /// Time `routine` with fresh per-iteration input from `setup`
+    /// (setup time excluded).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = ITERS;
+    }
+}
+
+fn report(group: &str, name: &str, b: &Bencher) {
+    let per_iter = if b.iters > 0 {
+        b.elapsed / b.iters
+    } else {
+        Duration::ZERO
+    };
+    if group.is_empty() {
+        println!("bench {name}: {per_iter:?}/iter");
+    } else {
+        println!("bench {group}/{name}: {per_iter:?}/iter");
+    }
+}
+
+/// Top-level benchmark driver (`criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        report("", name, &b);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stub always runs a fixed
+    /// iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Run a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

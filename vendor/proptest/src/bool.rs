@@ -1,0 +1,18 @@
+//! `proptest::bool` subset: the `ANY` strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding uniform booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// `proptest::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,89 @@
+//! Vendored, offline, API-compatible subset of `proptest`.
+//!
+//! Implements the surface the workspace's property tests use: the
+//! `proptest!` macro (with `#![proptest_config(...)]`), `prop_assert*`,
+//! numeric-range and regex-string strategies, `Just`, `prop_map`,
+//! `prop_oneof!`, `collection::vec`, and `bool::ANY`.
+//!
+//! Differences from upstream, deliberate for an offline stub: cases are
+//! generated from a deterministic per-test RNG (seeded from the test
+//! name, so runs are reproducible), and failing cases are *not* shrunk —
+//! the failing input is reported by the plain `assert!` panic.
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the test files import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among boxed strategies sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest!` test-definition macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest_internal!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest_internal!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of `proptest!`. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! proptest_internal {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            // `#[test]` arrives via $meta — the test files write it,
+            // exactly as upstream proptest expects.
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}

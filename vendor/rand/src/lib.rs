@@ -1,0 +1,109 @@
+//! Vendored, offline, API-compatible subset of `rand` 0.8.
+//!
+//! `StdRng` here is SplitMix64-based rather than ChaCha12, so it produces
+//! *different sequences* than upstream for the same seed — but every
+//! consumer in this workspace only needs determinism across runs of this
+//! codebase, which SplitMix64 provides (and it is the same generator the
+//! workspace's own simulation crates use).
+
+use std::ops::Range;
+
+/// Seedable generators (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Deterministically construct from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core sampling surface (`rand::Rng` subset).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open, like `rand::Rng::gen_range`
+    /// with a `Range`).
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        let mut bits = || self.next_u64();
+        T::sample(&mut bits, range)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types samplable from a half-open `Range` (internal to this stub).
+pub trait SampleRange: Sized {
+    /// Draw a uniform sample from `range` using `bits` as the entropy
+    /// source.
+    fn sample(bits: &mut dyn FnMut() -> u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! sample_uint {
+    ($($t:ty),*) => {
+        $(impl SampleRange for $t {
+            fn sample(bits: &mut dyn FnMut() -> u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start + (bits() % span) as $t
+            }
+        })*
+    };
+}
+sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_int {
+    ($($t:ty),*) => {
+        $(impl SampleRange for $t {
+            fn sample(bits: &mut dyn FnMut() -> u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                range.start.wrapping_add((bits() % span) as $t)
+            }
+        })*
+    };
+}
+sample_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn sample(bits: &mut dyn FnMut() -> u64, range: Range<Self>) -> Self {
+        let unit = (bits() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleRange for f32 {
+    fn sample(bits: &mut dyn FnMut() -> u64, range: Range<Self>) -> Self {
+        f64::sample(bits, range.start as f64..range.end as f64) as f32
+    }
+}
+
+/// Generator namespace (`rand::rngs`).
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! `Deserialize`: rebuild a value from the
+//! [`Value`](crate::value::Value) tree. The lifetime parameter exists
+//! only so `for<'de> Deserialize<'de>` bounds written against real serde
+//! keep compiling; this implementation always copies out of the tree.
+
+use crate::value::{Error, Value};
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Parse `v` into `Self`, or describe why it doesn't fit.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Owned-deserialization alias (`serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn type_err<T>(ty: &str, v: &Value) -> Result<T, Error> {
+    Err(crate::__priv::invalid_type(ty, v))
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| crate::__priv::invalid_type("bool", v))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => type_err("String", other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_str().and_then(|s| {
+            let mut it = s.chars();
+            match (it.next(), it.next()) {
+                (Some(c), None) => Some(c),
+                _ => None,
+            }
+        }) {
+            Some(c) => Ok(c),
+            None => type_err("char", v),
+        }
+    }
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| crate::__priv::invalid_type(stringify!($t), v))
+            }
+        })*
+    };
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| crate::__priv::invalid_type(stringify!($t), v))
+            }
+        })*
+    };
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| crate::__priv::invalid_type("f64", v))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| crate::__priv::invalid_type("f32", v))
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("Vec", other),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de>
+    for std::collections::BTreeMap<String, V>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, e)| Ok((k.clone(), V::from_value(e)?)))
+                .collect(),
+            other => type_err("BTreeMap", other),
+        }
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de>
+    for std::collections::HashMap<String, V>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, e)| Ok((k.clone(), V::from_value(e)?)))
+                .collect(),
+            other => type_err("HashMap", other),
+        }
+    }
+}
+
+impl<'de, A: for<'a> Deserialize<'a>, B: for<'a> Deserialize<'a>> Deserialize<'de> for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => type_err("tuple", other),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Vendored, offline, API-compatible subset of `serde`.
+//!
+//! The build container has no network and no cargo registry, so the
+//! workspace vendors the small slice of serde it actually uses (see
+//! `vendor/README.md`). The data model is deliberately simple: values
+//! serialize straight into a JSON-shaped [`Value`] tree (re-exported by
+//! the vendored `serde_json` crate) instead of through serde's streaming
+//! `Serializer`/`Deserializer` visitors. The public surface the workspace
+//! consumes — `serde::{Serialize, Deserialize}` traits and derive macros,
+//! `#[serde(default)]`, `#[serde(skip_serializing_if = "...")]` — behaves
+//! like the real crate.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+/// Derive macros, shadowing the traits in the macro namespace exactly the
+/// way real serde's `derive` feature does.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Internal plumbing used by generated derive code and by `serde_json`.
+/// Not part of the emulated public API.
+pub mod __priv {
+    pub use crate::value::{Error, Map, Number, Value};
+
+    /// `missing field` error constructor for derive-generated code.
+    pub fn missing_field(ty: &str, field: &str) -> Error {
+        Error::new(format!("missing field `{field}` in `{ty}`"))
+    }
+
+    /// `unknown variant` error constructor for derive-generated code.
+    pub fn unknown_variant(ty: &str, got: &crate::value::Value) -> Error {
+        Error::new(format!("unknown variant for `{ty}`: {got}"))
+    }
+
+    /// `invalid type` error constructor for derive-generated code.
+    pub fn invalid_type(ty: &str, got: &crate::value::Value) -> Error {
+        Error::new(format!("invalid type for `{ty}`: expected shape not found in {got}"))
+    }
+}

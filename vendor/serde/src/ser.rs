@@ -1,0 +1,135 @@
+//! `Serialize`: convert a value into the [`Value`](crate::value::Value)
+//! tree. The derive macro generates `to_value` bodies; everything in
+//! `serde_json` renders from the tree.
+
+use crate::value::{Map, Number, Value};
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Build the JSON value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! ser_num {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::from(*self)) }
+        })*
+    };
+}
+ser_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}

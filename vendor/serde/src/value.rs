@@ -1,0 +1,572 @@
+//! The JSON-shaped data model shared by the vendored `serde` and
+//! `serde_json` crates. `serde_json` re-exports [`Value`], [`Map`] and
+//! [`Number`]; the `Serialize`/`Deserialize` traits convert through this
+//! tree instead of serde's streaming visitors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Deserialization/serialization error (message-only, like
+/// `serde_json::Error` as the workspace consumes it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// A new error carrying `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number. Mirrors `serde_json::Number`'s storage: non-negative
+/// integers as `u64`, negative integers as `i64`, everything else `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Negative integer.
+    NegInt(i64),
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Finite float.
+    Float(f64),
+}
+
+impl Number {
+    /// As `i64` if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::NegInt(i) => Some(i),
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// As `u64` if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::NegInt(i) => u64::try_from(i).ok(),
+            Number::PosInt(u) => Some(u),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (integers convert losslessly within 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::NegInt(i) => Some(i as f64),
+            Number::PosInt(u) => Some(u as f64),
+            Number::Float(f) => Some(f),
+        }
+    }
+
+    /// Float constructor matching `serde_json::Number::from_f64` (rejects
+    /// NaN and infinities).
+    pub fn from_f64(f: f64) -> Option<Number> {
+        if f.is_finite() {
+            Some(Number::Float(f))
+        } else {
+            None
+        }
+    }
+
+    /// True when the number is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::Float(_))
+    }
+
+    /// True when representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// True when representable as `u64`.
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Number::PosInt(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Float(_), _) | (_, Number::Float(_)) => false,
+            _ => match (self.as_i64(), other.as_i64(), self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b), _, _) => a == b,
+                (_, _, Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::NegInt(i) => write!(f, "{i}"),
+            Number::PosInt(u) => write!(f, "{u}"),
+            // `{:?}` is shortest-roundtrip and always keeps a decimal
+            // point ("1.0"), matching serde_json's ryu output for the
+            // values this workspace produces.
+            Number::Float(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+macro_rules! number_from_int {
+    ($($u:ty),*; $($i:ty),*) => {
+        $(impl From<$u> for Number {
+            fn from(v: $u) -> Number { Number::PosInt(v as u64) }
+        })*
+        $(impl From<$i> for Number {
+            fn from(v: $i) -> Number {
+                if v < 0 { Number::NegInt(v as i64) } else { Number::PosInt(v as u64) }
+            }
+        })*
+    };
+}
+number_from_int!(u8, u16, u32, u64, usize; i8, i16, i32, i64, isize);
+
+/// Object storage: alphabetical key order, exactly like default-feature
+/// `serde_json::Map`.
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// A JSON value tree (`serde_json::Value` work-alike).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// `&str` view of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `i64` view of an integer value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `u64` view of a non-negative integer value.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `f64` view of any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// `bool` view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable array view.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object view.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True for strings.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True for numbers.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// True for booleans.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// True for arrays.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True for objects.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// True for integers representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// True for integers representable as `u64`.
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+
+    /// True for float-stored numbers.
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Value::Number(Number::Float(_)))
+    }
+
+    /// Key lookup on objects (`None` elsewhere). Index lookup is available
+    /// through `Index<usize>`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Mutable key lookup on objects.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|m| m.get_mut(key))
+    }
+
+    /// Take the value, leaving `Null` behind.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+}
+
+/// Shared sentinel for missing-index reads.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Map::new());
+        }
+        self.as_object_mut()
+            .expect("cannot index non-object Value with a string key")
+            .entry(key.to_string())
+            .or_insert(Value::Null)
+    }
+}
+
+// ---- From conversions (the set json! and app code rely on) -------------
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+impl From<Number> for Value {
+    fn from(n: Number) -> Value {
+        Value::Number(n)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! value_from_num {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::from(v)) }
+        })*
+    };
+}
+value_from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map(Value::Number).unwrap_or(Value::Null)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(v as f64)
+    }
+}
+
+// ---- PartialEq against primitives (assert_eq! ergonomics) ---------------
+
+macro_rules! value_eq_num {
+    ($($t:ty => $as:ident),*) => {
+        $(
+            impl PartialEq<$t> for Value {
+                fn eq(&self, other: &$t) -> bool {
+                    Value::from(*other) == *self
+                }
+            }
+            impl PartialEq<Value> for $t {
+                fn eq(&self, other: &Value) -> bool {
+                    Value::from(*self) == *other
+                }
+            }
+            #[allow(unused)]
+            fn $as() {}
+        )*
+    };
+}
+value_eq_num!(u8 => _vu8, u16 => _vu16, u32 => _vu32, u64 => _vu64, usize => _vusz,
+              i8 => _vi8, i16 => _vi16, i32 => _vi32, i64 => _vi64, isize => _visz,
+              f32 => _vf32, f64 => _vf64);
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self)
+    }
+}
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self.as_str())
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<Value> for bool {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_bool() == Some(*self)
+    }
+}
+
+// ---- Display: compact JSON, byte-compatible with serde_json ------------
+
+/// Escape `s` into `out` exactly the way serde_json does (short escapes
+/// for the classic control characters, `\u00XX` for the rest, raw UTF-8
+/// beyond ASCII).
+pub fn escape_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_str(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(e, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, e)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_str(k, out);
+                out.push(':');
+                write_compact(e, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&PAD.repeat(indent + 1));
+                write_pretty(e, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, e)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&PAD.repeat(indent + 1));
+                escape_str(k, out);
+                out.push_str(": ");
+                write_pretty(e, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        if f.alternate() {
+            write_pretty(self, 0, &mut s);
+        } else {
+            write_compact(self, &mut s);
+        }
+        f.write_str(&s)
+    }
+}
+
+/// Compact rendering (what `serde_json::to_string(&value)` yields).
+pub fn to_compact_string(v: &Value) -> String {
+    let mut s = String::new();
+    write_compact(v, &mut s);
+    s
+}
+
+/// Pretty rendering with two-space indentation
+/// (`serde_json::to_string_pretty`).
+pub fn to_pretty_string(v: &Value) -> String {
+    let mut s = String::new();
+    write_pretty(v, 0, &mut s);
+    s
+}

@@ -1,0 +1,508 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! The container has no cargo registry, so this crate parses the item's
+//! `TokenStream` by hand (no `syn`/`quote`) and emits impls of the
+//! tree-based `serde::ser::Serialize` / `serde::de::Deserialize` traits.
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! named structs, tuple structs (newtype and multi-field), unit structs,
+//! and enums with unit / tuple / struct variants (externally tagged, like
+//! real serde's default). Supported attributes: `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]`. Generic types are rejected
+//! with a compile-time panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn ident_at(toks: &[TokenTree], i: usize, what: &str) -> String {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected {what}, found {other:?}"),
+    }
+}
+
+/// Consume leading attributes, folding any `#[serde(...)]` contents into
+/// the returned `FieldAttrs`. Doc comments (`#[doc = ...]`) and other
+/// attributes are consumed and ignored.
+fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                parse_one_attr(g.stream(), &mut attrs);
+                *i += 2;
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+fn parse_one_attr(ts: TokenStream, attrs: &mut FieldAttrs) {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // not a serde attribute: ignore
+    }
+    let Some(TokenTree::Group(g)) = toks.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                let has_eq =
+                    matches!(inner.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                match key.as_str() {
+                    "default" if !has_eq => {
+                        attrs.default = true;
+                        j += 1;
+                    }
+                    "skip_serializing_if" if has_eq => {
+                        let lit = match inner.get(j + 2) {
+                            Some(TokenTree::Literal(l)) => l.to_string(),
+                            other => panic!(
+                                "serde_derive (vendored): skip_serializing_if expects a string \
+                                 literal, found {other:?}"
+                            ),
+                        };
+                        attrs.skip_serializing_if = Some(lit.trim_matches('"').to_string());
+                        j += 3;
+                    }
+                    other => panic!(
+                        "serde_derive (vendored): unsupported serde attribute `{other}` — \
+                         supported: default, skip_serializing_if"
+                    ),
+                }
+            }
+            other => panic!("serde_derive (vendored): unexpected token in serde attr: {other:?}"),
+        }
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // pub(crate), pub(super), ...
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance past a type, stopping at a top-level `,` (depth-aware over
+/// `<`/`>` so `BTreeMap<String, Value>` stays one field).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = parse_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = ident_at(&toks, i, "field name");
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive (vendored): expected `:` after field, found {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _attrs = parse_attrs(&toks, &mut i);
+        let name = ident_at(&toks, i, "variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible `= discriminant` and the separating comma.
+        while i < toks.len()
+            && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _ = parse_attrs(&toks, &mut i); // item-level attrs: consumed, unused
+    skip_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i, "`struct` or `enum`");
+    i += 1;
+    let name = ident_at(&toks, i, "type name");
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported (deriving on `{name}`)");
+    }
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Body::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive (vendored): expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive (vendored): cannot derive on `{other}` items"),
+    };
+    Item { name, body }
+}
+
+// --------------------------------------------------------------- codegen
+
+/// Insert statements for a set of named fields into map `map_var`, reading
+/// each field through `access` (e.g. `&self.` or `` for match bindings).
+fn ser_named_inserts(fields: &[Field], map_var: &str, access: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        let insert = format!(
+            "{map_var}.insert(\"{n}\".to_string(), _serde::ser::Serialize::to_value({access}{n}));"
+        );
+        if let Some(skip) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !{skip}({access}{n}) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => format!(
+            "let mut __m = _serde::__priv::Map::new();\n{}_serde::__priv::Value::Object(__m)",
+            ser_named_inserts(fields, "__m", "&self.")
+        ),
+        Body::TupleStruct(1) => "_serde::ser::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("_serde::ser::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("_serde::__priv::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Body::UnitStruct => "_serde::__priv::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{vn} => _serde::__priv::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "_serde::ser::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("_serde::ser::Serialize::to_value({b})"))
+                                .collect();
+                            format!("_serde::__priv::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vn}({binds}) => {{\n\
+                             let mut __m = _serde::__priv::Map::new();\n\
+                             __m.insert(\"{vn}\".to_string(), {payload});\n\
+                             _serde::__priv::Value::Object(__m)\n\
+                             }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {binds} }} => {{\n\
+                             let mut __inner = _serde::__priv::Map::new();\n\
+                             {inserts}\
+                             let mut __m = _serde::__priv::Map::new();\n\
+                             __m.insert(\"{vn}\".to_string(), _serde::__priv::Value::Object(__inner));\n\
+                             _serde::__priv::Value::Object(__m)\n\
+                             }},\n",
+                            binds = binds.join(", "),
+                            inserts = ser_named_inserts(fields, "__inner", "")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         #[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl _serde::ser::Serialize for {name} {{\n\
+         fn to_value(&self) -> _serde::__priv::Value {{\n\
+         {body}\n\
+         }}\n\
+         }}\n\
+         }};"
+    )
+}
+
+/// Expression for a missing named field during deserialization.
+fn de_missing_expr(ty_name: &str, f: &Field) -> String {
+    if f.attrs.default {
+        "std::default::Default::default()".to_string()
+    } else {
+        // Option fields resolve to None via Null; required fields surface
+        // a `missing field` error.
+        format!(
+            "_serde::de::Deserialize::from_value(&_serde::__priv::Value::Null)\
+             .map_err(|_| _serde::__priv::missing_field(\"{ty_name}\", \"{n}\"))?",
+            n = f.name
+        )
+    }
+}
+
+/// Field initializers for a named-fields body read from map `map_var`.
+fn de_named_inits(ty_name: &str, fields: &[Field], map_var: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        out.push_str(&format!(
+            "{n}: match {map_var}.get(\"{n}\") {{\n\
+             std::option::Option::Some(__f) => _serde::de::Deserialize::from_value(__f)?,\n\
+             std::option::Option::None => {missing},\n\
+             }},\n",
+            missing = de_missing_expr(ty_name, f)
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => format!(
+            "match __v {{\n\
+             _serde::__priv::Value::Object(__m) => std::result::Result::Ok(Self {{\n\
+             {inits}\
+             }}),\n\
+             __other => std::result::Result::Err(_serde::__priv::invalid_type(\"{name}\", __other)),\n\
+             }}",
+            inits = de_named_inits(name, fields, "__m")
+        ),
+        Body::TupleStruct(1) => {
+            "std::result::Result::Ok(Self(_serde::de::Deserialize::from_value(__v)?))".to_string()
+        }
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("_serde::de::Deserialize::from_value(&__a[{k}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 _serde::__priv::Value::Array(__a) if __a.len() == {n} => \
+                 std::result::Result::Ok(Self({elems})),\n\
+                 __other => std::result::Result::Err(_serde::__priv::invalid_type(\"{name}\", __other)),\n\
+                 }}",
+                elems = elems.join(", ")
+            )
+        }
+        Body::UnitStruct => "std::result::Result::Ok(Self)".to_string(),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => std::result::Result::Ok(Self::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => std::result::Result::Ok(Self::{vn}(\
+                         _serde::de::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("_serde::de::Deserialize::from_value(&__a[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => match __payload {{\n\
+                             _serde::__priv::Value::Array(__a) if __a.len() == {n} => \
+                             std::result::Result::Ok(Self::{vn}({elems})),\n\
+                             __bad => std::result::Result::Err(_serde::__priv::invalid_type(\"{name}\", __bad)),\n\
+                             }},\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => match __payload {{\n\
+                         _serde::__priv::Value::Object(__fields) => std::result::Result::Ok(Self::{vn} {{\n\
+                         {inits}\
+                         }}),\n\
+                         __bad => std::result::Result::Err(_serde::__priv::invalid_type(\"{name}\", __bad)),\n\
+                         }},\n",
+                        inits = de_named_inits(name, fields, "__fields")
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 _serde::__priv::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 _ => std::result::Result::Err(_serde::__priv::unknown_variant(\"{name}\", __v)),\n\
+                 }},\n\
+                 _serde::__priv::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __payload) = __m.iter().next().unwrap();\n\
+                 match __k.as_str() {{\n\
+                 {payload_arms}\
+                 _ => std::result::Result::Err(_serde::__priv::unknown_variant(\"{name}\", __v)),\n\
+                 }}\n\
+                 }},\n\
+                 __other => std::result::Result::Err(_serde::__priv::invalid_type(\"{name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         #[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl<'de> _serde::de::Deserialize<'de> for {name} {{\n\
+         fn from_value(__v: &_serde::__priv::Value) -> std::result::Result<Self, _serde::__priv::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n\
+         }};"
+    )
+}
+
+// ---------------------------------------------------------- entry points
+
+/// `#[derive(Serialize)]`
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive (vendored): generated invalid Rust for Serialize")
+}
+
+/// `#[derive(Deserialize)]`
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive (vendored): generated invalid Rust for Deserialize")
+}

@@ -1,0 +1,148 @@
+//! Vendored, offline, API-compatible subset of `serde_json`.
+//!
+//! Backed by the vendored `serde` crate's [`Value`] tree. Covers the
+//! surface the workspace uses: `json!`, `Value`/`Map`/`Number`,
+//! `to_value`/`from_value`, `to_string`/`to_string_pretty`/`to_vec`,
+//! `from_str`/`from_slice`, and the value accessors. Rendering is
+//! byte-compatible with default-feature serde_json for the value shapes
+//! this workspace produces (compact `,`/`:` separators, 2-space pretty
+//! indent, alphabetical object keys, `ryu`-style float text for the
+//! simple floats emitted here).
+
+use serde::de::Deserialize;
+use serde::ser::Serialize;
+
+pub use serde::__priv::{Error, Map, Number, Value};
+
+mod parse;
+
+/// `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Deserialize a `T` out of a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T> {
+    T::from_value(&value)
+}
+
+/// Compact JSON text for `value`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::to_compact_string(&value.to_value()))
+}
+
+/// Pretty JSON text (2-space indent) for `value`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::value::to_pretty_string(&value.to_value()))
+}
+
+/// Compact JSON bytes for `value`.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parse JSON text into a `T`.
+pub fn from_str<'a, T: Deserialize<'a>>(s: &'a str) -> Result<T> {
+    let v = parse::parse(s)?;
+    T::from_value(&v)
+}
+
+/// Parse JSON bytes into a `T`.
+pub fn from_slice<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    let v = parse::parse(s)?;
+    T::from_value(&v)
+}
+
+/// Construct a [`Value`] from JSON-ish literal syntax, like the real
+/// `serde_json::json!` macro. Keys must be string literals (the only form
+/// the workspace uses); values may be any serializable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_array_internal!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __jm = $crate::Map::new();
+        $crate::json_object_internal!(__jm () $($tt)*);
+        $crate::Value::Object(__jm)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+/// Internal: array elements accumulator. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // done
+    ([ $($elem:expr,)* ]) => { vec![ $($elem,)* ] };
+    // trailing comma already consumed by the per-element arms
+    ([ $($elem:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elem,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    ([ $($elem:expr,)* ] true $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elem,)* $crate::Value::Bool(true), ] $($($rest)*)?)
+    };
+    ([ $($elem:expr,)* ] false $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elem,)* $crate::Value::Bool(false), ] $($($rest)*)?)
+    };
+    ([ $($elem:expr,)* ] [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elem,)* $crate::json!([ $($arr)* ]), ] $($($rest)*)?)
+    };
+    ([ $($elem:expr,)* ] { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elem,)* $crate::json!({ $($obj)* }), ] $($($rest)*)?)
+    };
+    ([ $($elem:expr,)* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elem,)* $crate::json!($next), ] $($($rest)*)?)
+    };
+}
+
+/// Internal: object member accumulator. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // done
+    ($map:ident ()) => {};
+    // skip a separating comma before the next key
+    ($map:ident () , $($rest:tt)*) => {
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    // capture the key
+    ($map:ident () $key:literal : $($rest:tt)*) => {
+        $crate::json_object_internal!($map ($key) $($rest)*);
+    };
+    // values: special forms before the generic expr arm
+    ($map:ident ($key:literal) null $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident ($key:literal) true $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::Bool(true));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident ($key:literal) false $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::Bool(false));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident ($key:literal) [ $($arr:tt)* ] $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!([ $($arr)* ]));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident ($key:literal) { $($obj:tt)* } $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($obj)* }));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    // generic expression value: runs to the next top-level comma
+    ($map:ident ($key:literal) $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($value));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident ($key:literal) $value:expr) => {
+        $map.insert($key.to_string(), $crate::json!($value));
+    };
+}
