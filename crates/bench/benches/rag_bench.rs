@@ -72,6 +72,7 @@ fn bench_parallel_scan(c: &mut Criterion) {
         let cfg = RetrievalConfig {
             threads,
             topk_crossover: 0,
+            ..RetrievalConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("threads", threads), &cfg, |b, cfg| {
             b.iter(|| store.search_flat_with(std::hint::black_box(&query), 10, cfg))

@@ -95,6 +95,7 @@ fn main() {
             let cfg = RetrievalConfig {
                 threads,
                 topk_crossover: 0,
+                ..RetrievalConfig::default()
             };
             if store.search_flat_with(q, K, &cfg) != sequential {
                 parallel_matches_sequential = false;
@@ -149,6 +150,7 @@ fn main() {
         let cfg = RetrievalConfig {
             threads,
             topk_crossover: 0,
+            ..RetrievalConfig::default()
         };
         let qps = measure(&cfg);
         if threads == 1 {
@@ -169,9 +171,45 @@ fn main() {
         }));
     }
 
+    // Multi-thread speedup gate. On a 1-hardware-thread host the sharded
+    // scan cannot beat sequential no matter what the code does (PR 1's
+    // sweep was flat for exactly this reason), so the gate downgrades to
+    // informative there — and in smoke mode, where the corpus sits below
+    // any realistic crossover. It is enforced only on a full run with
+    // real parallel hardware.
+    let best_multi = sweep
+        .iter()
+        .filter(|s| s["threads"].as_u64().unwrap_or(1) > 1)
+        .map(|s| s["speedup_vs_1t"].as_f64().unwrap_or(0.0))
+        .fold(0.0f64, f64::max);
+    let gate_enforced = hardware > 1 && !smoke;
+    if gate_enforced {
+        assert!(
+            best_multi >= 1.15,
+            "multi-thread sharded scan should beat 1 thread on {hardware}-thread \
+             hardware (best speedup {best_multi:.2}x)"
+        );
+    } else if hardware == 1 {
+        println!(
+            "\n  note: 1 hardware thread — multi-thread speedup gate is informative \
+             (best {best_multi:.2}x)"
+        );
+    }
+
     let json = serde_json::json!({
         "bench": "rag_parallel",
         "mode": mode,
+        "speedup_gate": {
+            "enforced": gate_enforced,
+            "best_multithread_speedup_vs_1t": best_multi,
+            "reason": if hardware == 1 {
+                "informative: only 1 hardware thread available"
+            } else if smoke {
+                "informative: smoke-size corpus"
+            } else {
+                "enforced: >= 1.15x required from some multi-thread config"
+            },
+        },
         "generated_by": "cargo run -p dbgpt-bench --release --bin bench_rag_parallel",
         "hardware_threads": hardware,
         "corpus_docs": n_docs,

@@ -3,7 +3,7 @@
 //! Replays the chaos scenario suite (steady / flaky / crash /
 //! latency-spike / mass-outage) against every routing policy, once with
 //! the resilience layer disabled and once with circuit breakers, backoff
-//! + deadline budgets, hedging, shedding, and the fallback tier all on —
+//! plus deadline budgets, hedging, shedding, and the fallback tier all on —
 //! then emits `results/BENCH_resilience.json`. Everything runs on the
 //! simulated clock, so the numbers are exactly reproducible: the run
 //! asserts byte-identical reports for a repeated tuple, and asserts the

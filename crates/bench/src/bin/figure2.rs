@@ -74,6 +74,7 @@ fn main() {
         kb.set_retrieval_config(RetrievalConfig {
             threads,
             topk_crossover: 0,
+            ..RetrievalConfig::default()
         });
         const REPS: usize = 50;
         let start = Instant::now();

@@ -73,7 +73,7 @@ impl TenantState {
                 op.seq, op.latency_us
             ))
             .expect("insert audit row");
-        if op.seq % KB_DOC_EVERY == 0 {
+        if op.seq.is_multiple_of(KB_DOC_EVERY) {
             let doc = Document::from_text(
                 format!("{}-note-{}", self.tenant, op.seq),
                 format!(
@@ -90,6 +90,22 @@ impl TenantState {
     /// Number of session-log entries (equals `applied_seq`).
     pub fn session_len(&self) -> usize {
         self.session_log.len()
+    }
+
+    /// Build the knowledge base's ANN indexes (IVF partitions + the HNSW
+    /// graph) on this replica only. Index state is *derived data* — it
+    /// must never leak into [`TenantState::fingerprint`], so a replica
+    /// that built indexes and one that did not still converge (see
+    /// `tests/ann_convergence.rs`).
+    pub fn build_ann_index(&mut self) {
+        self.kb.build_ann_index();
+        self.kb
+            .build_hnsw_index(dbgpt_rag::AnnBuildConfig::default());
+    }
+
+    /// Has this replica built its HNSW index?
+    pub fn has_hnsw_index(&self) -> bool {
+        self.kb.has_hnsw_index()
     }
 
     /// Fold session log, SQL catalog, and knowledge base into one

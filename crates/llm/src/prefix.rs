@@ -245,7 +245,7 @@ impl PrefixCache {
                     continue;
                 }
                 let key = (self.nodes[i].last_used, i);
-                if victim.map_or(true, |v| key < v) {
+                if victim.is_none_or(|v| key < v) {
                     victim = Some(key);
                 }
             }

@@ -18,7 +18,7 @@ use crate::error::RagError;
 use crate::graph::GraphIndex;
 use crate::inverted::InvertedIndex;
 use crate::retriever::{reciprocal_rank_fusion, RetrievalConfig, RetrievalStrategy};
-use crate::vector_store::VectorStore;
+use crate::vector_store::{AnnBuildConfig, VectorStore};
 
 /// A retrieval result.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,8 +30,21 @@ pub struct RetrievedChunk {
     pub score: f64,
 }
 
-/// Default number of IVF partitions per 100 chunks.
-const IVF_LIST_RATIO: usize = 100;
+/// Target number of chunks per IVF partition: `build_ann_index` sizes the
+/// partition count as `chunks / CHUNKS_PER_IVF_LIST` (clamped to
+/// `[1, MAX_IVF_LISTS]`). The old name `IVF_LIST_RATIO` described it
+/// backwards — the value is a divisor (chunks per list), not a
+/// lists-per-chunks ratio.
+const CHUNKS_PER_IVF_LIST: usize = 100;
+
+/// Upper bound on IVF partitions, whatever the corpus size.
+const MAX_IVF_LISTS: usize = 64;
+
+/// Partition count for a corpus of `chunks` chunks (see
+/// [`CHUNKS_PER_IVF_LIST`]).
+fn ivf_nlist(chunks: usize) -> usize {
+    (chunks / CHUNKS_PER_IVF_LIST).clamp(1, MAX_IVF_LISTS)
+}
 
 /// The knowledge base (see module docs).
 pub struct KnowledgeBase {
@@ -45,6 +58,8 @@ pub struct KnowledgeBase {
     /// Scan tuning for every retrieval; defaults to auto-parallel above
     /// the crossover size, so existing callers speed up with no changes.
     config: RetrievalConfig,
+    /// Build knobs used when the HNSW index is (auto-)built.
+    ann_build: AnnBuildConfig,
     /// Tracing + metrics handle; disabled (free) by default. Retrieval has
     /// no simulated clock, so spans are timestamped with [`Obs::tick`]
     /// logical ticks — still byte-identical across identical runs.
@@ -71,8 +86,16 @@ impl KnowledgeBase {
             graph: GraphIndex::new(),
             documents: HashMap::new(),
             config: RetrievalConfig::default(),
+            ann_build: AnnBuildConfig::default(),
             obs: Obs::disabled(),
         }
+    }
+
+    /// Override the HNSW build knobs (storage backend, degree, beam,
+    /// seed), builder style. Takes effect at the next (auto-)build.
+    pub fn with_ann_build_config(mut self, config: AnnBuildConfig) -> Self {
+        self.ann_build = config;
+        self
     }
 
     /// Override the retrieval scan tuning, builder style.
@@ -113,6 +136,10 @@ impl KnowledgeBase {
     /// knowledge bases that applied the same ingest operations in the same
     /// order have equal fingerprints, which is what the cluster layer uses
     /// to prove a replica's KB shard matches its primary after failover.
+    ///
+    /// Deliberately **independent of index state**: IVF partitions, the
+    /// HNSW graph and the quantized codes are derived data, so a replica
+    /// that built an ANN index and one that did not still converge.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |bytes: &[u8]| {
@@ -148,6 +175,8 @@ impl KnowledgeBase {
         let chunks = self.chunker.chunk(&doc);
         let n = chunks.len();
         for chunk in chunks {
+            // `VectorStore::add` inserts into a built HNSW index
+            // incrementally, so ANN retrieval stays live through ingest.
             let vid = self.vectors.add(self.embedder.embed(&chunk.text));
             let iid = self.inverted.add(&chunk.text);
             let gid = self.graph.add(&chunk.text);
@@ -157,6 +186,11 @@ impl KnowledgeBase {
             self.chunks.push(chunk);
         }
         self.documents.insert(doc.id, n);
+        // Auto-build once the corpus crosses the configured threshold;
+        // past that point inserts above keep the index current.
+        if !self.vectors.has_hnsw() && self.chunks.len() >= self.config.ann_auto_build {
+            self.vectors.build_hnsw(self.ann_build);
+        }
         Ok(n)
     }
 
@@ -183,8 +217,30 @@ impl KnowledgeBase {
     /// Build IVF partitions for approximate vector search (idempotent;
     /// call after bulk ingestion).
     pub fn build_ann_index(&mut self) {
-        let nlist = (self.chunks.len() / IVF_LIST_RATIO).clamp(1, 64);
-        self.vectors.build_partitions(nlist);
+        self.vectors.build_partitions(ivf_nlist(self.chunks.len()));
+    }
+
+    /// Build the HNSW graph index (and, with
+    /// [`AnnStorage::Quantized`](crate::vector_store::AnnStorage), the
+    /// scalar-quantized mirror) for [`RetrievalStrategy::VectorAnn`].
+    /// Idempotent; later `add_document` calls insert into the built index
+    /// incrementally. The index is *derived data*: it never contributes
+    /// to [`KnowledgeBase::fingerprint`], so replicas that did and did not
+    /// build it still converge.
+    pub fn build_hnsw_index(&mut self, config: AnnBuildConfig) {
+        self.ann_build = config;
+        self.vectors.build_hnsw(config);
+    }
+
+    /// Is the HNSW index currently built?
+    pub fn has_hnsw_index(&self) -> bool {
+        self.vectors.has_hnsw()
+    }
+
+    /// The underlying vector store (read-only; for diagnostics and
+    /// benches that need index fingerprints or memory accounting).
+    pub fn vector_store(&self) -> &VectorStore {
+        &self.vectors
     }
 
     /// Retrieve with a second-stage rerank: fetch `3k` candidates under
@@ -279,6 +335,17 @@ impl KnowledgeBase {
                 let r = self
                     .vectors
                     .search_ivf_with(&self.embedder.embed(query), k, 4, &self.config)
+                    .into_iter()
+                    .map(|(i, s)| (i, s as f64))
+                    .collect();
+                stage.end(span.tick());
+                r
+            }
+            RetrievalStrategy::VectorAnn => {
+                let stage = span.child("rag.scan.hnsw", span.tick());
+                let r = self
+                    .vectors
+                    .search_hnsw_with(&self.embedder.embed(query), k, &self.config)
                     .into_iter()
                     .map(|(i, s)| (i, s as f64))
                     .collect();
@@ -468,6 +535,79 @@ mod tests {
     }
 
     #[test]
+    fn ivf_nlist_clamps_both_ends() {
+        assert_eq!(ivf_nlist(0), 1, "empty corpus still gets one list");
+        assert_eq!(ivf_nlist(99), 1, "below one full list");
+        assert_eq!(ivf_nlist(100), 1);
+        assert_eq!(ivf_nlist(250), 2);
+        assert_eq!(ivf_nlist(6400), MAX_IVF_LISTS);
+        assert_eq!(ivf_nlist(1_000_000), MAX_IVF_LISTS, "upper clamp");
+    }
+
+    #[test]
+    fn build_ann_index_partition_count_tracks_corpus_size() {
+        let mut kb = kb(); // 6 chunks → clamps to a single partition
+        kb.build_ann_index();
+        assert_eq!(kb.vector_store().partition_count(), 1);
+    }
+
+    #[test]
+    fn fingerprint_ignores_ann_index_state() {
+        // The graph and quantized codes are derived data: a replica that
+        // built the index and one that did not must stay convergent.
+        let plain = kb();
+        let mut indexed = kb();
+        indexed.build_ann_index();
+        indexed.build_hnsw_index(AnnBuildConfig::default());
+        assert!(indexed.has_hnsw_index());
+        assert_eq!(plain.fingerprint(), indexed.fingerprint());
+
+        // And ingest on top of divergent index state still converges.
+        let mut plain = plain;
+        let mut indexed = indexed;
+        plain.add_text("extra", "one more note about serving capacity");
+        indexed.add_text("extra", "one more note about serving capacity");
+        assert_eq!(plain.fingerprint(), indexed.fingerprint());
+    }
+
+    #[test]
+    fn vector_ann_falls_back_to_flat_until_built() {
+        let kb = kb();
+        assert!(!kb.has_hnsw_index());
+        let flat = kb.retrieve("agentic workflow expression language", 2, RetrievalStrategy::Vector);
+        let ann = kb.retrieve(
+            "agentic workflow expression language",
+            2,
+            RetrievalStrategy::VectorAnn,
+        );
+        assert_eq!(flat, ann);
+    }
+
+    #[test]
+    fn vector_ann_auto_builds_past_threshold_and_inserts_incrementally() {
+        let mut kb = KnowledgeBase::with_defaults().with_retrieval_config(RetrievalConfig {
+            ann_auto_build: 10,
+            ..RetrievalConfig::default()
+        });
+        for i in 0..9 {
+            kb.add_text(&format!("d{i}"), &format!("note {i} about subsystem {}", i % 3));
+        }
+        assert!(!kb.has_hnsw_index(), "below threshold");
+        kb.add_text("d9", "note 9 about subsystem 0");
+        assert!(kb.has_hnsw_index(), "threshold crossed → auto-build");
+        let before = kb.vector_store().hnsw_fingerprint();
+        kb.add_text("d10", "a fresh note about quarterly revenue forecasts");
+        assert!(kb.has_hnsw_index());
+        assert_ne!(
+            kb.vector_store().hnsw_fingerprint(),
+            before,
+            "ingest must insert into the built graph"
+        );
+        let hits = kb.retrieve("quarterly revenue forecasts", 1, RetrievalStrategy::VectorAnn);
+        assert_eq!(hits[0].chunk.document_id, "d10");
+    }
+
+    #[test]
     fn retrieval_config_round_trips_and_keeps_results_identical() {
         let mut kb = kb();
         assert_eq!(kb.retrieval_config(), RetrievalConfig::default());
@@ -476,6 +616,7 @@ mod tests {
         let forced_parallel = RetrievalConfig {
             threads: 4,
             topk_crossover: 0,
+            ..RetrievalConfig::default()
         };
         kb.set_retrieval_config(forced_parallel);
         assert_eq!(kb.retrieval_config(), forced_parallel);

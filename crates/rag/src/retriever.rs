@@ -27,13 +27,35 @@ pub struct RetrievalConfig {
     /// Stores smaller than this are scanned sequentially — below the
     /// crossover, thread spawn/merge overhead outweighs the shard win.
     pub topk_crossover: usize,
+    /// HNSW beam width at search time (`ef_search`). Wider beams raise
+    /// recall and cost; the effective beam is always at least `k`.
+    pub ann_ef_search: usize,
+    /// When the ANN index scores through the scalar-quantized codes, the
+    /// top `ann_rescore` candidates are re-scored against the exact f32
+    /// vectors before the final top-k cut. `0` disables rescoring (raw
+    /// quantized scores are returned). Ignored on the f32 backend.
+    pub ann_rescore: usize,
+    /// [`KnowledgeBase`](crate::KnowledgeBase) builds the HNSW index
+    /// automatically once the chunk count reaches this threshold (further
+    /// ingest inserts incrementally). `usize::MAX` disables auto-build.
+    pub ann_auto_build: usize,
 }
+
+/// Default HNSW search beam width.
+const DEFAULT_ANN_EF_SEARCH: usize = 100;
+/// Default exact-rescore depth over quantized candidates.
+const DEFAULT_ANN_RESCORE: usize = 64;
+/// Default chunk count at which the knowledge base auto-builds HNSW.
+const DEFAULT_ANN_AUTO_BUILD: usize = 4096;
 
 impl Default for RetrievalConfig {
     fn default() -> Self {
         RetrievalConfig {
             threads: 0,
             topk_crossover: 2048,
+            ann_ef_search: DEFAULT_ANN_EF_SEARCH,
+            ann_rescore: DEFAULT_ANN_RESCORE,
+            ann_auto_build: DEFAULT_ANN_AUTO_BUILD,
         }
     }
 }
@@ -43,6 +65,9 @@ impl RetrievalConfig {
     pub const SEQUENTIAL: RetrievalConfig = RetrievalConfig {
         threads: 1,
         topk_crossover: usize::MAX,
+        ann_ef_search: DEFAULT_ANN_EF_SEARCH,
+        ann_rescore: DEFAULT_ANN_RESCORE,
+        ann_auto_build: DEFAULT_ANN_AUTO_BUILD,
     };
 
     /// Config with an explicit thread count (`0` = auto) and the default
@@ -79,6 +104,9 @@ pub enum RetrievalStrategy {
     Vector,
     /// Approximate vector search through IVF partitions.
     VectorApprox,
+    /// Approximate vector search through the HNSW graph index (falls back
+    /// to the exact flat scan until the index is built).
+    VectorAnn,
     /// BM25 over the inverted index.
     Keyword,
     /// Entity-graph expansion.
@@ -92,6 +120,7 @@ impl RetrievalStrategy {
     pub const ALL: &'static [RetrievalStrategy] = &[
         RetrievalStrategy::Vector,
         RetrievalStrategy::VectorApprox,
+        RetrievalStrategy::VectorAnn,
         RetrievalStrategy::Keyword,
         RetrievalStrategy::Graph,
         RetrievalStrategy::Hybrid,
@@ -102,6 +131,7 @@ impl RetrievalStrategy {
         match self {
             RetrievalStrategy::Vector => "vector",
             RetrievalStrategy::VectorApprox => "vector-ivf",
+            RetrievalStrategy::VectorAnn => "vector-hnsw",
             RetrievalStrategy::Keyword => "keyword",
             RetrievalStrategy::Graph => "graph",
             RetrievalStrategy::Hybrid => "hybrid",
@@ -190,13 +220,15 @@ mod tests {
         let four = RetrievalConfig {
             threads: 4,
             topk_crossover: 100,
+            ..RetrievalConfig::default()
         };
         assert_eq!(four.effective_threads(50), 1, "below crossover");
         assert_eq!(four.effective_threads(500), 4, "above crossover");
         assert_eq!(
             RetrievalConfig {
                 threads: 64,
-                topk_crossover: 0
+                topk_crossover: 0,
+                ..RetrievalConfig::default()
             }
             .effective_threads(3),
             3,

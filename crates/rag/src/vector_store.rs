@@ -25,6 +25,8 @@
 //!    the sequential one (property-tested in `tests/rag_props.rs`).
 
 use crate::embedding::{dot, Embedding};
+use crate::hnsw::{HnswConfig, HnswGraph};
+use crate::quant::QuantizedStore;
 use crate::retriever::RetrievalConfig;
 use crate::topk::TopK;
 
@@ -46,12 +48,76 @@ pub struct VectorStore {
     norms: Vec<f32>,
     /// IVF partitions: centroids plus member lists. Rebuilt on demand.
     partitions: Option<Partitions>,
+    /// HNSW graph (+ optional quantized mirror). Unlike IVF partitions it
+    /// survives [`VectorStore::add`]: new vectors are inserted into the
+    /// graph (and encoded onto the frozen quantization grid)
+    /// incrementally, so ingest never throws the index away.
+    ann: Option<AnnIndex>,
 }
 
 #[derive(Debug, Clone)]
 struct Partitions {
     centroids: Vec<Embedding>,
     members: Vec<Vec<usize>>,
+}
+
+/// How [`VectorStore::build_hnsw`] scores candidates at query time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnnStorage {
+    /// Graph search scores against the exact f32 vectors.
+    #[default]
+    F32,
+    /// Graph search scores through the scalar-quantized codes via a
+    /// per-query lookup table (~4× less hot memory); the top
+    /// `RetrievalConfig::ann_rescore` candidates can be re-scored exactly.
+    Quantized,
+}
+
+/// Build-time configuration for the ANN layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnnBuildConfig {
+    /// HNSW graph knobs (degree bound, construction beam, seed).
+    pub hnsw: HnswConfig,
+    /// Storage backend the query path scores against.
+    pub storage: AnnStorage,
+}
+
+#[derive(Debug, Clone)]
+struct AnnIndex {
+    graph: HnswGraph,
+    /// Row-major contiguous copy of the unit vectors (`len × dim`), kept
+    /// only on the f32 backend. Graph traversal random-accesses candidate
+    /// vectors; scoring out of one flat allocation avoids the per-vector
+    /// pointer chase through `Vec<Embedding>` (empty when quantized — the
+    /// codes are the contiguous scoring storage there).
+    flat: Vec<f32>,
+    /// Vector dimension (0 until the first vector is seen).
+    dim: usize,
+    /// Present iff `storage == Quantized`.
+    quant: Option<QuantizedStore>,
+}
+
+/// Dot product over raw f32 rows (the flat-matrix scoring kernel).
+#[inline]
+fn dot_rows(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Hint the cache that `p` (and the line after it) is about to be read.
+/// Graph traversal is random access; issuing the hint one batch ahead of
+/// scoring overlaps the memory fetch with arithmetic. Purely advisory —
+/// a no-op off x86_64, and never a memory-safety concern (PREFETCH does
+/// not fault).
+#[inline]
+fn prefetch_read(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(p as *const i8, _MM_HINT_T0);
+        _mm_prefetch(p.wrapping_add(64) as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
 }
 
 impl VectorStore {
@@ -62,13 +128,44 @@ impl VectorStore {
 
     /// Append a vector; its id is its insertion index. The vector is
     /// unit-normalized in place (its raw norm is retained). Invalidates
-    /// any built partitions.
+    /// any built partitions; a built HNSW index is updated *in place*
+    /// (graph insert + quantized encode on the frozen grid), so ANN
+    /// search keeps working through incremental ingest.
     pub fn add(&mut self, v: Embedding) -> usize {
         self.partitions = None;
         let (unit, norm) = v.into_unit();
         self.vectors.push(unit);
         self.norms.push(norm);
-        self.vectors.len() - 1
+        let id = self.vectors.len() - 1;
+        if let Some(ann) = &mut self.ann {
+            if ann.dim == 0 {
+                ann.dim = self.vectors[id].dim();
+            }
+            match &mut ann.quant {
+                Some(quant) => {
+                    quant.push(&self.vectors[id]);
+                    // No flat matrix on the quantized backend: insertion
+                    // scores through the Embedding rows directly.
+                    let vectors = &self.vectors;
+                    let new = &vectors[id];
+                    ann.graph.insert(
+                        &|x| dot(new, &vectors[x as usize]),
+                        &|a, b| dot(&vectors[a as usize], &vectors[b as usize]),
+                    );
+                }
+                None => {
+                    ann.flat.extend_from_slice(&self.vectors[id].0);
+                    let (flat, dim) = (&ann.flat, ann.dim);
+                    let row = |x: u32| &flat[x as usize * dim..(x as usize + 1) * dim];
+                    let new = row(id as u32);
+                    ann.graph.insert(
+                        &|x| dot_rows(new, row(x)),
+                        &|a, b| dot_rows(row(a), row(b)),
+                    );
+                }
+            }
+        }
+        id
     }
 
     /// Number of stored vectors.
@@ -296,6 +393,135 @@ impl VectorStore {
     pub fn has_partitions(&self) -> bool {
         self.partitions.is_some()
     }
+
+    /// Number of IVF partitions currently built (0 when unbuilt).
+    pub fn partition_count(&self) -> usize {
+        self.partitions.as_ref().map(|p| p.centroids.len()).unwrap_or(0)
+    }
+
+    /// Build the HNSW index over every stored vector (idempotent: an
+    /// existing index is discarded and rebuilt). With
+    /// [`AnnStorage::Quantized`] the scalar-quantization grid is fitted
+    /// over the current corpus and every vector encoded; vectors added
+    /// later clamp onto that frozen grid. Construction always scores
+    /// through the exact f32 vectors, so the graph topology is identical
+    /// for both storage backends.
+    pub fn build_hnsw(&mut self, config: AnnBuildConfig) {
+        let quant = match config.storage {
+            AnnStorage::F32 => None,
+            AnnStorage::Quantized => Some(QuantizedStore::fit(&self.vectors)),
+        };
+        let dim = self.vectors.first().map(|v| v.dim()).unwrap_or(0);
+        let mut flat: Vec<f32> = Vec::with_capacity(self.vectors.len() * dim);
+        for v in &self.vectors {
+            flat.extend_from_slice(&v.0);
+        }
+        let mut graph = HnswGraph::new(config.hnsw);
+        for id in 0..self.vectors.len() {
+            let row = |x: u32| &flat[x as usize * dim..(x as usize + 1) * dim];
+            let new = row(id as u32);
+            graph.insert(
+                &|x| dot_rows(new, row(x)),
+                &|a, b| dot_rows(row(a), row(b)),
+            );
+        }
+        // The quantized backend scores queries through its codes; keeping
+        // the f32 matrix too would forfeit the memory reduction.
+        if config.storage == AnnStorage::Quantized {
+            flat = Vec::new();
+        }
+        self.ann = Some(AnnIndex { graph, flat, dim, quant });
+    }
+
+    /// Is the HNSW index currently built?
+    pub fn has_hnsw(&self) -> bool {
+        self.ann.is_some()
+    }
+
+    /// Determinism witness: FNV digest of the graph structure plus the
+    /// quantized codes (when present). `None` when the index is unbuilt.
+    pub fn hnsw_fingerprint(&self) -> Option<u64> {
+        self.ann.as_ref().map(|ann| {
+            ann.graph.fingerprint()
+                ^ ann
+                    .quant
+                    .as_ref()
+                    .map(|q| q.fingerprint().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .unwrap_or(0)
+        })
+    }
+
+    /// Bytes held by the ANN scoring storage: the quantized codes + grid
+    /// when quantized, the raw f32 vectors otherwise. (The graph adds
+    /// `O(n · m)` u32 links on top in both cases.)
+    pub fn ann_storage_bytes(&self) -> usize {
+        match self.ann.as_ref().and_then(|a| a.quant.as_ref()) {
+            Some(q) => q.memory_bytes(),
+            None => self.vectors.iter().map(|v| v.dim() * 4).sum(),
+        }
+    }
+
+    /// Approximate top-k through the HNSW graph under the default
+    /// [`RetrievalConfig`]. Falls back to the exact flat scan when the
+    /// index is unbuilt.
+    pub fn search_hnsw(&self, query: &Embedding, k: usize) -> Vec<VectorHit> {
+        self.search_hnsw_with(query, k, &RetrievalConfig::default())
+    }
+
+    /// Approximate top-k through the HNSW graph: greedy descent + an
+    /// `ann_ef_search`-wide beam on layer 0 (never narrower than `k`).
+    ///
+    /// On the quantized backend candidates are scored through the
+    /// per-query lookup table; the best `ann_rescore` of them are then
+    /// re-scored against the exact f32 vectors (when `ann_rescore > 0`)
+    /// so reported scores — and the final top-k cut — are exact for the
+    /// surviving candidates. Falls back to the exact flat scan when the
+    /// index is unbuilt.
+    pub fn search_hnsw_with(
+        &self,
+        query: &Embedding,
+        k: usize,
+        config: &RetrievalConfig,
+    ) -> Vec<VectorHit> {
+        let Some(ann) = &self.ann else {
+            return self.search_flat_with(query, k, config);
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let q = query.unit();
+        let ef = config.ann_ef_search.max(k);
+        let candidates = match &ann.quant {
+            Some(quant) => {
+                let lut = quant.lut(&q);
+                let mut hits = ann.graph.search_hinted(
+                    &|x| quant.score(&lut, x as usize),
+                    &|x| prefetch_read(quant.row_ptr(x as usize)),
+                    ef,
+                );
+                if config.ann_rescore > 0 {
+                    hits.truncate(config.ann_rescore.max(k));
+                    for (id, score) in &mut hits {
+                        *score = dot(&q, &self.vectors[*id]);
+                    }
+                }
+                hits
+            }
+            None => {
+                let (flat, dim) = (&ann.flat, ann.dim);
+                ann.graph.search_hinted(
+                    &|x| dot_rows(&q.0, &flat[x as usize * dim..(x as usize + 1) * dim]),
+                    &|x| prefetch_read(flat[x as usize * dim..].as_ptr() as *const u8),
+                    ef,
+                )
+            }
+        };
+        let mut top = TopK::new(k);
+        for (id, score) in candidates {
+            top.push(id, score);
+        }
+        top.into_sorted_vec()
+    }
 }
 
 fn nearest_centroid(centroids: &[Embedding], v: &Embedding) -> usize {
@@ -410,6 +636,7 @@ mod tests {
             let cfg = RetrievalConfig {
                 threads,
                 topk_crossover: 0,
+                ..RetrievalConfig::default()
             };
             assert_eq!(
                 s.search_flat_with(&q, 10, &cfg),
@@ -504,5 +731,93 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert!(s.get(1).is_some());
         assert!(s.get(2).is_none());
+    }
+
+    #[test]
+    fn hnsw_unbuilt_falls_back_to_flat() {
+        let (s, e) = store_with(&["alpha beta", "gamma delta", "epsilon zeta"]);
+        assert!(!s.has_hnsw());
+        assert_eq!(s.hnsw_fingerprint(), None);
+        let q = e.embed("gamma delta");
+        assert_eq!(s.search_hnsw(&q, 2), s.search_flat(&q, 2));
+    }
+
+    #[test]
+    fn hnsw_finds_the_exact_top_hit() {
+        let texts: Vec<String> = (0..120).map(|i| format!("entry {i} topic {}", i % 11)).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (mut s, e) = store_with(&refs);
+        s.build_hnsw(AnnBuildConfig::default());
+        assert!(s.has_hnsw());
+        let q = e.embed("entry 77 topic 0");
+        let flat = s.search_flat(&q, 5);
+        let ann = s.search_hnsw(&q, 5);
+        assert_eq!(ann[0], flat[0]);
+        assert_eq!(ann.len(), 5);
+    }
+
+    #[test]
+    fn hnsw_survives_incremental_add() {
+        let texts: Vec<String> = (0..60).map(|i| format!("entry {i} topic {}", i % 5)).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (mut s, e) = store_with(&refs);
+        s.build_hnsw(AnnBuildConfig::default());
+        let before = s.hnsw_fingerprint();
+        s.add(e.embed("a brand new document about quarterly revenue"));
+        assert!(s.has_hnsw(), "add must not drop the ANN index");
+        assert_ne!(s.hnsw_fingerprint(), before, "add must grow the graph");
+        let q = e.embed("a brand new document about quarterly revenue");
+        assert_eq!(s.search_hnsw(&q, 1)[0].0, 60);
+    }
+
+    #[test]
+    fn quantized_backend_matches_f32_top_hit_and_saves_memory() {
+        let texts: Vec<String> = (0..200).map(|i| format!("entry {i} topic {}", i % 13)).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (mut s, e) = store_with(&refs);
+        let f32_bytes = s.ann_storage_bytes();
+        s.build_hnsw(AnnBuildConfig {
+            storage: AnnStorage::Quantized,
+            ..AnnBuildConfig::default()
+        });
+        assert!(
+            (s.ann_storage_bytes() as f64) <= 0.30 * f32_bytes as f64,
+            "quantized {} vs f32 {f32_bytes}",
+            s.ann_storage_bytes()
+        );
+        let q = e.embed("entry 150 topic 7");
+        let flat = s.search_flat(&q, 3);
+        let ann = s.search_hnsw(&q, 3);
+        assert_eq!(ann[0].0, flat[0].0);
+        // Rescored scores are exact.
+        assert!((ann[0].1 - flat[0].1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hnsw_build_is_deterministic() {
+        let texts: Vec<String> = (0..150).map(|i| format!("entry {i} topic {}", i % 7)).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let (mut a, e) = store_with(&refs);
+        let (mut b, _) = store_with(&refs);
+        let cfg = AnnBuildConfig {
+            storage: AnnStorage::Quantized,
+            ..AnnBuildConfig::default()
+        };
+        a.build_hnsw(cfg);
+        b.build_hnsw(cfg);
+        assert_eq!(a.hnsw_fingerprint(), b.hnsw_fingerprint());
+        let q = e.embed("entry 42 topic 0");
+        assert_eq!(a.search_hnsw(&q, 10), b.search_hnsw(&q, 10));
+    }
+
+    #[test]
+    fn hnsw_k_zero_and_empty_store() {
+        let mut s = VectorStore::new();
+        s.build_hnsw(AnnBuildConfig::default());
+        let e = HashEmbedder::new();
+        assert!(s.search_hnsw(&e.embed("x"), 3).is_empty());
+        s.add(e.embed("solo"));
+        assert!(s.search_hnsw(&e.embed("solo"), 0).is_empty());
+        assert_eq!(s.search_hnsw(&e.embed("solo"), 2).len(), 1);
     }
 }

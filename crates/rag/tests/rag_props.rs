@@ -119,7 +119,7 @@ proptest! {
         let parallel = store.search_flat_with(
             &q,
             k,
-            &RetrievalConfig { threads, topk_crossover: 0 },
+            &RetrievalConfig { threads, topk_crossover: 0, ..RetrievalConfig::default() },
         );
         prop_assert_eq!(sequential, parallel, "threads={}", threads);
     }

@@ -205,7 +205,7 @@ impl CircuitBreaker {
     fn open(&mut self, now_us: u64) {
         self.state = BreakerState::Open;
         self.opened_at_us = now_us;
-        let jitter = self.rng.gen_f64(self.cfg.cooldown_jitter_frac.max(0.0).min(4.0));
+        let jitter = self.rng.gen_f64(self.cfg.cooldown_jitter_frac.clamp(0.0, 4.0));
         self.cooldown_us = (self.cfg.open_cooldown_us as f64 * (1.0 + jitter)) as u64;
         self.probes_admitted = 0;
         self.probe_successes = 0;

@@ -78,7 +78,7 @@ impl WorkerStats {
 const FAILURE_THRESHOLD: u32 = 3;
 
 /// Salt for the probe RNG stream (distinct from the request-fault stream).
-const PROBE_STREAM_SALT: u64 = 0x5052_4f42_45; // "PROBE"
+const PROBE_STREAM_SALT: u64 = 0x0050_524f_4245; // "PROBE"
 
 /// A serving replica (see module docs).
 pub struct ModelWorker {

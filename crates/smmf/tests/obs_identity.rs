@@ -27,6 +27,7 @@ fn flaky(id: &str, rate: f64, seed: u64) -> ModelWorker {
 /// full resilience (retries, breakers, hedging all live), then 6 batched
 /// jobs with a shared prompt prefix through the engine path. Returns the
 /// observable request semantics plus the server for trace inspection.
+#[allow(clippy::type_complexity)]
 fn run_workload(
     seed: u64,
     obs: ObsConfig,

@@ -32,7 +32,9 @@ impl Bytes {
         self.0.is_empty()
     }
 
-    /// Borrow as a slice.
+    /// Borrow as a slice. Kept as an inherent method to mirror the real
+    /// `bytes` crate's call sites (`buf.as_ref()` without a trait import).
+    #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &[u8] {
         &self.0
     }

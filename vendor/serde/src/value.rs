@@ -394,11 +394,15 @@ macro_rules! value_eq_num {
     ($($t:ty => $as:ident),*) => {
         $(
             impl PartialEq<$t> for Value {
+                // Lifting the primitive into a Value is the point: it
+                // reuses Number's eq semantics (u64/i64/f64 unification).
+                #[allow(clippy::cmp_owned)]
                 fn eq(&self, other: &$t) -> bool {
                     Value::from(*other) == *self
                 }
             }
             impl PartialEq<Value> for $t {
+                #[allow(clippy::cmp_owned)]
                 fn eq(&self, other: &Value) -> bool {
                     Value::from(*self) == *other
                 }
