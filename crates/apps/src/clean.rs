@@ -149,7 +149,7 @@ impl DataCleaner {
         let mut engine = self.ctx.engine.write();
         let t = engine.database().table(table)?;
         let old_schema = t.schema.clone();
-        let mut rows: Vec<Vec<Value>> = t.rows.iter().map(|r| r.values().to_vec()).collect();
+        let mut rows: Vec<Vec<Value>> = t.all_rows()?;
         let mut operations = Vec::new();
 
         // 1. Text standardisation.

@@ -1,4 +1,12 @@
 //! The catalog: named tables, their stored rows, and secondary indexes.
+//!
+//! Tables come in two storage arms selected by
+//! [`crate::storage::StorageConfig`]: the classic in-memory `Vec<Row>` arm
+//! (the default — its behavior is byte-identical to before paged storage
+//! existed) and a paged arm where rows live in a
+//! [`crate::storage::TableHeap`] behind a shared buffer pool and secondary
+//! indexes are paged [`crate::storage::BTreeIndex`]es instead of
+//! [`HashIndex`]es.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -7,6 +15,7 @@ use crate::col::ColumnTable;
 use crate::error::SqlError;
 use crate::row::Row;
 use crate::schema::{Schema, SchemaRef};
+use crate::storage::{BTreeIndex, Pager, StorageConfig, TableHeap};
 use crate::value::{GroupKey, Value};
 
 /// A hash index over one column: value → row positions.
@@ -58,6 +67,13 @@ pub struct Table {
     /// in-place mutation (like indexes, but rebuilt on demand by the
     /// vectorized executor rather than lazily here).
     columnar: Option<ColumnTable>,
+    /// Paged row storage; `Some` iff the table uses the paged arm (then
+    /// `rows` stays empty).
+    heap: Option<TableHeap>,
+    /// Paged-arm secondary indexes (the paged counterpart of `indexes`).
+    btrees: HashMap<usize, BTreeIndex>,
+    /// Shared buffer pool, present on paged tables.
+    pager: Option<Arc<Pager>>,
 }
 
 impl Table {
@@ -71,11 +87,37 @@ impl Table {
             index_names: HashMap::new(),
             indexes_stale: false,
             columnar: None,
+            heap: None,
+            btrees: HashMap::new(),
+            pager: None,
         }
     }
 
-    /// Append a row after coercing every value to its column type.
-    pub fn insert_row(&mut self, values: Vec<Value>) -> Result<(), SqlError> {
+    /// Create an empty paged table whose rows live in `pager`'s pool.
+    pub fn new_paged(name: impl Into<String>, schema: Schema, pager: Arc<Pager>) -> Self {
+        let mut t = Table::new(name, schema);
+        t.heap = Some(TableHeap::new());
+        t.pager = Some(pager);
+        t
+    }
+
+    /// Whether this table stores rows in pages rather than `rows`.
+    pub fn is_paged(&self) -> bool {
+        self.heap.is_some()
+    }
+
+    /// The paged heap, when on the paged arm.
+    pub fn heap(&self) -> Option<&TableHeap> {
+        self.heap.as_ref()
+    }
+
+    /// The shared pager, when on the paged arm.
+    pub fn pager(&self) -> Option<&Arc<Pager>> {
+        self.pager.as_ref()
+    }
+
+    /// Coerce one row of values against the schema (shared by both arms).
+    fn coerce_values(&self, values: Vec<Value>) -> Result<Vec<Value>, SqlError> {
         if values.len() != self.schema.len() {
             return Err(SqlError::Execution(format!(
                 "table `{}` has {} columns but {} values were supplied",
@@ -87,6 +129,21 @@ impl Table {
         let mut row = Vec::with_capacity(values.len());
         for (v, c) in values.into_iter().zip(self.schema.columns()) {
             row.push(v.coerce_to(c.data_type)?);
+        }
+        Ok(row)
+    }
+
+    /// Append a row after coercing every value to its column type.
+    pub fn insert_row(&mut self, values: Vec<Value>) -> Result<(), SqlError> {
+        let row = self.coerce_values(values)?;
+        if let (Some(heap), Some(pager)) = (&mut self.heap, &self.pager) {
+            heap.append_row(&mut pager.pool(), &row)?;
+            // B+-trees are rebuilt from a heap snapshot rather than
+            // maintained incrementally; any append invalidates them.
+            if !self.btrees.is_empty() {
+                self.indexes_stale = true;
+            }
+            return Ok(());
         }
         let row = Row::new(row);
         // Incremental index maintenance on the append path.
@@ -109,21 +166,20 @@ impl Table {
     pub fn insert_rows(&mut self, rows: Vec<Vec<Value>>) -> Result<usize, SqlError> {
         let mut coerced = Vec::with_capacity(rows.len());
         for values in rows {
-            if values.len() != self.schema.len() {
-                return Err(SqlError::Execution(format!(
-                    "table `{}` has {} columns but {} values were supplied",
-                    self.name,
-                    self.schema.len(),
-                    values.len()
-                )));
-            }
-            let mut row = Vec::with_capacity(values.len());
-            for (v, c) in values.into_iter().zip(self.schema.columns()) {
-                row.push(v.coerce_to(c.data_type)?);
-            }
-            coerced.push(Row::new(row));
+            coerced.push(Row::new(self.coerce_values(values)?));
         }
         let n = coerced.len();
+        if let (Some(heap), Some(pager)) = (&mut self.heap, &self.pager) {
+            let mut pool = pager.pool();
+            for row in &coerced {
+                heap.append_row(&mut pool, row.values())?;
+            }
+            drop(pool);
+            if !self.btrees.is_empty() {
+                self.indexes_stale = true;
+            }
+            return Ok(n);
+        }
         if !self.indexes_stale {
             let base = self.rows.len();
             for (&col, idx) in self.indexes.iter_mut() {
@@ -149,14 +205,22 @@ impl Table {
     /// count guard catches direct `rows` mutation that bypassed the
     /// maintenance hooks.
     pub fn columnar(&self) -> Option<&ColumnTable> {
+        if self.is_paged() {
+            // Paged tables have no columnar mirror; the vectorized executor
+            // streams chunks straight off the heap instead.
+            return None;
+        }
         self.columnar
             .as_ref()
             .filter(|ct| ct.rows() == self.rows.len())
     }
 
     /// Build (or rebuild) the columnar mirror from row storage if it is
-    /// absent or out of sync.
+    /// absent or out of sync. No-op on paged tables.
     pub fn refresh_columnar(&mut self) {
+        if self.is_paged() {
+            return;
+        }
         let fresh = self
             .columnar
             .as_ref()
@@ -166,17 +230,47 @@ impl Table {
         }
     }
 
-    /// Create a named hash index on `column`. Re-creating under the same
-    /// name replaces it; a second name on the same column is rejected.
+    /// Build a B+-tree over column `col` from the current heap contents.
+    fn build_btree(&self, col: usize) -> Result<BTreeIndex, SqlError> {
+        let (heap, pager) = (
+            self.heap.as_ref().expect("paged table"),
+            self.pager.as_ref().expect("paged table"),
+        );
+        let mut pool = pager.pool();
+        let mut items = Vec::with_capacity(heap.len());
+        heap.scan(&mut pool, |ord, row| {
+            items.push((row[col].clone(), ord));
+            Ok(())
+        })?;
+        BTreeIndex::build(&mut pool, items)
+    }
+
+    /// Create a named index on `column`: a [`HashIndex`] on the in-memory
+    /// arm, a paged [`BTreeIndex`] on the paged arm. Re-creating under the
+    /// same name replaces it.
     pub fn create_index(&mut self, name: &str, column: &str) -> Result<(), SqlError> {
         let col = self.schema.index_of(column)?;
         let name = name.to_lowercase();
         if let Some(&existing) = self.index_names.get(&name) {
             if existing != col {
                 self.indexes.remove(&existing);
+                if let Some(tree) = self.btrees.remove(&existing) {
+                    if let Some(pager) = &self.pager {
+                        tree.free(&mut pager.pool())?;
+                    }
+                }
             }
         }
-        self.indexes.insert(col, HashIndex::build(&self.rows, col));
+        if self.is_paged() {
+            let tree = self.build_btree(col)?;
+            if let Some(old) = self.btrees.insert(col, tree) {
+                if let Some(pager) = &self.pager {
+                    old.free(&mut pager.pool())?;
+                }
+            }
+        } else {
+            self.indexes.insert(col, HashIndex::build(&self.rows, col));
+        }
         self.index_names.insert(name, col);
         Ok(())
     }
@@ -189,6 +283,11 @@ impl Table {
                 // Only remove the column index if no other name covers it.
                 if !self.index_names.values().any(|&c| c == col) {
                     self.indexes.remove(&col);
+                    if let Some(tree) = self.btrees.remove(&col) {
+                        if let Some(pager) = &self.pager {
+                            tree.free(&mut pager.pool())?;
+                        }
+                    }
                 }
                 Ok(())
             }
@@ -203,10 +302,11 @@ impl Table {
         v
     }
 
-    /// Columns (by position) that currently carry indexes.
+    /// Columns (by position) that currently carry indexes (either arm).
     pub fn indexed_columns(&self) -> Vec<usize> {
-        let mut cols: Vec<usize> = self.indexes.keys().copied().collect();
+        let mut cols: Vec<usize> = self.indexes.keys().chain(self.btrees.keys()).copied().collect();
         cols.sort_unstable();
+        cols.dedup();
         cols
     }
 
@@ -230,51 +330,192 @@ impl Table {
         self.indexes.get(&col)
     }
 
+    /// Read-only view of a paged B+-tree index; `None` if absent or stale.
+    pub fn btree_if_fresh(&self, col: usize) -> Option<&BTreeIndex> {
+        if self.indexes_stale {
+            return None;
+        }
+        self.btrees.get(&col)
+    }
+
     /// Mark indexes stale after in-place mutation (UPDATE/DELETE). The
     /// columnar mirror is dropped unconditionally: unlike indexes its row
     /// count can stay equal under UPDATE, so a staleness flag alone would
     /// not catch the change.
     pub fn mark_indexes_stale(&mut self) {
-        if !self.indexes.is_empty() {
+        if !self.indexes.is_empty() || !self.btrees.is_empty() {
             self.indexes_stale = true;
         }
         self.columnar = None;
     }
 
-    /// Rebuild any stale indexes now (optional; lookups do this lazily).
+    /// Rebuild any stale indexes now (optional; lookups do this lazily on
+    /// the in-memory arm; the engine calls this before reads on the paged
+    /// arm, where the immutable executor cannot rebuild).
     pub fn refresh_indexes(&mut self) {
-        if self.indexes_stale {
+        if !self.indexes_stale {
+            return;
+        }
+        if self.is_paged() {
+            let cols: Vec<usize> = self.btrees.keys().copied().collect();
+            for c in cols {
+                // Build before free: a build failure leaves the old (stale,
+                // unused) tree in place rather than dangling.
+                if let Ok(tree) = self.build_btree(c) {
+                    if let (Some(old), Some(pager)) = (self.btrees.insert(c, tree), &self.pager) {
+                        let _ = old.free(&mut pager.pool());
+                    }
+                }
+            }
+        } else {
             for (&c, idx) in self.indexes.iter_mut() {
                 *idx = HashIndex::build(&self.rows, c);
             }
-            self.indexes_stale = false;
         }
+        self.indexes_stale = false;
     }
 
     /// Row count.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.heap {
+            Some(h) => h.len(),
+            None => self.rows.len(),
+        }
     }
 
     /// Is the table empty?
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// Stream every stored row through `f` in storage order, whichever arm
+    /// holds it. The paged arm decodes one page at a time.
+    pub fn for_each_row(
+        &self,
+        mut f: impl FnMut(&[Value]) -> Result<(), SqlError>,
+    ) -> Result<(), SqlError> {
+        match (&self.heap, &self.pager) {
+            (Some(heap), Some(pager)) => heap.scan(&mut pager.pool(), |_, row| f(&row)),
+            _ => {
+                for row in &self.rows {
+                    f(row.values())?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Materialize every row as owned values (CSV export, maintenance
+    /// passes). Prefer [`Table::for_each_row`] where streaming suffices.
+    pub fn all_rows(&self) -> Result<Vec<Vec<Value>>, SqlError> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_row(|row| {
+            out.push(row.to_vec());
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Swap in a rewritten heap (the paged UPDATE/DELETE path), freeing the
+    /// old heap's pages. Does NOT touch index staleness — the caller owns
+    /// that, so paged staleness bookkeeping can mirror the in-memory arm
+    /// statement for statement.
+    pub fn replace_heap(&mut self, new_heap: TableHeap) -> Result<(), SqlError> {
+        let (heap, pager) = match (&mut self.heap, &self.pager) {
+            (Some(h), Some(p)) => (h, p),
+            _ => return Err(SqlError::Storage("replace_heap on an in-memory table".into())),
+        };
+        let mut old = std::mem::replace(heap, new_heap);
+        old.free(&mut pager.pool())?;
+        Ok(())
+    }
+
+    /// Release all paged storage (heap + B+-trees) back to the pool's free
+    /// list; called when the table is dropped. No-op on the in-memory arm.
+    pub fn free_storage(&mut self) -> Result<(), SqlError> {
+        let pager = match &self.pager {
+            Some(p) => Arc::clone(p),
+            None => return Ok(()),
+        };
+        if let Some(heap) = &mut self.heap {
+            heap.free(&mut pager.pool())?;
+        }
+        for (_, tree) in self.btrees.drain() {
+            tree.free(&mut pager.pool())?;
+        }
+        Ok(())
     }
 }
 
-/// An in-memory database: a set of named tables.
+/// A database: a set of named tables plus the storage arm they live on.
 ///
 /// Iteration order is deterministic (`BTreeMap`), which keeps schema dumps
 /// — the input to Text-to-SQL prompts — stable across runs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    storage: StorageConfig,
+    /// Shared buffer pool for the paged arm (`None` when in-memory).
+    pager: Option<Arc<Pager>>,
+}
+
+impl Clone for Database {
+    /// Deep copy. The paged arm deep-clones the buffer pool (flushing
+    /// first) and re-points every table at the clone's pager, so clones
+    /// never share mutable page state. A `File`-backed pager still aliases
+    /// the underlying file — see [`Pager::deep_clone`].
+    fn clone(&self) -> Database {
+        let pager = self
+            .pager
+            .as_ref()
+            .map(|p| p.deep_clone().expect("pager deep clone"));
+        let mut tables = self.tables.clone();
+        if let Some(p) = &pager {
+            for t in tables.values_mut() {
+                if t.pager.is_some() {
+                    t.pager = Some(Arc::clone(p));
+                }
+            }
+        }
+        Database {
+            tables,
+            storage: self.storage,
+            pager,
+        }
+    }
 }
 
 impl Database {
     /// Create an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Create an empty database on the given storage arm. The paged arm
+    /// uses a deterministic in-memory disk behind its buffer pool.
+    pub fn with_storage(storage: StorageConfig) -> Database {
+        let pager = match storage {
+            StorageConfig::InMemory => None,
+            StorageConfig::Paged {
+                pool_pages,
+                page_size,
+            } => Some(Pager::in_mem(pool_pages, page_size)),
+        };
+        Database {
+            tables: BTreeMap::new(),
+            storage,
+            pager,
+        }
+    }
+
+    /// The storage arm this database was created with.
+    pub fn storage_config(&self) -> StorageConfig {
+        self.storage
+    }
+
+    /// The shared pager (paged arm only).
+    pub fn pager(&self) -> Option<&Arc<Pager>> {
+        self.pager.as_ref()
     }
 
     /// Create a table. Errors if the name is taken (unless
@@ -292,17 +533,23 @@ impl Database {
             }
             return Err(SqlError::TableExists(key));
         }
-        self.tables.insert(key.clone(), Table::new(key, schema));
+        let table = match &self.pager {
+            Some(p) => Table::new_paged(key.clone(), schema, Arc::clone(p)),
+            None => Table::new(key.clone(), schema),
+        };
+        self.tables.insert(key, table);
         Ok(())
     }
 
-    /// Drop a table. Errors if missing (unless `if_exists`).
+    /// Drop a table (releasing its pages on the paged arm). Errors if
+    /// missing (unless `if_exists`).
     pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<(), SqlError> {
         let key = name.to_lowercase();
-        if self.tables.remove(&key).is_none() && !if_exists {
-            return Err(SqlError::TableNotFound(key));
+        match self.tables.remove(&key) {
+            Some(mut t) => t.free_storage(),
+            None if if_exists => Ok(()),
+            None => Err(SqlError::TableNotFound(key)),
         }
-        Ok(())
     }
 
     /// Shared view of a table.
@@ -355,12 +602,16 @@ impl Database {
                 eat(col.name.as_bytes());
                 eat(format!("{:?}", col.data_type).as_bytes());
             }
-            for row in &table.rows {
-                for v in row.values() {
+            // Both storage arms hash identically for identical contents; a
+            // paged-arm storage error truncates the digest (and is reported
+            // loudly everywhere else), so ignore it here.
+            let _ = table.for_each_row(|row| {
+                for v in row {
                     eat(v.to_string().as_bytes());
                 }
                 eat(b"|");
-            }
+                Ok(())
+            });
         }
         h
     }

@@ -114,7 +114,17 @@ fn cell_to_value(cell: &str, ty: DataType) -> Value {
     match ty {
         DataType::Int => cell.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
         DataType::Float => cell.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
-        DataType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
+        // Strict like the Int/Float arms: only `true`/`false` (any case)
+        // parse; junk such as "yes" becomes NULL rather than `false`.
+        DataType::Bool => {
+            if cell.eq_ignore_ascii_case("true") {
+                Value::Bool(true)
+            } else if cell.eq_ignore_ascii_case("false") {
+                Value::Bool(false)
+            } else {
+                Value::Null
+            }
+        }
         DataType::Text => Value::Text(cell.to_string()),
     }
 }
@@ -172,9 +182,8 @@ pub fn export_csv(db: &Database, name: &str) -> Result<String, SqlError> {
     let header: Vec<&str> = t.schema.columns().iter().map(|c| c.name.as_str()).collect();
     out.push_str(&header.join(","));
     out.push('\n');
-    for row in &t.rows {
+    t.for_each_row(|row| {
         let cells: Vec<String> = row
-            .values()
             .iter()
             .map(|v| match v {
                 Value::Null => String::new(),
@@ -186,7 +195,8 @@ pub fn export_csv(db: &Database, name: &str) -> Result<String, SqlError> {
             .collect();
         out.push_str(&cells.join(","));
         out.push('\n');
-    }
+        Ok(())
+    })?;
     Ok(out)
 }
 
@@ -236,6 +246,17 @@ mod tests {
         assert_eq!(infer_type(&["1", "x"]), DataType::Text);
         assert_eq!(infer_type(&["", ""]), DataType::Text);
         assert_eq!(infer_type(&["1", ""]), DataType::Int); // blanks = NULLs
+    }
+
+    #[test]
+    fn bool_cells_parse_strictly() {
+        // Pre-fix, any non-"true" junk silently became Bool(false).
+        assert_eq!(cell_to_value("true", DataType::Bool), Value::Bool(true));
+        assert_eq!(cell_to_value("FALSE", DataType::Bool), Value::Bool(false));
+        assert_eq!(cell_to_value("yes", DataType::Bool), Value::Null);
+        assert_eq!(cell_to_value("no", DataType::Bool), Value::Null);
+        assert_eq!(cell_to_value("1", DataType::Bool), Value::Null);
+        assert_eq!(cell_to_value("", DataType::Bool), Value::Null);
     }
 
     #[test]

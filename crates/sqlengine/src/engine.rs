@@ -13,6 +13,7 @@ use crate::plan::logical::{LogicalPlan, Planner};
 use crate::plan::optimizer::Optimizer;
 use crate::row::Row;
 use crate::schema::{Column, Schema, SchemaRef};
+use crate::storage::{StorageConfig, TableHeap};
 use crate::value::Value;
 
 /// The result of executing one statement.
@@ -127,6 +128,21 @@ impl Engine {
         }
     }
 
+    /// Engine on the given storage arm (see [`StorageConfig`]); the
+    /// default [`StorageConfig::InMemory`] is exactly [`Engine::new`].
+    pub fn with_storage(storage: StorageConfig) -> Self {
+        Engine::with_exec_and_storage(ExecConfig::default(), storage)
+    }
+
+    /// Engine with both an executor selection and a storage arm.
+    pub fn with_exec_and_storage(exec: ExecConfig, storage: StorageConfig) -> Self {
+        Engine {
+            db: Database::with_storage(storage),
+            optimizer: Optimizer::new(),
+            exec,
+        }
+    }
+
     /// Switch executor at runtime (queries only; DML is unaffected).
     pub fn set_exec_config(&mut self, exec: ExecConfig) {
         self.exec = exec;
@@ -137,14 +153,21 @@ impl Engine {
         self.exec
     }
 
-    /// Make sure every table a plan scans has a fresh columnar mirror, so
-    /// the vectorized executor does not rebuild them per query.
+    /// Make sure every table a plan scans has fresh read-path caches:
+    /// paged tables rebuild stale B+-trees (the immutable executor cannot),
+    /// and — in columnar mode — in-memory tables refresh their columnar
+    /// mirror so the vectorized executor does not rebuild it per query.
     fn refresh_scan_caches(&mut self, plan: &LogicalPlan) {
         let mut tables = Vec::new();
         collect_scan_tables(plan, &mut tables);
+        let columnar = self.exec.mode == ExecMode::Columnar;
         for name in tables {
             if let Ok(t) = self.db.table_mut(&name) {
-                t.refresh_columnar();
+                if t.is_paged() {
+                    t.refresh_indexes();
+                } else if columnar {
+                    t.refresh_columnar();
+                }
             }
         }
     }
@@ -155,12 +178,10 @@ impl Engine {
         plan: &LogicalPlan,
         stats: &mut ExecStats,
     ) -> Result<crate::row::RowBatch, SqlError> {
+        self.refresh_scan_caches(plan);
         match self.exec.mode {
             ExecMode::Row => execute_plan(plan, &self.db),
-            ExecMode::Columnar => {
-                self.refresh_scan_caches(plan);
-                execute_plan_columnar_with_stats(plan, &self.db, stats)
-            }
+            ExecMode::Columnar => execute_plan_columnar_with_stats(plan, &self.db, stats),
         }
     }
 
@@ -213,6 +234,7 @@ impl Engine {
                 plan_span.end(span.tick());
                 plan.and_then(|plan| {
                     let exec_span = span.child("sql.exec", span.tick());
+                    let pool_before = self.db.pager().map(|p| p.counters());
                     let mut stats = ExecStats::default();
                     let batch = self.run_plan(&plan, &mut stats);
                     if let Ok(b) = &batch {
@@ -224,6 +246,7 @@ impl Engine {
                         obs.counter("sql.chunks_scanned", stats.chunks);
                         obs.counter("sql.rows_scanned", stats.rows_scanned);
                     }
+                    self.record_pool_deltas(&exec_span, &obs, pool_before);
                     exec_span.end(span.tick());
                     batch.map(|batch| QueryResult {
                         schema: batch.schema,
@@ -234,10 +257,12 @@ impl Engine {
             }
             other => {
                 let exec_span = span.child("sql.exec", span.tick());
+                let pool_before = self.db.pager().map(|p| p.counters());
                 let r = self.run_statement(other);
                 if let Ok(q) = &r {
                     exec_span.attr("rows_affected", q.rows_affected);
                 }
+                self.record_pool_deltas(&exec_span, &obs, pool_before);
                 exec_span.end(span.tick());
                 r
             }
@@ -255,6 +280,40 @@ impl Engine {
         }
         span.end(span.tick());
         result
+    }
+
+    /// Record buffer-pool counter deltas (hits/misses/evictions/dirty
+    /// writebacks) on a `sql.exec` span and the global metrics. No-op for
+    /// in-memory storage, where `before` is `None`.
+    fn record_pool_deltas(
+        &self,
+        exec_span: &Span,
+        obs: &dbgpt_obs::Obs,
+        before: Option<crate::storage::PoolCounters>,
+    ) {
+        let (before, pager) = match (before, self.db.pager()) {
+            (Some(b), Some(p)) => (b, p),
+            _ => return,
+        };
+        let after = pager.counters();
+        let deltas = [
+            ("pool_hits", "sql.pool.hits", after.hits - before.hits),
+            ("pool_misses", "sql.pool.misses", after.misses - before.misses),
+            (
+                "pool_evictions",
+                "sql.pool.evictions",
+                after.evictions - before.evictions,
+            ),
+            (
+                "pool_writebacks",
+                "sql.pool.writebacks",
+                after.writebacks - before.writebacks,
+            ),
+        ];
+        for (attr, counter, delta) in deltas {
+            exec_span.attr(attr, delta);
+            obs.counter(counter, delta);
+        }
     }
 
     /// Run one already-parsed statement (the shared tail of
@@ -336,6 +395,61 @@ impl Engine {
                     .iter()
                     .map(|(col, e)| Ok((schema.index_of(col)?, e)))
                     .collect::<Result<_, SqlError>>()?;
+                if t.is_paged() {
+                    // Streaming heap rewrite. Semantics mirror the in-memory
+                    // arm exactly: rows updated before the first error keep
+                    // their new values, later rows are copied unchanged, and
+                    // the error path leaves index staleness untouched.
+                    let pager = Arc::clone(t.pager().expect("paged table"));
+                    let heap = t.heap().expect("paged table").clone();
+                    let mut new_heap = TableHeap::new();
+                    let mut updated = 0usize;
+                    let mut first_err: Option<SqlError> = None;
+                    for i in 0..heap.page_count() {
+                        let page_rows = heap.read_page(&mut pager.pool(), i)?;
+                        for vals in page_rows {
+                            let mut row = Row::new(vals);
+                            if first_err.is_none() {
+                                let step = (|| {
+                                    let hit = match &filter {
+                                        Some(f) => f.eval(&row, &schema)?.is_truthy(),
+                                        None => true,
+                                    };
+                                    if !hit {
+                                        return Ok(None);
+                                    }
+                                    let mut new_vals = Vec::with_capacity(targets.len());
+                                    for (idx, e) in &targets {
+                                        let v = e.eval(&row, &schema)?;
+                                        let ty = schema.columns()[*idx].data_type;
+                                        new_vals.push((*idx, v.coerce_to(ty)?));
+                                    }
+                                    Ok(Some(new_vals))
+                                })();
+                                match step {
+                                    Ok(Some(new_vals)) => {
+                                        for (idx, v) in new_vals {
+                                            row.values_mut()[idx] = v;
+                                        }
+                                        updated += 1;
+                                    }
+                                    Ok(None) => {}
+                                    Err(e) => first_err = Some(e),
+                                }
+                            }
+                            new_heap.append_row(&mut pager.pool(), row.values())?;
+                        }
+                    }
+                    let t = self.db.table_mut(&table)?;
+                    t.replace_heap(new_heap)?;
+                    if let Some(e) = first_err {
+                        return Err(e);
+                    }
+                    if updated > 0 {
+                        t.mark_indexes_stale();
+                    }
+                    return Ok(QueryResult::affected(updated));
+                }
                 let mut updated = 0usize;
                 for row in t.rows.iter_mut() {
                     let hit = match &filter {
@@ -365,6 +479,46 @@ impl Engine {
             Statement::Delete { table, filter } => {
                 let t = self.db.table_mut(&table)?;
                 let schema = t.schema.clone();
+                if t.is_paged() {
+                    // Streaming heap rewrite mirroring the in-memory arm:
+                    // rows whose filter errors are kept, the full pass
+                    // completes, and the first error is returned at the end
+                    // (without marking indexes stale — same as in-memory).
+                    let pager = Arc::clone(t.pager().expect("paged table"));
+                    let heap = t.heap().expect("paged table").clone();
+                    let before = heap.len();
+                    let mut new_heap = TableHeap::new();
+                    let mut err: Option<SqlError> = None;
+                    if let Some(f) = &filter {
+                        for i in 0..heap.page_count() {
+                            let page_rows = heap.read_page(&mut pager.pool(), i)?;
+                            for vals in page_rows {
+                                let row = Row::new(vals);
+                                let keep = match f.eval(&row, &schema) {
+                                    Ok(v) => !v.is_truthy(),
+                                    Err(e) => {
+                                        err.get_or_insert(e);
+                                        true
+                                    }
+                                };
+                                if keep {
+                                    new_heap.append_row(&mut pager.pool(), row.values())?;
+                                }
+                            }
+                        }
+                    }
+                    let after = new_heap.len();
+                    let t = self.db.table_mut(&table)?;
+                    t.replace_heap(new_heap)?;
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    let removed = before - after;
+                    if removed > 0 {
+                        t.mark_indexes_stale();
+                    }
+                    return Ok(QueryResult::affected(removed));
+                }
                 let before = t.rows.len();
                 match filter {
                     Some(f) => {
@@ -747,6 +901,24 @@ mod columnar_engine_tests {
         assert_eq!(r.rows[0][0], Value::Int(4));
         assert_eq!(obs.counter_value("sql.rows_scanned"), 4);
         assert_eq!(obs.counter_value("sql.chunks_scanned"), 1);
+    }
+
+    #[test]
+    fn traced_paged_exec_reports_pool_counters() {
+        use dbgpt_obs::{Obs, ObsConfig};
+        let mut e = Engine::with_storage(crate::StorageConfig::paged(4, 128));
+        e.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        let vals: Vec<String> = (0..200).map(|i| format!("({i}, 'x{i}')")).collect();
+        e.execute(&format!("INSERT INTO t VALUES {}", vals.join(", ")))
+            .unwrap();
+        let obs = Obs::new(ObsConfig::enabled(7));
+        let root = obs.span("request", obs.tick());
+        let r = e.execute_traced("SELECT COUNT(*) FROM t", &root).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(200));
+        // A 200-row table behind a 4-frame pool cannot scan without
+        // missing in the pool; the deltas must reach the metrics.
+        assert!(obs.counter_value("sql.pool.misses") > 0);
+        assert!(obs.counter_value("sql.pool.evictions") > 0);
     }
 }
 

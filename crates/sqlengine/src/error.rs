@@ -28,6 +28,8 @@ pub enum SqlError {
     },
     /// CSV import/export failure.
     Csv(String),
+    /// Paged-storage failure (I/O, checksum mismatch, pool exhaustion, …).
+    Storage(String),
 }
 
 impl fmt::Display for SqlError {
@@ -44,6 +46,7 @@ impl fmt::Display for SqlError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             SqlError::Csv(m) => write!(f, "csv error: {m}"),
+            SqlError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -14,7 +14,7 @@ use crate::parser::JoinKind;
 use crate::plan::logical::LogicalPlan;
 use crate::row::{Row, RowBatch};
 use crate::schema::SchemaRef;
-use crate::value::{GroupKey, Value};
+use crate::value::{DataType, GroupKey, Value};
 
 use super::aggregate::Accumulator;
 
@@ -30,11 +30,6 @@ pub fn execute_plan(plan: &LogicalPlan, db: &Database) -> Result<RowBatch, SqlEr
         } => {
             let t = db.table(table)?;
             let mut rows = Vec::new();
-            // Index path: an equality conjunct on an indexed column narrows
-            // the scan to the index's posting list.
-            let candidates = filter
-                .as_ref()
-                .and_then(|f| index_candidates(t, schema, projection, f));
             let mut emit = |row: &Row| -> Result<(), SqlError> {
                 let projected = match projection {
                     Some(idx) => Row::new(idx.iter().map(|&i| row[i].clone()).collect()),
@@ -48,6 +43,39 @@ pub fn execute_plan(plan: &LogicalPlan, db: &Database) -> Result<RowBatch, SqlEr
                 rows.push(projected);
                 Ok(())
             };
+            if t.is_paged() {
+                let pager = t.pager().expect("paged table");
+                let heap = t.heap().expect("paged table");
+                // Index path: equality or range conjuncts on a B+-tree
+                // column narrow the scan to ascending row ordinals.
+                let candidates = match filter {
+                    Some(f) => paged_index_candidates(t, schema, projection, f)?,
+                    None => None,
+                };
+                match candidates {
+                    Some(ords) => {
+                        let fetched = heap.fetch_many(&mut pager.pool(), &ords)?;
+                        for vals in fetched {
+                            emit(&Row::new(vals))?;
+                        }
+                    }
+                    None => {
+                        // Stream page by page: resident memory stays
+                        // bounded by the pool, not the table.
+                        for i in 0..heap.page_count() {
+                            for vals in heap.read_page(&mut pager.pool(), i)? {
+                                emit(&Row::new(vals))?;
+                            }
+                        }
+                    }
+                }
+                return Ok(RowBatch::new(schema.clone(), rows));
+            }
+            // Index path: an equality conjunct on an indexed column narrows
+            // the scan to the index's posting list.
+            let candidates = filter
+                .as_ref()
+                .and_then(|f| index_candidates(t, schema, projection, f));
             match candidates {
                 Some(ids) => {
                     for id in ids {
@@ -281,6 +309,230 @@ fn index_candidates(
         }
     }
     None
+}
+
+/// What a single conjunct contributes to a paged index probe.
+enum PagedProbe {
+    /// Conjunct can't use the tree — try the next one.
+    Skip,
+    /// Conjunct can never be truthy — the scan yields nothing.
+    Empty,
+    /// Probe the tree with these bounds.
+    Range(std::ops::Bound<Value>, std::ops::Bound<Value>),
+}
+
+/// Convert a comparison against `lit` on a column of type `ty` into B+-tree
+/// bounds. `op` is normalised so the column is on the left. Cross-type
+/// Int/Float comparisons are rewritten into same-type bounds so the probe
+/// never under-selects; anything not provably safe falls back to a full
+/// scan (`Skip`). The filter re-checks every candidate, so over-selection
+/// is always fine.
+fn paged_bounds(op: BinOp, lit: &Value, ty: DataType) -> PagedProbe {
+    use std::ops::Bound::{Excluded, Included, Unbounded};
+    let same = matches!(
+        (lit, ty),
+        (Value::Int(_), DataType::Int)
+            | (Value::Float(_), DataType::Float)
+            | (Value::Text(_), DataType::Text)
+            | (Value::Bool(_), DataType::Bool)
+    );
+    if same {
+        if let Value::Float(f) = lit {
+            if f.is_nan() {
+                return PagedProbe::Skip;
+            }
+        }
+        let v = lit.clone();
+        return match op {
+            BinOp::Eq => PagedProbe::Range(Included(v.clone()), Included(v)),
+            BinOp::Gt => PagedProbe::Range(Excluded(v), Unbounded),
+            BinOp::Ge => PagedProbe::Range(Included(v), Unbounded),
+            BinOp::Lt => PagedProbe::Range(Unbounded, Excluded(v)),
+            BinOp::Le => PagedProbe::Range(Unbounded, Included(v)),
+            _ => PagedProbe::Skip,
+        };
+    }
+    match (lit, ty) {
+        // Int literal against a Float column: exact as f64 for |i| < 2^53,
+        // and the engine's comparison semantics already go through the same
+        // widening, so bounds stay aligned with the filter.
+        (Value::Int(i), DataType::Float) => paged_bounds(op, &Value::Float(*i as f64), ty),
+        (Value::Float(f), DataType::Int) => {
+            if !f.is_finite() || *f < -(2f64.powi(63)) || *f >= 2f64.powi(63) {
+                return PagedProbe::Skip;
+            }
+            let whole = f.fract() == 0.0;
+            match op {
+                BinOp::Eq if whole => {
+                    let v = Value::Int(*f as i64);
+                    PagedProbe::Range(Included(v.clone()), Included(v))
+                }
+                BinOp::Eq => PagedProbe::Empty,
+                BinOp::Gt | BinOp::Ge => {
+                    let lo = if whole {
+                        let v = Value::Int(*f as i64);
+                        if op == BinOp::Gt {
+                            Excluded(v)
+                        } else {
+                            Included(v)
+                        }
+                    } else {
+                        // fract != 0 implies |f| < 2^52, so ceil/floor stay
+                        // comfortably inside i64.
+                        Included(Value::Int(f.ceil() as i64))
+                    };
+                    PagedProbe::Range(lo, Unbounded)
+                }
+                BinOp::Lt | BinOp::Le => {
+                    let hi = if whole {
+                        let v = Value::Int(*f as i64);
+                        if op == BinOp::Lt {
+                            Excluded(v)
+                        } else {
+                            Included(v)
+                        }
+                    } else {
+                        Included(Value::Int(f.floor() as i64))
+                    };
+                    PagedProbe::Range(Unbounded, hi)
+                }
+                _ => PagedProbe::Skip,
+            }
+        }
+        _ => PagedProbe::Skip,
+    }
+}
+
+/// If `filter` contains an equality or range conjunct on a column carrying a
+/// fresh B+-tree, return matching row ordinals (ascending). `Ok(None)` means
+/// fall back to a full heap scan.
+fn paged_index_candidates(
+    t: &Table,
+    schema: &SchemaRef,
+    projection: &Option<Vec<usize>>,
+    filter: &Expr,
+) -> Result<Option<Vec<usize>>, SqlError> {
+    let (Some(heap), Some(pager)) = (t.heap(), t.pager()) else {
+        return Ok(None);
+    };
+    let mut conjuncts = Vec::new();
+    fn split(e: &Expr, out: &mut Vec<Expr>) {
+        match e {
+            Expr::Binary {
+                left,
+                op: BinOp::And,
+                right,
+            } => {
+                split(left, out);
+                split(right, out);
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    split(filter, &mut conjuncts);
+    // Resolve a column expression to its base-table position.
+    let base_pos = |table: &Option<String>, name: &String| -> Option<usize> {
+        let scan_pos = schema.resolve(table.as_deref(), name).ok()?;
+        Some(match projection {
+            Some(p) => p[scan_pos],
+            None => scan_pos,
+        })
+    };
+    for c in &conjuncts {
+        let probe = match c {
+            Expr::Binary { left, op, right }
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                ) =>
+            {
+                // Normalise `lit OP col` to `col FLIP(OP) lit`.
+                let (pos, norm_op, lit) = match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column { table, name }, Expr::Literal(v)) => {
+                        match base_pos(table, name) {
+                            Some(p) => (p, *op, v),
+                            None => continue,
+                        }
+                    }
+                    (Expr::Literal(v), Expr::Column { table, name }) => {
+                        let flipped = match op {
+                            BinOp::Eq => BinOp::Eq,
+                            BinOp::Lt => BinOp::Gt,
+                            BinOp::Le => BinOp::Ge,
+                            BinOp::Gt => BinOp::Lt,
+                            BinOp::Ge => BinOp::Le,
+                            _ => unreachable!(),
+                        };
+                        match base_pos(table, name) {
+                            Some(p) => (p, flipped, v),
+                            None => continue,
+                        }
+                    }
+                    _ => continue,
+                };
+                if lit.is_null() {
+                    continue;
+                }
+                let Some(tree) = t.btree_if_fresh(pos) else {
+                    continue;
+                };
+                let ty = t.schema.columns()[pos].data_type;
+                (tree, paged_bounds(norm_op, lit, ty))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => {
+                let (Expr::Column { table, name }, Expr::Literal(lo), Expr::Literal(hi)) =
+                    (expr.as_ref(), low.as_ref(), high.as_ref())
+                else {
+                    continue;
+                };
+                let Some(pos) = base_pos(table, name) else {
+                    continue;
+                };
+                if lo.is_null() || hi.is_null() {
+                    continue;
+                }
+                let Some(tree) = t.btree_if_fresh(pos) else {
+                    continue;
+                };
+                let ty = t.schema.columns()[pos].data_type;
+                let probe = match (
+                    paged_bounds(BinOp::Ge, lo, ty),
+                    paged_bounds(BinOp::Le, hi, ty),
+                ) {
+                    (PagedProbe::Empty, _) | (_, PagedProbe::Empty) => PagedProbe::Empty,
+                    (PagedProbe::Range(l, _), PagedProbe::Range(_, h)) => PagedProbe::Range(l, h),
+                    _ => PagedProbe::Skip,
+                };
+                (tree, probe)
+            }
+            _ => continue,
+        };
+        let (tree, probe) = probe;
+        match probe {
+            PagedProbe::Skip => continue,
+            PagedProbe::Empty => return Ok(Some(Vec::new())),
+            PagedProbe::Range(lo, hi) => {
+                fn as_ref(b: &std::ops::Bound<Value>) -> std::ops::Bound<&Value> {
+                    match b {
+                        std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+                        std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+                        std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+                    }
+                }
+                let mut ords = tree.range(&mut pager.pool(), as_ref(&lo), as_ref(&hi))?;
+                // Defensive: a stale-but-unmarked tree could carry ordinals
+                // past the current heap; a full scan would never see them.
+                ords.retain(|&o| o < heap.len());
+                return Ok(Some(ords));
+            }
+        }
+    }
+    Ok(None)
 }
 
 /// Equi-join key pairs extracted from an ON conjunction, plus the residual

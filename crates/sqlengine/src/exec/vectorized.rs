@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 
 use crate::catalog::Database;
-use crate::col::{Chunk, ColumnTable, ColumnVec};
+use crate::col::{Chunk, ColumnTable, ColumnVec, CHUNK_ROWS};
 use crate::error::SqlError;
 use crate::expr::Expr;
 use crate::parser::JoinKind;
@@ -136,16 +136,13 @@ fn exec(
             ..
         } => {
             let t = db.table(table)?;
-            let fallback;
-            let ct: &ColumnTable = match t.columnar() {
-                Some(ct) => ct,
-                None => {
-                    fallback = ColumnTable::from_rows(&t.rows, t.schema.len());
-                    &fallback
-                }
-            };
-            let mut chunks = Vec::with_capacity(ct.chunks().len());
-            for chunk in ct.chunks() {
+            // One scan chunk: project, filter, keep survivors. Shared by
+            // the mirror path and the paged streaming path below.
+            let mut chunks = Vec::new();
+            let scan_chunk = |chunk: &Chunk,
+                                  stats: &mut ExecStats,
+                                  chunks: &mut Vec<Chunk>|
+             -> Result<(), SqlError> {
                 stats.chunks += 1;
                 stats.rows_scanned += chunk.len as u64;
                 // Match the row executor: project first, filter on the
@@ -168,6 +165,50 @@ fn exec(
                 if !kept.is_empty() {
                     chunks.push(kept);
                 }
+                Ok(())
+            };
+            if t.is_paged() {
+                // Paged tables have no columnar mirror; stream heap pages
+                // through the buffer pool, re-batching rows into
+                // CHUNK_ROWS-row chunks so chunk boundaries match the
+                // in-memory mirror's.
+                let pager = t.pager().expect("paged table");
+                let heap = t.heap().expect("paged table");
+                let width = t.schema.len();
+                let mut buf: Vec<Row> = Vec::with_capacity(CHUNK_ROWS);
+                for i in 0..heap.page_count() {
+                    for vals in heap.read_page(&mut pager.pool(), i)? {
+                        buf.push(Row::new(vals));
+                        if buf.len() == CHUNK_ROWS {
+                            let ct = ColumnTable::from_rows(&buf, width);
+                            for chunk in ct.chunks() {
+                                scan_chunk(chunk, stats, &mut chunks)?;
+                            }
+                            buf.clear();
+                        }
+                    }
+                }
+                if !buf.is_empty() {
+                    let ct = ColumnTable::from_rows(&buf, width);
+                    for chunk in ct.chunks() {
+                        scan_chunk(chunk, stats, &mut chunks)?;
+                    }
+                }
+                return Ok(ColBatch {
+                    schema: schema.clone(),
+                    chunks,
+                });
+            }
+            let fallback;
+            let ct: &ColumnTable = match t.columnar() {
+                Some(ct) => ct,
+                None => {
+                    fallback = ColumnTable::from_rows(&t.rows, t.schema.len());
+                    &fallback
+                }
+            };
+            for chunk in ct.chunks() {
+                scan_chunk(chunk, stats, &mut chunks)?;
             }
             Ok(ColBatch {
                 schema: schema.clone(),

@@ -68,6 +68,7 @@ pub mod parser;
 pub mod plan;
 pub mod row;
 pub mod schema;
+pub mod storage;
 pub mod value;
 
 pub use catalog::Database;
@@ -76,4 +77,5 @@ pub use exec::{ExecConfig, ExecMode};
 pub use error::SqlError;
 pub use row::Row;
 pub use schema::{Column, Schema};
+pub use storage::StorageConfig;
 pub use value::{DataType, Value};

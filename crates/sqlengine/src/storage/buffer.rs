@@ -1,0 +1,453 @@
+//! Buffer pool: a bounded cache of page frames over a [`DiskManager`], with
+//! LRU-K (K=2) eviction, pin/unpin accounting, and hit/miss/eviction/
+//! writeback counters.
+//!
+//! Eviction picks the unpinned frame with the largest backward K-distance:
+//! frames touched fewer than twice are evicted first (ordered by their single
+//! access tick), then frames by their second-most-recent access tick. Ties
+//! break by frame index, so eviction order is fully deterministic.
+
+use super::disk::DiskManager;
+use super::page::{Page, PageType};
+use crate::error::SqlError;
+use std::collections::HashMap;
+
+/// Monotonic counters exposed on `sql.exec` spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read from disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back to disk (on eviction or flush).
+    pub writebacks: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    page_id: u32,
+    page: Page,
+    pin_count: u32,
+    dirty: bool,
+    /// Most recent access tick.
+    last: u64,
+    /// Second-most-recent access tick (0 = fewer than two accesses).
+    prev: u64,
+}
+
+/// Bounded page cache over a disk manager.
+#[derive(Debug)]
+pub struct BufferPool {
+    disk: DiskManager,
+    capacity: usize,
+    frames: Vec<Frame>,
+    by_id: HashMap<u32, usize>,
+    tick: u64,
+    counters: PoolCounters,
+    max_resident: usize,
+    free_pages: Vec<u32>,
+}
+
+/// Fewer frames than this and B+-tree builds / heap rewrites could deadlock
+/// on pins; enforced by [`BufferPool::new`].
+pub const MIN_POOL_PAGES: usize = 4;
+
+impl BufferPool {
+    /// A pool of at most `pool_pages` resident frames (floored at
+    /// [`MIN_POOL_PAGES`]) over `disk`.
+    pub fn new(disk: DiskManager, pool_pages: usize) -> BufferPool {
+        BufferPool {
+            disk,
+            capacity: pool_pages.max(MIN_POOL_PAGES),
+            frames: Vec::new(),
+            by_id: HashMap::new(),
+            tick: 0,
+            counters: PoolCounters::default(),
+            max_resident: 0,
+            free_pages: Vec::new(),
+        }
+    }
+
+    /// The fixed page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.disk.page_size()
+    }
+
+    /// Maximum number of resident frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// High-water mark of resident frames since construction.
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Snapshot of the hit/miss/eviction/writeback counters.
+    pub fn counters(&self) -> PoolCounters {
+        self.counters
+    }
+
+    /// Allocate a fresh page of the given type (reusing the free list when
+    /// possible) and make it resident. Returns the new page id; the page is
+    /// left unpinned and dirty.
+    pub fn allocate_page(&mut self, ty: PageType) -> Result<u32, SqlError> {
+        let id = match self.free_pages.pop() {
+            Some(id) => id,
+            None => self.disk.allocate()?,
+        };
+        let page = Page::new(self.page_size(), ty);
+        let idx = self.place(id, page)?;
+        self.frames[idx].dirty = true;
+        Ok(id)
+    }
+
+    /// Return a page to the free list; a resident frame is discarded without
+    /// writeback. The caller must have unpinned it.
+    pub fn free_page(&mut self, id: u32) -> Result<(), SqlError> {
+        if let Some(idx) = self.by_id.remove(&id) {
+            if self.frames[idx].pin_count > 0 {
+                self.by_id.insert(id, idx);
+                return Err(SqlError::Storage(format!("freeing pinned page {id}")));
+            }
+            self.remove_frame(idx);
+        }
+        self.free_pages.push(id);
+        Ok(())
+    }
+
+    /// Pin `id` into a frame (reading from disk on a miss).
+    pub fn pin(&mut self, id: u32) -> Result<(), SqlError> {
+        let idx = self.fetch(id)?;
+        self.frames[idx].pin_count += 1;
+        Ok(())
+    }
+
+    /// Drop one pin on `id`, optionally marking the page dirty.
+    pub fn unpin(&mut self, id: u32, dirty: bool) -> Result<(), SqlError> {
+        let idx = *self
+            .by_id
+            .get(&id)
+            .ok_or_else(|| SqlError::Storage(format!("unpin of non-resident page {id}")))?;
+        let f = &mut self.frames[idx];
+        if f.pin_count == 0 {
+            return Err(SqlError::Storage(format!("unpin of unpinned page {id}")));
+        }
+        f.pin_count -= 1;
+        f.dirty |= dirty;
+        Ok(())
+    }
+
+    /// Pin count of a resident page (testing hook).
+    pub fn pin_count(&self, id: u32) -> Option<u32> {
+        self.by_id.get(&id).map(|&i| self.frames[i].pin_count)
+    }
+
+    /// Run `f` with a shared view of page `id`, pinning around the call.
+    pub fn with_page<R>(&mut self, id: u32, f: impl FnOnce(&Page) -> R) -> Result<R, SqlError> {
+        let idx = self.fetch(id)?;
+        self.frames[idx].pin_count += 1;
+        let out = f(&self.frames[idx].page);
+        self.frames[idx].pin_count -= 1;
+        Ok(out)
+    }
+
+    /// Run `f` with a mutable view of page `id`, pinning around the call and
+    /// marking the frame dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        id: u32,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R, SqlError> {
+        let idx = self.fetch(id)?;
+        self.frames[idx].pin_count += 1;
+        let out = f(&mut self.frames[idx].page);
+        self.frames[idx].pin_count -= 1;
+        self.frames[idx].dirty = true;
+        Ok(out)
+    }
+
+    /// Write every dirty frame back to disk (frames stay resident).
+    pub fn flush_all(&mut self) -> Result<(), SqlError> {
+        for i in 0..self.frames.len() {
+            if self.frames[i].dirty {
+                self.frames[i].page.fill_checksum();
+                let id = self.frames[i].page_id;
+                self.disk.write(id, self.frames[i].page.bytes())?;
+                self.frames[i].dirty = false;
+                self.counters.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deep copy for `Database::clone`: flushes, then clones the disk with
+    /// an empty (cold) frame table and fresh counters. Errors surface the
+    /// `File`-arm reopen failure.
+    pub fn deep_clone(&mut self) -> Result<BufferPool, SqlError> {
+        self.flush_all()?;
+        Ok(BufferPool {
+            disk: self.disk.deep_clone()?,
+            capacity: self.capacity,
+            frames: Vec::new(),
+            by_id: HashMap::new(),
+            tick: 0,
+            counters: PoolCounters::default(),
+            max_resident: 0,
+            free_pages: self.free_pages.clone(),
+        })
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// Frame index for `id`, reading from disk on a miss.
+    fn fetch(&mut self, id: u32) -> Result<usize, SqlError> {
+        self.tick += 1;
+        if let Some(&idx) = self.by_id.get(&id) {
+            self.counters.hits += 1;
+            let f = &mut self.frames[idx];
+            f.prev = f.last;
+            f.last = self.tick;
+            return Ok(idx);
+        }
+        self.counters.misses += 1;
+        let page = Page::from_bytes(self.disk.read(id)?, id)?;
+        self.place(id, page)
+    }
+
+    /// Make `page` resident under `id`, evicting if the pool is full.
+    fn place(&mut self, id: u32, page: Page) -> Result<usize, SqlError> {
+        self.tick += 1;
+        if self.frames.len() >= self.capacity {
+            let victim = self.victim().ok_or_else(|| {
+                SqlError::Storage(format!(
+                    "buffer pool exhausted: all {} frames pinned",
+                    self.capacity
+                ))
+            })?;
+            self.evict(victim)?;
+        }
+        let idx = self.frames.len();
+        self.frames.push(Frame {
+            page_id: id,
+            page,
+            pin_count: 0,
+            dirty: false,
+            last: self.tick,
+            prev: 0,
+        });
+        self.by_id.insert(id, idx);
+        self.max_resident = self.max_resident.max(self.frames.len());
+        Ok(idx)
+    }
+
+    /// LRU-K victim: unpinned frame with the largest backward K-distance.
+    fn victim(&self) -> Option<usize> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.pin_count == 0)
+            // Key orders: never-twice-accessed first (prev == 0) by oldest
+            // single access, then by oldest second-most-recent access.
+            .min_by_key(|(i, f)| (f.prev != 0, if f.prev == 0 { f.last } else { f.prev }, *i))
+            .map(|(i, _)| i)
+    }
+
+    fn evict(&mut self, idx: usize) -> Result<(), SqlError> {
+        if self.frames[idx].dirty {
+            self.frames[idx].page.fill_checksum();
+            let id = self.frames[idx].page_id;
+            self.disk.write(id, self.frames[idx].page.bytes())?;
+            self.counters.writebacks += 1;
+        }
+        self.counters.evictions += 1;
+        self.remove_frame(idx);
+        Ok(())
+    }
+
+    /// Swap-remove a frame and fix up the displaced frame's map entry.
+    fn remove_frame(&mut self, idx: usize) {
+        let f = self.frames.swap_remove(idx);
+        self.by_id.remove(&f.page_id);
+        if idx < self.frames.len() {
+            let moved = self.frames[idx].page_id;
+            self.by_id.insert(moved, idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(cap: usize) -> BufferPool {
+        BufferPool::new(DiskManager::mem(128), cap)
+    }
+
+    /// Allocate `n` pages stamped with recognizable tuples `base..base+n`.
+    fn seed_from(p: &mut BufferPool, n: usize, base: usize) -> Vec<u32> {
+        (0..n)
+            .map(|i| {
+                let id = p.allocate_page(PageType::Heap).unwrap();
+                p.with_page_mut(id, |pg| {
+                    pg.insert(&[(base + i) as u8; 4]).unwrap();
+                })
+                .unwrap();
+                id
+            })
+            .collect()
+    }
+
+    fn seed(p: &mut BufferPool, n: usize) -> Vec<u32> {
+        seed_from(p, n, 0)
+    }
+
+    #[test]
+    fn bounded_residency_under_pressure() {
+        let mut p = pool(4);
+        let ids = seed(&mut p, 16);
+        // Touch every page twice, far more pages than frames.
+        for _ in 0..2 {
+            for (i, &id) in ids.iter().enumerate() {
+                p.with_page(id, |pg| assert_eq!(pg.tuple(0).unwrap(), &[i as u8; 4]))
+                    .unwrap();
+            }
+        }
+        assert!(p.resident() <= 4);
+        assert!(p.max_resident() <= 4);
+        let c = p.counters();
+        assert!(c.evictions > 0, "pressure must evict");
+        assert!(c.writebacks > 0, "dirty pages must be written back");
+        assert!(c.misses > 0 && c.hits > 0);
+    }
+
+    #[test]
+    fn evicted_dirty_pages_survive_reload() {
+        let mut p = pool(4);
+        let ids = seed(&mut p, 12); // forces dirty evictions of early pages
+        for (i, &id) in ids.iter().enumerate() {
+            let data = p.with_page(id, |pg| pg.tuple(0).unwrap().to_vec()).unwrap();
+            assert_eq!(data, vec![i as u8; 4], "page {id} lost its payload");
+        }
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let mut p = pool(4);
+        let ids = seed(&mut p, 4);
+        p.pin(ids[0]).unwrap();
+        p.pin(ids[1]).unwrap();
+        assert_eq!(p.pin_count(ids[0]), Some(1));
+        // Churn through many more pages than the two free frames.
+        let extra = seed_from(&mut p, 10, ids.len());
+        assert!(p.resident() <= 4);
+        // The pinned pages never left.
+        assert_eq!(p.pin_count(ids[0]), Some(1));
+        assert_eq!(p.pin_count(ids[1]), Some(1));
+        p.unpin(ids[0], false).unwrap();
+        p.unpin(ids[1], false).unwrap();
+        // Everything still reads back.
+        for (i, &id) in ids.iter().chain(&extra).enumerate() {
+            p.with_page(id, |pg| assert_eq!(pg.tuple(0).unwrap(), &[i as u8; 4]))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn all_pinned_pool_reports_exhaustion() {
+        let mut p = pool(4);
+        let ids = seed(&mut p, 4);
+        for &id in &ids {
+            p.pin(id).unwrap();
+        }
+        let err = p.allocate_page(PageType::Heap).unwrap_err();
+        assert!(err.to_string().contains("exhausted"));
+        for &id in &ids {
+            p.unpin(id, false).unwrap();
+        }
+        assert!(p.allocate_page(PageType::Heap).is_ok());
+    }
+
+    #[test]
+    fn unpin_errors_are_reported() {
+        let mut p = pool(4);
+        let ids = seed(&mut p, 1);
+        assert!(p.unpin(ids[0], false).is_err()); // never pinned
+        assert!(p.unpin(999, false).is_err()); // not resident
+    }
+
+    #[test]
+    fn lru_k_prefers_single_access_frames() {
+        let mut p = pool(4);
+        // Four pages with exactly one access each (their allocation).
+        let ids: Vec<u32> = (0..4)
+            .map(|_| p.allocate_page(PageType::Heap).unwrap())
+            .collect();
+        // Second access for pages 0 and 1 → finite backward 2-distance.
+        p.with_page(ids[0], |_| ()).unwrap();
+        p.with_page(ids[1], |_| ()).unwrap();
+        // Next placement must evict page 2: single-access frames go first,
+        // oldest single access wins, and page 3 is younger than page 2.
+        let newcomer = p.allocate_page(PageType::Heap).unwrap();
+        assert!(p.pin_count(ids[2]).is_none(), "page 2 should be evicted");
+        assert!(p.pin_count(ids[0]).is_some());
+        assert!(p.pin_count(ids[1]).is_some());
+        assert!(p.pin_count(ids[3]).is_some());
+        assert!(p.pin_count(newcomer).is_some());
+
+        // With all frames twice-accessed, the oldest second-most-recent
+        // access is evicted (classic LRU-2): that is page 0 now.
+        p.with_page(ids[3], |_| ()).unwrap();
+        p.with_page(newcomer, |_| ()).unwrap();
+        p.allocate_page(PageType::Heap).unwrap();
+        assert!(p.pin_count(ids[0]).is_none(), "page 0 should be evicted");
+    }
+
+    #[test]
+    fn free_pages_are_recycled() {
+        let mut p = pool(4);
+        let ids = seed(&mut p, 2);
+        p.free_page(ids[0]).unwrap();
+        let re = p.allocate_page(PageType::Heap).unwrap();
+        assert_eq!(re, ids[0]);
+        // Freed-then-reallocated page is a blank slate.
+        p.with_page(re, |pg| assert_eq!(pg.slot_count(), 0)).unwrap();
+    }
+
+    #[test]
+    fn freeing_a_pinned_page_is_refused() {
+        let mut p = pool(4);
+        let ids = seed(&mut p, 1);
+        p.pin(ids[0]).unwrap();
+        assert!(p.free_page(ids[0]).is_err());
+        p.unpin(ids[0], false).unwrap();
+        assert!(p.free_page(ids[0]).is_ok());
+    }
+
+    #[test]
+    fn deep_clone_is_cold_and_isolated() {
+        let mut p = pool(4);
+        let ids = seed(&mut p, 6);
+        let mut c = p.deep_clone().unwrap();
+        assert_eq!(c.resident(), 0);
+        assert_eq!(c.counters(), PoolCounters::default());
+        // Mutating the clone leaves the original untouched.
+        c.with_page_mut(ids[0], |pg| {
+            pg.insert(b"clone-only").unwrap();
+        })
+        .unwrap();
+        let orig = p
+            .with_page(ids[0], |pg| pg.slot_count())
+            .unwrap();
+        assert_eq!(orig, 1);
+        let cloned = c.with_page(ids[0], |pg| pg.slot_count()).unwrap();
+        assert_eq!(cloned, 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Pluggable disk managers: a deterministic in-memory arm for tests and a
+//! real file-backed arm.
+//!
+//! The manager hands out page ids and moves raw page images; checksums and
+//! slotted layout live in [`crate::storage::page`], caching and eviction in
+//! [`crate::storage::buffer`].
+
+use crate::error::SqlError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Where pages live. An enum rather than a trait object so the buffer pool
+/// (and `Database`) stay `Debug` + deep-clonable.
+#[derive(Debug)]
+pub enum DiskManager {
+    /// Pages held in a `Vec` — deterministic, cheap, deep-clonable.
+    Mem(MemDisk),
+    /// Pages appended to a real file.
+    File(FileDisk),
+}
+
+impl DiskManager {
+    /// A fresh in-memory disk with the given page size.
+    pub fn mem(page_size: usize) -> DiskManager {
+        DiskManager::Mem(MemDisk {
+            page_size,
+            pages: Vec::new(),
+        })
+    }
+
+    /// Open (creating if needed, truncating) a file-backed disk at `path`.
+    pub fn file(path: &Path, page_size: usize) -> Result<DiskManager, SqlError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| SqlError::Storage(format!("open {}: {e}", path.display())))?;
+        Ok(DiskManager::File(FileDisk {
+            path: path.to_path_buf(),
+            page_size,
+            num_pages: 0,
+            file,
+        }))
+    }
+
+    /// The fixed page size in bytes.
+    pub fn page_size(&self) -> usize {
+        match self {
+            DiskManager::Mem(m) => m.page_size,
+            DiskManager::File(f) => f.page_size,
+        }
+    }
+
+    /// Number of pages ever allocated (the free list lives above this layer).
+    pub fn num_pages(&self) -> u32 {
+        match self {
+            DiskManager::Mem(m) => m.pages.len() as u32,
+            DiskManager::File(f) => f.num_pages,
+        }
+    }
+
+    /// Extend the disk by one zeroed page; returns its id.
+    pub fn allocate(&mut self) -> Result<u32, SqlError> {
+        match self {
+            DiskManager::Mem(m) => {
+                let id = m.pages.len() as u32;
+                m.pages.push(vec![0u8; m.page_size].into_boxed_slice());
+                Ok(id)
+            }
+            DiskManager::File(f) => {
+                let id = f.num_pages;
+                let zeros = vec![0u8; f.page_size];
+                f.write_at(id, &zeros)?;
+                f.num_pages += 1;
+                Ok(id)
+            }
+        }
+    }
+
+    /// Read page `id` into a fresh buffer.
+    pub fn read(&mut self, id: u32) -> Result<Box<[u8]>, SqlError> {
+        match self {
+            DiskManager::Mem(m) => m
+                .pages
+                .get(id as usize)
+                .cloned()
+                .ok_or_else(|| SqlError::Storage(format!("read of unallocated page {id}"))),
+            DiskManager::File(f) => {
+                if id >= f.num_pages {
+                    return Err(SqlError::Storage(format!("read of unallocated page {id}")));
+                }
+                let mut buf = vec![0u8; f.page_size];
+                f.file
+                    .seek(SeekFrom::Start(id as u64 * f.page_size as u64))
+                    .and_then(|_| f.file.read_exact(&mut buf))
+                    .map_err(|e| SqlError::Storage(format!("read page {id}: {e}")))?;
+                Ok(buf.into_boxed_slice())
+            }
+        }
+    }
+
+    /// Write a full page image to page `id`.
+    pub fn write(&mut self, id: u32, data: &[u8]) -> Result<(), SqlError> {
+        debug_assert_eq!(data.len(), self.page_size());
+        match self {
+            DiskManager::Mem(m) => {
+                let slot = m
+                    .pages
+                    .get_mut(id as usize)
+                    .ok_or_else(|| SqlError::Storage(format!("write to unallocated page {id}")))?;
+                slot.copy_from_slice(data);
+                Ok(())
+            }
+            DiskManager::File(f) => {
+                if id >= f.num_pages {
+                    return Err(SqlError::Storage(format!("write to unallocated page {id}")));
+                }
+                f.write_at(id, data)
+            }
+        }
+    }
+
+    /// Deep copy. The `Mem` arm clones every page; the `File` arm reopens
+    /// the same path, so clones alias the underlying file — callers that
+    /// need isolated clones (e.g. `Database::clone`) must use `Mem`.
+    pub fn deep_clone(&self) -> Result<DiskManager, SqlError> {
+        match self {
+            DiskManager::Mem(m) => Ok(DiskManager::Mem(MemDisk {
+                page_size: m.page_size,
+                pages: m.pages.clone(),
+            })),
+            DiskManager::File(f) => {
+                let file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&f.path)
+                    .map_err(|e| SqlError::Storage(format!("reopen {}: {e}", f.path.display())))?;
+                Ok(DiskManager::File(FileDisk {
+                    path: f.path.clone(),
+                    page_size: f.page_size,
+                    num_pages: f.num_pages,
+                    file,
+                }))
+            }
+        }
+    }
+}
+
+/// In-memory page store.
+#[derive(Debug)]
+pub struct MemDisk {
+    page_size: usize,
+    pages: Vec<Box<[u8]>>,
+}
+
+/// File-backed page store (page `i` lives at byte offset `i * page_size`).
+#[derive(Debug)]
+pub struct FileDisk {
+    path: PathBuf,
+    page_size: usize,
+    num_pages: u32,
+    file: File,
+}
+
+impl FileDisk {
+    fn write_at(&mut self, id: u32, data: &[u8]) -> Result<(), SqlError> {
+        self.file
+            .seek(SeekFrom::Start(id as u64 * self.page_size as u64))
+            .and_then(|_| self.file.write_all(data))
+            .map_err(|e| SqlError::Storage(format!("write page {id}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut d: DiskManager) {
+        assert_eq!(d.num_pages(), 0);
+        let a = d.allocate().unwrap();
+        let b = d.allocate().unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.num_pages(), 2);
+
+        let mut img = vec![0u8; d.page_size()];
+        img[0] = 0xAB;
+        img[d.page_size() - 1] = 0xCD;
+        d.write(b, &img).unwrap();
+        assert_eq!(&*d.read(b).unwrap(), &img[..]);
+        // Page a stays zeroed.
+        assert!(d.read(a).unwrap().iter().all(|&x| x == 0));
+        // Out-of-range access errors instead of growing the disk.
+        assert!(d.read(9).is_err());
+        assert!(d.write(9, &img).is_err());
+    }
+
+    #[test]
+    fn mem_disk_round_trips() {
+        exercise(DiskManager::mem(128));
+    }
+
+    #[test]
+    fn file_disk_round_trips() {
+        let dir = std::env::temp_dir().join(format!("dbgpt_disk_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        exercise(DiskManager::file(&path, 128).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_deep_clone_is_isolated() {
+        let mut d = DiskManager::mem(64);
+        let id = d.allocate().unwrap();
+        let mut c = d.deep_clone().unwrap();
+        let img = vec![9u8; 64];
+        c.write(id, &img).unwrap();
+        assert!(d.read(id).unwrap().iter().all(|&x| x == 0));
+        assert_eq!(&*c.read(id).unwrap(), &img[..]);
+    }
+}

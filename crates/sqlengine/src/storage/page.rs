@@ -1,0 +1,446 @@
+//! Fixed-size page format: header, slotted tuple layout, checksum, and the
+//! row tuple codec.
+//!
+//! Layout of a page (all integers little-endian unless noted):
+//!
+//! ```text
+//! [0..4)   u32  checksum   FNV-1a over bytes[4..], filled on disk write
+//! [4]      u8   page type  Free=0 / Heap=1 / BTreeLeaf=2 / BTreeInternal=3
+//! [5..9)   u32  next page  chain pointer (NO_PAGE = u32::MAX when none)
+//! [9..11)  u16  slot count
+//! [11..13) u16  free-space pointer (tuples grow down from the page end)
+//! [13..)        slot array: (u16 offset, u16 len) per slot, growing up
+//! ```
+//!
+//! Tuples are packed from the end of the page backward; the slot array grows
+//! forward from the header. The page is full when they would meet.
+
+use crate::error::SqlError;
+use crate::value::Value;
+
+/// Byte length of the fixed page header.
+pub const HEADER_LEN: usize = 13;
+/// Byte length of one slot-array entry (u16 offset + u16 len).
+pub const SLOT_LEN: usize = 4;
+/// Sentinel "no page" id for chain pointers.
+pub const NO_PAGE: u32 = u32::MAX;
+/// Smallest page size the codec supports (header + one slot + a tiny tuple).
+pub const MIN_PAGE_SIZE: usize = 64;
+
+/// What a page holds; stored in the header's type byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageType {
+    /// Unused / on the free list.
+    Free,
+    /// Table heap tuples.
+    Heap,
+    /// B+-tree leaf entries.
+    BTreeLeaf,
+    /// B+-tree internal (separator, child) entries.
+    BTreeInternal,
+}
+
+impl PageType {
+    fn to_byte(self) -> u8 {
+        match self {
+            PageType::Free => 0,
+            PageType::Heap => 1,
+            PageType::BTreeLeaf => 2,
+            PageType::BTreeInternal => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<PageType, SqlError> {
+        match b {
+            0 => Ok(PageType::Free),
+            1 => Ok(PageType::Heap),
+            2 => Ok(PageType::BTreeLeaf),
+            3 => Ok(PageType::BTreeInternal),
+            other => Err(SqlError::Storage(format!("unknown page type byte {other}"))),
+        }
+    }
+}
+
+/// FNV-1a 32-bit hash — the page checksum function.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// An in-memory page image with slotted-tuple accessors.
+#[derive(Debug, Clone)]
+pub struct Page {
+    data: Box<[u8]>,
+}
+
+impl Page {
+    /// A fresh, empty page of `page_size` bytes with the given type.
+    pub fn new(page_size: usize, ty: PageType) -> Page {
+        debug_assert!(page_size >= MIN_PAGE_SIZE && page_size <= u16::MAX as usize + 1);
+        let mut p = Page {
+            data: vec![0u8; page_size].into_boxed_slice(),
+        };
+        p.set_page_type(ty);
+        p.set_next(NO_PAGE);
+        p.set_slot_count(0);
+        // Free pointer is one-past-the-end; stored as len-1-safe u16 by
+        // capping page_size at 65536 and keeping the pointer < page_size
+        // once any tuple lands. An empty page stores page_size-0 truncated:
+        // we store (page_size - 1) + 1 semantics via u16 wrapping only when
+        // page_size == 65536, which `set_free_ptr` handles below.
+        p.set_free_ptr(page_size);
+        p
+    }
+
+    /// Adopt a raw page image read from disk, verifying its checksum.
+    pub fn from_bytes(data: Box<[u8]>, page_id: u32) -> Result<Page, SqlError> {
+        if data.len() < MIN_PAGE_SIZE {
+            return Err(SqlError::Storage(format!(
+                "page {page_id}: image of {} bytes is below the minimum page size",
+                data.len()
+            )));
+        }
+        let stored = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+        let actual = fnv1a(&data[4..]);
+        if stored != actual {
+            return Err(SqlError::Storage(format!(
+                "page {page_id}: checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+            )));
+        }
+        PageType::from_byte(data[4])?;
+        Ok(Page { data })
+    }
+
+    /// The page size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw page bytes (checksum field may be stale until [`Page::fill_checksum`]).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Recompute and store the checksum; call before writing to disk.
+    pub fn fill_checksum(&mut self) {
+        let sum = fnv1a(&self.data[4..]);
+        self.data[0..4].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    /// This page's type byte.
+    pub fn page_type(&self) -> PageType {
+        PageType::from_byte(self.data[4]).expect("in-memory page has a valid type byte")
+    }
+
+    /// Overwrite the type byte.
+    pub fn set_page_type(&mut self, ty: PageType) {
+        self.data[4] = ty.to_byte();
+    }
+
+    /// Chain pointer to the next page ([`NO_PAGE`] when none).
+    pub fn next(&self) -> u32 {
+        u32::from_le_bytes([self.data[5], self.data[6], self.data[7], self.data[8]])
+    }
+
+    /// Set the chain pointer.
+    pub fn set_next(&mut self, next: u32) {
+        self.data[5..9].copy_from_slice(&next.to_le_bytes());
+    }
+
+    /// Number of tuples stored in this page.
+    pub fn slot_count(&self) -> u16 {
+        u16::from_le_bytes([self.data[9], self.data[10]])
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.data[9..11].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn free_ptr(&self) -> usize {
+        let raw = u16::from_le_bytes([self.data[11], self.data[12]]) as usize;
+        // A 64 KiB page stores its initial one-past-the-end pointer as 0.
+        if raw == 0 && self.slot_count() == 0 {
+            self.data.len()
+        } else {
+            raw
+        }
+    }
+
+    fn set_free_ptr(&mut self, p: usize) {
+        let stored = if p == 65_536 { 0 } else { p as u16 };
+        self.data[11..13].copy_from_slice(&stored.to_le_bytes());
+    }
+
+    /// Bytes still available for one more tuple plus its slot entry.
+    pub fn free_space(&self) -> usize {
+        let slots_end = HEADER_LEN + self.slot_count() as usize * SLOT_LEN;
+        self.free_ptr().saturating_sub(slots_end)
+    }
+
+    /// Whether a tuple of `len` bytes (plus its slot entry) fits.
+    pub fn can_fit(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT_LEN
+    }
+
+    /// Append a tuple; returns its slot id or `None` when it does not fit.
+    pub fn insert(&mut self, tuple: &[u8]) -> Option<u16> {
+        if !self.can_fit(tuple.len()) || tuple.len() > u16::MAX as usize {
+            return None;
+        }
+        let slot = self.slot_count();
+        let start = self.free_ptr() - tuple.len();
+        self.data[start..start + tuple.len()].copy_from_slice(tuple);
+        let entry = HEADER_LEN + slot as usize * SLOT_LEN;
+        self.data[entry..entry + 2].copy_from_slice(&(start as u16).to_le_bytes());
+        self.data[entry + 2..entry + 4].copy_from_slice(&(tuple.len() as u16).to_le_bytes());
+        self.set_free_ptr(start);
+        self.set_slot_count(slot + 1);
+        Some(slot)
+    }
+
+    /// The tuple bytes stored at `slot`, or `None` for an out-of-range slot.
+    pub fn tuple(&self, slot: u16) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let entry = HEADER_LEN + slot as usize * SLOT_LEN;
+        let off = u16::from_le_bytes([self.data[entry], self.data[entry + 1]]) as usize;
+        let len = u16::from_le_bytes([self.data[entry + 2], self.data[entry + 3]]) as usize;
+        self.data.get(off..off + len)
+    }
+
+    /// Iterate every tuple in slot order.
+    pub fn tuples(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.slot_count()).filter_map(move |s| self.tuple(s))
+    }
+
+    /// Reset to an empty page of the given type (keeps the allocation).
+    pub fn reset(&mut self, ty: PageType) {
+        self.data.fill(0);
+        self.set_page_type(ty);
+        self.set_next(NO_PAGE);
+        self.set_slot_count(0);
+        let size = self.data.len();
+        self.set_free_ptr(size);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row tuple codec
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BOOL: u8 = 4;
+
+/// Encode a row of values into the on-page tuple format:
+/// `u16 ncols` then per value a tag byte and payload (i64 LE for Int, f64
+/// bits LE for Float, `u32 len` + UTF-8 bytes for Text, u8 for Bool).
+pub fn encode_row(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + values.len() * 9);
+    out.extend_from_slice(&(values.len() as u16).to_le_bytes());
+    for v in values {
+        match v {
+            Value::Null => out.push(TAG_NULL),
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(TAG_TEXT);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(TAG_BOOL);
+                out.push(*b as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a tuple produced by [`encode_row`].
+pub fn decode_row(bytes: &[u8]) -> Result<Vec<Value>, SqlError> {
+    let corrupt = |what: &str| SqlError::Storage(format!("corrupt tuple: {what}"));
+    if bytes.len() < 2 {
+        return Err(corrupt("missing column count"));
+    }
+    let ncols = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+    let mut out = Vec::with_capacity(ncols);
+    let mut pos = 2;
+    for _ in 0..ncols {
+        let tag = *bytes.get(pos).ok_or_else(|| corrupt("truncated tag"))?;
+        pos += 1;
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => {
+                let raw = bytes
+                    .get(pos..pos + 8)
+                    .ok_or_else(|| corrupt("truncated int"))?;
+                pos += 8;
+                Value::Int(i64::from_le_bytes(raw.try_into().expect("8-byte slice")))
+            }
+            TAG_FLOAT => {
+                let raw = bytes
+                    .get(pos..pos + 8)
+                    .ok_or_else(|| corrupt("truncated float"))?;
+                pos += 8;
+                Value::Float(f64::from_bits(u64::from_le_bytes(
+                    raw.try_into().expect("8-byte slice"),
+                )))
+            }
+            TAG_TEXT => {
+                let raw = bytes
+                    .get(pos..pos + 4)
+                    .ok_or_else(|| corrupt("truncated text length"))?;
+                let len = u32::from_le_bytes(raw.try_into().expect("4-byte slice")) as usize;
+                pos += 4;
+                let s = bytes
+                    .get(pos..pos + len)
+                    .ok_or_else(|| corrupt("truncated text payload"))?;
+                pos += len;
+                Value::Text(
+                    std::str::from_utf8(s)
+                        .map_err(|_| corrupt("text payload is not UTF-8"))?
+                        .to_string(),
+                )
+            }
+            TAG_BOOL => {
+                let b = *bytes.get(pos).ok_or_else(|| corrupt("truncated bool"))?;
+                pos += 1;
+                Value::Bool(b != 0)
+            }
+            other => return Err(corrupt(&format!("unknown value tag {other}"))),
+        };
+        out.push(v);
+    }
+    if pos != bytes.len() {
+        return Err(corrupt("trailing bytes after last column"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_page_is_empty_and_typed() {
+        let p = Page::new(256, PageType::Heap);
+        assert_eq!(p.page_type(), PageType::Heap);
+        assert_eq!(p.next(), NO_PAGE);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.free_space(), 256 - HEADER_LEN);
+        assert_eq!(p.tuples().count(), 0);
+    }
+
+    #[test]
+    fn insert_and_read_back_in_slot_order() {
+        let mut p = Page::new(256, PageType::Heap);
+        assert_eq!(p.insert(b"alpha"), Some(0));
+        assert_eq!(p.insert(b"bb"), Some(1));
+        assert_eq!(p.insert(b""), Some(2));
+        assert_eq!(p.tuple(0).unwrap(), b"alpha");
+        assert_eq!(p.tuple(1).unwrap(), b"bb");
+        assert_eq!(p.tuple(2).unwrap(), b"");
+        assert!(p.tuple(3).is_none());
+        let all: Vec<&[u8]> = p.tuples().collect();
+        assert_eq!(all, vec![&b"alpha"[..], &b"bb"[..], &b""[..]]);
+    }
+
+    #[test]
+    fn insert_refuses_when_full() {
+        let mut p = Page::new(MIN_PAGE_SIZE, PageType::Heap);
+        let big = vec![7u8; MIN_PAGE_SIZE]; // larger than any free space
+        assert_eq!(p.insert(&big), None);
+        // Fill with small tuples until refusal; page must stay coherent.
+        let mut n = 0;
+        while p.insert(b"12345678").is_some() {
+            n += 1;
+        }
+        assert!(n > 0);
+        assert_eq!(p.slot_count() as usize, n);
+        assert!(p.free_space() < 8 + SLOT_LEN);
+        for s in 0..p.slot_count() {
+            assert_eq!(p.tuple(s).unwrap(), b"12345678");
+        }
+    }
+
+    #[test]
+    fn checksum_round_trip_and_corruption_detection() {
+        let mut p = Page::new(128, PageType::BTreeLeaf);
+        p.insert(b"payload").unwrap();
+        p.set_next(42);
+        p.fill_checksum();
+        let img = p.bytes().to_vec().into_boxed_slice();
+        let back = Page::from_bytes(img, 7).unwrap();
+        assert_eq!(back.page_type(), PageType::BTreeLeaf);
+        assert_eq!(back.next(), 42);
+        assert_eq!(back.tuple(0).unwrap(), b"payload");
+
+        let mut bad = p.bytes().to_vec();
+        bad[HEADER_LEN + SLOT_LEN] ^= 0xFF; // flip a data byte, not the checksum
+        let err = Page::from_bytes(bad.into_boxed_slice(), 7).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn row_codec_round_trips_every_value_kind() {
+        let rows = vec![
+            vec![],
+            vec![Value::Null],
+            vec![
+                Value::Int(i64::MIN),
+                Value::Int(-1),
+                Value::Int(i64::MAX),
+                Value::Float(f64::NAN),
+                Value::Float(-0.0),
+                Value::Float(f64::INFINITY),
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::Text(String::new()),
+                Value::Text("héllo, wörld".into()),
+                Value::Null,
+            ],
+        ];
+        for row in rows {
+            let enc = encode_row(&row);
+            let dec = decode_row(&enc).unwrap();
+            assert_eq!(dec.len(), row.len());
+            for (a, b) in row.iter().zip(&dec) {
+                match (a, b) {
+                    // NaN != NaN under PartialEq; compare bit patterns.
+                    (Value::Float(x), Value::Float(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                    _ => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_codec_rejects_truncation_and_junk() {
+        let enc = encode_row(&[Value::Int(5), Value::Text("abc".into())]);
+        for cut in 0..enc.len() {
+            assert!(decode_row(&enc[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(decode_row(&trailing).is_err());
+        let mut bad_tag = enc;
+        bad_tag[2] = 99;
+        assert!(decode_row(&bad_tag).is_err());
+    }
+}

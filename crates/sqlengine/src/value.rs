@@ -133,7 +133,21 @@ impl Value {
             | (Value::Text(_), DataType::Text)
             | (Value::Bool(_), DataType::Bool) => Ok(self),
             (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
-            (Value::Float(f), DataType::Int) if f.fract() == 0.0 => Ok(Value::Int(*f as i64)),
+            // Whole floats narrow to INT only when the exact value fits in
+            // an i64. `1e300.fract() == 0.0`, so a plain whole-number check
+            // would let `as i64` saturate to i64::MAX and corrupt the
+            // stored data; non-finite floats have no integer value at all.
+            // -2^63 is exactly representable as f64; 2^63 is the first
+            // unrepresentable magnitude above i64::MAX, so the upper bound
+            // is a strict `<`.
+            (Value::Float(f), DataType::Int)
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= -9_223_372_036_854_775_808.0_f64
+                    && *f < 9_223_372_036_854_775_808.0_f64 =>
+            {
+                Ok(Value::Int(*f as i64))
+            }
             _ => Err(SqlError::TypeMismatch {
                 expected: ty.name().to_string(),
                 found: self
@@ -173,7 +187,19 @@ impl Value {
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
             _ => match rank(self).cmp(&rank(other)) {
-                Ordering::Equal => self.sql_cmp(other).unwrap_or(Ordering::Equal),
+                // Float pairs go through IEEE total order, not the SQL
+                // partial comparison: `sql_cmp` returns `None` for NaN and
+                // an `unwrap_or(Equal)` fallback would make NaN compare
+                // Equal to *every* numeric — a non-transitive comparator
+                // that can panic std sorts and destabilise
+                // ORDER BY/DISTINCT. Under `f64::total_cmp`, NaN sorts
+                // after +inf (and -NaN before -inf), deterministically.
+                Ordering::Equal => match (self, other) {
+                    (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+                    (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+                    (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+                    _ => self.sql_cmp(other).unwrap_or(Ordering::Equal),
+                },
                 o => o,
             },
         }
@@ -297,6 +323,28 @@ mod tests {
     }
 
     #[test]
+    fn coerce_rejects_out_of_range_and_non_finite_floats() {
+        // Pre-fix, `1e300.fract() == 0.0` let `as i64` saturate silently.
+        for f in [1e300, -1e300, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            assert!(
+                Value::Float(f).coerce_to(DataType::Int).is_err(),
+                "{f} must not coerce to INT"
+            );
+        }
+        // Boundary behaviour: -2^63 is exactly representable and fits;
+        // 2^63 (the float just above i64::MAX) does not.
+        assert_eq!(
+            Value::Float(-9_223_372_036_854_775_808.0)
+                .coerce_to(DataType::Int)
+                .unwrap(),
+            Value::Int(i64::MIN)
+        );
+        assert!(Value::Float(9_223_372_036_854_775_808.0)
+            .coerce_to(DataType::Int)
+            .is_err());
+    }
+
+    #[test]
     fn coerce_null_passes_any_type() {
         for ty in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool] {
             assert!(Value::Null.coerce_to(ty).unwrap().is_null());
@@ -346,6 +394,33 @@ mod tests {
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn total_cmp_is_total_over_nan() {
+        // Pre-fix, NaN compared Equal to every numeric (sql_cmp's None
+        // collapsed to Equal), which is non-transitive. NaN must order
+        // strictly after every finite float and after +inf.
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&Value::Float(1.0)), Ordering::Greater);
+        assert_eq!(Value::Float(1.0).total_cmp(&nan), Ordering::Less);
+        assert_eq!(nan.total_cmp(&Value::Float(f64::INFINITY)), Ordering::Greater);
+        assert_eq!(nan.total_cmp(&Value::Int(5)), Ordering::Greater);
+        assert_eq!(nan.total_cmp(&Value::Float(f64::NAN)), Ordering::Equal);
+        // Sorting rows containing NaN is deterministic and does not panic.
+        let mut vals = [
+            Value::Float(1.0),
+            Value::Float(f64::NAN),
+            Value::Float(0.5),
+            Value::Float(f64::NAN),
+            Value::Float(2.0),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Float(0.5));
+        assert_eq!(vals[1], Value::Float(1.0));
+        assert_eq!(vals[2], Value::Float(2.0));
+        assert!(matches!(vals[3], Value::Float(f) if f.is_nan()));
+        assert!(matches!(vals[4], Value::Float(f) if f.is_nan()));
     }
 
     #[test]
