@@ -1,0 +1,190 @@
+//! Cluster-wide telemetry pipeline bench (E15): cross-node trace
+//! propagation, tail-based sampling, and the SQL-queryable store.
+//!
+//! Three scenarios against `dbgpt-cluster` with tracing enabled, all on
+//! the simulated clock:
+//!
+//! 1. `keep_all_faulted` — 3 nodes × R=2, one crash/restart fault, no
+//!    sampling. Gates: every acked request is one cross-node trace tree
+//!    spanning ≥3 tracers (gateway + primary + replica); the fault
+//!    produces real error traces; the SQL store's top-k-slowest-per-
+//!    tenant answer matches the in-memory aggregator exactly.
+//! 2. `budgeted_sampling` — the same run under a hard span budget with a
+//!    slow-tail quota and a sparse baseline. Gates: the store stays at
+//!    or under budget (error overflow excepted), 100% of error traces
+//!    are retained, and every dropped trace is accounted to a reason.
+//! 3. `disabled_overhead` — telemetry off. Gate: outcome-for-outcome
+//!    identical to a plain `Cluster::new` run, zero spans recorded.
+//!
+//! The run asserts byte-identical reports for a repeated scenario, then
+//! writes `results/BENCH_telemetry.json`.
+//!
+//! ```text
+//! cargo run -p dbgpt-bench --release --bin bench_telemetry            # full
+//! cargo run -p dbgpt-bench --release --bin bench_telemetry -- --smoke # CI gate
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+
+use dbgpt_cluster::telemetry::{run_telemetry_scenario, TelemetryReport, TelemetryScenario};
+use dbgpt_cluster::{generate, Cluster, ClusterConfig, Outcome, TelemetryConfig, TrafficConfig};
+use dbgpt_obs::SamplePolicy;
+
+/// Seed for every run in the sweep.
+const SEED: u64 = 42;
+
+fn print_report(r: &TelemetryReport) {
+    println!(
+        "  {:<18} {:>2}x{} | req {:>5} ok {:>5} fail {:>4} | spans {:>6}/{:>6} traces {:>5}/{:>5} | err {}/{} x-node {:>5} sql {}",
+        r.name,
+        r.nodes,
+        r.replication,
+        r.requests,
+        r.ok,
+        r.failed,
+        r.spans_kept,
+        r.spans_total,
+        r.traces_kept,
+        r.traces_total,
+        r.error_traces_kept,
+        r.error_traces,
+        r.cross_node_traces,
+        if r.sql_matches_oracle { "ok" } else { "MISMATCH" },
+    );
+}
+
+/// The sweep, callable from `main` (and reusable from harnesses).
+pub fn run(smoke: bool, out_path: &str) {
+    let (requests, mode) = if smoke { (150usize, "smoke") } else { (800usize, "full") };
+    let tenants = 4usize;
+    println!("BENCH telemetry ({mode})");
+    println!("  {requests} requests/scenario, {tenants} tenants, seed = {SEED}, simulated clock");
+
+    let keep_all_scn = TelemetryScenario {
+        name: "keep_all_faulted".into(),
+        policy: SamplePolicy::keep_all(),
+        ..TelemetryScenario::faulted(requests, tenants, SEED)
+    };
+    let budget = if smoke { 1200usize } else { 7000usize };
+    let budgeted_scn = TelemetryScenario {
+        name: "budgeted_sampling".into(),
+        policy: SamplePolicy::budgeted(budget, 12, 150, SEED),
+        ..TelemetryScenario::faulted(requests, tenants, SEED)
+    };
+
+    // Determinism gate: the same scenario twice must be byte-identical.
+    {
+        let a = run_telemetry_scenario(&budgeted_scn);
+        let b = run_telemetry_scenario(&budgeted_scn);
+        assert_eq!(
+            a.report.to_json(),
+            b.report.to_json(),
+            "telemetry runs must be reproducible"
+        );
+        assert_eq!(a.tenant_view, b.tenant_view);
+    }
+
+    println!();
+
+    // 1. Keep-all under a fault: trace shape + store fidelity.
+    let keep_all = run_telemetry_scenario(&keep_all_scn);
+    print_report(&keep_all.report);
+    let ka = &keep_all.report;
+    assert_eq!(ka.traces_total, ka.traces_kept, "keep-all drops nothing");
+    assert!(ka.failed > 0, "the fault must produce failures");
+    assert!(ka.error_traces > 0, "failures must become error traces");
+    assert_eq!(ka.error_traces, ka.error_traces_kept);
+    assert!(
+        ka.max_trace_nodes >= 3,
+        "traces must span gateway + primary + replica, got {}",
+        ka.max_trace_nodes
+    );
+    assert!(
+        ka.cross_node_traces >= ka.ok,
+        "every acked request must be a cross-node trace"
+    );
+    assert!(ka.sql_matches_oracle, "SQL store diverged from aggregator");
+    assert!(ka.store_span_rows == ka.spans_kept, "store row count");
+    assert!(ka.store_exemplar_rows > 0, "exemplars must link latencies");
+    assert!(ka.usage_tenants as usize == tenants && ka.usage_tokens > 0 && ka.usage_rows > 0);
+
+    // 2. Budgeted tail sampling: bounded store, total error retention.
+    let budgeted = run_telemetry_scenario(&budgeted_scn);
+    print_report(&budgeted.report);
+    let b = &budgeted.report;
+    assert_eq!(b.error_traces, b.error_traces_kept, "errors never dropped");
+    assert!(
+        b.spans_kept <= budget as u64 || b.kept_alert + b.kept_slow + b.kept_sampled == 0,
+        "budget exceeded by non-error traffic: {} > {budget}",
+        b.spans_kept
+    );
+    assert!(b.traces_kept < b.traces_total, "sampling must drop traces");
+    assert!(
+        b.dropped_by_budget + b.dropped_by_sampling == b.traces_total - b.traces_kept,
+        "every dropped trace needs a reason"
+    );
+    assert!(b.kept_slow > 0, "the slow tail must be retained");
+    assert!(b.sql_matches_oracle, "sampled store diverged from aggregator");
+
+    // 3. Telemetry disabled: identical outcomes, zero recording.
+    let cfg = ClusterConfig::replicated(3, 2, SEED);
+    let arrivals = generate(&TrafficConfig::standard(requests, tenants, SEED));
+    let mut plain = Cluster::new(cfg.clone());
+    let mut gated = Cluster::with_telemetry(cfg, TelemetryConfig::disabled());
+    let mut identical = 0u64;
+    for a in &arrivals {
+        let (x, y) = (plain.handle(a, None), gated.handle(a, None));
+        assert_eq!(x, y, "disabled telemetry changed an outcome at seq {}", a.seq);
+        if matches!(x.outcome, Outcome::Ok { .. }) {
+            identical += 1;
+        }
+    }
+    let silent = gated.collect(&SamplePolicy::keep_all(), &[]);
+    assert_eq!(silent.spans_total, 0, "disabled tracers must record nothing");
+    assert_eq!(gated.usage().tenant_count(), 0, "disabled metering is empty");
+    println!("  disabled_overhead   3x2 | req {:>5} ok {identical:>5} | outcome-identical, 0 spans", arrivals.len());
+
+    let runs = [&keep_all.report, &budgeted.report];
+    let mut json = String::with_capacity(2048);
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"telemetry\",\n  \"mode\": \"{mode}\",\n  \
+         \"generated_by\": \"cargo run -p dbgpt-bench --release --bin bench_telemetry\",\n  \
+         \"seed\": {SEED},\n  \"requests_per_scenario\": {requests},\n  \
+         \"tenants\": {tenants},\n  \"span_budget\": {budget},\n  \
+         \"gates\": {{\n    \"cross_node_trace_per_acked_request\": true,\n    \
+         \"error_trace_retention\": \"100%\",\n    \
+         \"store_within_span_budget\": true,\n    \
+         \"sql_store_matches_aggregator\": true,\n    \
+         \"disabled_path_outcome_identical\": true\n  }},\n  \
+         \"runs\": [\n"
+    );
+    for (i, rep) in runs.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&rep.to_json());
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    fs::create_dir_all("results").ok();
+    fs::write(out_path, json).expect("write results file");
+    println!("\n  determinism + trace-shape + retention + store-fidelity gates passed");
+    println!("  wrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone());
+    let out_path = out_override.unwrap_or_else(|| {
+        if smoke {
+            "results/BENCH_telemetry_smoke.json".to_string()
+        } else {
+            "results/BENCH_telemetry.json".to_string()
+        }
+    });
+    run(smoke, &out_path);
+}

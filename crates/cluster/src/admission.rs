@@ -16,6 +16,8 @@
 
 use std::collections::BTreeMap;
 
+use dbgpt_obs::UsageLedger;
+
 /// Admission/queueing policy. `enabled` switches the token buckets;
 /// `queueing` switches the queue-delay model. Both off (the default)
 /// reproduces the bare single-server path byte-for-byte: requests carry
@@ -137,6 +139,35 @@ impl AdmissionController {
             Err(ShedReason::RateLimited)
         }
     }
+
+    /// The admission layer's operator view: one line per tenant joining
+    /// this controller's shed totals with the telemetry pipeline's
+    /// per-tenant usage rollups (tokens, rows, latency). Deterministic:
+    /// tenants in key order, fixed column layout.
+    pub fn render_tenant_view(&self, usage: &UsageLedger) -> String {
+        let mut out = String::from(
+            "tenant       req     ok   fail  throt     tokens    rows   mean_us    max_us\n",
+        );
+        for (tenant, u) in usage.iter() {
+            out.push_str(&format!(
+                "{:<10} {:>5} {:>6} {:>6} {:>6} {:>10} {:>7} {:>9} {:>9}\n",
+                tenant,
+                u.requests,
+                u.ok,
+                u.failed,
+                u.throttled,
+                u.total_tokens(),
+                u.rows_written,
+                u.latency_mean_us(),
+                u.latency_max_us,
+            ));
+        }
+        out.push_str(&format!(
+            "sheds: rate_limited={} queue_full={}\n",
+            self.shed_rate_limited, self.shed_queue_full
+        ));
+        out
+    }
 }
 
 /// A node's single-server fair queue on the simulated clock. Requests
@@ -222,6 +253,26 @@ mod tests {
         assert!(adm.admit(&cfg, 3, 0, 99_000).is_ok());
         assert_eq!(adm.admit(&cfg, 3, 0, 101_000), Err(ShedReason::QueueFull));
         assert_eq!(adm.shed_queue_full, 1);
+    }
+
+    #[test]
+    fn tenant_view_joins_usage_with_shed_totals() {
+        let mut adm = AdmissionController::new();
+        let cfg = AdmissionConfig::metered(1.0, 1.0, u64::MAX);
+        assert!(adm.admit(&cfg, 0, 0, 0).is_ok());
+        assert!(adm.admit(&cfg, 0, 0, 0).is_err());
+        let mut usage = UsageLedger::new();
+        usage.record_ok("tenant-000", 120, 40, 1, 50_000);
+        usage.record_throttled("tenant-000");
+        usage.record_ok("tenant-001", 80, 20, 1, 30_000);
+        let view = adm.render_tenant_view(&usage);
+        let again = adm.render_tenant_view(&usage);
+        assert_eq!(view, again, "view is deterministic");
+        assert!(view.contains("tenant-000"));
+        assert!(view.contains("160"), "tenant-000 total tokens");
+        assert!(view.contains("rate_limited=1 queue_full=0"));
+        let lines: Vec<&str> = view.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 tenants + shed footer");
     }
 
     #[test]

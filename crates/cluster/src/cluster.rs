@@ -26,7 +26,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dbgpt_llm::GenerationParams;
-use dbgpt_obs::{Metrics, Span};
+use dbgpt_obs::{
+    Collector, Metrics, Obs, ObsConfig, SamplePolicy, Span, Telemetry, UsageLedger,
+};
 use dbgpt_smmf::chaos::{build_deployment, PRIMARY_MODEL};
 use dbgpt_smmf::{ApiServer, NodeFault, ResilienceConfig, RoutingPolicy};
 
@@ -91,6 +93,46 @@ impl ClusterConfig {
     }
 }
 
+/// Cluster-wide telemetry switch. When enabled, the gateway opens a
+/// `gateway.request` root span per arrival and injects its
+/// [`dbgpt_obs::TraceContext`] into the wire-level `Request`; the primary
+/// adopts it into a `node.serve` span on *its own* tracer (real
+/// `smmf.chat` spans join via `chat_under`), and every replica's apply
+/// becomes a `node.apply` span adopted from the replication hop — one
+/// trace tree per request, spanning processes. Disabled (the default) is
+/// byte-identical to the pre-telemetry request path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Seed for the gateway tracer; node `i` derives its own from it.
+    pub seed: u64,
+}
+
+impl TelemetryConfig {
+    /// Telemetry off — the default.
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            seed: 0,
+        }
+    }
+
+    /// Telemetry on, tracers seeded from `seed`.
+    pub fn enabled(seed: u64) -> Self {
+        TelemetryConfig {
+            enabled: true,
+            seed,
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::disabled()
+    }
+}
+
 /// Build one node's SMMF deployment. Node 0 of a cluster seeded `s`
 /// uses exactly `node_server(s)` — the identity anchor for the
 /// single-node configuration.
@@ -109,6 +151,8 @@ struct Node {
     /// Simulated-clock watermark: how far this node's clock has advanced.
     last_us: u64,
     queue: FairQueue,
+    /// The node's own tracer (disabled unless cluster telemetry is on).
+    obs: Obs,
 }
 
 /// How one request ended.
@@ -176,17 +220,37 @@ pub struct Cluster {
     pub failovers: u64,
     /// Ops replayed from the log by lagging replicas.
     pub catchup_ops: u64,
+    telemetry: TelemetryConfig,
+    /// The gateway's tracer (disabled unless telemetry is on).
+    gateway_obs: Obs,
+    /// Per-tenant token/row/latency accounting (empty when telemetry off).
+    usage: UsageLedger,
 }
 
 impl Cluster {
     /// Bring up `cfg.nodes` deployments and an empty ring membership of
-    /// all of them.
+    /// all of them. Telemetry is off — the byte-identity configuration.
     pub fn new(cfg: ClusterConfig) -> Self {
+        Cluster::with_telemetry(cfg, TelemetryConfig::disabled())
+    }
+
+    /// [`Cluster::new`] with an explicit telemetry switch. The gateway
+    /// tracer is seeded `telemetry.seed`; node `i`'s tracer derives its
+    /// seed as `node_seed(telemetry.seed, i + 1)` so every tracer mints
+    /// span ids from a distinct block.
+    pub fn with_telemetry(cfg: ClusterConfig, telemetry: TelemetryConfig) -> Self {
         assert!(cfg.nodes >= 1, "cluster needs at least one node");
         assert!(
             (1..=cfg.nodes).contains(&cfg.replication),
             "replication must be in 1..=nodes"
         );
+        let node_obs_cfg = |i: usize| {
+            if telemetry.enabled {
+                ObsConfig::enabled(node_seed(telemetry.seed, i + 1))
+            } else {
+                ObsConfig::disabled()
+            }
+        };
         let nodes = (0..cfg.nodes)
             .map(|i| Node {
                 server: node_server(node_seed(cfg.seed, i)),
@@ -194,6 +258,7 @@ impl Cluster {
                 latency_factor: 1.0,
                 last_us: 0,
                 queue: FairQueue::new(),
+                obs: Obs::new(node_obs_cfg(i)),
             })
             .collect();
         Cluster {
@@ -208,6 +273,13 @@ impl Cluster {
             metrics: Metrics::new(),
             failovers: 0,
             catchup_ops: 0,
+            gateway_obs: if telemetry.enabled {
+                Obs::new(ObsConfig::enabled(telemetry.seed))
+            } else {
+                Obs::disabled()
+            },
+            telemetry,
+            usage: UsageLedger::new(),
             cfg,
         }
     }
@@ -271,11 +343,60 @@ impl Cluster {
     }
 
     /// Route, admit, serve, and replicate one arrival. `profile` (when
-    /// recording) receives model child spans for the flamegraph.
+    /// recording) receives model child spans for the flamegraph. With
+    /// telemetry enabled every request additionally becomes one
+    /// cross-node trace tree rooted at a `gateway.request` span.
     pub fn handle(&mut self, arrival: &Arrival, profile: Option<&Span>) -> RequestOutcome {
+        let groot = if self.telemetry.enabled {
+            let g = self.gateway_obs.span("gateway.request", arrival.at_us);
+            g.attr("tenant", tenant_key(arrival.tenant));
+            g.attr("seq", arrival.seq);
+            Some(g)
+        } else {
+            None
+        };
+        let out = self.handle_inner(arrival, profile, groot.as_ref());
+        if let Some(g) = groot {
+            match &out.outcome {
+                Outcome::Ok { latency_us } => {
+                    g.attr("outcome", "ok");
+                    if let Some(t) = g.trace_id() {
+                        // Exemplar: the latency bucket links back to this
+                        // trace, so `obs_exemplars` joins to `obs_spans`.
+                        self.gateway_obs.observe_exemplar(
+                            "cluster.latency_us",
+                            LATENCY_BOUNDS,
+                            *latency_us,
+                            t,
+                        );
+                    }
+                    g.end(arrival.at_us + latency_us);
+                }
+                Outcome::Throttled(_) => {
+                    g.attr("outcome", "throttled");
+                    g.end(arrival.at_us);
+                }
+                Outcome::Unavailable(why) => {
+                    g.attr("outcome", format!("unavailable:{why}"));
+                    g.end(arrival.at_us);
+                }
+            }
+        }
+        out
+    }
+
+    fn handle_inner(
+        &mut self,
+        arrival: &Arrival,
+        profile: Option<&Span>,
+        groot: Option<&Span>,
+    ) -> RequestOutcome {
         let fail = |this: &mut Self, node, why| {
             this.metrics.counter("cluster.requests", 1);
             this.metrics.counter("cluster.failed", 1);
+            if this.telemetry.enabled {
+                this.usage.record_failed(&tenant_key(arrival.tenant));
+            }
             RequestOutcome {
                 seq: arrival.seq,
                 at_us: arrival.at_us,
@@ -287,11 +408,16 @@ impl Cluster {
 
         // Shard by the tenant carried in the wire-level request's
         // `params.tenant` — the same field a real front door would read.
-        let key = arrival
-            .to_request()
+        // With telemetry on, the gateway also injects its trace context
+        // into the request, exactly as a remote node would receive it.
+        let mut req = arrival.to_request();
+        let key = req
             .tenant()
             .expect("arrival carries a tenant")
             .to_string();
+        if let Some(ctx) = groot.and_then(|g| g.context(&key)) {
+            req = req.with_trace_context(&ctx);
+        }
         let replicas = self.ring.replicas(&key, self.cfg.replication);
         let serving_set: Vec<usize> = replicas
             .iter()
@@ -326,6 +452,9 @@ impl Cluster {
         {
             self.metrics.counter("cluster.requests", 1);
             self.metrics.counter("cluster.throttled", 1);
+            if self.telemetry.enabled {
+                self.usage.record_throttled(&key);
+            }
             return RequestOutcome {
                 seq: arrival.seq,
                 at_us: arrival.at_us,
@@ -345,6 +474,24 @@ impl Cluster {
         }
         self.primaries.insert(arrival.tenant, primary);
 
+        // The primary adopts the propagated context from the wire request
+        // into a `node.serve` span on its *own* tracer — same trace id,
+        // local span-id block, exactly what a remote process would do.
+        let serve = match req.trace_context() {
+            Some(ctx) => {
+                // Keep the tracer's tick clock coherent with simulated
+                // time, so tick-timestamped descendants (sql.* spans)
+                // start inside this request's window, not near zero.
+                self.nodes[primary].obs.advance_ticks_to(arrival.at_us);
+                let s = self.nodes[primary]
+                    .obs
+                    .span_in_context("node.serve", arrival.at_us, &ctx);
+                s.attr("node", primary);
+                s
+            }
+            None => Span::noop(),
+        };
+
         // Serve on the primary's deployment at the arrival's clock time.
         let node = &mut self.nodes[primary];
         let delta = arrival.at_us.saturating_sub(node.last_us);
@@ -352,10 +499,21 @@ impl Cluster {
             node.server.advance_clock(delta);
             node.last_us = arrival.at_us;
         }
-        let completion = match node.server.chat(PRIMARY_MODEL, &arrival.prompt, &self.params) {
-            Ok(c) => c,
-            Err(_) => return fail(self, Some(primary), "serve-error"),
-        };
+        // `chat_under` with a no-op parent is byte-identical to `chat`,
+        // so the disabled path is unchanged; with telemetry on, the real
+        // smmf.chat span joins the propagated trace under node.serve.
+        let completion =
+            match node
+                .server
+                .chat_under(PRIMARY_MODEL, &arrival.prompt, &self.params, &serve)
+            {
+                Ok(c) => c,
+                Err(_) => {
+                    serve.attr("outcome", "err:serve");
+                    serve.end(arrival.at_us);
+                    return fail(self, Some(primary), "serve-error");
+                }
+            };
         let service_us = (completion.simulated_latency_us as f64 * node.latency_factor) as u64;
         let wait_us = if self.cfg.admission.queueing {
             node.queue.enqueue(arrival.tenant, arrival.at_us, service_us)
@@ -369,34 +527,69 @@ impl Cluster {
         };
         let latency_us = service_us + wait_us + penalty_us + repl_us;
 
-        // Replicate: catch up lagging serving replicas, then apply.
+        // Replicate: catch up lagging serving replicas, then apply. The
+        // primary applies under its serve span; every other replica gets
+        // a `cluster.replicate` hop whose context it adopts into a
+        // `node.apply` span on its own tracer — so replica-side SQL work
+        // lands in the same distributed trace.
         let op = StateOp {
             seq: self.logs.get(&arrival.tenant).map_or(0, |l| l.len() as u64),
             tenant: key.clone(),
             prompt: arrival.prompt.clone(),
             latency_us: completion.simulated_latency_us,
         };
+        let serve_done_us = arrival.at_us + wait_us + service_us;
+        let mut rows_written = 0u64;
         for &n in &serving_set {
-            self.apply_with_catchup(arrival.tenant, n, &op);
+            if n == primary {
+                rows_written += self.apply_with_catchup(arrival.tenant, n, &op, &serve);
+            } else if serve.is_recording() {
+                let repl = serve.child("cluster.replicate", serve_done_us);
+                repl.attr("to", n);
+                let ctx = repl.context(&key).expect("recording span has a context");
+                self.nodes[n].obs.advance_ticks_to(serve_done_us);
+                let apply = self.nodes[n]
+                    .obs
+                    .span_in_context("node.apply", serve_done_us, &ctx);
+                apply.attr("node", n);
+                self.apply_with_catchup(arrival.tenant, n, &op, &apply);
+                apply.end(serve_done_us + self.cfg.repl_rtt_us);
+                repl.end(serve_done_us + self.cfg.repl_rtt_us);
+            } else {
+                self.apply_with_catchup(arrival.tenant, n, &op, &Span::noop());
+            }
         }
         self.logs.entry(arrival.tenant).or_default().push(op);
+        serve.end(serve_done_us);
 
         if let Some(root) = profile {
             if root.is_recording() {
                 let admit = root.child("cluster.admit", arrival.at_us);
+                admit.attr("tenant", &key);
                 admit.end(arrival.at_us);
                 let route = root.child("cluster.route", arrival.at_us);
                 route.attr("node", primary);
                 route.attr("tenant", &key);
                 route.end(arrival.at_us);
                 let chat = root.child("smmf.chat", arrival.at_us + wait_us);
+                chat.attr("tenant", &key);
                 chat.end(arrival.at_us + wait_us + service_us);
                 let repl = root.child("cluster.replicate", arrival.at_us + wait_us + service_us);
                 repl.attr("replicas", serving_set.len());
+                repl.attr("tenant", &key);
                 repl.end(arrival.at_us + wait_us + service_us + repl_us);
             }
         }
 
+        if self.telemetry.enabled {
+            self.usage.record_ok(
+                &key,
+                completion.usage.prompt_tokens as u64,
+                completion.usage.completion_tokens as u64,
+                rows_written,
+                latency_us,
+            );
+        }
         self.metrics.counter("cluster.requests", 1);
         self.metrics.counter("cluster.ok", 1);
         self.metrics
@@ -410,7 +603,13 @@ impl Cluster {
         }
     }
 
-    fn apply_with_catchup(&mut self, tenant: usize, node: usize, op: &StateOp) {
+    fn apply_with_catchup(
+        &mut self,
+        tenant: usize,
+        node: usize,
+        op: &StateOp,
+        parent: &Span,
+    ) -> u64 {
         let key = tenant_key(tenant);
         let st = self
             .states
@@ -422,7 +621,45 @@ impl Cluster {
                 self.catchup_ops += 1;
             }
         }
-        st.apply(op);
+        st.apply_traced(op, parent)
+    }
+
+    /// Aggregate every tracer's dump — the gateway plus one per node —
+    /// through the central collector under `policy`. Traces overlapping
+    /// any `alert_windows` interval are retained regardless of budget.
+    pub fn collect(&self, policy: &SamplePolicy, alert_windows: &[(u64, u64)]) -> Telemetry {
+        let mut c = Collector::new();
+        c.add_obs("gateway", &self.gateway_obs);
+        for (i, n) in self.nodes.iter().enumerate() {
+            c.add_obs(&format!("node-{i:02}"), &n.obs);
+        }
+        c.aggregate(policy, alert_windows)
+    }
+
+    /// Per-tenant token/row/latency rollups (empty when telemetry is off).
+    pub fn usage(&self) -> &UsageLedger {
+        &self.usage
+    }
+
+    /// The gateway's tracer.
+    pub fn gateway_obs(&self) -> &Obs {
+        &self.gateway_obs
+    }
+
+    /// Node `i`'s tracer.
+    pub fn node_obs(&self, i: usize) -> &Obs {
+        &self.nodes[i].obs
+    }
+
+    /// The telemetry switch this cluster was built with.
+    pub fn telemetry(&self) -> &TelemetryConfig {
+        &self.telemetry
+    }
+
+    /// The admission layer's operator view: shed totals joined with the
+    /// telemetry pipeline's per-tenant usage rollups.
+    pub fn tenant_view(&self) -> String {
+        self.admission.render_tenant_view(&self.usage)
     }
 
     /// One replica's applied position, if it exists.

@@ -47,6 +47,15 @@
 //!   ([`dbgpt_smmf::NodeSchedule`]) against a cluster, feeds periodic
 //!   metric snapshots to [`dbgpt_obs::SloEngine`] burn-rate rules, and
 //!   optionally records [`dbgpt_obs::Profile`] flamegraph stacks.
+//! - [`telemetry`] — the cluster-wide telemetry pipeline: with
+//!   [`cluster::TelemetryConfig`] enabled, the gateway injects a
+//!   [`dbgpt_obs::TraceContext`] into each wire request and every node
+//!   adopts it, so one request is one trace tree across tracers; a
+//!   deterministic collector tail-samples whole traces under a span
+//!   budget (errors always kept) and exports the survivors, metric
+//!   snapshots, exemplars, and per-tenant usage as SQL tables
+//!   (`obs_spans`, `obs_metrics`, `obs_exemplars`, `obs_tenant_usage`)
+//!   queried through [`dbgpt_sqlengine::Engine`].
 //!
 //! ## Identity guarantee
 //!
@@ -61,12 +70,17 @@ pub mod cluster;
 pub mod ring;
 pub mod scenario;
 pub mod state;
+pub mod telemetry;
 pub mod traffic;
 
 pub use admission::{AdmissionConfig, AdmissionController, FairQueue, ShedReason};
 pub use cluster::{
     node_server, Cluster, ClusterConfig, ConsistencyReport, Outcome, RequestOutcome,
-    LATENCY_BOUNDS,
+    TelemetryConfig, LATENCY_BOUNDS,
+};
+pub use telemetry::{
+    alert_windows, materialize_store, run_telemetry_scenario, slowest_from_store,
+    store_matches_oracle, TelemetryReport, TelemetryRun, TelemetryScenario,
 };
 pub use ring::{hash_key, HashRing};
 pub use scenario::{

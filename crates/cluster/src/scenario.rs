@@ -245,7 +245,9 @@ pub fn run_cluster_scenario(scn: &ClusterScenario) -> RunResult {
             next_snap_us += scn.snapshot_every_us;
         }
         let root = if (a.seq as usize) < scn.profile_requests {
-            Some(obs.span("cluster.request", a.at_us))
+            let r = obs.span("cluster.request", a.at_us);
+            r.attr("tenant", crate::traffic::tenant_key(a.tenant));
+            Some(r)
         } else {
             None
         };

@@ -10,6 +10,7 @@
 //! any replica, and [`TenantState::fingerprint`] folds all three surfaces
 //! into one `u64` so tests can assert replica convergence byte-for-byte.
 
+use dbgpt_obs::Span;
 use dbgpt_rag::{Document, KnowledgeBase};
 use dbgpt_sqlengine::Engine;
 
@@ -60,6 +61,14 @@ impl TenantState {
     /// Apply the next op. Panics on a log gap — replication must keep
     /// replicas contiguous (catch up before applying fresh ops).
     pub fn apply(&mut self, op: &StateOp) {
+        self.apply_traced(op, &Span::noop());
+    }
+
+    /// [`TenantState::apply`] under a trace span: the audit INSERT runs
+    /// through `execute_traced` so replica-side SQL work lands in the
+    /// request's distributed trace. Returns the rows written. With a
+    /// non-recording parent this is byte-identical to `apply`.
+    pub fn apply_traced(&mut self, op: &StateOp, parent: &Span) -> u64 {
         assert_eq!(
             op.seq, self.applied_seq,
             "{}: op {} applied out of order (at {})",
@@ -67,11 +76,12 @@ impl TenantState {
         );
         self.session_log
             .push(format!("user#{}: {}", op.seq, op.prompt));
-        self.sql
-            .execute(&format!(
-                "INSERT INTO audit VALUES ({}, {})",
-                op.seq, op.latency_us
-            ))
+        let res = self
+            .sql
+            .execute_traced(
+                &format!("INSERT INTO audit VALUES ({}, {})", op.seq, op.latency_us),
+                parent,
+            )
             .expect("insert audit row");
         if op.seq.is_multiple_of(KB_DOC_EVERY) {
             let doc = Document::from_text(
@@ -85,6 +95,7 @@ impl TenantState {
             self.kb.add_document(doc).expect("ingest kb note");
         }
         self.applied_seq += 1;
+        res.rows_affected as u64
     }
 
     /// Number of session-log entries (equals `applied_seq`).

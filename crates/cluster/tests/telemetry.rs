@@ -1,0 +1,186 @@
+//! End-to-end gates for the cluster-wide telemetry pipeline: disabled
+//! telemetry is byte-free, enabled telemetry yields one cross-node trace
+//! tree per request, tail sampling honors its budget while retaining
+//! every error trace, and the SQL store answers exactly like the
+//! in-memory aggregator.
+
+use std::collections::BTreeMap;
+
+use dbgpt_cluster::telemetry::{
+    run_telemetry_scenario, store_matches_oracle, TelemetryScenario,
+};
+use dbgpt_cluster::{
+    generate, materialize_store, Cluster, ClusterConfig, Outcome, TelemetryConfig, TrafficConfig,
+};
+use dbgpt_obs::SamplePolicy;
+use proptest::prelude::*;
+
+fn traced_cluster(requests: usize, seed: u64) -> (Cluster, Vec<dbgpt_cluster::RequestOutcome>) {
+    let cfg = ClusterConfig::replicated(3, 2, seed);
+    let mut cluster = Cluster::with_telemetry(cfg, TelemetryConfig::enabled(seed));
+    let arrivals = generate(&TrafficConfig::standard(requests, 4, seed));
+    let outcomes = arrivals.iter().map(|a| cluster.handle(a, None)).collect();
+    (cluster, outcomes)
+}
+
+#[test]
+fn disabled_telemetry_is_outcome_identical_and_span_free() {
+    let cfg = ClusterConfig::replicated(3, 2, 77);
+    let arrivals = generate(&TrafficConfig::standard(60, 4, 77));
+
+    let mut plain = Cluster::new(cfg.clone());
+    let mut explicit = Cluster::with_telemetry(cfg, TelemetryConfig::disabled());
+    for a in &arrivals {
+        assert_eq!(plain.handle(a, None), explicit.handle(a, None));
+    }
+    let t = explicit.collect(&SamplePolicy::keep_all(), &[]);
+    assert_eq!(t.spans_total, 0, "disabled tracers record nothing");
+    assert_eq!(explicit.usage().tenant_count(), 0, "no metering either");
+    assert_eq!(
+        plain.verify_consistency().fingerprint,
+        explicit.verify_consistency().fingerprint
+    );
+}
+
+#[test]
+fn every_ok_request_is_one_cross_node_trace_tree() {
+    let (cluster, outcomes) = traced_cluster(40, 11);
+    let ok = outcomes
+        .iter()
+        .filter(|o| matches!(o.outcome, Outcome::Ok { .. }))
+        .count() as u64;
+    let t = cluster.collect(&SamplePolicy::keep_all(), &[]);
+
+    assert_eq!(t.traces_total, outcomes.len() as u64, "one trace per request");
+    // Every acked request's trace spans gateway + primary + one replica.
+    let ok_traces: Vec<_> = t
+        .summaries
+        .iter()
+        .filter(|s| s.root_name == "gateway.request" && !s.error)
+        .collect();
+    assert_eq!(ok_traces.len() as u64, ok);
+    for s in &ok_traces {
+        assert!(
+            s.node_count >= 3,
+            "trace {:016x} spans only {} dumps",
+            s.trace,
+            s.node_count
+        );
+        assert!(!s.tenant.is_empty(), "trace carries its tenant");
+        // gateway.request + node.serve + smmf.chat subtree + sql spans
+        // + replicate hop + replica apply.
+        assert!(s.span_count >= 6, "rich tree, got {}", s.span_count);
+    }
+
+    // The tree is properly parented: every kept non-root span's parent
+    // exists in the same trace.
+    let mut ids: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for ts in &t.spans {
+        ids.entry(ts.span.trace).or_default().push(ts.span.id);
+    }
+    for ts in &t.spans {
+        if let Some(p) = ts.span.parent {
+            assert!(
+                ids.get(&ts.span.trace).is_some_and(|v| v.contains(&p)),
+                "span {:016x} orphaned from parent {:016x}",
+                ts.span.id,
+                p
+            );
+        }
+    }
+}
+
+#[test]
+fn node_spans_land_on_their_own_tracers() {
+    let (cluster, _) = traced_cluster(20, 5);
+    let t = cluster.collect(&SamplePolicy::keep_all(), &[]);
+    let mut by_node: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for ts in &t.spans {
+        by_node.entry(ts.node.as_str()).or_default().push(ts.span.name.as_str());
+    }
+    assert!(by_node["gateway"].iter().all(|n| *n == "gateway.request"));
+    let node_names: Vec<&str> = by_node
+        .iter()
+        .filter(|(k, _)| k.starts_with("node-"))
+        .flat_map(|(_, v)| v.iter().copied())
+        .collect();
+    assert!(node_names.contains(&"node.serve"));
+    assert!(node_names.contains(&"node.apply"), "replica apply traced");
+    assert!(node_names.contains(&"smmf.chat"), "real chat span joined");
+    assert!(node_names.contains(&"sql.execute"), "audit INSERT traced");
+    assert!(!node_names.contains(&"gateway.request"));
+}
+
+#[test]
+fn budget_holds_and_errors_always_survive() {
+    // Crash node 1 mid-run: shards replicated on it lose quorum.
+    let mut scn = TelemetryScenario::faulted(120, 4, 13);
+    scn.policy = SamplePolicy::budgeted(400, 8, 100, 13);
+    let run = run_telemetry_scenario(&scn);
+    let r = &run.report;
+
+    assert!(r.failed > 0, "the fault must produce real failures");
+    assert!(r.error_traces > 0);
+    assert_eq!(
+        r.error_traces, r.error_traces_kept,
+        "100% error-trace retention"
+    );
+    assert!(r.spans_kept <= 400 || r.kept_error == r.traces_kept,
+        "only error overflow may pass the budget");
+    assert!(r.traces_kept < r.traces_total, "sampling actually dropped");
+    assert_eq!(
+        r.dropped_by_budget + r.dropped_by_sampling,
+        r.traces_total - r.traces_kept,
+        "every drop is accounted"
+    );
+    assert!(run.tenant_view.contains("tenant-000"));
+}
+
+#[test]
+fn sql_store_matches_in_memory_aggregator() {
+    let (cluster, _) = traced_cluster(50, 29);
+    let t = cluster.collect(&SamplePolicy::keep_all(), &[]);
+    let usage = cluster.usage().clone();
+    let mut engine = materialize_store(&t, &usage);
+    for name in ["node.serve", "smmf.chat", "sql.execute", "gateway.request"] {
+        assert!(
+            store_matches_oracle(&mut engine, &t, name, 5),
+            "SQL disagrees with oracle for {name}"
+        );
+    }
+}
+
+#[test]
+fn telemetry_report_is_deterministic() {
+    let scn = TelemetryScenario::faulted(80, 3, 41);
+    let a = run_telemetry_scenario(&scn);
+    let b = run_telemetry_scenario(&scn);
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    assert_eq!(a.tenant_view, b.tenant_view);
+    assert_eq!(a.alert_windows, b.alert_windows);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Telemetry-off must be invisible: for any small traffic shape the
+    /// outcome stream equals the plain cluster's, request for request.
+    #[test]
+    fn disabled_path_identical_for_any_traffic(
+        requests in 5usize..40,
+        tenants in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let cfg = ClusterConfig::replicated(3, 2, seed);
+        let arrivals = generate(&TrafficConfig::standard(requests, tenants, seed));
+        let mut plain = Cluster::new(cfg.clone());
+        let mut gated = Cluster::with_telemetry(cfg, TelemetryConfig::disabled());
+        for a in &arrivals {
+            prop_assert_eq!(plain.handle(a, None), gated.handle(a, None));
+        }
+        prop_assert_eq!(
+            plain.metrics.snapshot().to_json(),
+            gated.metrics.snapshot().to_json()
+        );
+    }
+}

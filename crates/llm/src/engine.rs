@@ -26,7 +26,7 @@
 
 use std::collections::VecDeque;
 
-use dbgpt_obs::metrics::COUNT_BUCKETS;
+use dbgpt_obs::metrics::{COUNT_BUCKETS, LATENCY_BUCKETS_US};
 use dbgpt_obs::{Obs, Span};
 
 use crate::error::LlmError;
@@ -468,7 +468,20 @@ impl BatchEngine {
                     let r = inflight.swap_remove(i);
                     inflight_tokens -= r.footprint;
                     run.succeeded += 1;
-                    self.obs.observe("llm.engine.batched_latency_us", now - r.admitted_us);
+                    // Exemplar: the latency bucket remembers the trace of
+                    // the run that produced its slowest request, so a p99
+                    // bucket in obs_exemplars links back to a trace tree.
+                    match span.trace_id() {
+                        Some(t) => self.obs.observe_exemplar(
+                            "llm.engine.batched_latency_us",
+                            LATENCY_BUCKETS_US,
+                            now - r.admitted_us,
+                            t,
+                        ),
+                        None => self
+                            .obs
+                            .observe("llm.engine.batched_latency_us", now - r.admitted_us),
+                    }
                     out.push(ScheduledCompletion {
                         id: r.id,
                         admitted_us: r.admitted_us,

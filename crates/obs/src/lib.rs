@@ -39,6 +39,12 @@
 //! - [`SloEngine`] — declarative latency/error objectives evaluated with
 //!   multi-window burn-rate rules over metrics snapshots, emitting a
 //!   byte-reproducible alert log.
+//! - [`TraceContext`] + [`collect`] + [`export`] — the cluster-wide
+//!   pipeline: wire-portable trace propagation, per-node dumps joined by
+//!   a deterministic aggregator with tail-based sampling, and a
+//!   SQL-statement exporter that materializes sampled spans, metric
+//!   snapshots, histogram exemplars, and per-tenant usage rollups into
+//!   `obs_spans` / `obs_metrics` / `obs_exemplars` / `obs_tenant_usage`.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +66,8 @@
 //! println!("{}", obs.render_traces());
 //! ```
 
+pub mod collect;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -67,7 +75,12 @@ pub mod render;
 pub mod slo;
 pub mod trace;
 
-pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use collect::{
+    filter_by_root_attr, Collector, KeepReason, NodeDump, SamplePolicy, TaggedSpan, Telemetry,
+    TenantUsage, TraceSummary, UsageLedger,
+};
+pub use export::{export_sql, insert_sql, schema_sql, slowest_spans_query};
+pub use metrics::{Exemplar, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use profile::{CriticalHop, CriticalPath, HotSpot, Profile};
 pub use slo::{Alert, BurnRule, Objective, SloDef, SloEngine};
-pub use trace::{Obs, ObsConfig, Span, SpanId, SpanRecord};
+pub use trace::{Obs, ObsConfig, Span, SpanId, SpanRecord, TraceContext};

@@ -36,6 +36,17 @@ pub const LATENCY_BUCKETS_US: &[u64] = &[
 /// depth, candidate counts).
 pub const COUNT_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 1024];
 
+/// One exemplar: the largest value a bucket has seen, linked to the trace
+/// that produced it — the bridge from an aggregate (p99 bucket) back to a
+/// concrete trace tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: u64,
+    /// Trace id of the span active when the value was recorded.
+    pub trace: u64,
+}
+
 /// A fixed-bucket histogram with running count/sum/min/max.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
@@ -46,6 +57,9 @@ pub struct Histogram {
     sum: u64,
     min: u64,
     max: u64,
+    /// Per-bucket exemplar (same length as `counts`); kept out of
+    /// [`Histogram::to_json`] so pinned metric bytes are unchanged.
+    exemplars: Vec<Option<Exemplar>>,
 }
 
 impl Histogram {
@@ -59,6 +73,7 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            exemplars: vec![None; bounds.len() + 1],
         }
     }
 
@@ -70,6 +85,22 @@ impl Histogram {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Record one value and remember it as the bucket's exemplar if it is
+    /// the largest seen there (ties keep the first, so replays agree).
+    pub fn observe_exemplar(&mut self, v: u64, trace: u64) {
+        self.observe(v);
+        let idx = self.bounds.partition_point(|&b| b < v);
+        let slot = &mut self.exemplars[idx];
+        if slot.is_none_or(|e| v > e.value) {
+            *slot = Some(Exemplar { value: v, trace });
+        }
+    }
+
+    /// Per-bucket exemplars (`bounds.len() + 1` entries, last is overflow).
+    pub fn exemplars(&self) -> &[Option<Exemplar>] {
+        &self.exemplars
     }
 
     /// Observations recorded.
@@ -126,8 +157,10 @@ impl Histogram {
             .sum()
     }
 
-    /// Upper bound of the bucket containing quantile `q` (0..=1); the
-    /// recorded max for the overflow bucket, 0 when empty. Deterministic
+    /// Upper bound of the bucket containing quantile `q` (0..=1), clamped
+    /// to the recorded max so a value sitting exactly on a bucket edge
+    /// never reports past the largest observation; the recorded max for
+    /// the overflow bucket, 0 when empty. Deterministic
     /// (bucket-resolution) rather than exact.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -138,7 +171,11 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return if i < self.bounds.len() { self.bounds[i] } else { self.max };
+                return if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
             }
         }
         self.max
@@ -227,6 +264,20 @@ impl Metrics {
             None => {
                 let mut h = Histogram::new(bounds);
                 h.observe(v);
+                m.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Like [`Metrics::observe_with`], additionally linking the value to
+    /// `trace` as the landing bucket's exemplar.
+    pub fn observe_exemplar(&self, name: &str, bounds: &[u64], v: u64, trace: u64) {
+        let mut m = self.histograms.lock().expect("histograms lock");
+        match m.get_mut(name) {
+            Some(h) => h.observe_exemplar(v, trace),
+            None => {
+                let mut h = Histogram::new(bounds);
+                h.observe_exemplar(v, trace);
                 m.insert(name.to_string(), h);
             }
         }
@@ -385,6 +436,57 @@ mod tests {
             "{\"bounds\":[10],\"counts\":[0,0],\"count\":0,\"sum\":0,\
              \"min\":0,\"max\":0,\"mean\":0.0,\"p50\":0,\"p90\":0,\"p99\":0}"
         );
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundary_never_exceeds_observed_max() {
+        // Regression: every value sits exactly on the first bucket's upper
+        // edge (10). The rank bucket's bound is 10, but before the clamp a
+        // distribution maxing out *below* a bound would overshoot — e.g.
+        // observing only 7s in bounds [10, 100] reported p99 = 10.
+        let mut h = Histogram::new(&[10, 100]);
+        for _ in 0..4 {
+            h.observe(7);
+        }
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.quantile(0.50), 7, "p50 clamps to the observed max");
+        assert_eq!(h.quantile(0.99), 7, "p99 clamps to the observed max");
+        // Pin the serialized bytes so the clamp semantics can't silently drift.
+        assert_eq!(
+            h.to_json(),
+            "{\"bounds\":[10,100],\"counts\":[4,0,0],\"count\":4,\"sum\":28,\
+             \"min\":7,\"max\":7,\"mean\":7.0,\"p50\":7,\"p90\":7,\"p99\":7}"
+        );
+        // A value exactly equal to the edge still reports the edge.
+        let mut g = Histogram::new(&[10, 100]);
+        g.observe(10);
+        assert_eq!(g.quantile(0.99), 10, "edge value reports the edge, not the next bucket");
+    }
+
+    #[test]
+    fn exemplars_keep_the_largest_value_per_bucket() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe_exemplar(5, 111);
+        h.observe_exemplar(9, 222);
+        h.observe_exemplar(9, 333); // tie: first stays, replays agree
+        h.observe_exemplar(5000, 444);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 3);
+        assert_eq!(ex[0], Some(Exemplar { value: 9, trace: 222 }));
+        assert_eq!(ex[1], None);
+        assert_eq!(ex[2], Some(Exemplar { value: 5000, trace: 444 }));
+        assert_eq!(h.count(), 4, "exemplar observations still count");
+    }
+
+    #[test]
+    fn registry_exemplars_roundtrip_through_snapshot() {
+        let m = Metrics::new();
+        m.observe_exemplar("lat", &[10, 100], 42, 0xabc);
+        m.observe_with("lat", &[1], 7); // plain observe on the same histogram
+        let snap = m.snapshot();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.exemplars()[1], Some(Exemplar { value: 42, trace: 0xabc }));
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

@@ -238,6 +238,51 @@ mod tests {
     }
 
     #[test]
+    fn same_tick_siblings_from_different_id_blocks_render_pinned_bytes() {
+        // A merged multi-node dump: the root lives on the gateway tracer
+        // (seed 1) while two sibling children are adopted remotely on two
+        // node tracers with different seed blocks (2 and 3) — and both
+        // start at the same tick. Sibling order must be (start, span_id),
+        // never dump concatenation order, so the merged render is stable
+        // bytes no matter which node's dump arrives first.
+        let render_merged = |flip: bool| {
+            let gw = Obs::new(ObsConfig::enabled(1));
+            let na = Obs::new(ObsConfig::enabled(2));
+            let nb = Obs::new(ObsConfig::enabled(3));
+            let root = gw.span("gateway.request", 0);
+            let ctx = root.context("").unwrap();
+            let a = na.span_in_context("node.serve", 10, &ctx);
+            let b = nb.span_in_context("node.apply", 10, &ctx);
+            a.attr("node", 0);
+            b.attr("node", 1);
+            a.end(30);
+            b.end(20);
+            root.end(40);
+            let mut spans = Vec::new();
+            if flip {
+                spans.extend(nb.finished_spans());
+                spans.extend(na.finished_spans());
+            } else {
+                spans.extend(na.finished_spans());
+                spans.extend(nb.finished_spans());
+            }
+            spans.extend(gw.finished_spans());
+            render_trace(&spans, spans.iter().find(|s| s.parent.is_none()).unwrap().id)
+        };
+        let text = render_merged(false);
+        assert_eq!(text, render_merged(true), "dump order must not matter");
+        // Seed 3's id block sorts below seed 2's, so node.apply renders
+        // first despite being recorded second — (start, span_id) decides.
+        assert_eq!(
+            text,
+            "trace 910a000000000001 · gateway.request · 40us\n\
+             gateway.request [0..40us]\n\
+             ├─ node.apply [10..20us] node=1\n\
+             └─ node.serve [10..30us] node=0\n"
+        );
+    }
+
+    #[test]
     fn empty_snapshot_renders_empty() {
         assert_eq!(render_metrics(&MetricsSnapshot::default()), "");
     }

@@ -441,6 +441,44 @@ mod tests {
     }
 
     #[test]
+    fn burn_exactly_at_threshold_does_not_flap() {
+        // A burn rate oscillating *exactly at* the threshold across
+        // consecutive snapshots is one sustained incident: one fire when
+        // it reaches the threshold, one resolve when it recovers — never
+        // a fire/resolve pair per snapshot. Budget 0.1, threshold 5.0 →
+        // a steady 50% bad fraction burns at exactly 5.00.
+        let m = Metrics::new();
+        let mut e = engine();
+        for w in 0..6u64 {
+            for _ in 0..5 {
+                m.observe_with("lat_us", &[1_000, 10_000], 50);
+            }
+            for _ in 0..5 {
+                m.observe_with("lat_us", &[1_000, 10_000], 50_000);
+            }
+            e.push_snapshot(1_000 * (w + 1), &m.snapshot());
+            assert_eq!(
+                e.fired_count(),
+                1,
+                "snapshot {w}: at-threshold burn must not re-fire"
+            );
+            assert_eq!(e.resolved_count(), 0);
+        }
+        assert_eq!(e.firing_count(), 1, "still one sustained incident");
+        // Recovery: all-good windows clear both burn windows → one resolve.
+        for w in 0..3u64 {
+            for _ in 0..10 {
+                m.observe_with("lat_us", &[1_000, 10_000], 50);
+            }
+            e.push_snapshot(7_000 + 1_000 * w, &m.snapshot());
+        }
+        assert_eq!(e.fired_count(), 1, "exactly one fire for the whole episode");
+        assert_eq!(e.resolved_count(), 1, "exactly one resolve");
+        assert_eq!(e.firing_count(), 0);
+        assert_eq!(e.alerts().len(), 2, "one fire/resolve pair, not one per snapshot");
+    }
+
+    #[test]
     fn burn_windows_reach_back_to_a_zero_origin() {
         // First-ever snapshot already carries burn (delta against zero).
         let m = Metrics::new();

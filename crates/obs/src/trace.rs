@@ -61,6 +61,41 @@ impl Default for ObsConfig {
 /// A span identifier (unique within one [`Obs`]).
 pub type SpanId = u64;
 
+/// Wire-portable trace context for **cross-node propagation**.
+///
+/// One process opens a span, exports its coordinates with
+/// [`Span::context`], carries them across the wire (the server protocol
+/// `Request` has a `with_trace_context` helper), and the receiving
+/// process adopts them with [`Obs::span_in_context`] — the remote span
+/// joins the originator's trace tree even though it is recorded by a
+/// different tracer with its own seed block. Ids travel as fixed-width
+/// hex so they sort identically as text (SQL) and as integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Root span id of the distributed trace.
+    pub trace_id: SpanId,
+    /// The span on the sending side that the receiver should parent under.
+    pub parent_span_id: SpanId,
+    /// Tenant key, so every hop can tag its spans for per-tenant queries.
+    pub tenant: String,
+}
+
+impl TraceContext {
+    /// Fixed-width lowercase hex for a span/trace id — the wire and SQL
+    /// representation (16 chars, so lexicographic order == numeric order).
+    pub fn hex(id: SpanId) -> String {
+        format!("{id:016x}")
+    }
+
+    /// Parse a [`TraceContext::hex`] string back to an id.
+    pub fn parse_hex(s: &str) -> Option<SpanId> {
+        if s.len() != 16 {
+            return None;
+        }
+        SpanId::from_str_radix(s, 16).ok()
+    }
+}
+
 /// One finished span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -204,6 +239,17 @@ impl Obs {
         }
     }
 
+    /// Fast-forward the tick clock to at least `us`. Hosts with a
+    /// simulated clock call this before handing spans to tick-timestamped
+    /// components (e.g. the SQL engine), so tick-clock children stay
+    /// time-coherent with their simulated-clock ancestors instead of
+    /// starting near zero. Monotonic: never moves the clock backwards.
+    pub fn advance_ticks_to(&self, us: u64) {
+        if let Some(i) = &self.inner {
+            i.ticks.fetch_max(us, Ordering::Relaxed);
+        }
+    }
+
     /// Open a root span (a new trace).
     pub fn span(&self, name: &str, start_us: u64) -> Span {
         let Some(inner) = &self.inner else {
@@ -226,6 +272,40 @@ impl Obs {
                 obs: Arc::clone(inner),
                 id,
                 trace: id,
+            }),
+        }
+    }
+
+    /// Adopt a remote [`TraceContext`]: open a span recorded by *this*
+    /// tracer whose parent and trace ids come from the sending process.
+    /// The context's tenant is recorded as the span's first attribute
+    /// (when non-empty). A disabled handle returns a no-op span, so the
+    /// propagation path costs one branch when telemetry is off.
+    pub fn span_in_context(&self, name: &str, start_us: u64, ctx: &TraceContext) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { inner: None };
+        };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut attrs = Vec::new();
+        if !ctx.tenant.is_empty() {
+            attrs.push(("tenant".to_string(), ctx.tenant.clone()));
+        }
+        inner.open.lock().expect("open spans lock").insert(
+            id,
+            OpenSpan {
+                parent: Some(ctx.parent_span_id),
+                trace: ctx.trace_id,
+                name: name.to_string(),
+                start_us,
+                attrs,
+                events: Vec::new(),
+            },
+        );
+        Span {
+            inner: Some(SpanInner {
+                obs: Arc::clone(inner),
+                id,
+                trace: ctx.trace_id,
             }),
         }
     }
@@ -262,6 +342,15 @@ impl Obs {
     pub fn observe_with(&self, name: &str, bounds: &[u64], v: u64) {
         if let Some(i) = &self.inner {
             i.metrics.observe_with(name, bounds, v);
+        }
+    }
+
+    /// Observe with explicit bounds *and* an exemplar trace-id link: the
+    /// bucket the value lands in remembers the largest value seen there
+    /// together with the trace that produced it (no-op when disabled).
+    pub fn observe_exemplar(&self, name: &str, bounds: &[u64], v: u64, trace: SpanId) {
+        if let Some(i) = &self.inner {
+            i.metrics.observe_exemplar(name, bounds, v, trace);
         }
     }
 
@@ -375,6 +464,17 @@ impl Span {
     /// The trace (root span) id, if recording.
     pub fn trace_id(&self) -> Option<SpanId> {
         self.inner.as_ref().map(|i| i.trace)
+    }
+
+    /// Export this span's coordinates for cross-process propagation (see
+    /// [`TraceContext`]). `None` for a no-op span, so a disabled sender
+    /// injects nothing and the receiver's hot path stays byte-identical.
+    pub fn context(&self, tenant: &str) -> Option<TraceContext> {
+        self.inner.as_ref().map(|si| TraceContext {
+            trace_id: si.trace,
+            parent_span_id: si.id,
+            tenant: tenant.to_string(),
+        })
     }
 
     /// Open a child span. A child of a no-op span is a no-op span.
@@ -569,6 +669,47 @@ mod tests {
         let a = obs.tick();
         let b = obs.tick();
         assert!(b > a);
+    }
+
+    #[test]
+    fn context_propagates_across_tracers() {
+        let gateway = Obs::new(ObsConfig::enabled(1));
+        let node = Obs::new(ObsConfig::enabled(2));
+        let root = gateway.span("gateway.request", 0);
+        let ctx = root.context("tenant-003").expect("recording span has a context");
+        let serve = node.span_in_context("node.serve", 5, &ctx);
+        serve.end(9);
+        root.end(10);
+        let remote = &node.finished_spans()[0];
+        assert_eq!(remote.trace, root.id().unwrap(), "same trace across tracers");
+        assert_eq!(remote.parent, Some(ctx.parent_span_id));
+        assert_eq!(remote.attr("tenant"), Some("tenant-003"));
+        assert_ne!(remote.id, root.id().unwrap(), "local id from the node's block");
+    }
+
+    #[test]
+    fn context_of_noop_span_is_none_and_adoption_on_disabled_is_inert() {
+        assert!(Span::noop().context("t").is_none());
+        let obs = Obs::new(ObsConfig::disabled());
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span_id: 7,
+            tenant: "t".into(),
+        };
+        let s = obs.span_in_context("node.serve", 0, &ctx);
+        assert!(!s.is_recording());
+        s.end(1);
+        assert_eq!(obs.span_count(), 0);
+    }
+
+    #[test]
+    fn hex_roundtrip_is_fixed_width() {
+        let id: SpanId = 0x00ab_cdef_0123_4567;
+        let h = TraceContext::hex(id);
+        assert_eq!(h.len(), 16);
+        assert_eq!(h, "00abcdef01234567");
+        assert_eq!(TraceContext::parse_hex(&h), Some(id));
+        assert_eq!(TraceContext::parse_hex("xyz"), None);
     }
 
     #[test]

@@ -70,6 +70,49 @@ impl Request {
     pub fn tenant(&self) -> Option<&str> {
         self.params.get("tenant").and_then(|v| v.as_str())
     }
+
+    /// Attach a distributed-trace context in `params.trace` (builder
+    /// style). Ids travel as fixed-width hex strings; the receiving
+    /// node adopts them with `Obs::span_in_context`, joining the
+    /// sender's trace tree across the wire.
+    pub fn with_trace_context(mut self, ctx: &dbgpt_obs::TraceContext) -> Self {
+        let mut t = serde_json::Map::new();
+        t.insert(
+            "trace_id".to_string(),
+            Value::String(dbgpt_obs::TraceContext::hex(ctx.trace_id)),
+        );
+        t.insert(
+            "span_id".to_string(),
+            Value::String(dbgpt_obs::TraceContext::hex(ctx.parent_span_id)),
+        );
+        match &mut self.params {
+            Value::Object(m) => {
+                m.insert("trace".to_string(), Value::Object(t));
+            }
+            _ => {
+                let mut m = serde_json::Map::new();
+                m.insert("trace".to_string(), Value::Object(t));
+                self.params = Value::Object(m);
+            }
+        }
+        self
+    }
+
+    /// The propagated trace context from `params.trace`, if present and
+    /// well-formed. The tenant comes from `params.tenant` (empty when
+    /// absent) so one carrier covers both routing and trace tagging.
+    pub fn trace_context(&self) -> Option<dbgpt_obs::TraceContext> {
+        let t = self.params.get("trace")?;
+        let trace_id =
+            dbgpt_obs::TraceContext::parse_hex(t.get("trace_id").and_then(|v| v.as_str())?)?;
+        let parent_span_id =
+            dbgpt_obs::TraceContext::parse_hex(t.get("span_id").and_then(|v| v.as_str())?)?;
+        Some(dbgpt_obs::TraceContext {
+            trace_id,
+            parent_span_id,
+            tenant: self.tenant().unwrap_or("").to_string(),
+        })
+    }
 }
 
 /// A response to one request.
@@ -212,6 +255,30 @@ mod tests {
         let e = Response::error(4, Status::BadRequest, "nope");
         assert_eq!(e.status, Status::BadRequest);
         assert_eq!(e.content, json!("nope"));
+    }
+
+    #[test]
+    fn trace_context_roundtrips_through_the_wire() {
+        let ctx = dbgpt_obs::TraceContext {
+            trace_id: 0x1b2e_0000_0000_0001,
+            parent_span_id: 0x1b2e_0000_0000_0007,
+            tenant: "tenant-042".to_string(),
+        };
+        let req = Request::new(1, "chat2data", "q")
+            .with_tenant("tenant-042")
+            .with_trace_context(&ctx);
+        let frame = encode_frame(&req);
+        let (back, _): (Request, usize) = decode_frame(&frame).unwrap();
+        assert_eq!(back.trace_context(), Some(ctx));
+        assert_eq!(back.tenant(), Some("tenant-042"), "tenant carriage unaffected");
+    }
+
+    #[test]
+    fn absent_or_malformed_trace_context_is_none() {
+        assert_eq!(Request::new(1, "a", "x").trace_context(), None);
+        let mut req = Request::new(1, "a", "x");
+        req.params = json!({"trace": {"trace_id": "zz", "span_id": "zz"}});
+        assert_eq!(req.trace_context(), None);
     }
 
     #[test]

@@ -358,9 +358,13 @@ impl ApiServer {
         span.attr("model", model);
         let result = self.chat_inner(model, prompt, params, &span);
         match &result {
-            Ok(_) => {
+            Ok(c) => {
                 self.obs.counter("smmf.requests_ok", 1);
                 span.attr("outcome", "ok");
+                if span.is_recording() {
+                    span.attr("prompt_tokens", c.usage.prompt_tokens);
+                    span.attr("completion_tokens", c.usage.completion_tokens);
+                }
             }
             Err(e) => {
                 self.obs.counter("smmf.requests_err", 1);
